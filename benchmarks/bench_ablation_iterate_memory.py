@@ -1,0 +1,70 @@
+"""Ablation §5.1/§8.4.1 — ITERATE vs recursive CTE.
+
+Two claims from the paper, measured on the same k-Means-in-SQL workload:
+
+* memory: the CTE's working set grows with the iteration count (n*i
+  live tuples) while ITERATE stays at 2n;
+* time: the non-appending form is also faster (smaller intermediates).
+
+CLI variant with the full iteration sweep:
+``python -m repro.bench ablation_iterate``.
+"""
+
+import pytest
+
+from repro.bench.experiments import setup_kmeans
+from repro.bench.runner import measure
+from repro.workloads import kmeans_iterate_sql, kmeans_recursive_sql
+
+from conftest import scaled
+
+ITERATIONS = 6
+
+
+@pytest.fixture(scope="module")
+def world():
+    setup = setup_kmeans(scaled(4_000_000), 10, 5)
+    iterate_sql = kmeans_iterate_sql(
+        "data", "centers", setup.features, ITERATIONS
+    )
+    recursive_sql = kmeans_recursive_sql(
+        "data", "centers", setup.features, ITERATIONS
+    )
+    return setup, iterate_sql, recursive_sql
+
+
+def test_bench_iterate(benchmark, world):
+    setup, iterate_sql, _rc = world
+    benchmark.group = "ablation-iterate-vs-cte"
+    benchmark.pedantic(
+        lambda: setup.db.execute(iterate_sql), rounds=3, iterations=1
+    )
+
+
+def test_bench_recursive_cte(benchmark, world):
+    setup, _it, recursive_sql = world
+    benchmark.group = "ablation-iterate-vs-cte"
+    benchmark.pedantic(
+        lambda: setup.db.execute(recursive_sql), rounds=3, iterations=1
+    )
+
+
+def test_memory_claim(world):
+    """ITERATE keeps 2k live working tuples; the CTE accumulates
+    k*(iterations+1)."""
+    setup, iterate_sql, recursive_sql = world
+    k = 5
+    setup.db.execute(iterate_sql)
+    iterate_peak = setup.db.last_stats.peak_live_tuples
+    setup.db.execute(recursive_sql)
+    recursive_peak = setup.db.last_stats.peak_live_tuples
+    assert iterate_peak == 2 * k
+    assert recursive_peak == k * (ITERATIONS + 1)
+    assert recursive_peak > iterate_peak
+
+
+def test_time_claim(world):
+    setup, iterate_sql, recursive_sql = world
+    iterate_time = measure(lambda: setup.db.execute(iterate_sql), 2)
+    recursive_time = measure(lambda: setup.db.execute(recursive_sql), 2)
+    assert iterate_time < recursive_time * 1.2

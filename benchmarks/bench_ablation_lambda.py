@@ -1,0 +1,95 @@
+"""Ablation §7 — lambda compilation inside one operator.
+
+Three variants of the identical k-Means run:
+
+* the default distance, fused into the operator's kernel;
+* a user SQL lambda, compiled to vectorised code (the paper's "no
+  virtual function calls" claim);
+* a lambda whose body calls a black-box Python UDF — correct, but
+  executed row-at-a-time because the engine cannot inspect it
+  (section 4.1's layer-2 cost, reproduced inside layer 4).
+
+CLI variant: ``python -m repro.bench ablation_lambda``.
+"""
+
+import pytest
+
+from repro.bench.experiments import setup_kmeans
+from repro.bench.runner import measure
+from repro.types import DOUBLE
+
+from conftest import scaled
+
+D = 4
+
+
+@pytest.fixture(scope="module")
+def world():
+    setup = setup_kmeans(scaled(1_000_000), D, 5, 3)
+
+    def metric_udf(*values):
+        total = 0.0
+        for i in range(D):
+            diff = values[i] - values[D + i]
+            total += diff * diff
+        return total
+
+    setup.db.create_function(
+        "py_metric", metric_udf, DOUBLE, arity=2 * D
+    )
+    feats = ", ".join(setup.features)
+    lam = " + ".join(f"(a.{f} - b.{f})^2" for f in setup.features)
+    args = ", ".join(
+        [f"a.{f}" for f in setup.features]
+        + [f"b.{f}" for f in setup.features]
+    )
+    queries = {
+        "fused-default": (
+            f"SELECT * FROM KMEANS((SELECT {feats} FROM data), "
+            f"(SELECT {feats} FROM centers), 3)"
+        ),
+        "compiled-lambda": (
+            f"SELECT * FROM KMEANS((SELECT {feats} FROM data), "
+            f"(SELECT {feats} FROM centers), LAMBDA(a, b) {lam}, 3)"
+        ),
+        "udf-lambda": (
+            f"SELECT * FROM KMEANS((SELECT {feats} FROM data), "
+            f"(SELECT {feats} FROM centers), "
+            f"LAMBDA(a, b) py_metric({args}), 3)"
+        ),
+    }
+    return setup, queries
+
+
+@pytest.mark.parametrize(
+    "variant", ("fused-default", "compiled-lambda", "udf-lambda")
+)
+def test_bench_variant(benchmark, world, variant):
+    setup, queries = world
+    benchmark.group = "ablation-lambda"
+    rounds = 1 if variant == "udf-lambda" else 3
+    benchmark.pedantic(
+        lambda: setup.db.execute(queries[variant]),
+        rounds=rounds,
+        iterations=1,
+    )
+
+
+def test_compiled_lambda_near_fused(world):
+    """A compiled lambda costs little over the fused default..."""
+    setup, queries = world
+    fused = measure(lambda: setup.db.execute(queries["fused-default"]), 3)
+    compiled = measure(
+        lambda: setup.db.execute(queries["compiled-lambda"]), 3
+    )
+    assert compiled < fused * 12
+
+
+def test_udf_lambda_much_slower(world):
+    """...while a black-box UDF body is interpretation-bound."""
+    setup, queries = world
+    compiled = measure(
+        lambda: setup.db.execute(queries["compiled-lambda"]), 2
+    )
+    udf = measure(lambda: setup.db.execute(queries["udf-lambda"]), 1)
+    assert udf > compiled * 3

@@ -1,0 +1,38 @@
+"""Figure 1 — the four integration layers on one k-Means workload.
+
+Performance must increase with integration depth: external tool and UDF
+driver at the bottom, SQL in the middle, the in-core operator on top.
+CLI variant: ``python -m repro.bench fig1_layers``.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_kmeans
+from repro.bench.runner import measure
+
+from conftest import run_or_skip
+
+LAYERS = [
+    ("layer1-external-tool", "External tool"),
+    ("layer2-udf-driver", "MADlib-like"),
+    ("layer3-sql-recursive-cte", "HyPer SQL"),
+    ("layer3-sql-iterate", "HyPer Iterate"),
+    ("layer4-in-core-operator", "HyPer Operator"),
+]
+
+
+@pytest.mark.parametrize("label,system", LAYERS, ids=[l for l, _ in LAYERS])
+def test_layer(benchmark, kmeans_default_setup, label, system):
+    benchmark.group = "fig1-layers"
+    rounds = 1 if system == "MADlib-like" else 3
+    run_or_skip(benchmark, run_kmeans, kmeans_default_setup, system, rounds)
+
+
+def test_deeper_integration_is_faster(kmeans_default_setup):
+    """The paper's Figure 1 ordering within the database: UDF driver
+    (layer 2) < SQL (layer 3) < operator (layer 4)."""
+    setup = kmeans_default_setup
+    udf_driver = measure(lambda: run_kmeans(setup, "MADlib-like"), 1)
+    sql = measure(lambda: run_kmeans(setup, "HyPer Iterate"), 2)
+    operator = measure(lambda: run_kmeans(setup, "HyPer Operator"), 2)
+    assert operator < sql < udf_driver

@@ -1,0 +1,37 @@
+"""Figure 4 (right) — k-Means runtime vs cluster count.
+
+Benchmarks the HyPer Operator across the paper's cluster sweep
+(k ∈ {3, 5, 10, 25, 50}) and all systems at k=10. Full sweep:
+``python -m repro.bench fig4_clusters``.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    KMEANS_SYSTEMS,
+    run_kmeans,
+    setup_kmeans,
+)
+from repro.datagen.vectors import KMEANS_CLUSTER_SWEEP
+
+from conftest import run_or_skip, scaled
+
+
+@pytest.fixture(scope="module")
+def setups():
+    n = scaled(4_000_000)
+    return {
+        k: setup_kmeans(n, 10, k, 3) for k in KMEANS_CLUSTER_SWEEP
+    }
+
+
+@pytest.mark.parametrize("k", KMEANS_CLUSTER_SWEEP)
+def test_operator_cluster_sweep(benchmark, setups, k):
+    benchmark.group = "fig4-kmeans-clusters-operator"
+    run_or_skip(benchmark, run_kmeans, setups[k], "HyPer Operator")
+
+
+@pytest.mark.parametrize("system", KMEANS_SYSTEMS)
+def test_all_systems_at_k10(benchmark, setups, system):
+    benchmark.group = "fig4-kmeans-k10"
+    run_or_skip(benchmark, run_kmeans, setups[10], system)

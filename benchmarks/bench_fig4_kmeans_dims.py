@@ -1,0 +1,37 @@
+"""Figure 4 (middle) — k-Means runtime vs dimensionality.
+
+Benchmarks the HyPer Operator across the paper's dimension sweep
+(d ∈ {3, 5, 10, 25, 50}) and all systems at d=25. Full sweep:
+``python -m repro.bench fig4_dims``.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    KMEANS_SYSTEMS,
+    run_kmeans,
+    setup_kmeans,
+)
+from repro.datagen.vectors import KMEANS_DIMENSION_SWEEP
+
+from conftest import run_or_skip, scaled
+
+
+@pytest.fixture(scope="module")
+def setups():
+    n = scaled(4_000_000)
+    return {
+        d: setup_kmeans(n, d, 5, 3) for d in KMEANS_DIMENSION_SWEEP
+    }
+
+
+@pytest.mark.parametrize("d", KMEANS_DIMENSION_SWEEP)
+def test_operator_dimension_sweep(benchmark, setups, d):
+    benchmark.group = "fig4-kmeans-dims-operator"
+    run_or_skip(benchmark, run_kmeans, setups[d], "HyPer Operator")
+
+
+@pytest.mark.parametrize("system", KMEANS_SYSTEMS)
+def test_all_systems_at_d25(benchmark, setups, system):
+    benchmark.group = "fig4-kmeans-d25"
+    run_or_skip(benchmark, run_kmeans, setups[25], system)

@@ -1,0 +1,35 @@
+"""Figure 4 (left) — k-Means runtime by system, tuple sweep.
+
+pytest-benchmark pins the Table 1 center point (4M tuples scaled, d=10,
+k=5, 3 iterations) and benchmarks all six series. The full tuple sweep
+(160k..500M scaled) is printed by::
+
+    python -m repro.bench fig4_tuples
+"""
+
+import pytest
+
+from repro.bench.experiments import KMEANS_SYSTEMS, run_kmeans
+
+from conftest import run_or_skip
+
+
+@pytest.mark.parametrize("system", KMEANS_SYSTEMS)
+def test_kmeans_tuples_center_point(
+    benchmark, kmeans_default_setup, system
+):
+    benchmark.group = "fig4-kmeans-n4M-scaled"
+    run_or_skip(benchmark, run_kmeans, kmeans_default_setup, system)
+
+
+def test_expected_ordering(kmeans_default_setup):
+    """The paper's headline shape at this point: the in-core operator
+    beats the SQL formulations, and ITERATE beats the recursive CTE."""
+    from repro.bench.runner import measure
+
+    setup = kmeans_default_setup
+    operator = measure(lambda: run_kmeans(setup, "HyPer Operator"), 3)
+    iterate = measure(lambda: run_kmeans(setup, "HyPer Iterate"), 3)
+    recursive = measure(lambda: run_kmeans(setup, "HyPer SQL"), 3)
+    assert operator < iterate
+    assert iterate < recursive * 1.25  # allow jitter; usually strictly <

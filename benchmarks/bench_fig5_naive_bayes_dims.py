@@ -1,0 +1,33 @@
+"""Figure 5 (right) — Naive Bayes training runtime vs dimensions.
+
+Benchmarks the training operator across the paper's dimension sweep and
+the layer-3 SQL variant at d=25 for contrast (the SQL form scans the
+training relation once per attribute). Full sweep:
+``python -m repro.bench fig5_nb_dims``.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_naive_bayes, setup_naive_bayes
+from repro.datagen.vectors import KMEANS_DIMENSION_SWEEP
+
+from conftest import run_or_skip, scaled
+
+
+@pytest.fixture(scope="module")
+def setups():
+    n = scaled(4_000_000)
+    return {d: setup_naive_bayes(n, d) for d in KMEANS_DIMENSION_SWEEP}
+
+
+@pytest.mark.parametrize("d", KMEANS_DIMENSION_SWEEP)
+def test_operator_dimension_sweep(benchmark, setups, d):
+    benchmark.group = "fig5-nb-dims-operator"
+    run_or_skip(benchmark, run_naive_bayes, setups[d], "HyPer Operator")
+
+
+@pytest.mark.parametrize("d", (5, 25))
+def test_sql_dimension_scaling(benchmark, setups, d):
+    """The layer-3 gap grows with d: one scan per attribute."""
+    benchmark.group = "fig5-nb-dims-sql"
+    run_or_skip(benchmark, run_naive_bayes, setups[d], "HyPer SQL")

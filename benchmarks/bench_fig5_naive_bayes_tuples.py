@@ -1,0 +1,17 @@
+"""Figure 5 (middle) — Naive Bayes training runtime vs tuples.
+
+Benchmarks all six series at the n=4M (scaled), d=10 point. Full tuple
+sweep: ``python -m repro.bench fig5_nb_tuples``.
+"""
+
+import pytest
+
+from repro.bench.experiments import NAIVE_BAYES_SYSTEMS, run_naive_bayes
+
+from conftest import run_or_skip
+
+
+@pytest.mark.parametrize("system", NAIVE_BAYES_SYSTEMS)
+def test_naive_bayes_by_system(benchmark, naive_bayes_setup, system):
+    benchmark.group = "fig5-naive-bayes-n4M-scaled"
+    run_or_skip(benchmark, run_naive_bayes, naive_bayes_setup, system)

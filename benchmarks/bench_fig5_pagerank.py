@@ -1,0 +1,38 @@
+"""Figure 5 (left) — PageRank by system on an LDBC-like graph.
+
+The paper's marquee result (92x over Spark in their testbed): the CSR
+operator versus relational-join iteration and the external systems.
+Full graph-size sweep: ``python -m repro.bench fig5_pagerank``.
+"""
+
+import pytest
+
+from repro.bench.experiments import PAGERANK_SYSTEMS, run_pagerank
+from repro.bench.runner import measure
+
+from conftest import run_or_skip
+
+
+@pytest.mark.parametrize("system", PAGERANK_SYSTEMS)
+def test_pagerank_by_system(benchmark, pagerank_small_setup, system):
+    benchmark.group = "fig5-pagerank"
+    rounds = 3 if system == "HyPer Operator" else 1
+    run_or_skip(
+        benchmark, run_pagerank, pagerank_small_setup, system, rounds
+    )
+
+
+def test_operator_beats_relational_iteration(pagerank_small_setup):
+    """Section 8.4.2: the CSR operator is far faster than the SQL
+    formulation, whose time goes into per-iteration hash joins."""
+    setup = pagerank_small_setup
+    operator = measure(lambda: run_pagerank(setup, "HyPer Operator"), 2)
+    iterate = measure(lambda: run_pagerank(setup, "HyPer Iterate"), 1)
+    assert operator * 3 < iterate
+
+
+def test_operator_beats_spark_like(pagerank_small_setup):
+    setup = pagerank_small_setup
+    operator = measure(lambda: run_pagerank(setup, "HyPer Operator"), 2)
+    spark = measure(lambda: run_pagerank(setup, "Spark-like"), 1)
+    assert operator < spark

@@ -1,0 +1,37 @@
+"""Table 1 — generating the k-Means dataset grid.
+
+The paper's Table 1 is the experiment inventory, not a timing table;
+this benchmark validates that every (scaled) grid point materialises and
+measures the data-generation + bulk-load path (the "fast data loading"
+HyPer property of section 3).
+"""
+
+import pytest
+
+import repro
+from repro.datagen.vectors import load_vector_table, table1_experiments
+
+from conftest import SCALE
+
+
+def test_grid_is_complete():
+    experiments = table1_experiments(SCALE)
+    assert len(experiments) == 16
+    sweeps = {e.sweep for e in experiments}
+    assert sweeps == {"tuples", "dimensions", "clusters"}
+
+
+@pytest.mark.parametrize(
+    "experiment",
+    [e for e in table1_experiments(SCALE) if e.sweep == "tuples"][:4],
+    ids=lambda e: f"n{e.n}xd{e.d}",
+)
+def test_bulk_load(benchmark, experiment):
+    db = repro.Database()
+
+    def load():
+        load_vector_table(db, "data", experiment.n, experiment.d, seed=0)
+        return db.row_count("data")
+
+    rows = benchmark.pedantic(load, rounds=3, iterations=1)
+    assert rows == experiment.n

@@ -1,0 +1,54 @@
+"""Shared setup for the pytest-benchmark suite.
+
+Every benchmark reuses the runners from :mod:`repro.bench.experiments`
+(the same code behind ``python -m repro.bench``) at one fixed,
+laptop-sized configuration per figure — scale 1/1000 of the paper's
+sizes by default, overridable via the REPRO_BENCH_SCALE environment
+variable. The full sweeps (all sizes of every figure) are run with the
+CLI; the pytest suite pins one representative point per series so the
+whole run stays in the minutes range.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.experiments import (
+    setup_kmeans,
+    setup_naive_bayes,
+    setup_pagerank,
+)
+
+#: Fraction of the paper's data sizes used by the pytest benchmarks.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.001"))
+
+
+def scaled(paper_n: int) -> int:
+    return max(int(paper_n * SCALE), 16)
+
+
+@pytest.fixture(scope="module")
+def kmeans_default_setup():
+    """The Table 1 center point: n=4M (scaled), d=10, k=5, 3 iters."""
+    return setup_kmeans(scaled(4_000_000), 10, 5, 3)
+
+
+@pytest.fixture(scope="module")
+def pagerank_small_setup():
+    """The paper's smallest LDBC point (11k vertices / 452k edges),
+    scaled; damping 0.85, 45 iterations."""
+    return setup_pagerank(scaled(11_000 * 10), scaled(452_000 * 10))
+
+
+@pytest.fixture(scope="module")
+def naive_bayes_setup():
+    return setup_naive_bayes(scaled(4_000_000), 10)
+
+
+def run_or_skip(benchmark, runner, setup, system, rounds=3):
+    """Benchmark one series member, skipping capped systems."""
+    if runner(setup, system) is None:
+        pytest.skip(f"{system} is over its size cap at this scale")
+    benchmark.pedantic(
+        lambda: runner(setup, system), rounds=rounds, iterations=1
+    )

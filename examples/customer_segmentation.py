@@ -1,0 +1,123 @@
+"""Customer segmentation: k-Means with a custom distance lambda.
+
+The scenario from the paper's motivation: analytics directly on live
+transactional data — no export, no stale copies. We segment customers
+by annual spend and visit frequency while orders keep being inserted,
+then post-process the clusters in the *same* SQL statement.
+
+Shows:
+* SQL pre-processing feeding an analytics operator (a join + GROUP BY
+  computes the feature vectors inline),
+* a lambda re-weighting the distance metric (spend counts double),
+* the same query via the ITERATE construct for comparison,
+* snapshot isolation: a concurrent insert does not disturb the running
+  analysis.
+
+Run:  python examples/customer_segmentation.py
+"""
+
+import numpy as np
+
+import repro
+from repro.workloads import kmeans_iterate_sql
+
+
+def load_customers(db: repro.Database, n_customers: int = 500) -> None:
+    rng = np.random.default_rng(7)
+    db.execute(
+        "CREATE TABLE customers (cid BIGINT, name VARCHAR, "
+        "region VARCHAR)"
+    )
+    db.execute(
+        "CREATE TABLE orders (cid BIGINT, amount FLOAT, visits INTEGER)"
+    )
+    regions = ["north", "south", "east", "west"]
+    db.insert_rows(
+        "customers",
+        [
+            (i, f"customer-{i}", regions[i % 4])
+            for i in range(n_customers)
+        ],
+    )
+    # Three behavioural groups: bargain hunters, regulars, big spenders.
+    group = rng.integers(0, 3, n_customers)
+    spend_mean = np.asarray([120.0, 900.0, 4200.0])[group]
+    visit_mean = np.asarray([2.0, 12.0, 6.0])[group]
+    rows = []
+    for cid in range(n_customers):
+        for _ in range(int(rng.integers(1, 4))):
+            rows.append(
+                (
+                    cid,
+                    float(max(rng.normal(spend_mean[cid], 50.0), 1.0)),
+                    int(max(rng.normal(visit_mean[cid], 1.0), 1)),
+                )
+            )
+    db.insert_rows("orders", rows)
+
+
+FEATURES_SQL = (
+    "SELECT sum(o.amount) / 1000.0 AS spend, "
+    "       avg(o.visits) AS visits "
+    "FROM orders o GROUP BY o.cid"
+)
+
+
+def main() -> None:
+    db = repro.connect()
+    load_customers(db)
+
+    # Layer 4: the operator, with a lambda doubling the weight of spend.
+    segments = db.execute(
+        f"SELECT * FROM KMEANS(({FEATURES_SQL}), "
+        f"({FEATURES_SQL} ORDER BY spend LIMIT 3), "
+        "LAMBDA(a, b) 2.0 * (a.spend - b.spend)^2 "
+        "+ (a.visits - b.visits)^2, 20) "
+        "ORDER BY spend"
+    )
+    print("customer segments (cluster, spend[k$], visits, size):")
+    for row in segments:
+        print(
+            f"  cluster {row[0]}: spend≈{row[1]:7.2f}k$ "
+            f"visits≈{row[2]:5.1f}  ({row[3]} customers)"
+        )
+
+    # The same segmentation via the layer-3 ITERATE construct: first
+    # materialise features with ids (the SQL formulation needs a key).
+    db.execute(
+        "CREATE TABLE features AS "
+        "SELECT o.cid AS id, sum(o.amount) / 1000.0 AS spend, "
+        "CAST(avg(o.visits) AS FLOAT) AS visits "
+        "FROM orders o GROUP BY o.cid"
+    )
+    db.execute(
+        "CREATE TABLE seeds AS "
+        "SELECT id AS cid, spend, visits FROM features "
+        "ORDER BY spend LIMIT 3"
+    )
+    sql = kmeans_iterate_sql(
+        "features", "seeds", ["spend", "visits"], 20
+    )
+    iterate_segments = db.execute(sql)
+    print("\nsame clustering via ITERATE (cid, spend, visits):")
+    for row in iterate_segments:
+        print(f"  {row[0]}: ({row[1]:7.2f}, {row[2]:5.1f})")
+
+    # Snapshot isolation (paper section 3): a long-running analytical
+    # transaction keeps seeing its snapshot while OLTP writes commit.
+    analysis = db.txns.begin()  # the analyst's snapshot
+    writer = db.txns.begin()  # a concurrent order coming in
+    writer.insert_rows("orders", [(0, 99.0, 1)])
+    writer.commit()
+    seen_by_analysis = analysis.read("orders").row_count
+    analysis.commit()
+    total_now = db.execute("SELECT count(*) FROM orders").scalar()
+    print(
+        f"\nanalysis snapshot saw {seen_by_analysis} orders; "
+        f"table now holds {total_now} "
+        "(the concurrent insert never disturbed the analysis)"
+    )
+
+
+if __name__ == "__main__":
+    main()

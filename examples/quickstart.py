@@ -1,0 +1,71 @@
+"""Quickstart: the engine in five minutes.
+
+Creates tables, runs transactional SQL, and exercises the paper's three
+signature features — the ITERATE construct, an in-core analytics
+operator, and a lambda expression — all from plain SQL.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro
+
+
+def main() -> None:
+    db = repro.connect()
+
+    # --- ordinary SQL: DDL, DML, transactions --------------------------
+    db.execute("CREATE TABLE points (x FLOAT, y FLOAT, tag VARCHAR)")
+    db.insert_rows(
+        "points",
+        [
+            (0.0, 0.1, "a"), (0.2, 0.0, "a"), (0.1, 0.2, "a"),
+            (5.0, 5.1, "b"), (5.2, 4.9, "b"), (4.9, 5.0, "b"),
+        ],
+    )
+    with db.transaction():
+        db.execute("UPDATE points SET x = x + 0.01 WHERE tag = 'a'")
+
+    result = db.execute(
+        "SELECT tag, count(*) AS n, avg(x) AS cx, avg(y) AS cy "
+        "FROM points GROUP BY tag ORDER BY tag"
+    )
+    print("per-tag summary:")
+    for row in result:
+        print("  ", row)
+
+    # --- the ITERATE construct (paper Listing 1) ------------------------
+    # Smallest three-digit multiple of seven, computed by a
+    # non-appending iteration in SQL.
+    answer = db.execute(
+        'SELECT * FROM ITERATE((SELECT 7 "x"),'
+        " (SELECT x + 7 FROM iterate),"
+        " (SELECT x FROM iterate WHERE x >= 100))"
+    ).scalar()
+    print(f"\nITERATE: smallest 3-digit multiple of 7 = {answer}")
+
+    # --- an in-core analytics operator with a lambda (Listing 3) --------
+    centers = db.execute(
+        "SELECT * FROM KMEANS("
+        "  (SELECT x, y FROM points),"
+        "  (SELECT x, y FROM points LIMIT 2),"
+        "  LAMBDA(a, b) (a.x - b.x)^2 + (a.y - b.y)^2,"
+        "  10)"
+    )
+    print("\nk-Means centers (cluster, x, y, size):")
+    for row in centers:
+        print("  ", row)
+
+    # --- operators compose with relational post-processing --------------
+    # The operator's output is a relation: filter it like any table.
+    big = db.execute(
+        "SELECT x, y FROM KMEANS((SELECT x, y FROM points),"
+        " (SELECT x, y FROM points LIMIT 2), 10)"
+        " WHERE size >= 3 ORDER BY x"
+    )
+    print("\ncenters of clusters with >= 3 members:")
+    for row in big:
+        print("  ", row)
+
+
+if __name__ == "__main__":
+    main()

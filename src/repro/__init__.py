@@ -1,0 +1,77 @@
+"""repro — SQL- and operator-centric data analytics in a relational
+main-memory database.
+
+A from-scratch Python reproduction of Passing et al., *SQL- and
+Operator-centric Data Analytics in Relational Main-Memory Databases*
+(EDBT 2017): a columnar main-memory RDBMS with snapshot isolation, a
+PostgreSQL-flavoured SQL dialect extended with the paper's non-appending
+``ITERATE`` construct and SQL lambda expressions, and in-core analytics
+operators (k-Means, PageRank, Naive Bayes) that compose freely with
+relational operators in one query plan.
+
+Quickstart::
+
+    import repro
+
+    db = repro.connect()
+    db.execute("CREATE TABLE pts (x FLOAT, y FLOAT)")
+    db.insert_rows("pts", [(0.0, 0.0), (0.1, 0.2), (9.0, 9.1)])
+    centers = db.execute(
+        "SELECT * FROM KMEANS((SELECT x, y FROM pts),"
+        " (SELECT x, y FROM pts LIMIT 2),"
+        " LAMBDA(a, b) (a.x-b.x)^2 + (a.y-b.y)^2, 10)"
+    )
+    print(centers.rows)
+"""
+
+from .api.database import Database, connect
+from .api.result import QueryResult
+from .errors import (
+    AnalyticsError,
+    BindError,
+    CatalogError,
+    ExecutionError,
+    IterationLimitError,
+    ParseError,
+    PlanError,
+    ReproError,
+    SerializationConflict,
+    TransactionError,
+    UDFError,
+)
+from .types import (
+    BIGINT,
+    BOOLEAN,
+    DATE,
+    DOUBLE,
+    INTEGER,
+    SQLType,
+    VARCHAR,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "connect",
+    "QueryResult",
+    "ReproError",
+    "ParseError",
+    "BindError",
+    "PlanError",
+    "ExecutionError",
+    "IterationLimitError",
+    "CatalogError",
+    "TransactionError",
+    "SerializationConflict",
+    "UDFError",
+    "AnalyticsError",
+    "SQLType",
+    "BOOLEAN",
+    "INTEGER",
+    "BIGINT",
+    "DOUBLE",
+    "VARCHAR",
+    "DATE",
+    "__version__",
+]

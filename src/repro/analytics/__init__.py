@@ -1,0 +1,48 @@
+"""Layer-4 analytics operators (paper sections 6 and 7).
+
+Physical analytics operators live in the same plan space as relational
+operators: they take arbitrary subqueries as inputs, return relations,
+declare cardinality contracts to the optimizer, and expose *variation
+points* parameterised by SQL lambda expressions.
+
+The default registry contains:
+
+* ``KMEANS(data, centers [, λ(a,b) distance] [, max_iterations])``
+* ``PAGERANK(edges, damping, epsilon [, max_iterations] [, λ(e) weight])``
+* ``NAIVE_BAYES_TRAIN(labelled_data)``
+* ``NAIVE_BAYES_PREDICT(model, data)``
+* ``COLUMN_STATS(data)`` and ``GROUPED_STATS(data)`` — the shared
+  statistics building blocks of section 6.2.
+"""
+
+from .registry import OperatorDescriptor, OperatorRegistry, default_registry
+from .kmeans import KMeansDescriptor, kmeans, kmeans_plusplus_init
+from .pagerank import PageRankDescriptor, pagerank
+from .naive_bayes import (
+    NaiveBayesModel,
+    NaiveBayesPredictDescriptor,
+    NaiveBayesTrainDescriptor,
+    naive_bayes_predict,
+    naive_bayes_train,
+)
+from .stats import ColumnStatsDescriptor, GroupedStatsDescriptor
+from .csr import CSRGraph
+
+__all__ = [
+    "OperatorDescriptor",
+    "OperatorRegistry",
+    "default_registry",
+    "KMeansDescriptor",
+    "kmeans",
+    "kmeans_plusplus_init",
+    "PageRankDescriptor",
+    "pagerank",
+    "NaiveBayesModel",
+    "NaiveBayesTrainDescriptor",
+    "NaiveBayesPredictDescriptor",
+    "naive_bayes_train",
+    "naive_bayes_predict",
+    "ColumnStatsDescriptor",
+    "GroupedStatsDescriptor",
+    "CSRGraph",
+]

@@ -1,0 +1,325 @@
+"""Gaussian Naive Bayes as two physical operators (paper section 6.2).
+
+``NAIVE_BAYES_TRAIN((SELECT label, f1, ..., fd FROM ...))`` — a pipeline
+breaker that consumes the labelled input maintaining, per class, the
+tuple count N, the per-attribute sums Σa and Σa² (never the tuples
+themselves — exactly the per-thread hash-table state of the paper), and
+from them computes
+
+* the Laplace-smoothed a-priori probability PR(c) = (|c| + 1)/(|D| + |C|),
+* the mean and standard deviation per class and attribute.
+
+The model is emitted as an ordinary relation (one row per class ×
+attribute), the paper's answer to "the model does not match relational
+entities": it composes with any SQL post-processing and can be stored in
+a table.
+
+``NAIVE_BAYES_PREDICT((model), (SELECT f1, ..., fd FROM ...))`` applies
+the model: per row, the class maximising
+``log PR(c) + Σ_a log N(x_a; mean, std)``. Output: the data columns plus
+the predicted ``label``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnalyticsError, BindError
+from ..plan.logical import LogicalTableFunction, PlanColumn
+from ..storage.column import Column, ColumnBatch
+from ..types import BIGINT, DOUBLE, SQLType, VARCHAR
+from .registry import OperatorDescriptor
+from .stats import grouped_moments
+
+#: Variance floor guarding degenerate (constant) attributes.
+MIN_VARIANCE = 1e-9
+
+
+@dataclass
+class NaiveBayesModel:
+    """In-memory model used by the Python API and the predict operator."""
+
+    classes: np.ndarray  # original class labels (object or int array)
+    attributes: list[str]
+    priors: np.ndarray  # (n_classes,)
+    means: np.ndarray  # (n_classes, n_attrs)
+    stds: np.ndarray  # (n_classes, n_attrs)
+    counts: np.ndarray  # (n_classes,)
+
+    def log_likelihood(self, matrix: np.ndarray) -> np.ndarray:
+        """(n_rows, n_classes) joint log probabilities."""
+        n, d = matrix.shape
+        k = len(self.classes)
+        if d != len(self.attributes):
+            raise AnalyticsError(
+                f"model has {len(self.attributes)} attributes, data has {d}"
+            )
+        scores = np.tile(np.log(self.priors), (n, 1))
+        for c in range(k):
+            mean = self.means[c]
+            std = self.stds[c]
+            var = np.maximum(std * std, MIN_VARIANCE)
+            diff = matrix - mean
+            scores[:, c] += np.sum(
+                -0.5 * (np.log(2.0 * np.pi * var) + diff * diff / var),
+                axis=1,
+            )
+        return scores
+
+    def predict(self, matrix: np.ndarray) -> np.ndarray:
+        """Most probable class label per row."""
+        scores = self.log_likelihood(np.asarray(matrix, dtype=np.float64))
+        return self.classes[np.argmax(scores, axis=1)]
+
+
+def naive_bayes_train(
+    labels: np.ndarray, matrix: np.ndarray, attributes: list[str] | None = None
+) -> NaiveBayesModel:
+    """Library-level training over numpy arrays.
+
+    ``labels`` is 1-D (any hashable dtype); ``matrix`` is (n, d) numeric.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or len(labels) != matrix.shape[0]:
+        raise AnalyticsError("labels/matrix shape mismatch")
+    if matrix.shape[0] == 0:
+        raise AnalyticsError("cannot train on an empty dataset")
+    classes, codes = np.unique(np.asarray(labels), return_inverse=True)
+    k = len(classes)
+    n = matrix.shape[0]
+    counts, means, stds = grouped_moments(matrix, codes, k)
+    priors = (counts + 1.0) / (n + k)  # PR(c) = (|c|+1)/(|D|+|C|)
+    if attributes is None:
+        attributes = [f"a{i}" for i in range(matrix.shape[1])]
+    return NaiveBayesModel(
+        classes=classes,
+        attributes=list(attributes),
+        priors=priors,
+        means=means,
+        stds=stds,
+        counts=counts.astype(np.int64),
+    )
+
+
+def naive_bayes_predict(
+    model: NaiveBayesModel, matrix: np.ndarray
+) -> np.ndarray:
+    """Library-level prediction; see :meth:`NaiveBayesModel.predict`."""
+    return model.predict(matrix)
+
+
+class NaiveBayesTrainDescriptor(OperatorDescriptor):
+    """First input column = class label; remaining numeric = attributes."""
+
+    name = "naive_bayes_train"
+
+    def bind(self, binder, func, parent_scope, ctes) -> LogicalTableFunction:
+        data_plan = self._arg_subquery(
+            binder, func, 0, parent_scope, ctes, "labelled training data"
+        )
+        if len(data_plan.output) < 2:
+            raise BindError(
+                "NAIVE_BAYES_TRAIN needs a label column plus at least one "
+                "attribute"
+            )
+        label_col = data_plan.output[0]
+        for col in data_plan.output[1:]:
+            if not col.sql_type.is_numeric:
+                raise BindError(
+                    f"NAIVE_BAYES_TRAIN attribute {col.name!r} must be "
+                    f"numeric, got {col.sql_type}"
+                )
+        attrs = [c.name for c in data_plan.output[1:]]
+        output = [
+            PlanColumn("class", binder.fresh_expr_slot(), label_col.sql_type),
+            PlanColumn("attribute", binder.fresh_expr_slot(), VARCHAR),
+            PlanColumn("prior", binder.fresh_expr_slot(), DOUBLE),
+            PlanColumn("mean", binder.fresh_expr_slot(), DOUBLE),
+            PlanColumn("stddev", binder.fresh_expr_slot(), DOUBLE),
+            PlanColumn("count", binder.fresh_expr_slot(), BIGINT),
+        ]
+        return LogicalTableFunction(
+            name=self.name,
+            inputs=[data_plan],
+            lambdas={},
+            params=[attrs, label_col.sql_type],
+            output=output,
+        )
+
+    def estimate_rows(self, node, input_estimates) -> float:
+        # Contract: |C| * d rows; |C| is unknown, assume a small constant.
+        attrs = node.params[0]
+        return 4.0 * max(len(attrs), 1)
+
+    def run(self, node, inputs, ctx, eval_ctx) -> ColumnBatch:
+        (data_batch,) = inputs
+        attrs, label_type = node.params
+        names = data_batch.names()
+        label_col = data_batch[names[0]]
+        if label_col.null_count():
+            raise AnalyticsError("training labels must not be NULL")
+        matrix = _matrix_from(data_batch, names[1:])
+        # Numeric labels stay in their numpy representation (the fast
+        # path); only VARCHAR labels take the Python-object route.
+        if label_col.values.dtype == object:
+            labels = np.asarray(label_col.to_pylist(), dtype=object)
+        else:
+            labels = label_col.values
+        model = naive_bayes_train(labels, matrix, attributes=attrs)
+        k = len(model.classes)
+        d = len(attrs)
+        class_rows = np.repeat(np.arange(k), d)
+        columns = {
+            "class": Column.from_values(
+                [model.classes[i] for i in class_rows], label_type
+            ),
+            "attribute": Column.from_values(
+                [attrs[i % d] for i in range(k * d)], VARCHAR
+            ),
+            "prior": Column(model.priors[class_rows], DOUBLE),
+            "mean": Column(model.means.reshape(-1), DOUBLE),
+            "stddev": Column(model.stds.reshape(-1), DOUBLE),
+            "count": Column(model.counts[class_rows], BIGINT),
+        }
+        return ColumnBatch(columns)
+
+
+class NaiveBayesPredictDescriptor(OperatorDescriptor):
+    """``NAIVE_BAYES_PREDICT((model), (data))`` — model rows as produced
+    by the training operator; data columns are matched to model
+    attributes by name."""
+
+    name = "naive_bayes_predict"
+
+    def bind(self, binder, func, parent_scope, ctes) -> LogicalTableFunction:
+        model_plan = self._arg_subquery(
+            binder, func, 0, parent_scope, ctes, "model"
+        )
+        data_plan = self._arg_subquery(
+            binder, func, 1, parent_scope, ctes, "data to classify"
+        )
+        model_names = [c.name.lower() for c in model_plan.output]
+        required = ["class", "attribute", "prior", "mean", "stddev"]
+        for needed in required:
+            if needed not in model_names:
+                raise BindError(
+                    f"NAIVE_BAYES_PREDICT model is missing column "
+                    f"{needed!r} (expected the NAIVE_BAYES_TRAIN layout)"
+                )
+        for col in data_plan.output:
+            if not col.sql_type.is_numeric:
+                raise BindError(
+                    f"NAIVE_BAYES_PREDICT data column {col.name!r} must "
+                    "be numeric"
+                )
+        label_type = model_plan.output[model_names.index("class")].sql_type
+        output = [
+            PlanColumn(c.name, binder.fresh_expr_slot(), c.sql_type)
+            for c in data_plan.output
+        ] + [PlanColumn("label", binder.fresh_expr_slot(), label_type)]
+        return LogicalTableFunction(
+            name=self.name,
+            inputs=[model_plan, data_plan],
+            lambdas={},
+            params=[label_type],
+            output=output,
+        )
+
+    def estimate_rows(self, node, input_estimates) -> float:
+        # Contract: exactly the data input's cardinality.
+        return input_estimates[1] if len(input_estimates) > 1 else 1.0
+
+    def run(self, node, inputs, ctx, eval_ctx) -> ColumnBatch:
+        model_batch, data_batch = inputs
+        (label_type,) = node.params
+        model = _model_from_relation(model_batch, label_type)
+        data_names = data_batch.names()
+        ordered = _align_attributes(model, data_names)
+        matrix = _matrix_from(data_batch, ordered)
+        predictions = model.predict(matrix)
+        columns = {
+            name: data_batch[name] for name in data_names
+        }
+        columns["label"] = Column.from_values(
+            list(predictions), label_type
+        )
+        return ColumnBatch(columns)
+
+
+def _matrix_from(batch: ColumnBatch, names: list[str]) -> np.ndarray:
+    columns = []
+    for name in names:
+        col = batch[name]
+        if col.null_count():
+            raise AnalyticsError(
+                f"attribute {name!r} must not contain NULLs"
+            )
+        columns.append(col.values.astype(np.float64, copy=False))
+    if not columns:
+        raise AnalyticsError("no attribute columns")
+    return np.column_stack(columns)
+
+
+def _model_from_relation(
+    batch: ColumnBatch, label_type: SQLType
+) -> NaiveBayesModel:
+    lowered = {name.lower(): name for name in batch.names()}
+    classes_col = batch[lowered["class"]]
+    attr_col = batch[lowered["attribute"]]
+    prior_col = batch[lowered["prior"]]
+    mean_col = batch[lowered["mean"]]
+    std_col = batch[lowered["stddev"]]
+
+    class_values = classes_col.to_pylist()
+    attr_values = attr_col.to_pylist()
+    classes: list[object] = []
+    attributes: list[str] = []
+    for value in class_values:
+        if value not in classes:
+            classes.append(value)
+    for value in attr_values:
+        if value not in attributes:
+            attributes.append(value)
+    k, d = len(classes), len(attributes)
+    if k == 0 or d == 0 or len(class_values) != k * d:
+        raise AnalyticsError(
+            "malformed model relation: expected |classes| x |attributes| "
+            f"rows, got {len(class_values)}"
+        )
+    class_index = {c: i for i, c in enumerate(classes)}
+    attr_index = {a: i for i, a in enumerate(attributes)}
+    priors = np.zeros(k)
+    means = np.zeros((k, d))
+    stds = np.zeros((k, d))
+    for row in range(len(class_values)):
+        ci = class_index[class_values[row]]
+        ai = attr_index[attr_values[row]]
+        priors[ci] = prior_col.value_at(row)
+        means[ci, ai] = mean_col.value_at(row)
+        stds[ci, ai] = std_col.value_at(row)
+    return NaiveBayesModel(
+        classes=np.asarray(classes, dtype=object),
+        attributes=attributes,
+        priors=priors,
+        means=means,
+        stds=stds,
+        counts=np.zeros(k, dtype=np.int64),
+    )
+
+
+def _align_attributes(
+    model: NaiveBayesModel, data_names: list[str]
+) -> list[str]:
+    """Order the data columns to match the model's attribute order."""
+    lowered = {name.lower(): name for name in data_names}
+    ordered = []
+    for attr in model.attributes:
+        name = lowered.get(str(attr).lower())
+        if name is None:
+            raise AnalyticsError(
+                f"data is missing model attribute {attr!r}"
+            )
+        ordered.append(name)
+    return ordered

@@ -1,0 +1,147 @@
+"""The analytics operator registry.
+
+Each operator is an :class:`OperatorDescriptor` that knows how to *bind*
+its table-function call (validate arguments, bind input subqueries and
+lambdas, compute the output schema) and how to *run* (consume
+materialised inputs, produce an output batch). The optimizer consults
+:meth:`OperatorDescriptor.estimate_rows` — the "the query optimizer knows
+their exact properties" point of section 4.3.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import BindError
+from ..expr.bound import BoundLambda
+from ..plan.logical import LogicalPlan, LogicalTableFunction, PlanColumn
+from ..storage.column import ColumnBatch
+from ..types import SQLType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..exec.physical import ExecutionContext
+    from ..expr.compiler import EvalContext
+    from ..sql import ast
+    from ..sql.binder import Binder
+
+
+class OperatorDescriptor:
+    """Base class for analytics operators pluggable into FROM."""
+
+    name: str = ""
+
+    def bind(
+        self,
+        binder: "Binder",
+        func: "ast.TableFunction",
+        parent_scope,
+        ctes,
+    ) -> LogicalTableFunction:
+        raise NotImplementedError
+
+    def run(
+        self,
+        node: LogicalTableFunction,
+        inputs: list[ColumnBatch],
+        ctx: "ExecutionContext",
+        eval_ctx: "EvalContext",
+    ) -> ColumnBatch:
+        raise NotImplementedError
+
+    def estimate_rows(
+        self, node: LogicalTableFunction, input_estimates: list[float]
+    ) -> float:
+        """Cardinality contract; defaults to the first input's size."""
+        return input_estimates[0] if input_estimates else 1.0
+
+    # -- binding helpers shared by the concrete operators -------------------
+
+    def _arg_subquery(
+        self, binder, func, index: int, parent_scope, ctes, what: str
+    ) -> LogicalPlan:
+        if index >= len(func.args) or func.args[index].query is None:
+            raise BindError(
+                f"{self.name.upper()}() argument {index + 1} must be a "
+                f"subquery ({what})"
+            )
+        return binder.bind_subquery_arg(
+            func.args[index].query, parent_scope, ctes
+        )
+
+    def _optional_lambda(
+        self,
+        binder,
+        func,
+        index: int,
+        param_schemas: list[list[tuple[str, SQLType]]],
+    ) -> Optional[BoundLambda]:
+        if index >= len(func.args):
+            return None
+        arg = func.args[index]
+        if arg.lambda_expr is None:
+            return None
+        return binder.bind_lambda_arg(arg.lambda_expr, param_schemas)
+
+    def _scalar_arg(
+        self, binder, func, index: int, what: str, default=None
+    ):
+        if index >= len(func.args):
+            if default is not None:
+                return default
+            raise BindError(
+                f"{self.name.upper()}() is missing argument "
+                f"{index + 1} ({what})"
+            )
+        arg = func.args[index]
+        if arg.scalar is None:
+            raise BindError(
+                f"{self.name.upper()}() argument {index + 1} ({what}) "
+                "must be a constant scalar"
+            )
+        return binder.constant_scalar(arg.scalar, what)
+
+    def _numeric_columns(
+        self, plan: LogicalPlan, what: str
+    ) -> list[PlanColumn]:
+        cols = [c for c in plan.output if c.sql_type.is_numeric]
+        if not cols:
+            raise BindError(f"{what} must have numeric columns")
+        return cols
+
+
+class OperatorRegistry:
+    """Name -> descriptor lookup used by binder, optimizer, and executor."""
+
+    def __init__(self) -> None:
+        self._descriptors: dict[str, OperatorDescriptor] = {}
+
+    def register(self, descriptor: OperatorDescriptor) -> None:
+        if not descriptor.name:
+            raise ValueError("descriptor must set a name")
+        self._descriptors[descriptor.name.lower()] = descriptor
+
+    def lookup(self, name: str) -> Optional[OperatorDescriptor]:
+        return self._descriptors.get(name.lower())
+
+    def names(self) -> list[str]:
+        return sorted(self._descriptors)
+
+
+def default_registry() -> OperatorRegistry:
+    """A registry with every built-in analytics operator."""
+    from .kmeans import KMeansDescriptor
+    from .naive_bayes import (
+        NaiveBayesPredictDescriptor,
+        NaiveBayesTrainDescriptor,
+    )
+    from .pagerank import PageRankDescriptor
+    from .stats import ColumnStatsDescriptor, GroupedStatsDescriptor
+
+    registry = OperatorRegistry()
+    registry.register(KMeansDescriptor())
+    registry.register(PageRankDescriptor())
+    registry.register(NaiveBayesTrainDescriptor())
+    registry.register(NaiveBayesPredictDescriptor())
+    registry.register(ColumnStatsDescriptor())
+    registry.register(GroupedStatsDescriptor())
+    return registry

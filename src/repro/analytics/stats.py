@@ -1,0 +1,210 @@
+"""Statistical building-block operators (paper section 6.2).
+
+The paper factors "generation of additional statistical measures" into
+operators reusable across algorithms (Naive Bayes, k-Means, ...). Two are
+exposed at the SQL level:
+
+* ``COLUMN_STATS((data))`` — per numeric column: count, mean, stddev,
+  min, max.
+* ``GROUPED_STATS((SELECT key, f1, ..., fd ...))`` — the same moments per
+  (group key, attribute); the exact state Naive Bayes training needs
+  (N, Σa, Σa² per class and attribute).
+
+The numpy kernel :func:`grouped_moments` is shared with the Naive Bayes
+operator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AnalyticsError, BindError
+from ..plan.logical import LogicalTableFunction, PlanColumn
+from ..storage.column import Column, ColumnBatch
+from ..types import BIGINT, DOUBLE, VARCHAR
+from .registry import OperatorDescriptor
+
+
+def grouped_moments(
+    matrix: np.ndarray, codes: np.ndarray, n_groups: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-group count, mean, and (population) standard deviation for
+    every column of ``matrix``, from one pass of sums and square sums.
+
+    Returns (counts (g,), means (g, d), stds (g, d)).
+    """
+    n, d = matrix.shape
+    counts = np.bincount(codes, minlength=n_groups).astype(np.float64)
+    sums = np.zeros((n_groups, d))
+    sumsq = np.zeros((n_groups, d))
+    for j in range(d):
+        column = matrix[:, j]
+        sums[:, j] = np.bincount(codes, weights=column, minlength=n_groups)
+        sumsq[:, j] = np.bincount(
+            codes, weights=column * column, minlength=n_groups
+        )
+    safe = np.where(counts == 0, 1.0, counts)
+    means = sums / safe[:, None]
+    variances = np.clip(
+        sumsq / safe[:, None] - means * means, 0.0, None
+    )
+    stds = np.sqrt(variances)
+    return counts, means, stds
+
+
+class ColumnStatsDescriptor(OperatorDescriptor):
+    """``COLUMN_STATS((data))`` -> one row per numeric input column."""
+
+    name = "column_stats"
+
+    def bind(self, binder, func, parent_scope, ctes) -> LogicalTableFunction:
+        data_plan = self._arg_subquery(
+            binder, func, 0, parent_scope, ctes, "data"
+        )
+        numeric = self._numeric_columns(data_plan, "COLUMN_STATS data")
+        if len(numeric) != len(data_plan.output):
+            raise BindError(
+                "COLUMN_STATS input must project only numeric columns"
+            )
+        output = [
+            PlanColumn("attribute", binder.fresh_expr_slot(), VARCHAR),
+            PlanColumn("count", binder.fresh_expr_slot(), BIGINT),
+            PlanColumn("mean", binder.fresh_expr_slot(), DOUBLE),
+            PlanColumn("stddev", binder.fresh_expr_slot(), DOUBLE),
+            PlanColumn("min", binder.fresh_expr_slot(), DOUBLE),
+            PlanColumn("max", binder.fresh_expr_slot(), DOUBLE),
+        ]
+        return LogicalTableFunction(
+            name=self.name,
+            inputs=[data_plan],
+            lambdas={},
+            params=[[c.name for c in numeric]],
+            output=output,
+        )
+
+    def estimate_rows(self, node, input_estimates) -> float:
+        return float(len(node.params[0]))
+
+    def run(self, node, inputs, ctx, eval_ctx) -> ColumnBatch:
+        (batch,) = inputs
+        (attrs,) = node.params
+        n = len(batch)
+        rows = {
+            "attribute": [],
+            "count": [],
+            "mean": [],
+            "stddev": [],
+            "min": [],
+            "max": [],
+        }
+        for name in attrs:
+            col = batch[name]
+            validity = col.validity()
+            values = col.values[validity].astype(np.float64)
+            rows["attribute"].append(name)
+            rows["count"].append(len(values))
+            if len(values) == 0:
+                rows["mean"].append(None)
+                rows["stddev"].append(None)
+                rows["min"].append(None)
+                rows["max"].append(None)
+            else:
+                rows["mean"].append(float(values.mean()))
+                rows["stddev"].append(float(values.std()))
+                rows["min"].append(float(values.min()))
+                rows["max"].append(float(values.max()))
+        return ColumnBatch(
+            {
+                "attribute": Column.from_values(rows["attribute"], VARCHAR),
+                "count": Column.from_values(rows["count"], BIGINT),
+                "mean": Column.from_values(rows["mean"], DOUBLE),
+                "stddev": Column.from_values(rows["stddev"], DOUBLE),
+                "min": Column.from_values(rows["min"], DOUBLE),
+                "max": Column.from_values(rows["max"], DOUBLE),
+            }
+        )
+
+
+class GroupedStatsDescriptor(OperatorDescriptor):
+    """``GROUPED_STATS((SELECT key, f1, ..., fd ...))`` -> per (key,
+    attribute) count/mean/stddev. First column is the group key."""
+
+    name = "grouped_stats"
+
+    def bind(self, binder, func, parent_scope, ctes) -> LogicalTableFunction:
+        data_plan = self._arg_subquery(
+            binder, func, 0, parent_scope, ctes, "keyed data"
+        )
+        if len(data_plan.output) < 2:
+            raise BindError(
+                "GROUPED_STATS needs a key column plus attributes"
+            )
+        key_col = data_plan.output[0]
+        for col in data_plan.output[1:]:
+            if not col.sql_type.is_numeric:
+                raise BindError(
+                    f"GROUPED_STATS attribute {col.name!r} must be numeric"
+                )
+        attrs = [c.name for c in data_plan.output[1:]]
+        output = [
+            PlanColumn("key", binder.fresh_expr_slot(), key_col.sql_type),
+            PlanColumn("attribute", binder.fresh_expr_slot(), VARCHAR),
+            PlanColumn("count", binder.fresh_expr_slot(), BIGINT),
+            PlanColumn("mean", binder.fresh_expr_slot(), DOUBLE),
+            PlanColumn("stddev", binder.fresh_expr_slot(), DOUBLE),
+        ]
+        return LogicalTableFunction(
+            name=self.name,
+            inputs=[data_plan],
+            lambdas={},
+            params=[attrs, key_col.sql_type],
+            output=output,
+        )
+
+    def estimate_rows(self, node, input_estimates) -> float:
+        return 8.0 * max(len(node.params[0]), 1)
+
+    def run(self, node, inputs, ctx, eval_ctx) -> ColumnBatch:
+        from ..exec.common import factorize
+
+        (batch,) = inputs
+        attrs, key_type = node.params
+        names = batch.names()
+        key_col = batch[names[0]]
+        if key_col.null_count():
+            raise AnalyticsError("GROUPED_STATS keys must not be NULL")
+        codes, n_groups = factorize([key_col])
+        if n_groups == 0:
+            raise AnalyticsError("GROUPED_STATS requires at least one row")
+        matrix_cols = []
+        for name in names[1:]:
+            col = batch[name]
+            if col.null_count():
+                raise AnalyticsError(
+                    f"GROUPED_STATS attribute {name!r} must not be NULL"
+                )
+            matrix_cols.append(col.values.astype(np.float64, copy=False))
+        matrix = np.column_stack(matrix_cols)
+        counts, means, stds = grouped_moments(matrix, codes, n_groups)
+
+        from ..exec.common import group_representatives
+
+        reps = group_representatives(codes, n_groups)
+        d = len(attrs)
+        group_rows = np.repeat(np.arange(n_groups), d)
+        key_values = [
+            key_col.value_at(int(reps[g])) for g in group_rows
+        ]
+        return ColumnBatch(
+            {
+                "key": Column.from_values(key_values, key_type),
+                "attribute": Column.from_values(
+                    [attrs[i % d] for i in range(n_groups * d)], VARCHAR
+                ),
+                "count": Column.from_values(
+                    [int(counts[g]) for g in group_rows], BIGINT
+                ),
+                "mean": Column(means.reshape(-1), DOUBLE),
+                "stddev": Column(stds.reshape(-1), DOUBLE),
+            }
+        )

@@ -1,0 +1,6 @@
+"""Public database API: :class:`Database` sessions and query results."""
+
+from .database import Database, connect
+from .result import QueryResult
+
+__all__ = ["Database", "connect", "QueryResult"]

@@ -1,0 +1,600 @@
+"""The :class:`Database` session — the engine's public entry point.
+
+One object composes the whole stack: catalog + transaction manager
+(snapshot isolation, optional WAL), SQL front end, optimizer, vectorised
+executor, the analytics operator registry, and the UDF registry.
+
+Statements run in the session's explicit transaction when one is open
+(``BEGIN``/``COMMIT``/``ROLLBACK`` or :meth:`Database.transaction`);
+otherwise each statement autocommits.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..analytics.registry import OperatorRegistry, default_registry
+from ..errors import BindError, CatalogError, ReproError, TransactionError
+from ..exec.physical import ExecutionContext, ExecutionStats
+from ..exec.planner import build_physical
+from ..exec.physical import materialize
+from ..expr.compiler import truth_mask
+from ..plan.logical import PlanColumn
+from ..plan.optimizer import Optimizer
+from ..sql import ast
+from ..sql.binder import Binder
+from ..sql.parser import parse_sql
+from ..storage.catalog import Catalog
+from ..storage.column import Column, ColumnBatch
+from ..storage.schema import ColumnSchema, TableSchema
+from ..storage.table import TableData
+from ..txn.manager import Transaction, TransactionManager
+from ..txn.wal import WriteAheadLog
+from ..types import SQLType, coerce_scalar, type_from_name
+from ..udf.registry import TableUDFDescriptor, UDFRegistry
+from .result import QueryResult
+
+
+class _TxnCatalogView:
+    """The binder's read-only window onto a transaction's snapshot."""
+
+    def __init__(self, txn: Transaction):
+        self._txn = txn
+
+    def table_exists(self, name: str) -> bool:
+        return self._txn.table_exists(name)
+
+    def schema_of(self, name: str) -> TableSchema:
+        return self._txn.schema_of(name)
+
+
+class Database:
+    """A main-memory relational database with in-core analytics.
+
+    Args:
+        wal_path: file path for the write-ahead log; None disables
+            durability (pure main-memory session). Passing a path that
+            already holds a log **recovers** from it.
+        optimize: disable to run binder plans verbatim (ablations).
+    """
+
+    def __init__(
+        self,
+        wal_path: Optional[str] = None,
+        optimize: bool = True,
+        morsel_rows: int = 65_536,
+        max_iterations: int = 10_000,
+    ):
+        self.catalog = Catalog()
+        wal = WriteAheadLog(wal_path) if wal_path is not None else None
+        self.txns = TransactionManager(self.catalog, wal)
+        self.udfs = UDFRegistry()
+        self.analytics: OperatorRegistry = default_registry()
+        self.optimize_enabled = optimize
+        self.morsel_rows = morsel_rows
+        self.max_iterations = max_iterations
+        self._session_txn: Optional[Transaction] = None
+        #: Stats of the most recent statement (peak live tuples, etc.).
+        self.last_stats: ExecutionStats = ExecutionStats()
+        if wal is not None:
+            wal.replay_into(self.txns)
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+
+    def create_function(
+        self,
+        name: str,
+        func: Callable,
+        return_type: SQLType | str,
+        arity: Optional[int] = None,
+    ) -> None:
+        """Register a scalar UDF callable from SQL (layer 2)."""
+        if isinstance(return_type, str):
+            return_type = type_from_name(return_type)
+        self.udfs.register_scalar(name, func, return_type, arity)
+
+    def create_table_function(
+        self,
+        name: str,
+        func: Callable,
+        output_schema: Sequence[tuple[str, SQLType | str]],
+    ) -> None:
+        """Register a table UDF usable in FROM (layer 2)."""
+        schema = [
+            (
+                col_name,
+                type_from_name(t) if isinstance(t, str) else t,
+            )
+            for col_name, t in output_schema
+        ]
+        udf = self.udfs.register_table(name, func, schema)
+        self.analytics.register(TableUDFDescriptor(udf))
+
+    def register_operator(self, descriptor) -> None:
+        """Plug a custom analytics operator into the core (layer 4)."""
+        self.analytics.register(descriptor)
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+
+    def begin(self) -> None:
+        if self._session_txn is not None:
+            raise TransactionError("transaction already open")
+        self._session_txn = self.txns.begin()
+
+    def commit(self) -> None:
+        if self._session_txn is None:
+            raise TransactionError("no transaction open")
+        txn, self._session_txn = self._session_txn, None
+        txn.commit()
+
+    def rollback(self) -> None:
+        if self._session_txn is None:
+            raise TransactionError("no transaction open")
+        txn, self._session_txn = self._session_txn, None
+        txn.rollback()
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._session_txn is not None
+
+    @contextmanager
+    def transaction(self):
+        """``with db.transaction():`` — commit on success, roll back on
+        error."""
+        self.begin()
+        try:
+            yield self
+        except BaseException:
+            if self._session_txn is not None:
+                self.rollback()
+            raise
+        else:
+            self.commit()
+
+    # ------------------------------------------------------------------
+    # statement execution
+    # ------------------------------------------------------------------
+
+    def execute(
+        self, sql: str, params: Optional[Sequence[object]] = None
+    ) -> QueryResult:
+        """Execute one or more ``;``-separated statements; returns the
+        result of the last one.
+
+        ``params`` fills ``?`` placeholders positionally; values become
+        literals during parsing and are never string-interpolated, so
+        user input cannot inject SQL."""
+        statements = parse_sql(sql, params)
+        if not statements:
+            raise BindError("empty statement")
+        result = QueryResult.statement(0)
+        for statement in statements:
+            result = self._execute_statement(statement)
+        return result
+
+    def query(
+        self, sql: str, params: Optional[Sequence[object]] = None
+    ) -> QueryResult:
+        """Alias of :meth:`execute` for read-style call sites."""
+        return self.execute(sql, params)
+
+    def executemany(
+        self, sql: str, seq_of_params: Iterable[Sequence[object]]
+    ) -> int:
+        """Run one parameterised statement per parameter tuple inside a
+        single transaction; returns the total affected row count."""
+        total = 0
+        owned = self._session_txn is None
+        if owned:
+            self.begin()
+        try:
+            for params in seq_of_params:
+                result = self.execute(sql, params)
+                total += max(result.rowcount, 0)
+        except BaseException:
+            if owned and self._session_txn is not None:
+                self.rollback()
+            raise
+        if owned:
+            self.commit()
+        return total
+
+    def explain(self, sql: str) -> str:
+        """The optimized logical plan of a SELECT, as text."""
+        statement = parse_sql(sql)
+        if len(statement) != 1 or not isinstance(
+            statement[0], ast.SelectStatement
+        ):
+            raise BindError("EXPLAIN supports a single SELECT statement")
+        txn, owned = self._current_txn()
+        try:
+            plan = self._plan_select(statement[0], txn)
+            return plan.explain()
+        finally:
+            if owned:
+                txn.rollback()
+
+    def table_names(self) -> list[str]:
+        txn, owned = self._current_txn()
+        try:
+            return txn.visible_tables()
+        finally:
+            if owned:
+                txn.rollback()
+
+    def table_schema(self, name: str) -> TableSchema:
+        txn, owned = self._current_txn()
+        try:
+            return txn.schema_of(name)
+        finally:
+            if owned:
+                txn.rollback()
+
+    def row_count(self, name: str) -> int:
+        txn, owned = self._current_txn()
+        try:
+            return txn.read(name).row_count
+        finally:
+            if owned:
+                txn.rollback()
+
+    def load_csv(
+        self,
+        table: str,
+        path: str,
+        delimiter: str = ",",
+        header: bool = True,
+        create: bool = True,
+        column_types=None,
+    ) -> int:
+        """Bulk-load a CSV file (see :mod:`repro.api.csv_io`)."""
+        from .csv_io import load_csv
+
+        return load_csv(
+            self, table, path, delimiter=delimiter, header=header,
+            create=create, column_types=column_types,
+        )
+
+    def vacuum(self) -> int:
+        """Garbage-collect table versions no active snapshot can reach;
+        returns the number of versions freed."""
+        return self.txns.vacuum()
+
+    def insert_rows(
+        self, table: str, rows: Iterable[Sequence[object]]
+    ) -> int:
+        """Bulk-load Python rows (bypasses SQL parsing — the fast path
+        data scientists get from HyPer-style bulk loading)."""
+        txn, owned = self._current_txn()
+        try:
+            count = txn.insert_rows(table, rows)
+            if owned:
+                txn.commit()
+            return count
+        except BaseException:
+            if owned and txn.status == "active":
+                txn.rollback()
+            raise
+
+    def load_columns(
+        self, table: str, columns: dict[str, np.ndarray]
+    ) -> int:
+        """Bulk-load numpy columns directly into a table (zero-copy
+        where dtypes already match). Column names must cover the schema.
+        Note: this fast path bypasses the WAL."""
+        txn, owned = self._current_txn()
+        try:
+            current = txn.read(table)
+            schema = current.schema
+            cols = []
+            for col_schema in schema:
+                if col_schema.name not in columns:
+                    raise CatalogError(
+                        f"load_columns: missing column "
+                        f"{col_schema.name!r}"
+                    )
+            lengths = {len(v) for v in columns.values()}
+            if len(lengths) != 1:
+                raise CatalogError("load_columns: ragged input")
+            for col_schema in schema:
+                values = np.asarray(columns[col_schema.name])
+                target = col_schema.sql_type.numpy_dtype()
+                if values.dtype != target:
+                    values = values.astype(target)
+                cols.append(Column(values, col_schema.sql_type))
+            addition = TableData(schema, cols)
+            txn.write(table, current.append_data(addition))
+            if owned:
+                txn.commit()
+            return addition.row_count
+        except BaseException:
+            if owned and txn.status == "active":
+                txn.rollback()
+            raise
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _current_txn(self) -> tuple[Transaction, bool]:
+        """(transaction, owned): owned means this statement must
+        commit/abort it (autocommit)."""
+        if self._session_txn is not None:
+            return self._session_txn, False
+        return self.txns.begin(), True
+
+    def _make_binder(self, txn: Transaction) -> Binder:
+        return Binder(_TxnCatalogView(txn), self.udfs, self.analytics)
+
+    def _make_exec_context(self, txn: Transaction) -> ExecutionContext:
+        return ExecutionContext(
+            read_table=txn.read,
+            analytics=self.analytics,
+            udfs=self.udfs,
+            morsel_rows=self.morsel_rows,
+            max_iterations=self.max_iterations,
+        )
+
+    def _make_optimizer(self, txn: Transaction) -> Optimizer:
+        def row_count_of(name: str) -> int:
+            return txn.read(name).row_count
+
+        return Optimizer(
+            row_count_of, self.analytics, enabled=self.optimize_enabled
+        )
+
+    def _plan_select(self, statement: ast.SelectStatement, txn):
+        plan = self._make_binder(txn).bind_query(statement)
+        return self._make_optimizer(txn).optimize(plan)
+
+    def _execute_statement(self, statement: ast.Statement) -> QueryResult:
+        if isinstance(statement, ast.BeginTransaction):
+            self.begin()
+            return QueryResult.statement(0)
+        if isinstance(statement, ast.CommitTransaction):
+            self.commit()
+            return QueryResult.statement(0)
+        if isinstance(statement, ast.RollbackTransaction):
+            self.rollback()
+            return QueryResult.statement(0)
+
+        txn, owned = self._current_txn()
+        try:
+            if isinstance(statement, ast.SelectStatement):
+                result = self._run_select(statement, txn)
+            elif isinstance(statement, ast.Explain):
+                plan = self._plan_select(statement.query, txn)
+                lines = plan.explain().splitlines()
+                result = QueryResult(
+                    columns=["plan"],
+                    types=[type_from_name("VARCHAR")],
+                    batch=ColumnBatch(
+                        {
+                            "plan": Column.from_values(
+                                lines, type_from_name("VARCHAR")
+                            )
+                        }
+                    ),
+                    slots=["plan"],
+                )
+            elif isinstance(statement, ast.CreateTable):
+                result = self._run_create(statement, txn)
+            elif isinstance(statement, ast.DropTable):
+                txn.drop_table(statement.name, statement.if_exists)
+                result = QueryResult.statement(0)
+            elif isinstance(statement, ast.Insert):
+                result = self._run_insert(statement, txn)
+            elif isinstance(statement, ast.Update):
+                result = self._run_update(statement, txn)
+            elif isinstance(statement, ast.Delete):
+                result = self._run_delete(statement, txn)
+            else:
+                raise ReproError(
+                    f"unsupported statement {type(statement).__name__}"
+                )
+            if owned:
+                txn.commit()
+            return result
+        except BaseException:
+            if owned and txn.status == "active":
+                txn.rollback()
+            raise
+
+    def _run_select(
+        self, statement: ast.SelectStatement, txn: Transaction
+    ) -> QueryResult:
+        plan = self._plan_select(statement, txn)
+        ctx = self._make_exec_context(txn)
+        op = build_physical(plan, ctx)
+        batch = materialize(
+            list(op.execute(ctx.new_eval_context())), plan.output
+        )
+        self.last_stats = ctx.stats
+        return QueryResult.from_batch(batch, plan.output)
+
+    def _run_create(
+        self, statement: ast.CreateTable, txn: Transaction
+    ) -> QueryResult:
+        if statement.as_query is not None:
+            inner = self._run_select(statement.as_query, txn)
+            schema = TableSchema(
+                tuple(
+                    ColumnSchema(name, sql_type)
+                    for name, sql_type in zip(inner.columns, inner.types)
+                )
+            )
+            txn.create_table(
+                statement.name, schema, statement.if_not_exists
+            )
+            txn.insert_rows(statement.name, inner.rows)
+            return QueryResult.statement(len(inner))
+        columns = []
+        for col in statement.columns:
+            sql_type = type_from_name(col.type_name, col.width)
+            columns.append(ColumnSchema(col.name, sql_type, col.not_null))
+        txn.create_table(
+            statement.name, TableSchema(tuple(columns)),
+            statement.if_not_exists,
+        )
+        return QueryResult.statement(0)
+
+    def _run_insert(
+        self, statement: ast.Insert, txn: Transaction
+    ) -> QueryResult:
+        schema = txn.schema_of(statement.table)
+        target_columns = statement.columns or schema.names()
+        positions = [schema.index_of(name) for name in target_columns]
+
+        if statement.query is not None:
+            inner = self._run_select(statement.query, txn)
+            source_rows = inner.rows
+        else:
+            assert statement.rows is not None
+            source_rows = self._evaluate_value_rows(statement.rows, txn)
+
+        width = len(schema)
+        rows_out = []
+        for row in source_rows:
+            if len(row) != len(positions):
+                raise BindError(
+                    f"INSERT expects {len(positions)} values, got "
+                    f"{len(row)}"
+                )
+            full: list[object] = [None] * width
+            for pos, value in zip(positions, row):
+                col_schema = schema.columns[pos]
+                full[pos] = (
+                    None
+                    if value is None
+                    else coerce_scalar(value, col_schema.sql_type)
+                )
+            rows_out.append(tuple(full))
+        count = txn.insert_rows(statement.table, rows_out)
+        return QueryResult.statement(count)
+
+    def _evaluate_value_rows(
+        self, rows: list[list[ast.Expr]], txn: Transaction
+    ) -> list[tuple]:
+        binder = self._make_binder(txn)
+        ctx = self._make_exec_context(txn)
+        from ..exec.scan import ValuesOp
+        from ..types import INTEGER
+
+        one_row = ColumnBatch(
+            {ValuesOp.CARRIER: Column(np.zeros(1, np.int32), INTEGER)}
+        )
+        eval_ctx = ctx.new_eval_context()
+        out = []
+        for row in rows:
+            values = []
+            for cell in row:
+                bound = binder.bind_standalone(cell, [])
+                compiled = ctx.compiler.compile(bound)
+                values.append(compiled(one_row, eval_ctx).value_at(0))
+            out.append(tuple(values))
+        return out
+
+    def _table_as_batch(
+        self, data: TableData
+    ) -> tuple[ColumnBatch, list[PlanColumn]]:
+        columns = [
+            PlanColumn(c.name, f"u.{c.name}", c.sql_type)
+            for c in data.schema
+        ]
+        batch = ColumnBatch(
+            {
+                col.slot: data.columns[i]
+                for i, col in enumerate(columns)
+            }
+        )
+        return batch, columns
+
+    def _run_update(
+        self, statement: ast.Update, txn: Transaction
+    ) -> QueryResult:
+        data = txn.read(statement.table)
+        batch, columns = self._table_as_batch(data)
+        binder = self._make_binder(txn)
+        ctx = self._make_exec_context(txn)
+        eval_ctx = ctx.new_eval_context()
+
+        if statement.where is not None:
+            predicate = binder.bind_standalone(statement.where, columns)
+            mask = truth_mask(
+                ctx.compiler.compile(predicate)(batch, eval_ctx)
+            )
+        else:
+            mask = np.ones(data.row_count, dtype=np.bool_)
+
+        replacements: dict[int, Column] = {}
+        for col_name, expr in statement.assignments:
+            ordinal = data.schema.index_of(col_name)
+            target_schema = data.schema.columns[ordinal]
+            bound = binder.bind_standalone(expr, columns)
+            new_col = ctx.compiler.compile(bound)(batch, eval_ctx)
+            new_col = new_col.cast(target_schema.sql_type)
+            old_col = data.columns[ordinal]
+            merged_values = np.where(mask, new_col.values, old_col.values)
+            if data.schema.columns[ordinal].sql_type.numpy_dtype() == object:
+                merged_values = merged_values.astype(object)
+            else:
+                merged_values = merged_values.astype(
+                    target_schema.sql_type.numpy_dtype()
+                )
+            merged_valid = np.where(
+                mask, new_col.validity(), old_col.validity()
+            )
+            if target_schema.not_null and not merged_valid.all():
+                raise CatalogError(
+                    f"NULL in NOT NULL column {col_name!r}"
+                )
+            replacements[ordinal] = Column(
+                merged_values, target_schema.sql_type, merged_valid
+            )
+        new_data = data.replace_columns(replacements)
+        txn.write(statement.table, new_data)
+        self._log_replace(txn, statement.table, new_data)
+        return QueryResult.statement(int(mask.sum()))
+
+    def _run_delete(
+        self, statement: ast.Delete, txn: Transaction
+    ) -> QueryResult:
+        data = txn.read(statement.table)
+        batch, columns = self._table_as_batch(data)
+        if statement.where is None:
+            keep = np.zeros(data.row_count, dtype=np.bool_)
+        else:
+            binder = self._make_binder(txn)
+            ctx = self._make_exec_context(txn)
+            predicate = binder.bind_standalone(statement.where, columns)
+            mask = truth_mask(
+                ctx.compiler.compile(predicate)(
+                    batch, ctx.new_eval_context()
+                )
+            )
+            keep = ~mask
+        deleted = int(data.row_count - keep.sum())
+        new_data = data.delete_where(keep)
+        txn.write(statement.table, new_data)
+        self._log_replace(txn, statement.table, new_data)
+        return QueryResult.statement(deleted)
+
+    def _log_replace(
+        self, txn: Transaction, table: str, data: TableData
+    ) -> None:
+        """Record a whole-table replacement in the WAL (UPDATE/DELETE)."""
+        if self.txns.wal is None:
+            return
+        txn._log.append(("replace", table.lower(), list(data.rows())))
+
+
+def connect(wal_path: Optional[str] = None, **kwargs) -> Database:
+    """Open a database session (sqlite3-flavoured convenience)."""
+    return Database(wal_path=wal_path, **kwargs)

@@ -1,0 +1,118 @@
+"""Materialised query results."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..plan.logical import PlanColumn
+from ..storage.column import Column, ColumnBatch
+from ..types import SQLType
+
+
+class QueryResult:
+    """The materialised outcome of one statement.
+
+    Row-oriented access (``rows``, ``fetchone``, iteration) for
+    convenience; column-oriented access (:meth:`column`) without leaving
+    numpy for analytics pipelines.
+    """
+
+    def __init__(
+        self,
+        columns: list[str],
+        types: list[SQLType],
+        batch: Optional[ColumnBatch] = None,
+        slots: Optional[list[str]] = None,
+        rowcount: int = -1,
+    ):
+        self.columns = columns
+        self.types = types
+        self._batch = batch
+        self._slots = slots or []
+        #: For DML statements: number of affected rows; -1 for queries.
+        self.rowcount = rowcount
+        self._rows: Optional[list[tuple]] = None
+
+    @classmethod
+    def from_batch(
+        cls, batch: ColumnBatch, output: list[PlanColumn]
+    ) -> "QueryResult":
+        return cls(
+            columns=[c.name for c in output],
+            types=[c.sql_type for c in output],
+            batch=batch,
+            slots=[c.slot for c in output],
+        )
+
+    @classmethod
+    def statement(cls, rowcount: int) -> "QueryResult":
+        """A result for a statement that returns no rows."""
+        return cls(columns=[], types=[], rowcount=rowcount)
+
+    # -- row access ----------------------------------------------------------
+
+    @property
+    def rows(self) -> list[tuple]:
+        if self._rows is None:
+            if self._batch is None:
+                self._rows = []
+            else:
+                ordered = self._batch.project(self._slots)
+                self._rows = list(ordered.rows())
+        return self._rows
+
+    def fetchall(self) -> list[tuple]:
+        return list(self.rows)
+
+    def fetchone(self) -> Optional[tuple]:
+        return self.rows[0] if self.rows else None
+
+    def scalar(self) -> object:
+        """The single value of a one-row, one-column result."""
+        row = self.fetchone()
+        if row is None or len(row) != 1 or len(self.rows) != 1:
+            raise ValueError(
+                "scalar() requires exactly one row and one column, got "
+                f"{len(self.rows)} row(s) x {len(self.columns)} column(s)"
+            )
+        return row[0]
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        if self._batch is not None:
+            return len(self._batch)
+        return max(self.rowcount, 0)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryResult({len(self)} rows, columns={self.columns})"
+        )
+
+    # -- column access ---------------------------------------------------------
+
+    def column(self, name: str) -> Column:
+        """A result column by name (numpy-backed)."""
+        if self._batch is None:
+            raise KeyError(name)
+        lowered = name.lower()
+        for col_name, slot in zip(self.columns, self._slots):
+            if col_name.lower() == lowered:
+                return self._batch[slot]
+        raise KeyError(name)
+
+    def to_csv(self, path_or_buffer, delimiter: str = ",") -> int:
+        """Write the result as CSV; returns the data-row count."""
+        from .csv_io import result_to_csv
+
+        return result_to_csv(self, path_or_buffer, delimiter)
+
+    def to_dict(self) -> dict[str, list[object]]:
+        """Column-name -> list-of-values (duplicate names keep the
+        first occurrence)."""
+        out: dict[str, list[object]] = {}
+        for col_name, slot in zip(self.columns, self._slots):
+            if col_name not in out and self._batch is not None:
+                out[col_name] = self._batch[slot].to_pylist()
+        return out

@@ -1,0 +1,47 @@
+"""Competitor-system simulators for the evaluation (paper section 8.2).
+
+The paper benchmarks against closed testbeds we cannot run (Apache Spark
+MLlib, MATLAB R2015, MADlib on Greenplum). Each simulator reproduces the
+*cost structure* the paper attributes to that system — the mechanisms
+that make it fast or slow relative to in-core operators — rather than
+its absolute speed:
+
+* :mod:`matlab_like` — single-threaded interpreted per-row loops
+  ("MATLAB does not contain parallel versions of the chosen algorithms",
+  section 8.3); no vectorisation at all.
+* :mod:`spark_like` — partitioned RDD-style execution: per-stage task
+  scheduling with real closure serialisation (pickle) per task and a
+  collect+merge step per iteration; the per-partition kernels are fast
+  (numpy), as Spark's compiled closures are.
+* :mod:`madlib_like` — layer-2 database extension: drives the algorithm
+  from outside the engine as a sequence of SQL statements over
+  intermediate tables, with the per-tuple core executed in a black-box
+  scalar UDF the engine cannot vectorise or inspect (section 4.1).
+* :mod:`external` — layer 1: the DBMS used purely as storage; data is
+  exported row-by-row to the "external tool" (paying serialisation/
+  transfer), computed on with fast kernels, and results written back.
+"""
+
+from .external import ExternalToolClient
+from .matlab_like import (
+    matlab_like_kmeans,
+    matlab_like_naive_bayes_train,
+    matlab_like_pagerank,
+)
+from .spark_like import SparkLikeContext
+from .madlib_like import (
+    madlib_like_kmeans,
+    madlib_like_naive_bayes_train,
+    madlib_like_pagerank,
+)
+
+__all__ = [
+    "ExternalToolClient",
+    "matlab_like_kmeans",
+    "matlab_like_pagerank",
+    "matlab_like_naive_bayes_train",
+    "SparkLikeContext",
+    "madlib_like_kmeans",
+    "madlib_like_pagerank",
+    "madlib_like_naive_bayes_train",
+]

@@ -1,0 +1,106 @@
+"""Layer 1: the DBMS as pure data storage for an external tool.
+
+The currently most common architecture (Figure 1, layer 1): the database
+only stores the data; analytics happen in a separate process. The costs
+the paper attributes to it are the ETL cycle — every analysis first
+exports the working set out of the database (row serialisation, the
+"time- and resource-consuming process" of section 1), converts it to the
+tool's format, computes, and ships results back.
+
+This simulator performs those steps literally against a
+:class:`repro.Database`: a SQL export materialised to Python rows (the
+wire format), rows serialised/deserialised with pickle (the transfer),
+conversion to the tool's numpy format, a fast kernel (the external tool
+itself is efficient), and an INSERT of the results.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+
+from ..analytics.kmeans import kmeans as kernel_kmeans
+from ..analytics.naive_bayes import naive_bayes_train as kernel_nb_train
+from ..analytics.pagerank import pagerank as kernel_pagerank
+
+
+class ExternalToolClient:
+    """Simulates a stand-alone analytics tool talking to the database."""
+
+    def __init__(self, db):
+        self.db = db
+        #: Bytes moved over the simulated wire (export + import).
+        self.bytes_transferred = 0
+
+    # -- the ETL cycle -----------------------------------------------------------
+
+    def _export(self, sql: str) -> list[tuple]:
+        """Run a query and ship its rows out of the database."""
+        result = self.db.execute(sql)
+        wire = pickle.dumps(result.rows)
+        self.bytes_transferred += len(wire)
+        return pickle.loads(wire)
+
+    def _import(self, table: str, rows: list[tuple]) -> None:
+        """Ship result rows back into the database."""
+        wire = pickle.dumps(rows)
+        self.bytes_transferred += len(wire)
+        self.db.insert_rows(table, pickle.loads(wire))
+
+    # -- analyses -----------------------------------------------------------------
+
+    def kmeans(
+        self,
+        data_sql: str,
+        centers_sql: str,
+        iterations: int,
+        result_table: str | None = None,
+    ) -> np.ndarray:
+        """Export data + centers, cluster externally, optionally import
+        the centers back. Returns the final centers."""
+        data_rows = self._export(data_sql)
+        center_rows = self._export(centers_sql)
+        points = np.asarray(data_rows, dtype=np.float64)
+        centers = np.asarray(center_rows, dtype=np.float64)
+        final, _assign, _sizes, _iters = kernel_kmeans(
+            points, centers, max_iterations=iterations
+        )
+        if result_table is not None:
+            self._import(
+                result_table,
+                [tuple(float(x) for x in row) for row in final],
+            )
+        return final
+
+    def pagerank(
+        self,
+        edges_sql: str,
+        damping: float,
+        iterations: int,
+        result_table: str | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        rows = self._export(edges_sql)
+        edges = np.asarray(rows, dtype=np.int64)
+        vertex_ids, ranks, _iters = kernel_pagerank(
+            edges[:, 0], edges[:, 1], damping=damping,
+            epsilon=0.0, max_iterations=iterations,
+        )
+        if result_table is not None:
+            self._import(
+                result_table,
+                [
+                    (int(v), float(r))
+                    for v, r in zip(vertex_ids, ranks)
+                ],
+            )
+        return vertex_ids, ranks
+
+    def naive_bayes_train(self, train_sql: str):
+        """Export labelled rows (label first), train externally."""
+        rows = self._export(train_sql)
+        labels = np.asarray([row[0] for row in rows], dtype=object)
+        matrix = np.asarray(
+            [row[1:] for row in rows], dtype=np.float64
+        )
+        return kernel_nb_train(labels, matrix)

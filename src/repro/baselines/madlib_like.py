@@ -1,0 +1,227 @@
+"""MADlib-style baseline: layer-2 UDF-driven in-database analytics.
+
+MADlib runs analytics *on top of* a database: algorithms are library
+functions that drive SQL from outside the engine, materialise
+intermediate results into tables between steps, and push the per-tuple
+core into user-defined functions the engine executes as black boxes —
+it "executes those functions but cannot inspect or optimize them"
+(section 2.2). Three cost structures follow, all reproduced here
+against a :class:`repro.Database`:
+
+* per-statement overhead — each algorithm step is a separate SQL
+  statement (parse, bind, optimize, commit) instead of one fused plan;
+* full materialisation — every intermediate becomes a catalog table;
+* black-box per-tuple UDF execution — the distance / contribution /
+  moment kernels run row-at-a-time Python because the engine cannot
+  vectorise what it cannot see (section 4.1).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..types import DOUBLE
+
+
+def _fresh_prefix(db) -> str:
+    return f"madlib_tmp_{id(db) % 100_000}"
+
+
+def _drop(db, *tables: str) -> None:
+    for table in tables:
+        db.execute(f"DROP TABLE IF EXISTS {table}")
+
+
+def madlib_like_kmeans(
+    db,
+    data_table: str,
+    centers_table: str,
+    features: list[str],
+    iterations: int,
+    key: str = "id",
+    center_id: str = "cid",
+) -> list[tuple]:
+    """k-Means driven statement-by-statement with a UDF distance.
+
+    Returns the final (cid, c0, ...) center rows."""
+    d = len(features)
+    prefix = _fresh_prefix(db)
+    work = f"{prefix}_centers"
+    dist = f"{prefix}_dist"
+    mind = f"{prefix}_mind"
+    assign = f"{prefix}_assign"
+    center_cols = [f"c{i}" for i in range(d)]
+
+    def squared_distance(*values: float) -> float:
+        total = 0.0
+        for i in range(d):
+            diff = values[i] - values[d + i]
+            total += diff * diff
+        return total
+
+    db.create_function(
+        f"{prefix}_dist_fn", squared_distance, DOUBLE, arity=2 * d
+    )
+
+    _drop(db, work, dist, mind, assign)
+    init_cols = ", ".join(
+        f"CAST({f} AS FLOAT) AS {c}"
+        for f, c in zip(features, center_cols)
+    )
+    db.execute(
+        f"CREATE TABLE {work} AS "
+        f"SELECT {center_id} AS cid, {init_cols} FROM {centers_table}"
+    )
+    try:
+        data_args = ", ".join(f"d.{f}" for f in features)
+        center_args = ", ".join(f"c.{c}" for c in center_cols)
+        averages = ", ".join(
+            f"avg(d.{f}) AS {c}" for f, c in zip(features, center_cols)
+        )
+        for _round in range(iterations):
+            _drop(db, dist, mind, assign)
+            db.execute(
+                f"CREATE TABLE {dist} AS "
+                f"SELECT d.{key} AS pid, c.cid AS cid, "
+                f"{prefix}_dist_fn({data_args}, {center_args}) AS dd "
+                f"FROM {data_table} d, {work} c"
+            )
+            db.execute(
+                f"CREATE TABLE {mind} AS "
+                f"SELECT pid, min(dd) AS md FROM {dist} GROUP BY pid"
+            )
+            db.execute(
+                f"CREATE TABLE {assign} AS "
+                f"SELECT t.pid AS pid, min(t.cid) AS cid "
+                f"FROM {dist} t, {mind} m "
+                f"WHERE t.pid = m.pid AND t.dd = m.md GROUP BY t.pid"
+            )
+            db.execute(f"DROP TABLE {work}")
+            db.execute(
+                f"CREATE TABLE {work} AS "
+                f"SELECT a.cid AS cid, {averages} "
+                f"FROM {assign} a, {data_table} d "
+                f"WHERE a.pid = d.{key} GROUP BY a.cid"
+            )
+        return db.execute(
+            f"SELECT * FROM {work} ORDER BY cid"
+        ).rows
+    finally:
+        _drop(db, work, dist, mind, assign)
+
+
+def madlib_like_pagerank(
+    db,
+    edges_table: str,
+    damping: float,
+    iterations: int,
+    src: str = "src",
+    dst: str = "dest",
+) -> list[tuple]:
+    """PageRank driven statement-by-statement; the per-edge contribution
+    runs in a black-box UDF. Returns (vertex, rank) rows."""
+    prefix = _fresh_prefix(db)
+    ranks = f"{prefix}_ranks"
+    new_ranks = f"{prefix}_ranks_next"
+    deg = f"{prefix}_deg"
+
+    def contribution(rank: float, outdeg: int) -> float:
+        return rank / outdeg if outdeg else 0.0
+
+    db.create_function(
+        f"{prefix}_contrib_fn", contribution, DOUBLE, arity=2
+    )
+
+    _drop(db, ranks, new_ranks, deg)
+    db.execute(
+        f"CREATE TABLE {deg} AS SELECT {src} AS v, count(*) AS outdeg "
+        f"FROM {edges_table} GROUP BY {src}"
+    )
+    n = db.execute(
+        f"SELECT count(*) FROM (SELECT {src} AS v FROM {edges_table} "
+        f"UNION SELECT {dst} FROM {edges_table}) vv"
+    ).scalar()
+    db.execute(
+        f"CREATE TABLE {ranks} AS "
+        f"SELECT vs.v AS v, 1.0 / {n} AS rank FROM "
+        f"(SELECT {src} AS v FROM {edges_table} "
+        f" UNION SELECT {dst} FROM {edges_table}) vs"
+    )
+    try:
+        base = (1.0 - damping) / n
+        for _round in range(iterations):
+            _drop(db, new_ranks)
+            db.execute(
+                f"CREATE TABLE {new_ranks} AS "
+                f"SELECT e.{dst} AS v, "
+                f"{base} + {damping} * "
+                f"sum({prefix}_contrib_fn(r.rank, dg.outdeg)) AS rank "
+                f"FROM {ranks} r, {edges_table} e, {deg} dg "
+                f"WHERE r.v = e.{src} AND e.{src} = dg.v "
+                f"GROUP BY e.{dst}"
+            )
+            db.execute(f"DROP TABLE {ranks}")
+            db.execute(
+                f"CREATE TABLE {ranks} AS SELECT v, rank FROM {new_ranks}"
+            )
+        return db.execute(
+            f"SELECT v, rank FROM {ranks} ORDER BY v"
+        ).rows
+    finally:
+        _drop(db, ranks, new_ranks, deg)
+
+
+def madlib_like_naive_bayes_train(
+    db,
+    train_table: str,
+    label: str,
+    features: list[str],
+) -> list[tuple]:
+    """NB training with the moment kernels in black-box UDFs: the square
+    runs per tuple, the stddev finalisation per (class, attribute).
+    Returns (class, attribute, prior, mean, stddev) rows."""
+    prefix = _fresh_prefix(db)
+    moments = f"{prefix}_moments"
+
+    def square(value: float) -> float:
+        return value * value
+
+    def finalize_std(sumsq: float, total: float, count: int) -> float:
+        mean = total / count
+        return math.sqrt(max(sumsq / count - mean * mean, 0.0))
+
+    db.create_function(f"{prefix}_sq_fn", square, DOUBLE, arity=1)
+    db.create_function(
+        f"{prefix}_std_fn", finalize_std, DOUBLE, arity=3
+    )
+
+    n = db.execute(f"SELECT count(*) FROM {train_table}").scalar()
+    k = db.execute(
+        f"SELECT count(DISTINCT {label}) FROM {train_table}"
+    ).scalar()
+    _drop(db, moments)
+    rows_out: list[tuple] = []
+    try:
+        for feature in features:
+            _drop(db, moments)
+            db.execute(
+                f"CREATE TABLE {moments} AS "
+                f"SELECT {label} AS class, count(*) AS cnt, "
+                f"sum({feature}) AS s, "
+                f"sum({prefix}_sq_fn({feature})) AS sq "
+                f"FROM {train_table} GROUP BY {label}"
+            )
+            result = db.execute(
+                f"SELECT class, (cnt + 1.0) / ({n} + {k}) AS prior, "
+                f"s / cnt AS mean, "
+                f"{prefix}_std_fn(sq, s, cnt) AS stddev "
+                f"FROM {moments} ORDER BY class"
+            )
+            for klass, prior, mean, stddev in result.rows:
+                rows_out.append((klass, feature, prior, mean, stddev))
+        rows_out.sort(key=lambda r: (str(r[0]), r[1]))
+        return rows_out
+    finally:
+        _drop(db, moments)

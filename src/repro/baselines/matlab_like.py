@@ -1,0 +1,140 @@
+"""MATLAB-style baseline: single-threaded interpreted loops.
+
+The paper includes MATLAB "because multiple heavily used data analytics
+tools do not support parallelism" (section 8.4.3); its built-in k-Means
+runs single-threaded. This simulator reproduces that cost structure: the
+whole algorithm is plain Python over Python lists — one tuple at a time,
+no vectorisation, no parallel chunks. It is deliberately the slowest
+series, as in the paper's figures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..errors import AnalyticsError
+
+
+def matlab_like_kmeans(
+    points: Sequence[Sequence[float]],
+    initial_centers: Sequence[Sequence[float]],
+    iterations: int,
+) -> list[list[float]]:
+    """Lloyd's algorithm, interpreted, one point at a time."""
+    centers = [list(c) for c in initial_centers]
+    if not centers:
+        raise AnalyticsError("need at least one center")
+    d = len(centers[0])
+    k = len(centers)
+    assignment = [-1] * len(points)
+    for _round in range(iterations):
+        changed = False
+        sums = [[0.0] * d for _c in range(k)]
+        counts = [0] * k
+        for i, point in enumerate(points):
+            best = -1
+            best_dist = math.inf
+            for c in range(k):
+                center = centers[c]
+                dist = 0.0
+                for j in range(d):
+                    diff = point[j] - center[j]
+                    dist += diff * diff
+                if dist < best_dist:
+                    best_dist = dist
+                    best = c
+            if best != assignment[i]:
+                changed = True
+                assignment[i] = best
+            counts[best] += 1
+            row = sums[best]
+            for j in range(d):
+                row[j] += point[j]
+        for c in range(k):
+            if counts[c]:
+                centers[c] = [value / counts[c] for value in sums[c]]
+        if not changed:
+            break
+    return centers
+
+
+def matlab_like_pagerank(
+    edges: Sequence[tuple[int, int]],
+    damping: float,
+    iterations: int,
+) -> dict[int, float]:
+    """PageRank over adjacency dictionaries, interpreted per edge."""
+    out_degree: dict[int, int] = {}
+    incoming: dict[int, list[int]] = {}
+    vertices: set[int] = set()
+    for src, dst in edges:
+        vertices.add(src)
+        vertices.add(dst)
+        out_degree[src] = out_degree.get(src, 0) + 1
+        incoming.setdefault(dst, []).append(src)
+    n = len(vertices)
+    if n == 0:
+        return {}
+    ranks = {v: 1.0 / n for v in vertices}
+    base = (1.0 - damping) / n
+    for _round in range(iterations):
+        contribution = {
+            v: (ranks[v] / out_degree[v]) if out_degree.get(v) else 0.0
+            for v in vertices
+        }
+        dangling = sum(
+            ranks[v] for v in vertices if not out_degree.get(v)
+        )
+        new_ranks = {}
+        for v in vertices:
+            total = 0.0
+            for u in incoming.get(v, ()):
+                total += contribution[u]
+            new_ranks[v] = base + damping * (total + dangling / n)
+        ranks = new_ranks
+    return ranks
+
+
+def matlab_like_naive_bayes_train(
+    labels: Sequence[object],
+    rows: Sequence[Sequence[float]],
+) -> dict[object, dict[str, list[float]]]:
+    """Gaussian NB training, one row at a time.
+
+    Returns {class: {"prior": [p], "mean": [...], "std": [...]}}.
+    """
+    if not rows:
+        raise AnalyticsError("cannot train on empty data")
+    d = len(rows[0])
+    counts: dict[object, int] = {}
+    sums: dict[object, list[float]] = {}
+    sumsq: dict[object, list[float]] = {}
+    for label, row in zip(labels, rows):
+        if label not in counts:
+            counts[label] = 0
+            sums[label] = [0.0] * d
+            sumsq[label] = [0.0] * d
+        counts[label] += 1
+        srow = sums[label]
+        qrow = sumsq[label]
+        for j in range(d):
+            value = row[j]
+            srow[j] += value
+            qrow[j] += value * value
+    n = len(rows)
+    k = len(counts)
+    model: dict[object, dict[str, list[float]]] = {}
+    for label in counts:
+        c = counts[label]
+        means = [sums[label][j] / c for j in range(d)]
+        stds = [
+            math.sqrt(max(sumsq[label][j] / c - means[j] * means[j], 0.0))
+            for j in range(d)
+        ]
+        model[label] = {
+            "prior": [(c + 1.0) / (n + k)],
+            "mean": means,
+            "std": stds,
+        }
+    return model

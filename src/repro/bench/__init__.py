@@ -1,0 +1,42 @@
+"""Benchmark harness regenerating every table and figure of the paper.
+
+:mod:`repro.bench.experiments` defines the workload setups and the
+per-system runners (the six series of Figures 4 and 5 plus the layer-1
+client of Figure 1); :mod:`repro.bench.runner` times them and prints the
+paper-shaped series tables; ``python -m repro.bench`` is the CLI. The
+``benchmarks/`` directory wraps the same runners in pytest-benchmark.
+"""
+
+from .runner import BenchResult, SeriesTable, measure
+from .experiments import (
+    KMeansSetup,
+    PageRankSetup,
+    NaiveBayesSetup,
+    KMEANS_SYSTEMS,
+    PAGERANK_SYSTEMS,
+    NAIVE_BAYES_SYSTEMS,
+    setup_kmeans,
+    setup_pagerank,
+    setup_naive_bayes,
+    run_kmeans,
+    run_pagerank,
+    run_naive_bayes,
+)
+
+__all__ = [
+    "BenchResult",
+    "SeriesTable",
+    "measure",
+    "KMeansSetup",
+    "PageRankSetup",
+    "NaiveBayesSetup",
+    "KMEANS_SYSTEMS",
+    "PAGERANK_SYSTEMS",
+    "NAIVE_BAYES_SYSTEMS",
+    "setup_kmeans",
+    "setup_pagerank",
+    "setup_naive_bayes",
+    "run_kmeans",
+    "run_pagerank",
+    "run_naive_bayes",
+]

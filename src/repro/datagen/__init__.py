@@ -1,0 +1,33 @@
+"""Synthetic workload generators for the evaluation (paper section 8.1).
+
+* :mod:`repro.datagen.vectors` — uniformly distributed vector datasets
+  on the Table 1 grid (k-Means and Naive Bayes experiments).
+* :mod:`repro.datagen.graphs` — LDBC-SNB-like undirected social graphs
+  (PageRank experiments).
+"""
+
+from .vectors import (
+    KMEANS_CLUSTER_SWEEP,
+    KMEANS_DEFAULTS,
+    KMEANS_DIMENSION_SWEEP,
+    KMEANS_TUPLE_SWEEP,
+    generate_labels,
+    generate_vectors,
+    load_vector_table,
+    table1_experiments,
+)
+from .graphs import LDBC_SCALES, generate_social_graph, load_edge_table
+
+__all__ = [
+    "generate_vectors",
+    "generate_labels",
+    "load_vector_table",
+    "table1_experiments",
+    "KMEANS_TUPLE_SWEEP",
+    "KMEANS_DIMENSION_SWEEP",
+    "KMEANS_CLUSTER_SWEEP",
+    "KMEANS_DEFAULTS",
+    "generate_social_graph",
+    "load_edge_table",
+    "LDBC_SCALES",
+]

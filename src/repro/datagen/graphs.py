@@ -1,0 +1,102 @@
+"""LDBC-SNB-like social graph generation.
+
+The paper runs PageRank on the undirected person-knows-person graph of
+the LDBC Social Network Benchmark at three sizes (section 8.1.3):
+
+    11k vertices / 452k edges, 73k / 4.6M, 499k / 46M.
+
+The original generator is an external Java tool; this module substitutes
+a synthetic graph with the properties that matter for PageRank cost:
+heavy-tailed degree distribution (social-network-like), undirected edges
+stored in both directions, and the paper's vertex/edge ratios. A scale
+factor shrinks both while keeping the average degree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: The paper's three LDBC SNB scale points: (vertices, directed edges).
+LDBC_SCALES = (
+    (11_000, 452_000),
+    (73_000, 4_600_000),
+    (499_000, 46_000_000),
+)
+
+#: Zipf-ish exponent of the degree weight distribution.
+DEGREE_SKEW = 0.6
+
+
+@dataclass(frozen=True)
+class GraphExperiment:
+    """One PageRank evaluation point."""
+
+    n_vertices: int
+    n_edges: int  # directed edge count (both directions counted)
+
+    def scaled(self, scale: float) -> "GraphExperiment":
+        return GraphExperiment(
+            max(int(self.n_vertices * scale), 16),
+            max(int(self.n_edges * scale), 32),
+        )
+
+
+def graph_experiments(scale: float = 1.0) -> list[GraphExperiment]:
+    return [
+        GraphExperiment(v, e).scaled(scale) for v, e in LDBC_SCALES
+    ]
+
+
+def generate_social_graph(
+    n_vertices: int, n_edges: int, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """An undirected multigraph with skewed degrees.
+
+    ``n_edges`` counts *directed* edges; the generator draws
+    ``n_edges // 2`` undirected pairs with Zipf-weighted endpoints,
+    drops self loops, guarantees every vertex at least one undirected
+    edge (a ring backbone), and returns both directions.
+
+    Returns (src, dst) int64 arrays of equal length ~ n_edges.
+    """
+    if n_vertices < 2:
+        raise ValueError("need at least two vertices")
+    rng = np.random.default_rng(seed)
+
+    # Heavy-tailed endpoint weights over a shuffled vertex order.
+    ranks = np.arange(1, n_vertices + 1, dtype=np.float64)
+    weights = ranks ** (-DEGREE_SKEW)
+    weights /= weights.sum()
+    order = rng.permutation(n_vertices)
+
+    undirected = max(n_edges // 2 - n_vertices, 0)
+    a = order[rng.choice(n_vertices, size=undirected, p=weights)]
+    b = order[rng.choice(n_vertices, size=undirected, p=weights)]
+    loops = a == b
+    if loops.any():
+        b[loops] = (a[loops] + 1) % n_vertices
+
+    # Ring backbone: every vertex has degree >= 2, so the relational
+    # PageRank formulation (which drops isolated vertices) and the CSR
+    # operator agree on the vertex set.
+    ring_a = np.arange(n_vertices, dtype=np.int64)
+    ring_b = (ring_a + 1) % n_vertices
+
+    src_half = np.concatenate([a, ring_a]).astype(np.int64)
+    dst_half = np.concatenate([b, ring_b]).astype(np.int64)
+    src = np.concatenate([src_half, dst_half])
+    dst = np.concatenate([dst_half, src_half])
+    return src, dst
+
+
+def load_edge_table(
+    db, table: str, n_vertices: int, n_edges: int, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Create and bulk-load an edge table; returns (src, dst)."""
+    src, dst = generate_social_graph(n_vertices, n_edges, seed)
+    db.execute(f"DROP TABLE IF EXISTS {table}")
+    db.execute(f"CREATE TABLE {table} (src BIGINT, dest BIGINT)")
+    db.load_columns(table, {"src": src, "dest": dst})
+    return src, dst

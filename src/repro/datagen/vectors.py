@@ -1,0 +1,144 @@
+"""Uniform synthetic vector datasets — the Table 1 grid.
+
+The paper evaluates k-Means over artificial, uniformly distributed data
+("the performance of plain k-Means with a fixed number of iterations is
+irrespective of data skew", section 8.1.1) on three sweeps sharing a
+common center point (n=4M, d=10, k=5):
+
+* tuples n ∈ {160k, 800k, 4M, 20M, 100M, 500M},
+* dimensions d ∈ {3, 5, 10, 25, 50},
+* clusters k ∈ {3, 5, 10, 25, 50}.
+
+A scale factor shrinks n for laptop-sized runs while preserving the
+sweep's shape; the default benchmark scale is 1/1000.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Paper sweep values (Table 1).
+KMEANS_TUPLE_SWEEP = (
+    160_000, 800_000, 4_000_000, 20_000_000, 100_000_000, 500_000_000
+)
+KMEANS_DIMENSION_SWEEP = (3, 5, 10, 25, 50)
+KMEANS_CLUSTER_SWEEP = (3, 5, 10, 25, 50)
+#: The shared center configuration connecting the three sweeps.
+KMEANS_DEFAULTS = {"n": 4_000_000, "d": 10, "k": 5, "iterations": 3}
+
+
+@dataclass(frozen=True)
+class VectorExperiment:
+    """One Table 1 row: a dataset size plus k-Means parameters."""
+
+    sweep: str  # "tuples" | "dimensions" | "clusters"
+    n: int
+    d: int
+    k: int
+    iterations: int = 3
+
+    def scaled(self, scale: float) -> "VectorExperiment":
+        """Shrink the tuple count (only) by ``scale``; parameters that
+        shape the computation per tuple (d, k, iterations) stay."""
+        n = max(int(self.n * scale), 16)
+        return VectorExperiment(self.sweep, n, self.d, self.k,
+                                self.iterations)
+
+
+def table1_experiments(scale: float = 1.0) -> list[VectorExperiment]:
+    """The full Table 1 grid, optionally scaled."""
+    experiments = []
+    d0, k0 = KMEANS_DEFAULTS["d"], KMEANS_DEFAULTS["k"]
+    n0 = KMEANS_DEFAULTS["n"]
+    for n in KMEANS_TUPLE_SWEEP:
+        experiments.append(VectorExperiment("tuples", n, d0, k0))
+    for d in KMEANS_DIMENSION_SWEEP:
+        experiments.append(VectorExperiment("dimensions", n0, d, k0))
+    for k in KMEANS_CLUSTER_SWEEP:
+        experiments.append(VectorExperiment("clusters", n0, d0, k))
+    return [e.scaled(scale) for e in experiments]
+
+
+def feature_names(d: int) -> list[str]:
+    return [f"f{i}" for i in range(d)]
+
+
+def generate_vectors(
+    n: int, d: int, seed: int = 0
+) -> dict[str, np.ndarray]:
+    """Uniform [0, 1) columns ``f0..f{d-1}`` plus an ``id`` key column."""
+    rng = np.random.default_rng(seed)
+    columns: dict[str, np.ndarray] = {
+        "id": np.arange(n, dtype=np.int64)
+    }
+    for name in feature_names(d):
+        columns[name] = rng.random(n)
+    return columns
+
+
+def generate_labels(n: int, n_classes: int = 2, seed: int = 1) -> np.ndarray:
+    """Uniformly distributed class labels (section 8.1.2: a uniform
+    probability density over two labels 0 and 1)."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, n_classes, size=n, dtype=np.int32)
+
+
+def pick_initial_centers(
+    columns: dict[str, np.ndarray], k: int, seed: int = 2
+) -> dict[str, np.ndarray]:
+    """Random selection of k rows as initial centers — the simplest
+    initialization strategy, used for cross-system comparability
+    (section 8.1.1)."""
+    rng = np.random.default_rng(seed)
+    n = len(columns["id"])
+    chosen = rng.choice(n, size=min(k, n), replace=False)
+    chosen.sort()
+    centers = {"cid": np.arange(len(chosen), dtype=np.int64)}
+    for name, values in columns.items():
+        if name == "id":
+            continue
+        centers[name] = values[chosen]
+    return centers
+
+
+def load_vector_table(
+    db,
+    table: str,
+    n: int,
+    d: int,
+    seed: int = 0,
+    with_label: bool = False,
+    n_classes: int = 2,
+) -> dict[str, np.ndarray]:
+    """Create and bulk-load a vector table; returns the raw columns."""
+    columns = generate_vectors(n, d, seed)
+    ddl_cols = ["id BIGINT"]
+    if with_label:
+        columns["label"] = generate_labels(n, n_classes, seed + 1)
+        ddl_cols.append("label INTEGER")
+    ddl_cols += [f"{name} FLOAT" for name in feature_names(d)]
+    db.execute(f"DROP TABLE IF EXISTS {table}")
+    db.execute(f"CREATE TABLE {table} ({', '.join(ddl_cols)})")
+    db.load_columns(table, columns)
+    return columns
+
+
+def load_centers_table(
+    db,
+    table: str,
+    data_columns: dict[str, np.ndarray],
+    k: int,
+    seed: int = 2,
+) -> dict[str, np.ndarray]:
+    """Create and load the initial-centers table for a dataset."""
+    centers = pick_initial_centers(data_columns, k, seed)
+    d = len(centers) - 1
+    ddl_cols = ["cid BIGINT"] + [
+        f"{name} FLOAT" for name in feature_names(d)
+    ]
+    db.execute(f"DROP TABLE IF EXISTS {table}")
+    db.execute(f"CREATE TABLE {table} ({', '.join(ddl_cols)})")
+    db.load_columns(table, centers)
+    return centers

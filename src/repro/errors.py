@@ -1,0 +1,71 @@
+"""Exception hierarchy for the repro database engine.
+
+Every error raised by the engine derives from :class:`ReproError`, so
+applications can catch a single base class. The sub-hierarchy mirrors the
+query lifecycle: lexing/parsing -> binding -> planning -> execution, plus
+storage/transaction errors raised by the substrate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro engine."""
+
+
+class ParseError(ReproError):
+    """Raised by the lexer or parser for malformed SQL.
+
+    Carries the source position to make error messages actionable.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (at line {line}, column {column})"
+        super().__init__(message)
+
+
+class BindError(ReproError):
+    """Raised during semantic analysis: unknown names, type mismatches,
+    ambiguous references, arity errors, malformed lambdas."""
+
+
+class PlanError(ReproError):
+    """Raised when a bound query cannot be turned into an executable plan."""
+
+
+class ExecutionError(ReproError):
+    """Raised while executing a physical plan (overflow, division,
+    cast failures, operator contract violations)."""
+
+
+class IterationLimitError(ExecutionError):
+    """Raised when ITERATE or WITH RECURSIVE exceeds the configured
+    maximum number of iterations (infinite-loop guard, paper section 5.1)."""
+
+
+class CatalogError(ReproError):
+    """Raised for catalog violations: duplicate table, unknown table,
+    schema mismatch on insert, dropping a missing object."""
+
+
+class TransactionError(ReproError):
+    """Raised for transaction protocol violations and serialization
+    conflicts (first-committer-wins aborts)."""
+
+
+class SerializationConflict(TransactionError):
+    """A concurrent committed transaction wrote a table this transaction
+    also wrote; the later committer must abort (snapshot isolation)."""
+
+
+class UDFError(ReproError):
+    """Raised when a user-defined function misbehaves: wrong arity,
+    unregistered name, or an exception escaping the UDF body."""
+
+
+class AnalyticsError(ExecutionError):
+    """Raised by analytics operators for invalid parameters, e.g. k < 1,
+    non-numeric inputs, empty training sets, or mismatched center arity."""

@@ -1,0 +1,19 @@
+"""Vectorised physical execution engine.
+
+Physical operators are generators of :class:`ColumnBatch` morsels built
+from a logical plan by :mod:`repro.exec.planner` and driven pull-based.
+Pipeline breakers (aggregation, sort, joins' build side, the iterative
+operators, and all analytics operators) materialise; everything else
+streams batch-at-a-time, the vectorised analogue of HyPer's data-centric
+pipelines (paper section 3).
+"""
+
+from .physical import ExecutionContext, PhysicalOperator
+from .planner import build_physical, execute_plan
+
+__all__ = [
+    "ExecutionContext",
+    "PhysicalOperator",
+    "build_physical",
+    "execute_plan",
+]

@@ -1,0 +1,134 @@
+"""Hash aggregation and DISTINCT — pipeline breakers."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..expr import aggregates as agg_registry
+from ..expr.compiler import EvalContext
+from ..plan.logical import LogicalAggregate, LogicalDistinct
+from ..storage.column import Column, ColumnBatch
+from .common import factorize, group_representatives
+from .physical import ExecutionContext, PhysicalOperator
+
+
+class HashAggregateOp(PhysicalOperator):
+    """Materialises input, factorizes group keys, and runs each
+    aggregate's grouped kernel once over the whole input — the vectorised
+    form of thread-local partial aggregation plus a global merge."""
+
+    def __init__(
+        self,
+        node: LogicalAggregate,
+        child: PhysicalOperator,
+        ctx: ExecutionContext,
+    ):
+        super().__init__(node.output)
+        self._node = node
+        self._child = child
+        self._ctx = ctx
+        self._group_fns = [
+            ctx.compiler.compile(e) for e in node.group_exprs
+        ]
+        self._agg_arg_fns = [
+            ctx.compiler.compile(spec.arg) if spec.arg is not None else None
+            for spec in node.aggregates
+        ]
+        self._kernels = []
+        for spec in node.aggregates:
+            func = agg_registry.lookup(spec.func_name)
+            if func is None:
+                raise ExecutionError(
+                    f"unknown aggregate {spec.func_name!r}"
+                )
+            self._kernels.append(func)
+
+    def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
+        batch = self._child.execute_materialized(eval_ctx)
+        node = self._node
+        n = len(batch)
+
+        if node.group_exprs:
+            key_cols = [fn(batch, eval_ctx) for fn in self._group_fns]
+            codes, n_groups = factorize(key_cols)
+            if n_groups == 0:
+                yield self.empty_batch()
+                return
+        else:
+            key_cols = []
+            codes = np.zeros(n, dtype=np.int64)
+            n_groups = 1  # global aggregation: always one output row
+
+        columns: dict[str, Column] = {}
+        if key_cols:
+            reps = group_representatives(codes, n_groups)
+            for slot, col in zip(node.group_slots, key_cols):
+                columns[slot] = col.take(reps)
+
+        for spec, arg_fn, kernel in zip(
+            node.aggregates, self._agg_arg_fns, self._kernels
+        ):
+            arg_col = arg_fn(batch, eval_ctx) if arg_fn is not None else None
+            use_codes = codes
+            use_col = arg_col
+            if spec.distinct:
+                if arg_col is None:
+                    raise ExecutionError("COUNT(DISTINCT *) is not valid")
+                use_col, use_codes = _deduplicate(
+                    arg_col, codes, n_groups
+                )
+            result = kernel.grouped(use_col, use_codes, n_groups)
+            columns[spec.slot] = result
+
+        yield ColumnBatch(columns)
+
+
+def _deduplicate(
+    col: Column, codes: np.ndarray, n_groups: int
+) -> tuple[Column, np.ndarray]:
+    """Keep one row per (group, value) pair — DISTINCT aggregation input.
+    NULLs are preserved (the kernels skip them anyway)."""
+    value_codes, n_values = factorize([col])
+    if n_values == 0:
+        return col, codes
+    combined = codes * np.int64(n_values) + value_codes
+    _uniques, first_idx = np.unique(combined, return_index=True)
+    keep = np.sort(first_idx)
+    return col.take(keep), codes[keep]
+
+
+class DistinctOp(PhysicalOperator):
+    """SELECT DISTINCT: one representative row per distinct full row."""
+
+    def __init__(
+        self,
+        node: LogicalDistinct,
+        child: PhysicalOperator,
+        ctx: ExecutionContext,
+    ):
+        super().__init__(list(node.output))
+        self._child = child
+
+    def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
+        batch = self._child.execute_materialized(eval_ctx)
+        if len(batch) == 0:
+            yield batch
+            return
+        yield distinct_rows(batch)
+
+
+def distinct_rows(batch: ColumnBatch) -> ColumnBatch:
+    """Deduplicate full rows of a batch, keeping first occurrences in
+    their original order."""
+    cols = [batch[name] for name in batch.names()]
+    codes, n_groups = factorize(cols)
+    if n_groups == 0:
+        return batch
+    _uniques, first_idx = np.unique(codes, return_index=True)
+    keep = np.sort(first_idx)
+    if len(keep) == len(batch):
+        return batch
+    return batch.take(keep)

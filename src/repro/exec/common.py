@@ -1,0 +1,116 @@
+"""Shared vectorised kernels: key factorization and row materialisation.
+
+Factorization maps rows of one or more key columns to dense integer
+codes in ``[0, n_groups)``. It is the workhorse behind hash aggregation,
+DISTINCT, set operations, and hash joins — the engine's equivalent of
+building a hash table, done with numpy sorting primitives instead of a
+per-tuple hash loop.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..storage.column import Column, ColumnBatch
+from ..types import TypeKind
+
+
+def factorize_column(col: Column) -> tuple[np.ndarray, int]:
+    """Dense codes for one column; NULLs form their own group (SQL
+    GROUP BY treats NULLs as equal). Returns (codes, n_codes)."""
+    n = len(col)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64), 0
+    if col.sql_type.kind is TypeKind.VARCHAR:
+        codes = np.zeros(n, dtype=np.int64)
+        mapping: dict[object, int] = {}
+        validity = col.validity()
+        values = col.values
+        null_code = -1
+        for i in range(n):
+            if not validity[i]:
+                if null_code < 0:
+                    null_code = len(mapping)
+                    mapping["\0__null__"] = null_code
+                codes[i] = null_code
+            else:
+                value = values[i]
+                code = mapping.get(value)
+                if code is None:
+                    code = len(mapping)
+                    mapping[value] = code
+                codes[i] = code
+        return codes, len(mapping)
+    _uniques, codes = np.unique(col.values, return_inverse=True)
+    codes = codes.astype(np.int64)
+    count = len(_uniques)
+    if col.valid is not None:
+        nulls = ~col.valid
+        if nulls.any():
+            codes[nulls] = count
+            count += 1
+            # Compact: some codes may now be unused (a value appearing
+            # only at NULL slots); harmless for grouping correctness.
+    return codes, count
+
+
+def factorize(columns: Sequence[Column]) -> tuple[np.ndarray, int]:
+    """Dense row codes over several key columns (mixed-radix compose,
+    re-compacted pairwise to avoid int64 overflow)."""
+    if not columns:
+        n = 0
+        return np.zeros(n, dtype=np.int64), 0
+    codes, count = factorize_column(columns[0])
+    for col in columns[1:]:
+        more_codes, more_count = factorize_column(col)
+        if count == 0 or more_count == 0:
+            return np.zeros(len(codes), dtype=np.int64), 0
+        combined = codes * np.int64(more_count) + more_codes
+        _uniques, codes = np.unique(combined, return_inverse=True)
+        codes = codes.astype(np.int64)
+        count = len(_uniques)
+    return codes, count
+
+
+def group_representatives(codes: np.ndarray, n_groups: int) -> np.ndarray:
+    """Index of the first row of each group (for gathering key values)."""
+    first = np.full(n_groups, -1, dtype=np.int64)
+    # Reverse so earlier rows overwrite later ones.
+    first[codes[::-1]] = np.arange(len(codes) - 1, -1, -1, dtype=np.int64)
+    return first
+
+
+def group_member_lists(
+    codes: np.ndarray, n_groups: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Rows of each group, grouped contiguously.
+
+    Returns (order, offsets): ``order`` lists row indices sorted by group,
+    ``offsets[g]:offsets[g+1]`` slices the members of group ``g``.
+    """
+    order = np.argsort(codes, kind="stable")
+    counts = np.bincount(codes, minlength=n_groups)
+    offsets = np.zeros(n_groups + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return order, offsets
+
+
+def concat_batches(
+    batches: list[ColumnBatch], names: Sequence[str]
+) -> ColumnBatch:
+    """Concatenate batches (possibly none) into one, preserving layout."""
+    non_empty = [b for b in batches if len(b) > 0]
+    if not non_empty:
+        if batches:
+            return batches[0]
+        raise ValueError("concat_batches needs a layout batch")
+    if len(non_empty) == 1:
+        return non_empty[0]
+    return ColumnBatch(
+        {
+            name: Column.concat([b[name] for b in non_empty])
+            for name in names
+        }
+    )

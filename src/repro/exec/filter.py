@@ -1,0 +1,35 @@
+"""Streaming selection."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..expr.compiler import EvalContext
+from ..plan.logical import LogicalFilter
+from ..storage.column import ColumnBatch
+from .physical import ExecutionContext, PhysicalOperator
+
+
+class FilterOp(PhysicalOperator):
+    """Applies a compiled predicate mask to each batch (unknown -> drop)."""
+
+    def __init__(
+        self,
+        node: LogicalFilter,
+        child: PhysicalOperator,
+        ctx: ExecutionContext,
+    ):
+        super().__init__(list(node.output))
+        self._child = child
+        self._predicate = ctx.compiler.compile_predicate(node.predicate)
+
+    def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
+        for batch in self._child.execute(eval_ctx):
+            if len(batch) == 0:
+                yield batch
+                continue
+            mask = self._predicate(batch, eval_ctx)
+            if mask.all():
+                yield batch
+            else:
+                yield batch.filter(mask)

@@ -1,0 +1,115 @@
+"""The non-appending ITERATE operator (paper section 5.1).
+
+Semantics of ``ITERATE((init), (step), (stop))``:
+
+1. The working relation ``iterate`` is initialised from *init*.
+2. Before each round, *stop* is evaluated against the current working
+   relation; iteration ends when it returns at least one row whose first
+   column is true (or at least one row, when the first column is not
+   boolean — a row-existence stop predicate like Listing 1's).
+3. Otherwise one round runs: *step* is evaluated against the working
+   relation, and its result **replaces** it.
+4. The final working relation is the operator's result.
+
+Unlike the appending recursive CTE, only the current round (and
+transiently the next one) is live: 2·n tuples instead of n·i. The
+max-iteration guard aborts infinite loops, as the paper requires.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import IterationLimitError
+from ..expr.compiler import EvalContext
+from ..plan.logical import LogicalIterate
+from ..storage.column import ColumnBatch
+from ..types import TypeKind
+from .physical import ExecutionContext, PhysicalOperator
+
+
+class IterateOp(PhysicalOperator):
+    def __init__(
+        self,
+        node: LogicalIterate,
+        init: PhysicalOperator,
+        step: PhysicalOperator,
+        stop: PhysicalOperator,
+        ctx: ExecutionContext,
+    ):
+        super().__init__(node.output)
+        self._node = node
+        self._init = init
+        self._step = step
+        self._stop = stop
+        self._ctx = ctx
+
+    def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
+        node = self._node
+        ctx = self._ctx
+
+        init_batch = self._init.execute_materialized(eval_ctx)
+        working = self._as_working(
+            init_batch, self._node.init.output_slots()
+        )
+        ctx.stats.observe_live_tuples(2 * len(working))
+
+        iterations = 0
+        max_iterations = min(node.max_iterations, ctx.max_iterations)
+        while True:
+            ctx.working_tables[node.key] = working
+            try:
+                stop_batch = self._stop.execute_materialized(eval_ctx)
+                if self._stop_satisfied(stop_batch):
+                    break
+                iterations += 1
+                if iterations > max_iterations:
+                    raise IterationLimitError(
+                        f"ITERATE exceeded {max_iterations} iterations "
+                        "without satisfying its stop condition"
+                    )
+                step_batch = self._step.execute_materialized(eval_ctx)
+            finally:
+                ctx.working_tables.pop(node.key, None)
+            next_working = self._as_working(
+                step_batch, self._node.step.output_slots()
+            )
+            # Non-appending: the new round replaces the old; at most the
+            # two of them are live at once.
+            ctx.stats.observe_live_tuples(
+                len(working) + len(next_working)
+            )
+            working = next_working
+        ctx.stats.iterations += iterations
+
+        yield ColumnBatch(
+            {
+                col.slot: working[name]
+                for col, name in zip(self.output, working.names())
+            }
+        )
+
+    def _as_working(
+        self, batch: ColumnBatch, source_slots: list[str]
+    ) -> ColumnBatch:
+        names = [c.name for c in self.output]
+        return ColumnBatch(
+            {
+                name: batch[slot]
+                for name, slot in zip(names, source_slots)
+            }
+        )
+
+    @staticmethod
+    def _stop_satisfied(stop_batch: ColumnBatch) -> bool:
+        if len(stop_batch) == 0:
+            return False
+        names = stop_batch.names()
+        if not names:
+            return True
+        first = stop_batch[names[0]]
+        if first.sql_type.kind is TypeKind.BOOLEAN:
+            mask = first.values.astype(bool, copy=False)
+            validity = first.validity()
+            return bool((mask & validity).any())
+        return True

@@ -1,0 +1,299 @@
+"""Join operators: vectorised hash join and nested-loop join.
+
+The hash join materialises both sides, factorizes the key columns into
+dense codes (the vectorised equivalent of building and probing a hash
+table), and matches code ranges with ``searchsorted`` — no per-tuple
+Python in the hot path. SQL semantics: NULL keys never match; LEFT joins
+NULL-extend unmatched left rows.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..expr.bound import BoundExpr
+from ..expr.compiler import EvalContext
+from ..plan.logical import LogicalJoin, PlanColumn
+from ..storage.column import Column, ColumnBatch
+from .common import factorize
+from .physical import ExecutionContext, PhysicalOperator
+
+
+def _null_extended(
+    batch: ColumnBatch,
+    indices: np.ndarray,
+    valid_rows: np.ndarray,
+    columns: list[PlanColumn],
+) -> dict[str, Column]:
+    """Gather ``indices`` from ``batch``; rows where ``valid_rows`` is
+    False become all-NULL (LEFT join padding)."""
+    out: dict[str, Column] = {}
+    safe = np.where(valid_rows, indices, 0)
+    for col in columns:
+        source = batch[col.slot]
+        if len(source) == 0:
+            out[col.slot] = Column.all_null(len(indices), col.sql_type)
+            continue
+        gathered = source.take(safe)
+        validity = gathered.validity() & valid_rows
+        out[col.slot] = Column(gathered.values, col.sql_type, validity)
+    return out
+
+
+class HashJoinOp(PhysicalOperator):
+    """Equi-join via key factorization; supports inner and left joins
+    plus a residual predicate on matched pairs."""
+
+    def __init__(
+        self,
+        node: LogicalJoin,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        ctx: ExecutionContext,
+    ):
+        super().__init__(node.output)
+        if node.kind not in ("inner", "left"):
+            raise ExecutionError(f"hash join cannot run kind {node.kind!r}")
+        self._node = node
+        self._left = left
+        self._right = right
+        self._ctx = ctx
+        self._left_keys = [
+            ctx.compiler.compile(lk) for lk, _rk in node.equi_keys
+        ]
+        self._right_keys = [
+            ctx.compiler.compile(rk) for _lk, rk in node.equi_keys
+        ]
+        self._residual = (
+            ctx.compiler.compile_predicate(node.residual)
+            if node.residual is not None
+            else None
+        )
+
+    def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
+        left_batch = self._left.execute_materialized(eval_ctx)
+        right_batch = self._right.execute_materialized(eval_ctx)
+        n_left = len(left_batch)
+        n_right = len(right_batch)
+        is_left_join = self._node.kind == "left"
+
+        if n_left == 0:
+            yield self.empty_batch()
+            return
+        if n_right == 0:
+            if is_left_join:
+                yield self._pad_unmatched(left_batch, right_batch)
+            else:
+                yield self.empty_batch()
+            return
+
+        # Evaluate key expressions on both sides, then factorize the
+        # stacked columns so codes are comparable across sides.
+        left_key_cols = [fn(left_batch, eval_ctx) for fn in self._left_keys]
+        right_key_cols = [
+            fn(right_batch, eval_ctx) for fn in self._right_keys
+        ]
+        stacked = [
+            Column.concat([lc, rc])
+            for lc, rc in zip(left_key_cols, right_key_cols)
+        ]
+        codes, _count = factorize(stacked)
+        left_codes = codes[:n_left].copy()
+        right_codes = codes[n_left:].copy()
+
+        # NULL keys never match.
+        left_null = np.zeros(n_left, dtype=np.bool_)
+        for col in left_key_cols:
+            left_null |= ~col.validity()
+        right_null = np.zeros(n_right, dtype=np.bool_)
+        for col in right_key_cols:
+            right_null |= ~col.validity()
+
+        usable_right = ~right_null
+        order = np.argsort(right_codes[usable_right], kind="stable")
+        right_rows = np.flatnonzero(usable_right)[order]
+        sorted_codes = right_codes[right_rows]
+
+        probe_rows = np.flatnonzero(~left_null)
+        probe_codes = left_codes[probe_rows]
+        lo = np.searchsorted(sorted_codes, probe_codes, side="left")
+        hi = np.searchsorted(sorted_codes, probe_codes, side="right")
+        counts = hi - lo
+        total = int(counts.sum())
+
+        if total == 0:
+            pair_left = np.zeros(0, dtype=np.int64)
+            pair_right = np.zeros(0, dtype=np.int64)
+        else:
+            # Expand [lo, hi) ranges into explicit pair lists.
+            pair_left = np.repeat(probe_rows, counts)
+            starts = np.repeat(lo, counts)
+            within = np.arange(total, dtype=np.int64) - np.repeat(
+                np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+            )
+            pair_right = right_rows[starts + within]
+
+        if self._residual is not None and total > 0:
+            pair_batch = self._pair_batch(
+                left_batch, right_batch, pair_left, pair_right
+            )
+            keep = self._residual(pair_batch, eval_ctx)
+            pair_left = pair_left[keep]
+            pair_right = pair_right[keep]
+
+        if is_left_join:
+            matched = np.zeros(n_left, dtype=np.bool_)
+            matched[pair_left] = True
+            unmatched = np.flatnonzero(~matched)
+            if len(unmatched):
+                pair_left = np.concatenate([pair_left, unmatched])
+                pad = np.full(len(unmatched), -1, dtype=np.int64)
+                pair_right = np.concatenate([pair_right, pad])
+
+        if len(pair_left) == 0:
+            yield self.empty_batch()
+            return
+        valid_right = pair_right >= 0
+        columns = {}
+        taken_left = left_batch.take(pair_left)
+        for col in self._node.left.output:
+            columns[col.slot] = taken_left[col.slot]
+        columns.update(
+            _null_extended(
+                right_batch, pair_right, valid_right,
+                self._node.right.output,
+            )
+        )
+        yield ColumnBatch(columns)
+
+    def _pair_batch(
+        self,
+        left_batch: ColumnBatch,
+        right_batch: ColumnBatch,
+        pair_left: np.ndarray,
+        pair_right: np.ndarray,
+    ) -> ColumnBatch:
+        columns = {}
+        taken_left = left_batch.take(pair_left)
+        taken_right = right_batch.take(pair_right)
+        for col in self._node.left.output:
+            columns[col.slot] = taken_left[col.slot]
+        for col in self._node.right.output:
+            columns[col.slot] = taken_right[col.slot]
+        return ColumnBatch(columns)
+
+    def _pad_unmatched(
+        self, left_batch: ColumnBatch, right_batch: ColumnBatch
+    ) -> ColumnBatch:
+        columns = dict(left_batch.columns)
+        for col in self._node.right.output:
+            columns[col.slot] = Column.all_null(
+                len(left_batch), col.sql_type
+            )
+        return ColumnBatch(columns)
+
+
+class NestedLoopJoinOp(PhysicalOperator):
+    """Fallback join: cross product (in chunks) with an optional
+    predicate. Handles cross joins and non-equi inner/left joins."""
+
+    #: Target number of PAIRS per chunk; the per-chunk left-row count
+    #: adapts to the right side's size so small right inputs (e.g. a
+    #: centers relation) don't degrade into thousands of tiny batches.
+    TARGET_PAIRS = 262_144
+    MIN_CHUNK = 1_024
+
+    def __init__(
+        self,
+        node: LogicalJoin,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        ctx: ExecutionContext,
+    ):
+        super().__init__(node.output)
+        self._node = node
+        self._left = left
+        self._right = right
+        predicate: Optional[BoundExpr] = node.residual
+        self._predicate = (
+            ctx.compiler.compile_predicate(predicate)
+            if predicate is not None
+            else None
+        )
+
+    def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
+        left_batch = self._left.execute_materialized(eval_ctx)
+        right_batch = self._right.execute_materialized(eval_ctx)
+        n_left = len(left_batch)
+        n_right = len(right_batch)
+        is_left_join = self._node.kind == "left"
+
+        if n_left == 0 or (n_right == 0 and not is_left_join):
+            yield self.empty_batch()
+            return
+
+        chunk_rows = max(
+            self.MIN_CHUNK, self.TARGET_PAIRS // max(n_right, 1)
+        )
+        produced_any = False
+        for start in range(0, n_left, chunk_rows):
+            stop = min(start + chunk_rows, n_left)
+            chunk = stop - start
+            if n_right == 0:
+                pair_left = np.zeros(0, dtype=np.int64)
+                pair_right = np.zeros(0, dtype=np.int64)
+            else:
+                pair_left = np.repeat(
+                    np.arange(start, stop, dtype=np.int64), n_right
+                )
+                pair_right = np.tile(
+                    np.arange(n_right, dtype=np.int64), chunk
+                )
+            if self._predicate is not None and len(pair_left):
+                pair_batch = self._assemble(
+                    left_batch, right_batch, pair_left, pair_right,
+                    np.ones(len(pair_right), dtype=np.bool_),
+                )
+                keep = self._predicate(pair_batch, eval_ctx)
+                pair_left = pair_left[keep]
+                pair_right = pair_right[keep]
+            if is_left_join:
+                matched = np.zeros(chunk, dtype=np.bool_)
+                matched[pair_left - start] = True
+                unmatched = np.flatnonzero(~matched) + start
+                if len(unmatched):
+                    pair_left = np.concatenate([pair_left, unmatched])
+                    pad = np.full(len(unmatched), -1, dtype=np.int64)
+                    pair_right = np.concatenate([pair_right, pad])
+            if len(pair_left) == 0:
+                continue
+            produced_any = True
+            yield self._assemble(
+                left_batch, right_batch, pair_left, pair_right,
+                pair_right >= 0,
+            )
+        if not produced_any:
+            yield self.empty_batch()
+
+    def _assemble(
+        self,
+        left_batch: ColumnBatch,
+        right_batch: ColumnBatch,
+        pair_left: np.ndarray,
+        pair_right: np.ndarray,
+        valid_right: np.ndarray,
+    ) -> ColumnBatch:
+        columns = {}
+        taken_left = left_batch.take(pair_left)
+        for col in self._node.left.output:
+            columns[col.slot] = taken_left[col.slot]
+        columns.update(
+            _null_extended(
+                right_batch, pair_right, valid_right,
+                self._node.right.output,
+            )
+        )
+        return ColumnBatch(columns)

@@ -1,0 +1,126 @@
+"""Physical operator protocol and the execution context."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from ..errors import ExecutionError
+from ..expr.compiler import EvalContext, ExpressionCompiler
+from ..plan.logical import LogicalPlan, PlanColumn
+from ..storage.column import Column, ColumnBatch
+from ..storage.table import DEFAULT_MORSEL_ROWS, TableData
+
+
+class ExecutionStats:
+    """Counters collected during one statement's execution.
+
+    ``peak_live_tuples`` records the largest number of tuples held live by
+    iterative operators — the quantity the paper's section 5.1 memory
+    argument is about (recursive CTEs grow to n*i, ITERATE stays at 2n).
+    """
+
+    def __init__(self) -> None:
+        self.peak_live_tuples = 0
+        self.iterations = 0
+        self.rows_scanned = 0
+        self.batches_produced = 0
+
+    def observe_live_tuples(self, count: int) -> None:
+        if count > self.peak_live_tuples:
+            self.peak_live_tuples = count
+
+
+class ExecutionContext:
+    """Everything physical operators need at run time.
+
+    ``read_table`` resolves a base-table name to the snapshot's
+    :class:`TableData`; the transaction layer provides it so a whole
+    statement sees one consistent snapshot.
+    """
+
+    def __init__(
+        self,
+        read_table: Callable[[str], TableData],
+        analytics=None,
+        udfs=None,
+        morsel_rows: int = DEFAULT_MORSEL_ROWS,
+        max_iterations: int = 10_000,
+    ):
+        self.read_table = read_table
+        self.analytics = analytics
+        self.udfs = udfs
+        self.morsel_rows = morsel_rows
+        self.max_iterations = max_iterations
+        self.compiler = ExpressionCompiler()
+        self.working_tables: dict[str, ColumnBatch] = {}
+        self.stats = ExecutionStats()
+        self._physical_cache: dict[int, "PhysicalOperator"] = {}
+
+    def new_eval_context(
+        self, params: Optional[dict[str, object]] = None
+    ) -> EvalContext:
+        """An EvalContext wired to execute subquery plans in this
+        context (shared uncorrelated-subquery cache)."""
+        ctx = EvalContext(execute_plan=self.run_subplan, params=params)
+        return ctx
+
+    def run_subplan(
+        self, plan: LogicalPlan, params: dict[str, object]
+    ) -> ColumnBatch:
+        """Execute a (sub)plan to a single materialised batch. Used by
+        scalar/IN/EXISTS subqueries inside expressions."""
+        from .planner import build_physical
+
+        op = self._physical_cache.get(id(plan))
+        if op is None:
+            op = build_physical(plan, self)
+            self._physical_cache[id(plan)] = op
+        eval_ctx = self.new_eval_context(params)
+        eval_ctx.subquery_cache = {}  # params change => don't share cache
+        batches = list(op.execute(eval_ctx))
+        return materialize(batches, plan.output)
+
+
+class PhysicalOperator:
+    """Base class: a generator of column batches.
+
+    ``output`` mirrors the logical node's output columns; batches produced
+    are keyed by those slots.
+    """
+
+    def __init__(self, output: list[PlanColumn]):
+        self.output = output
+
+    def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
+        raise NotImplementedError
+
+    def execute_materialized(self, eval_ctx: EvalContext) -> ColumnBatch:
+        """Pull everything into one batch (pipeline-breaker helper)."""
+        return materialize(list(self.execute(eval_ctx)), self.output)
+
+    def empty_batch(self) -> ColumnBatch:
+        return ColumnBatch.empty(
+            {c.slot: c.sql_type for c in self.output}
+        )
+
+
+def materialize(
+    batches: list[ColumnBatch], output: list[PlanColumn]
+) -> ColumnBatch:
+    """Concatenate operator output into one batch with the plan layout."""
+    non_empty = [b for b in batches if len(b) > 0]
+    if not non_empty:
+        return ColumnBatch.empty({c.slot: c.sql_type for c in output})
+    if len(non_empty) == 1:
+        batch = non_empty[0]
+    else:
+        batch = ColumnBatch(
+            {
+                c.slot: Column.concat([b[c.slot] for b in non_empty])
+                for c in output
+            }
+        )
+    missing = [c.slot for c in output if c.slot not in batch]
+    if missing:
+        raise ExecutionError(f"operator output missing slots {missing}")
+    return batch.project([c.slot for c in output])

@@ -1,0 +1,88 @@
+"""Physical planning: logical plan -> physical operator tree."""
+
+from __future__ import annotations
+
+from ..errors import PlanError
+from ..plan import logical as lp
+from ..storage.column import ColumnBatch
+from .aggregate import DistinctOp, HashAggregateOp
+from .cte import RecursiveCTEOp
+from .filter import FilterOp
+from .iterate import IterateOp
+from .join import HashJoinOp, NestedLoopJoinOp
+from .physical import ExecutionContext, PhysicalOperator, materialize
+from .project import ProjectOp
+from .scan import ScanOp, ValuesOp, WorkingTableOp
+from .setops import SetOpOp
+from .sort import LimitOp, SortOp
+from .table_function import TableFunctionOp
+from .window import WindowOp
+
+
+def build_physical(
+    plan: lp.LogicalPlan, ctx: ExecutionContext
+) -> PhysicalOperator:
+    """Recursively instantiate physical operators for a logical plan."""
+    if isinstance(plan, lp.LogicalScan):
+        return ScanOp(plan, ctx)
+    if isinstance(plan, lp.LogicalValues):
+        return ValuesOp(plan, ctx)
+    if isinstance(plan, lp.LogicalWorkingTableRef):
+        return WorkingTableOp(plan, ctx)
+    if isinstance(plan, lp.LogicalFilter):
+        return FilterOp(plan, build_physical(plan.child, ctx), ctx)
+    if isinstance(plan, lp.LogicalProject):
+        return ProjectOp(plan, build_physical(plan.child, ctx), ctx)
+    if isinstance(plan, lp.LogicalJoin):
+        left = build_physical(plan.left, ctx)
+        right = build_physical(plan.right, ctx)
+        if plan.equi_keys and plan.kind in ("inner", "left"):
+            return HashJoinOp(plan, left, right, ctx)
+        return NestedLoopJoinOp(plan, left, right, ctx)
+    if isinstance(plan, lp.LogicalAggregate):
+        return HashAggregateOp(plan, build_physical(plan.child, ctx), ctx)
+    if isinstance(plan, lp.LogicalSort):
+        return SortOp(plan, build_physical(plan.child, ctx), ctx)
+    if isinstance(plan, lp.LogicalLimit):
+        return LimitOp(plan, build_physical(plan.child, ctx), ctx)
+    if isinstance(plan, lp.LogicalWindow):
+        return WindowOp(plan, build_physical(plan.child, ctx), ctx)
+    if isinstance(plan, lp.LogicalDistinct):
+        return DistinctOp(plan, build_physical(plan.child, ctx), ctx)
+    if isinstance(plan, lp.LogicalSetOp):
+        return SetOpOp(
+            plan,
+            build_physical(plan.left, ctx),
+            build_physical(plan.right, ctx),
+            ctx,
+        )
+    if isinstance(plan, lp.LogicalRecursiveCTE):
+        return RecursiveCTEOp(
+            plan,
+            build_physical(plan.init, ctx),
+            build_physical(plan.step, ctx),
+            ctx,
+        )
+    if isinstance(plan, lp.LogicalIterate):
+        return IterateOp(
+            plan,
+            build_physical(plan.init, ctx),
+            build_physical(plan.step, ctx),
+            build_physical(plan.stop, ctx),
+            ctx,
+        )
+    if isinstance(plan, lp.LogicalTableFunction):
+        inputs = [build_physical(child, ctx) for child in plan.inputs]
+        return TableFunctionOp(plan, inputs, ctx)
+    raise PlanError(
+        f"no physical implementation for {type(plan).__name__}"
+    )
+
+
+def execute_plan(
+    plan: lp.LogicalPlan, ctx: ExecutionContext
+) -> ColumnBatch:
+    """Build, run, and fully materialise a logical plan."""
+    op = build_physical(plan, ctx)
+    eval_ctx = ctx.new_eval_context()
+    return materialize(list(op.execute(eval_ctx)), plan.output)

@@ -1,0 +1,34 @@
+"""Streaming projection (expression evaluation)."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..expr.compiler import EvalContext
+from ..plan.logical import LogicalProject
+from ..storage.column import ColumnBatch
+from .physical import ExecutionContext, PhysicalOperator
+
+
+class ProjectOp(PhysicalOperator):
+    """Evaluates the node's compiled expressions per batch; the output
+    batch carries exactly the projection's slots."""
+
+    def __init__(
+        self,
+        node: LogicalProject,
+        child: PhysicalOperator,
+        ctx: ExecutionContext,
+    ):
+        super().__init__(node.output)
+        self._child = child
+        self._fns = [ctx.compiler.compile(e) for e in node.exprs]
+
+    def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
+        for batch in self._child.execute(eval_ctx):
+            yield ColumnBatch(
+                {
+                    col.slot: fn(batch, eval_ctx)
+                    for col, fn in zip(self.output, self._fns)
+                }
+            )

@@ -1,0 +1,117 @@
+"""Leaf operators: table scan, working-table reference, literal values."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..expr.compiler import EvalContext
+from ..plan.logical import LogicalScan, LogicalValues, LogicalWorkingTableRef
+from ..storage.column import Column, ColumnBatch
+from ..types import INTEGER
+from .physical import ExecutionContext, PhysicalOperator
+
+
+class ScanOp(PhysicalOperator):
+    """Morsel-wise scan of a base table at the statement's snapshot.
+
+    Column pruning is applied here: only the slots the optimizer left in
+    the node's output are materialised into batches.
+    """
+
+    def __init__(self, node: LogicalScan, ctx: ExecutionContext):
+        super().__init__(node.output)
+        self._node = node
+        self._ctx = ctx
+
+    def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
+        data = self._ctx.read_table(self._node.table_name)
+        self._ctx.stats.rows_scanned += data.row_count
+        columns = {
+            col.slot: data.column_by_name(col.name)
+            for col in self.output
+        }
+        if data.row_count == 0:
+            yield self.empty_batch()
+            return
+        morsel = self._ctx.morsel_rows
+        for start in range(0, data.row_count, morsel):
+            stop = min(start + morsel, data.row_count)
+            yield ColumnBatch(
+                {
+                    slot: col.slice(start, stop)
+                    for slot, col in columns.items()
+                }
+            )
+
+
+class WorkingTableOp(PhysicalOperator):
+    """Reads the current working relation of an enclosing ITERATE or
+    recursive CTE; columns are matched positionally and re-keyed to this
+    reference's slots."""
+
+    def __init__(self, node: LogicalWorkingTableRef, ctx: ExecutionContext):
+        super().__init__(node.output)
+        self._node = node
+        self._ctx = ctx
+
+    def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
+        from ..errors import ExecutionError
+
+        batch = self._ctx.working_tables.get(self._node.key)
+        if batch is None:
+            raise ExecutionError(
+                f"working table {self._node.key!r} referenced outside its "
+                "iteration"
+            )
+        names = batch.names()
+        if len(names) != len(self.output):
+            raise ExecutionError("working table arity mismatch")
+        yield ColumnBatch(
+            {
+                col.slot: batch[name]
+                for col, name in zip(self.output, names)
+            }
+        )
+
+
+class ValuesOp(PhysicalOperator):
+    """Materialises literal rows.
+
+    Each cell is a bound expression evaluated against a one-row carrier
+    batch, so constant function calls and uncorrelated subqueries are
+    allowed in VALUES. A hidden carrier column keeps the row count honest
+    when the output has zero columns (the FROM-less SELECT's single row).
+    """
+
+    CARRIER = "__rid__"
+
+    def __init__(self, node: LogicalValues, ctx: ExecutionContext):
+        super().__init__(node.output)
+        self._node = node
+        self._ctx = ctx
+        self._cell_fns = [
+            [ctx.compiler.compile(cell) for cell in row]
+            for row in node.rows
+        ]
+
+    def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
+        one_row = ColumnBatch(
+            {self.CARRIER: Column(np.zeros(1, dtype=np.int32), INTEGER)}
+        )
+        n = len(self._node.rows)
+        per_column: list[list[object]] = [
+            [None] * n for _ in self.output
+        ]
+        for r, row_fns in enumerate(self._cell_fns):
+            for c, fn in enumerate(row_fns):
+                per_column[c][r] = fn(one_row, eval_ctx).value_at(0)
+        columns = {
+            col.slot: Column.from_values(values, col.sql_type)
+            for col, values in zip(self.output, per_column)
+        }
+        columns[self.CARRIER] = Column(
+            np.arange(n, dtype=np.int32), INTEGER
+        )
+        yield ColumnBatch(columns)

@@ -1,0 +1,110 @@
+"""Sorting and LIMIT/OFFSET."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..expr.compiler import EvalContext
+from ..plan.logical import LogicalLimit, LogicalSort
+from ..storage.column import Column, ColumnBatch
+from ..types import TypeKind
+from .physical import ExecutionContext, PhysicalOperator
+
+
+class SortOp(PhysicalOperator):
+    """Materialises and sorts by the node's keys.
+
+    Implemented as repeated stable argsorts from the least significant
+    key to the most significant one. NULL ordering follows PostgreSQL:
+    NULLs sort as larger than every value (last for ASC, first for DESC)
+    unless NULLS FIRST/LAST overrides.
+    """
+
+    def __init__(
+        self,
+        node: LogicalSort,
+        child: PhysicalOperator,
+        ctx: ExecutionContext,
+    ):
+        super().__init__(list(node.output))
+        self._node = node
+        self._child = child
+        self._key_fns = [ctx.compiler.compile(k.expr) for k in node.keys]
+
+    def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
+        batch = self._child.execute_materialized(eval_ctx)
+        if len(batch) <= 1:
+            yield batch
+            return
+        order = np.arange(len(batch), dtype=np.int64)
+        for key, fn in zip(
+            reversed(self._node.keys), reversed(self._key_fns)
+        ):
+            col = fn(batch, eval_ctx)
+            order = order[_stable_key_sort(col.take(order), key)]
+        yield batch.take(order)
+
+
+def _stable_key_sort(col: Column, key) -> np.ndarray:
+    """Stable permutation ordering one key column."""
+    n = len(col)
+    validity = col.validity()
+    nulls_last = key.nulls_last
+    if nulls_last is None:
+        nulls_last = not key.descending  # NULLs are "largest"
+
+    if col.sql_type.kind is TypeKind.VARCHAR:
+        # Python-object sort; sorted() is stable, including reverse=True.
+        non_null = [i for i in range(n) if validity[i]]
+        null_rows = [i for i in range(n) if not validity[i]]
+        non_null.sort(key=lambda i: col.values[i], reverse=key.descending)
+        decorated = (
+            non_null + null_rows if nulls_last else null_rows + non_null
+        )
+        return np.asarray(decorated, dtype=np.int64)
+
+    values = col.values.astype(np.float64, copy=True)
+    if key.descending:
+        values = -values
+    # Place NULLs at the requested end via +/- infinity sentinels.
+    values[~validity] = np.inf if nulls_last else -np.inf
+    return np.argsort(values, kind="stable")
+
+
+class LimitOp(PhysicalOperator):
+    """Streams through at most ``limit`` rows after skipping ``offset``."""
+
+    def __init__(
+        self,
+        node: LogicalLimit,
+        child: PhysicalOperator,
+        ctx: ExecutionContext,
+    ):
+        super().__init__(list(node.output))
+        self._child = child
+        self._limit = node.limit
+        self._offset = node.offset or 0
+
+    def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
+        to_skip = self._offset
+        remaining = self._limit
+        produced = False
+        for batch in self._child.execute(eval_ctx):
+            if to_skip:
+                if len(batch) <= to_skip:
+                    to_skip -= len(batch)
+                    continue
+                batch = batch.slice(to_skip, len(batch))
+                to_skip = 0
+            if remaining is not None:
+                if remaining <= 0:
+                    break
+                if len(batch) > remaining:
+                    batch = batch.slice(0, remaining)
+                remaining -= len(batch)
+            produced = True
+            yield batch
+        if not produced:
+            yield self.empty_batch()

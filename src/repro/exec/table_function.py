@@ -1,0 +1,72 @@
+"""Execution bridge for analytics operators (paper section 6).
+
+The physical node materialises every input subplan (analytics operators
+are pipeline breakers), compiles the bound lambdas, and hands everything
+to the operator implementation from the analytics registry. The result
+comes back as plain named columns and is re-keyed to the node's output
+slots.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import ExecutionError
+from ..expr.compiler import EvalContext
+from ..plan.logical import LogicalTableFunction
+from ..storage.column import ColumnBatch
+from .physical import ExecutionContext, PhysicalOperator
+
+
+class TableFunctionOp(PhysicalOperator):
+    def __init__(
+        self,
+        node: LogicalTableFunction,
+        inputs: list[PhysicalOperator],
+        ctx: ExecutionContext,
+    ):
+        super().__init__(node.output)
+        self._node = node
+        self._inputs = inputs
+        self._ctx = ctx
+        if ctx.analytics is None:
+            raise ExecutionError(
+                f"no analytics registry for operator {node.name!r}"
+            )
+        self._descriptor = ctx.analytics.lookup(node.name)
+        if self._descriptor is None:
+            raise ExecutionError(
+                f"unknown analytics operator {node.name!r}"
+            )
+
+    def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
+        input_batches = [
+            op.execute_materialized(eval_ctx) for op in self._inputs
+        ]
+        # Inputs are presented to the operator with plain column names.
+        named_inputs = []
+        for op, plan in zip(self._inputs, self._node.inputs):
+            batch = input_batches[len(named_inputs)]
+            named_inputs.append(
+                ColumnBatch(
+                    {
+                        col.name: batch[col.slot]
+                        for col in plan.output
+                    }
+                )
+            )
+        result = self._descriptor.run(
+            self._node, named_inputs, self._ctx, eval_ctx
+        )
+        names = result.names()
+        if len(names) != len(self.output):
+            raise ExecutionError(
+                f"operator {self._node.name!r} returned {len(names)} "
+                f"columns, expected {len(self.output)}"
+            )
+        yield ColumnBatch(
+            {
+                col.slot: result[name]
+                for col, name in zip(self.output, names)
+            }
+        )

@@ -1,0 +1,14 @@
+"""Bound expressions and their vectorised evaluation.
+
+The binder turns raw AST expressions into *bound* trees with resolved
+column slots and types (:mod:`repro.expr.bound`). The compiler
+(:mod:`repro.expr.compiler`) turns a bound tree into a closure evaluating
+whole column batches at once — the Python stand-in for HyPer's LLVM
+data-centric code generation: compile once per query, then run tight
+vectorised loops with no per-tuple interpretation.
+"""
+
+from .bound import BoundExpr
+from .compiler import ExpressionCompiler, EvalContext
+
+__all__ = ["BoundExpr", "ExpressionCompiler", "EvalContext"]

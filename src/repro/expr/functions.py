@@ -1,0 +1,550 @@
+"""Built-in scalar function registry.
+
+Each function declares how to infer its result type from argument types
+and provides a vectorised implementation over :class:`Column` values with
+SQL NULL propagation (NULL in -> NULL out, except where SQL says
+otherwise, e.g. COALESCE).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import BindError, ExecutionError
+from ..storage.column import Column
+from ..types import (
+    BIGINT,
+    BOOLEAN,
+    DOUBLE,
+    INTEGER,
+    NULLTYPE,
+    SQLType,
+    TypeKind,
+    VARCHAR,
+    common_supertype,
+)
+
+
+@dataclass(frozen=True)
+class ScalarFunction:
+    """One built-in scalar function."""
+
+    name: str
+    min_args: int
+    max_args: int  # -1 for variadic
+    infer_type: Callable[[Sequence[SQLType]], SQLType]
+    impl: Callable[[Sequence[Column]], Column]
+
+    def check_arity(self, count: int) -> None:
+        if count < self.min_args or (
+            self.max_args != -1 and count > self.max_args
+        ):
+            expected = (
+                str(self.min_args)
+                if self.min_args == self.max_args
+                else f"{self.min_args}..{'∞' if self.max_args == -1 else self.max_args}"
+            )
+            raise BindError(
+                f"function {self.name}() takes {expected} arguments, "
+                f"got {count}"
+            )
+
+
+_REGISTRY: dict[str, ScalarFunction] = {}
+
+
+def register(func: ScalarFunction) -> None:
+    _REGISTRY[func.name] = func
+
+
+def lookup(name: str) -> ScalarFunction | None:
+    return _REGISTRY.get(name.lower())
+
+
+def function_names() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _require_numeric(name: str, args: Sequence[SQLType]) -> None:
+    for t in args:
+        if t.kind is not TypeKind.NULL and not t.is_numeric:
+            raise BindError(f"{name}() requires numeric arguments, got {t}")
+
+
+def _combined_validity(cols: Sequence[Column]) -> np.ndarray | None:
+    masks = [c.valid for c in cols if c.valid is not None]
+    if not masks:
+        return None
+    out = masks[0].copy()
+    for m in masks[1:]:
+        out &= m
+    return out
+
+
+def _double_values(col: Column) -> np.ndarray:
+    if col.sql_type.kind is TypeKind.DOUBLE:
+        return col.values
+    return col.values.astype(np.float64)
+
+
+def _unary_math(np_func: Callable, domain_note: str = ""):
+    """Build an implementation applying ``np_func`` elementwise with NULL
+    passthrough; domain errors (sqrt of negative, log of zero) raise."""
+
+    def impl(cols: Sequence[Column]) -> Column:
+        (col,) = cols
+        values = _double_values(col)
+        validity = col.validity()
+        out = np.zeros(len(col), dtype=np.float64)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            out[validity] = np_func(values[validity])
+        if np.isnan(out[validity]).any() or np.isinf(out[validity]).any():
+            raise ExecutionError(
+                f"math domain error{': ' + domain_note if domain_note else ''}"
+            )
+        return Column(out, DOUBLE, col.valid)
+
+    return impl
+
+
+def _numeric_result(args: Sequence[SQLType]) -> SQLType:
+    result = NULLTYPE
+    for t in args:
+        result = common_supertype(result, t)
+    if result.kind is TypeKind.NULL:
+        return DOUBLE
+    return result
+
+
+# ---------------------------------------------------------------------------
+# math functions
+# ---------------------------------------------------------------------------
+
+
+def _abs_impl(cols: Sequence[Column]) -> Column:
+    (col,) = cols
+    return Column(np.abs(col.values), col.sql_type, col.valid)
+
+
+register(
+    ScalarFunction(
+        "abs", 1, 1,
+        lambda args: (_require_numeric("abs", args), _numeric_result(args))[1],
+        _abs_impl,
+    )
+)
+
+register(
+    ScalarFunction(
+        "sqrt", 1, 1,
+        lambda args: (_require_numeric("sqrt", args), DOUBLE)[1],
+        _unary_math(np.sqrt, "sqrt of a negative number"),
+    )
+)
+
+register(
+    ScalarFunction(
+        "exp", 1, 1,
+        lambda args: (_require_numeric("exp", args), DOUBLE)[1],
+        lambda cols: Column(
+            np.exp(_double_values(cols[0])), DOUBLE, cols[0].valid
+        ),
+    )
+)
+
+register(
+    ScalarFunction(
+        "ln", 1, 1,
+        lambda args: (_require_numeric("ln", args), DOUBLE)[1],
+        _unary_math(np.log, "ln of a non-positive number"),
+    )
+)
+
+register(
+    ScalarFunction(
+        "log", 1, 1,
+        lambda args: (_require_numeric("log", args), DOUBLE)[1],
+        _unary_math(np.log10, "log of a non-positive number"),
+    )
+)
+
+register(
+    ScalarFunction(
+        "log2", 1, 1,
+        lambda args: (_require_numeric("log2", args), DOUBLE)[1],
+        _unary_math(np.log2, "log2 of a non-positive number"),
+    )
+)
+
+for _name, _np in (("sin", np.sin), ("cos", np.cos), ("tan", np.tan),
+                   ("atan", np.arctan)):
+    register(
+        ScalarFunction(
+            _name, 1, 1,
+            lambda args, _n=_name: (_require_numeric(_n, args), DOUBLE)[1],
+            lambda cols, _f=_np: Column(
+                _f(_double_values(cols[0])), DOUBLE, cols[0].valid
+            ),
+        )
+    )
+
+
+def _atan2_impl(cols: Sequence[Column]) -> Column:
+    y, x = cols
+    return Column(
+        np.arctan2(_double_values(y), _double_values(x)),
+        DOUBLE,
+        _combined_validity(cols),
+    )
+
+
+register(
+    ScalarFunction(
+        "atan2", 2, 2,
+        lambda args: (_require_numeric("atan2", args), DOUBLE)[1],
+        _atan2_impl,
+    )
+)
+
+
+def _floor_impl(cols: Sequence[Column]) -> Column:
+    (col,) = cols
+    return Column(
+        np.floor(_double_values(col)).astype(np.int64), BIGINT, col.valid
+    )
+
+
+def _ceil_impl(cols: Sequence[Column]) -> Column:
+    (col,) = cols
+    return Column(
+        np.ceil(_double_values(col)).astype(np.int64), BIGINT, col.valid
+    )
+
+
+register(ScalarFunction(
+    "floor", 1, 1,
+    lambda args: (_require_numeric("floor", args), BIGINT)[1], _floor_impl,
+))
+register(ScalarFunction(
+    "ceil", 1, 1,
+    lambda args: (_require_numeric("ceil", args), BIGINT)[1], _ceil_impl,
+))
+register(ScalarFunction(
+    "ceiling", 1, 1,
+    lambda args: (_require_numeric("ceiling", args), BIGINT)[1], _ceil_impl,
+))
+
+
+def _round_impl(cols: Sequence[Column]) -> Column:
+    col = cols[0]
+    digits = 0
+    if len(cols) == 2:
+        if len(cols[1]) == 0:
+            digits = 0
+        else:
+            digits = int(cols[1].values[0])
+    values = np.round(_double_values(col), digits)
+    return Column(values, DOUBLE, col.valid)
+
+
+register(ScalarFunction(
+    "round", 1, 2,
+    lambda args: (_require_numeric("round", args), DOUBLE)[1], _round_impl,
+))
+
+
+def _sign_impl(cols: Sequence[Column]) -> Column:
+    (col,) = cols
+    return Column(
+        np.sign(_double_values(col)).astype(np.int32), INTEGER, col.valid
+    )
+
+
+register(ScalarFunction(
+    "sign", 1, 1,
+    lambda args: (_require_numeric("sign", args), INTEGER)[1], _sign_impl,
+))
+
+
+def _power_impl(cols: Sequence[Column]) -> Column:
+    base, exponent = cols
+    values = np.power(
+        _double_values(base), _double_values(exponent)
+    )
+    return Column(values, DOUBLE, _combined_validity(cols))
+
+
+register(ScalarFunction(
+    "power", 2, 2,
+    lambda args: (_require_numeric("power", args), DOUBLE)[1], _power_impl,
+))
+register(ScalarFunction(
+    "pow", 2, 2,
+    lambda args: (_require_numeric("pow", args), DOUBLE)[1], _power_impl,
+))
+
+
+def _mod_impl(cols: Sequence[Column]) -> Column:
+    left, right = cols
+    validity = _combined_validity(cols)
+    rvals = right.values
+    mask = validity if validity is not None else np.ones(len(right), bool)
+    if np.any((rvals == 0) & mask):
+        raise ExecutionError("division by zero in mod()")
+    out_type = _numeric_result([left.sql_type, right.sql_type])
+    values = np.mod(left.values, rvals).astype(out_type.numpy_dtype())
+    return Column(values, out_type, validity)
+
+
+register(ScalarFunction(
+    "mod", 2, 2,
+    lambda args: (_require_numeric("mod", args), _numeric_result(args))[1],
+    _mod_impl,
+))
+
+register(ScalarFunction(
+    "pi", 0, 0, lambda args: DOUBLE,
+    lambda cols: Column(np.asarray([math.pi]), DOUBLE),
+))
+
+
+def _variadic_extreme(np_func):
+    def impl(cols: Sequence[Column]) -> Column:
+        # SQL LEAST/GREATEST ignore NULL arguments per row.
+        n = len(cols[0])
+        out_type = _numeric_result([c.sql_type for c in cols])
+        acc = np.zeros(n, dtype=np.float64)
+        acc_valid = np.zeros(n, dtype=np.bool_)
+        for col in cols:
+            values = _double_values(col)
+            validity = col.validity()
+            fresh = validity & ~acc_valid
+            acc[fresh] = values[fresh]
+            both = validity & acc_valid
+            acc[both] = np_func(acc[both], values[both])
+            acc_valid |= validity
+        values = acc.astype(out_type.numpy_dtype())
+        return Column(values, out_type, acc_valid)
+
+    return impl
+
+
+register(ScalarFunction(
+    "least", 1, -1,
+    lambda args: (_require_numeric("least", args), _numeric_result(args))[1],
+    _variadic_extreme(np.minimum),
+))
+register(ScalarFunction(
+    "greatest", 1, -1,
+    lambda args: (
+        _require_numeric("greatest", args), _numeric_result(args)
+    )[1],
+    _variadic_extreme(np.maximum),
+))
+
+
+# ---------------------------------------------------------------------------
+# NULL handling
+# ---------------------------------------------------------------------------
+
+
+def _coalesce_infer(args: Sequence[SQLType]) -> SQLType:
+    result = NULLTYPE
+    for t in args:
+        result = common_supertype(result, t)
+    return result if result.kind is not TypeKind.NULL else NULLTYPE
+
+
+def _coalesce_impl(cols: Sequence[Column]) -> Column:
+    target = _coalesce_infer([c.sql_type for c in cols])
+    n = len(cols[0])
+    out = np.zeros(n, dtype=target.numpy_dtype())
+    out_valid = np.zeros(n, dtype=np.bool_)
+    for col in cols:
+        casted = col.cast(target)
+        validity = casted.validity()
+        fill = validity & ~out_valid
+        out[fill] = casted.values[fill]
+        out_valid |= validity
+    return Column(out, target, out_valid)
+
+
+register(ScalarFunction("coalesce", 1, -1, _coalesce_infer, _coalesce_impl))
+
+
+def _nullif_infer(args: Sequence[SQLType]) -> SQLType:
+    return common_supertype(args[0], args[1])
+
+
+def _nullif_impl(cols: Sequence[Column]) -> Column:
+    target = _nullif_infer([c.sql_type for c in cols])
+    left = cols[0].cast(target)
+    right = cols[1].cast(target)
+    validity = left.validity().copy()
+    both = left.validity() & right.validity()
+    equal = np.zeros(len(left), dtype=np.bool_)
+    equal[both] = left.values[both] == right.values[both]
+    validity[equal] = False
+    return Column(left.values, target, validity)
+
+
+register(ScalarFunction("nullif", 2, 2, _nullif_infer, _nullif_impl))
+
+
+# ---------------------------------------------------------------------------
+# string functions
+# ---------------------------------------------------------------------------
+
+
+def _require_varchar(name: str, t: SQLType) -> None:
+    if t.kind not in (TypeKind.VARCHAR, TypeKind.NULL):
+        raise BindError(f"{name}() requires a string argument, got {t}")
+
+
+def _string_unary(py_func):
+    def impl(cols: Sequence[Column]) -> Column:
+        (col,) = cols
+        validity = col.validity()
+        out = np.empty(len(col), dtype=object)
+        for i in range(len(col)):
+            if validity[i]:
+                out[i] = py_func(col.values[i])
+        return Column(out, VARCHAR, col.valid)
+
+    return impl
+
+
+register(ScalarFunction(
+    "lower", 1, 1,
+    lambda args: (_require_varchar("lower", args[0]), VARCHAR)[1],
+    _string_unary(str.lower),
+))
+register(ScalarFunction(
+    "upper", 1, 1,
+    lambda args: (_require_varchar("upper", args[0]), VARCHAR)[1],
+    _string_unary(str.upper),
+))
+register(ScalarFunction(
+    "trim", 1, 1,
+    lambda args: (_require_varchar("trim", args[0]), VARCHAR)[1],
+    _string_unary(str.strip),
+))
+register(ScalarFunction(
+    "ltrim", 1, 1,
+    lambda args: (_require_varchar("ltrim", args[0]), VARCHAR)[1],
+    _string_unary(str.lstrip),
+))
+register(ScalarFunction(
+    "rtrim", 1, 1,
+    lambda args: (_require_varchar("rtrim", args[0]), VARCHAR)[1],
+    _string_unary(str.rstrip),
+))
+register(ScalarFunction(
+    "reverse", 1, 1,
+    lambda args: (_require_varchar("reverse", args[0]), VARCHAR)[1],
+    _string_unary(lambda s: s[::-1]),
+))
+
+
+def _length_impl(cols: Sequence[Column]) -> Column:
+    (col,) = cols
+    validity = col.validity()
+    out = np.zeros(len(col), dtype=np.int32)
+    for i in range(len(col)):
+        if validity[i]:
+            out[i] = len(col.values[i])
+    return Column(out, INTEGER, col.valid)
+
+
+register(ScalarFunction(
+    "length", 1, 1,
+    lambda args: (_require_varchar("length", args[0]), INTEGER)[1],
+    _length_impl,
+))
+register(ScalarFunction(
+    "char_length", 1, 1,
+    lambda args: (_require_varchar("char_length", args[0]), INTEGER)[1],
+    _length_impl,
+))
+
+
+def _substr_impl(cols: Sequence[Column]) -> Column:
+    col = cols[0]
+    validity = _combined_validity(cols)
+    materialised = (
+        validity if validity is not None else np.ones(len(col), np.bool_)
+    )
+    out = np.empty(len(col), dtype=object)
+    for i in range(len(col)):
+        if not materialised[i]:
+            continue
+        text = col.values[i]
+        start = int(cols[1].values[i])  # 1-based per SQL
+        begin = max(start - 1, 0)
+        if len(cols) == 3:
+            count = int(cols[2].values[i])
+            out[i] = text[begin : begin + max(count, 0)]
+        else:
+            out[i] = text[begin:]
+    return Column(out, VARCHAR, validity)
+
+
+register(ScalarFunction(
+    "substr", 2, 3,
+    lambda args: (_require_varchar("substr", args[0]), VARCHAR)[1],
+    _substr_impl,
+))
+register(ScalarFunction(
+    "substring", 2, 3,
+    lambda args: (_require_varchar("substring", args[0]), VARCHAR)[1],
+    _substr_impl,
+))
+
+
+def _replace_impl(cols: Sequence[Column]) -> Column:
+    validity = _combined_validity(cols)
+    n = len(cols[0])
+    materialised = validity if validity is not None else np.ones(n, np.bool_)
+    out = np.empty(n, dtype=object)
+    for i in range(n):
+        if materialised[i]:
+            out[i] = cols[0].values[i].replace(
+                cols[1].values[i], cols[2].values[i]
+            )
+    return Column(out, VARCHAR, validity)
+
+
+register(ScalarFunction(
+    "replace", 3, 3,
+    lambda args: (_require_varchar("replace", args[0]), VARCHAR)[1],
+    _replace_impl,
+))
+
+
+def _concat_impl(cols: Sequence[Column]) -> Column:
+    # SQL CONCAT treats NULL as empty string (unlike ||).
+    n = len(cols[0])
+    out = np.empty(n, dtype=object)
+    casted = [c.cast(VARCHAR) for c in cols]
+    for i in range(n):
+        parts = []
+        for col in casted:
+            value = col.value_at(i)
+            if value is not None:
+                parts.append(value)
+        out[i] = "".join(parts)
+    return Column(out, VARCHAR)
+
+
+register(ScalarFunction(
+    "concat", 1, -1, lambda args: VARCHAR, _concat_impl,
+))

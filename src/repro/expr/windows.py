@@ -1,0 +1,97 @@
+"""Window function registry: arity and result-type rules.
+
+Execution lives in :mod:`repro.exec.window`; this module is what the
+binder consults. Supported:
+
+* ranking — ``row_number()``, ``rank()``, ``dense_rank()``;
+* navigation — ``lag(expr [, offset [, default]])``, ``lead(...)``;
+* windowed aggregates — ``count(*/expr)``, ``sum``, ``avg``, ``min``,
+  ``max`` (whole-partition value without ORDER BY; running value with
+  peers sharing results when ORDER BY is present).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..errors import BindError
+from ..types import BIGINT, DOUBLE, NULLTYPE, SQLType, TypeKind
+
+
+@dataclass(frozen=True)
+class WindowDescriptor:
+    name: str
+    min_args: int
+    max_args: int
+    requires_order: bool
+    infer_type: Callable[[Sequence[SQLType]], SQLType]
+
+    def check_arity(self, count: int) -> None:
+        if not self.min_args <= count <= self.max_args:
+            expected = (
+                str(self.min_args)
+                if self.min_args == self.max_args
+                else f"{self.min_args}..{self.max_args}"
+            )
+            raise BindError(
+                f"window function {self.name}() takes {expected} "
+                f"argument(s), got {count}"
+            )
+
+
+def _numeric_arg(name: str, args: Sequence[SQLType]) -> SQLType:
+    if not args or not (
+        args[0].is_numeric or args[0].kind is TypeKind.NULL
+    ):
+        raise BindError(f"{name}() requires a numeric argument")
+    return args[0]
+
+
+def _sum_type(args: Sequence[SQLType]) -> SQLType:
+    arg = _numeric_arg("sum", args)
+    if arg.kind is TypeKind.DOUBLE or arg.kind is TypeKind.NULL:
+        return DOUBLE
+    return BIGINT
+
+
+def _same_as_arg(args: Sequence[SQLType]) -> SQLType:
+    if not args:
+        raise BindError("expected an argument")
+    return args[0]
+
+
+_REGISTRY: dict[str, WindowDescriptor] = {}
+
+
+def _register(descriptor: WindowDescriptor) -> None:
+    _REGISTRY[descriptor.name] = descriptor
+
+
+_register(WindowDescriptor(
+    "row_number", 0, 0, False, lambda args: BIGINT,
+))
+_register(WindowDescriptor("rank", 0, 0, True, lambda args: BIGINT))
+_register(WindowDescriptor(
+    "dense_rank", 0, 0, True, lambda args: BIGINT,
+))
+_register(WindowDescriptor("lag", 1, 3, True, _same_as_arg))
+_register(WindowDescriptor("lead", 1, 3, True, _same_as_arg))
+_register(WindowDescriptor(
+    "count", 0, 1, False, lambda args: BIGINT,
+))
+_register(WindowDescriptor("sum", 1, 1, False, _sum_type))
+_register(WindowDescriptor(
+    "avg", 1, 1, False,
+    lambda args: (_numeric_arg("avg", args), DOUBLE)[1],
+))
+_register(WindowDescriptor("min", 1, 1, False, _same_as_arg))
+_register(WindowDescriptor("max", 1, 1, False, _same_as_arg))
+
+
+def lookup_window(name: str) -> Optional[WindowDescriptor]:
+    return _REGISTRY.get(name.lower())
+
+
+def window_names() -> list[str]:
+    return sorted(_REGISTRY)

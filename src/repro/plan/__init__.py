@@ -1,0 +1,6 @@
+"""Logical query plans, optimizer rules, and cardinality estimation."""
+
+from .logical import LogicalPlan, PlanColumn
+from .optimizer import Optimizer
+
+__all__ = ["LogicalPlan", "PlanColumn", "Optimizer"]

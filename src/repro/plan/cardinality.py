@@ -1,0 +1,173 @@
+"""Cardinality estimation.
+
+Estimates drive join build-side selection. Analytics operators supply
+their own contracts through the operator registry (section 4.3: "the
+query optimizer knows their exact properties"); the generic ITERATE
+construct, by contrast, admits only coarse heuristics — the difficulty
+the paper discusses in section 5.2.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..expr import bound as b
+from . import logical as lp
+
+#: Default selectivities per predicate shape.
+EQUALITY_SELECTIVITY = 0.1
+RANGE_SELECTIVITY = 0.3
+DEFAULT_SELECTIVITY = 0.25
+#: Group-count heuristic: |groups| ~= |input| ** GROUP_EXPONENT.
+GROUP_EXPONENT = 0.75
+
+
+class CardinalityEstimator:
+    """Estimates output rows for every plan node.
+
+    ``row_count_of`` maps a base-table name to its current row count;
+    ``analytics`` is the operator registry (may be None).
+    """
+
+    def __init__(
+        self,
+        row_count_of: Callable[[str], int],
+        analytics=None,
+    ):
+        self._row_count_of = row_count_of
+        self._analytics = analytics
+
+    def estimate(self, plan: lp.LogicalPlan) -> float:
+        method = getattr(
+            self, f"_estimate_{type(plan).__name__}", None
+        )
+        if method is not None:
+            return max(method(plan), 0.0)
+        children = plan.children()
+        if children:
+            return self.estimate(children[0])
+        return 1.0
+
+    # -- leaves -----------------------------------------------------------
+
+    def _estimate_LogicalScan(self, plan: lp.LogicalScan) -> float:
+        try:
+            return float(self._row_count_of(plan.table_name))
+        except Exception:  # noqa: BLE001 - stats are best-effort
+            return 1000.0
+
+    def _estimate_LogicalValues(self, plan: lp.LogicalValues) -> float:
+        return float(len(plan.rows))
+
+    def _estimate_LogicalWorkingTableRef(self, plan) -> float:
+        # The working relation's size is data-dependent; a neutral guess.
+        return 1000.0
+
+    # -- unary -------------------------------------------------------------
+
+    def _estimate_LogicalFilter(self, plan: lp.LogicalFilter) -> float:
+        child = self.estimate(plan.child)
+        return child * self.predicate_selectivity(plan.predicate)
+
+    def predicate_selectivity(self, predicate: b.BoundExpr) -> float:
+        """Heuristic selectivity of a predicate tree."""
+        if isinstance(predicate, b.BoundBinary):
+            if predicate.op == "and":
+                return self.predicate_selectivity(
+                    predicate.left
+                ) * self.predicate_selectivity(predicate.right)
+            if predicate.op == "or":
+                left = self.predicate_selectivity(predicate.left)
+                right = self.predicate_selectivity(predicate.right)
+                return min(1.0, left + right - left * right)
+            if predicate.op == "=":
+                return EQUALITY_SELECTIVITY
+            if predicate.op in ("<", "<=", ">", ">="):
+                return RANGE_SELECTIVITY
+            if predicate.op == "<>":
+                return 1.0 - EQUALITY_SELECTIVITY
+        if isinstance(predicate, b.BoundUnary) and predicate.op == "not":
+            return 1.0 - self.predicate_selectivity(predicate.operand)
+        if isinstance(predicate, b.BoundIsNull):
+            return 0.05 if not predicate.negated else 0.95
+        if isinstance(predicate, b.BoundInList):
+            return min(
+                1.0, EQUALITY_SELECTIVITY * max(len(predicate.items), 1)
+            )
+        return DEFAULT_SELECTIVITY
+
+    def _estimate_LogicalProject(self, plan: lp.LogicalProject) -> float:
+        return self.estimate(plan.child)
+
+    def _estimate_LogicalAggregate(
+        self, plan: lp.LogicalAggregate
+    ) -> float:
+        child = self.estimate(plan.child)
+        if not plan.group_exprs:
+            return 1.0
+        return max(1.0, child**GROUP_EXPONENT)
+
+    def _estimate_LogicalSort(self, plan: lp.LogicalSort) -> float:
+        return self.estimate(plan.child)
+
+    def _estimate_LogicalLimit(self, plan: lp.LogicalLimit) -> float:
+        child = self.estimate(plan.child)
+        if plan.limit is None:
+            return max(child - plan.offset, 0.0)
+        return min(child, float(plan.limit))
+
+    def _estimate_LogicalDistinct(self, plan: lp.LogicalDistinct) -> float:
+        return max(1.0, self.estimate(plan.child) * 0.5)
+
+    # -- binary -------------------------------------------------------------
+
+    def _estimate_LogicalJoin(self, plan: lp.LogicalJoin) -> float:
+        left = self.estimate(plan.left)
+        right = self.estimate(plan.right)
+        if plan.kind == "cross":
+            return left * right
+        if plan.equi_keys:
+            # Foreign-key style assumption: the larger side survives.
+            estimate = max(left, right)
+        else:
+            estimate = left * right * DEFAULT_SELECTIVITY
+        if plan.residual is not None:
+            estimate *= self.predicate_selectivity(plan.residual)
+        if plan.kind == "left":
+            estimate = max(estimate, left)
+        return estimate
+
+    def _estimate_LogicalSetOp(self, plan: lp.LogicalSetOp) -> float:
+        left = self.estimate(plan.left)
+        right = self.estimate(plan.right)
+        if plan.op == "union_all":
+            return left + right
+        if plan.op == "union":
+            return max(left, right)
+        if plan.op == "intersect":
+            return min(left, right) * 0.5
+        return max(left * 0.5, 1.0)  # except
+
+    # -- iterative & analytics -------------------------------------------------
+
+    def _estimate_LogicalIterate(self, plan: lp.LogicalIterate) -> float:
+        # Non-appending: the result has the working relation's size;
+        # best guess is the init query's size (k-Means-style workloads
+        # keep it constant — section 5.2).
+        return self.estimate(plan.init)
+
+    def _estimate_LogicalRecursiveCTE(
+        self, plan: lp.LogicalRecursiveCTE
+    ) -> float:
+        # Appending: grows with the (unknown) iteration count.
+        return self.estimate(plan.init) * 10.0
+
+    def _estimate_LogicalTableFunction(
+        self, plan: lp.LogicalTableFunction
+    ) -> float:
+        inputs = [self.estimate(child) for child in plan.inputs]
+        if self._analytics is not None:
+            descriptor = self._analytics.lookup(plan.name)
+            if descriptor is not None:
+                return descriptor.estimate_rows(plan, inputs)
+        return inputs[0] if inputs else 1.0

@@ -1,0 +1,515 @@
+"""Optimizer rewrite rules.
+
+Three classical rules plus the paper's constraint:
+
+* **Predicate pushdown** — filters move toward the data, splitting
+  conjunctions across joins, sliding through projections (with slot
+  substitution) and below sorts/distincts, and into both branches of a
+  UNION. Pushdown **stops at analytics operators, ITERATE, recursive
+  CTEs, and aggregation over non-group columns** — an analytical
+  operator's result depends on its whole input (section 5.2), so a
+  selection above it is not a selection below it.
+* **Column pruning** — base-table scans materialise only the columns the
+  plan above actually consumes.
+* **Join side selection** — for inner hash joins, the side estimated
+  smaller becomes the build side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from ..errors import PlanError
+from ..expr import bound as b
+from ..types import BOOLEAN
+from . import logical as lp
+from .cardinality import CardinalityEstimator
+
+
+# ---------------------------------------------------------------------------
+# expression helpers
+# ---------------------------------------------------------------------------
+
+
+def split_conjuncts(expr: b.BoundExpr) -> list[b.BoundExpr]:
+    if isinstance(expr, b.BoundBinary) and expr.op == "and":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(conjuncts: list[b.BoundExpr]) -> Optional[b.BoundExpr]:
+    result: Optional[b.BoundExpr] = None
+    for conjunct in conjuncts:
+        result = (
+            conjunct
+            if result is None
+            else b.BoundBinary("and", result, conjunct, BOOLEAN)
+        )
+    return result
+
+
+def substitute_slots(
+    expr: b.BoundExpr, mapping: dict[str, b.BoundExpr]
+) -> b.BoundExpr:
+    """Replace column references by expressions (projection pushdown)."""
+    if isinstance(expr, b.BoundColumnRef):
+        replacement = mapping.get(expr.slot)
+        return replacement if replacement is not None else expr
+    if isinstance(expr, b.BoundUnary):
+        return replace(expr, operand=substitute_slots(expr.operand, mapping))
+    if isinstance(expr, b.BoundBinary):
+        return replace(
+            expr,
+            left=substitute_slots(expr.left, mapping),
+            right=substitute_slots(expr.right, mapping),
+        )
+    if isinstance(expr, b.BoundFunction):
+        return replace(
+            expr, args=[substitute_slots(a, mapping) for a in expr.args]
+        )
+    if isinstance(expr, b.BoundUDF):
+        return replace(
+            expr, args=[substitute_slots(a, mapping) for a in expr.args]
+        )
+    if isinstance(expr, b.BoundCast):
+        return replace(expr, operand=substitute_slots(expr.operand, mapping))
+    if isinstance(expr, b.BoundCase):
+        return replace(
+            expr,
+            whens=[
+                (
+                    substitute_slots(c, mapping),
+                    substitute_slots(r, mapping),
+                )
+                for c, r in expr.whens
+            ],
+            else_result=(
+                substitute_slots(expr.else_result, mapping)
+                if expr.else_result is not None
+                else None
+            ),
+        )
+    if isinstance(expr, b.BoundIsNull):
+        return replace(expr, operand=substitute_slots(expr.operand, mapping))
+    if isinstance(expr, b.BoundInList):
+        return replace(
+            expr,
+            operand=substitute_slots(expr.operand, mapping),
+            items=[substitute_slots(i, mapping) for i in expr.items],
+        )
+    if isinstance(expr, b.BoundLike):
+        return replace(
+            expr,
+            operand=substitute_slots(expr.operand, mapping),
+            pattern=substitute_slots(expr.pattern, mapping),
+        )
+    # Literals, params, subqueries (conservatively not rewritten inside).
+    return expr
+
+
+# ---------------------------------------------------------------------------
+# predicate pushdown
+# ---------------------------------------------------------------------------
+
+
+def push_down_predicates(plan: lp.LogicalPlan) -> lp.LogicalPlan:
+    """Recursively push filter conjuncts as deep as legal."""
+    plan = plan.replace_children(
+        [push_down_predicates(c) for c in plan.children()]
+    )
+    if not isinstance(plan, lp.LogicalFilter):
+        return plan
+    conjuncts = split_conjuncts(plan.predicate)
+    child = plan.child
+    remaining: list[b.BoundExpr] = []
+    for conjunct in conjuncts:
+        pushed = _try_push(conjunct, child)
+        if pushed is None:
+            remaining.append(conjunct)
+        else:
+            child = pushed
+    predicate = conjoin(remaining)
+    if predicate is None:
+        return child
+    return lp.LogicalFilter(child, predicate)
+
+
+def _try_push(
+    conjunct: b.BoundExpr, child: lp.LogicalPlan
+) -> Optional[lp.LogicalPlan]:
+    """Push one conjunct below ``child``; None if it must stay above."""
+    if conjunct.contains_subquery():
+        return None  # conservative: subqueries stay where bound
+
+    if isinstance(child, lp.LogicalFilter):
+        inner = _try_push(conjunct, child.child)
+        if inner is not None:
+            return lp.LogicalFilter(inner, child.predicate)
+        return lp.LogicalFilter(
+            child.child,
+            b.BoundBinary("and", child.predicate, conjunct, BOOLEAN),
+        )
+
+    if isinstance(child, lp.LogicalProject):
+        mapping = {
+            col.slot: expr
+            for col, expr in zip(child.output, child.exprs)
+        }
+        refs = conjunct.referenced_slots()
+        if not refs <= set(mapping):
+            return None
+        # Don't duplicate expensive work: only substitute through cheap
+        # projection expressions (column refs, casts of refs, literals).
+        for slot in refs:
+            if not _is_cheap(mapping[slot]):
+                return None
+        rewritten = substitute_slots(conjunct, mapping)
+        inner = _try_push(rewritten, child.child)
+        if inner is None:
+            inner = lp.LogicalFilter(child.child, rewritten)
+        return lp.LogicalProject(inner, child.exprs, child.output)
+
+    if isinstance(child, lp.LogicalJoin):
+        refs = conjunct.referenced_slots()
+        left_slots = set(child.left.output_slots())
+        right_slots = set(child.right.output_slots())
+        if refs and refs <= left_slots:
+            inner = _try_push(conjunct, child.left)
+            if inner is None:
+                inner = lp.LogicalFilter(child.left, conjunct)
+            return child.replace_children([inner, child.right])
+        if refs and refs <= right_slots and child.kind != "left":
+            inner = _try_push(conjunct, child.right)
+            if inner is None:
+                inner = lp.LogicalFilter(child.right, conjunct)
+            return child.replace_children([child.left, inner])
+        # A conjunct spanning both sides of a cross/inner join becomes a
+        # join condition: WHERE over a cross product IS an inner join.
+        # Equality conjuncts with one side per input become hash keys —
+        # this is what turns the comma-join SQL formulations of the
+        # paper's workloads into hash joins.
+        if child.kind in ("cross", "inner") and refs:
+            equi = _as_equi_pair(conjunct, left_slots, right_slots)
+            if equi is not None:
+                return lp.LogicalJoin(
+                    "inner", child.left, child.right,
+                    child.equi_keys + [equi], child.residual,
+                    child.output,
+                )
+            if refs <= (left_slots | right_slots):
+                residual = (
+                    conjunct
+                    if child.residual is None
+                    else b.BoundBinary(
+                        "and", child.residual, conjunct, BOOLEAN
+                    )
+                )
+                return lp.LogicalJoin(
+                    "inner", child.left, child.right, child.equi_keys,
+                    residual, child.output,
+                )
+        return None
+
+    if isinstance(child, (lp.LogicalSort, lp.LogicalDistinct)):
+        grandchild = child.children()[0]
+        inner = _try_push(conjunct, grandchild)
+        if inner is None:
+            inner = lp.LogicalFilter(grandchild, conjunct)
+        return child.replace_children([inner])
+
+    if isinstance(child, lp.LogicalAggregate):
+        # Only conjuncts over group-key slots may move below (they are
+        # functions of single input rows); aggregates depend on the
+        # whole input — same argument as for analytics operators.
+        refs = conjunct.referenced_slots()
+        group_mapping = {
+            slot: expr
+            for slot, expr in zip(child.group_slots, child.group_exprs)
+        }
+        if not refs or not refs <= set(group_mapping):
+            return None
+        rewritten = substitute_slots(conjunct, group_mapping)
+        inner = _try_push(rewritten, child.child)
+        if inner is None:
+            inner = lp.LogicalFilter(child.child, rewritten)
+        return child.replace_children([inner])
+
+    if isinstance(child, lp.LogicalSetOp) and child.op in (
+        "union", "union_all"
+    ):
+        # Rewrite output slots to each branch's slots positionally and
+        # push into both branches.
+        new_children = []
+        for branch in (child.left, child.right):
+            mapping = {
+                out.slot: b.BoundColumnRef(src.slot, src.sql_type, src.name)
+                for out, src in zip(child.output, branch.output)
+            }
+            rewritten = substitute_slots(conjunct, mapping)
+            inner = _try_push(rewritten, branch)
+            if inner is None:
+                inner = lp.LogicalFilter(branch, rewritten)
+            new_children.append(inner)
+        return child.replace_children(new_children)
+
+    # LogicalScan / Values / Limit / TableFunction / Iterate /
+    # RecursiveCTE / WorkingTableRef: the filter stays above. For the
+    # analytical operators this is the section 5.2 rule, for LIMIT it is
+    # a semantic requirement, for scans there is simply nothing deeper.
+    return None
+
+
+def _as_equi_pair(
+    conjunct: b.BoundExpr,
+    left_slots: set[str],
+    right_slots: set[str],
+) -> Optional[tuple[b.BoundExpr, b.BoundExpr]]:
+    """An equality conjunct with one operand per join side, oriented as
+    (left_key, right_key); None otherwise."""
+    if not (
+        isinstance(conjunct, b.BoundBinary) and conjunct.op == "="
+    ):
+        return None
+    lrefs = conjunct.left.referenced_slots()
+    rrefs = conjunct.right.referenced_slots()
+    if not lrefs or not rrefs:
+        return None
+    if lrefs <= left_slots and rrefs <= right_slots:
+        return (conjunct.left, conjunct.right)
+    if lrefs <= right_slots and rrefs <= left_slots:
+        return (conjunct.right, conjunct.left)
+    return None
+
+
+def _is_cheap(expr: b.BoundExpr) -> bool:
+    if isinstance(expr, (b.BoundColumnRef, b.BoundLiteral, b.BoundParam)):
+        return True
+    if isinstance(expr, b.BoundCast):
+        return _is_cheap(expr.operand)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# column pruning
+# ---------------------------------------------------------------------------
+
+
+def prune_columns(plan: lp.LogicalPlan) -> lp.LogicalPlan:
+    """Trim base-table scans to the columns consumed above them."""
+    required = _collect_required(plan, set())
+    return _apply_pruning(plan, required)
+
+
+def _collect_required(
+    plan: lp.LogicalPlan, needed_from_above: set[str]
+) -> set[str]:
+    """All slots consumed anywhere in the plan (a global set is
+    sufficient because slots are unique per statement)."""
+    from ..sql.binder import _plan_expressions
+
+    required = set(needed_from_above)
+    stack = [plan]
+    roots_seen = set()
+    while stack:
+        node = stack.pop()
+        if id(node) in roots_seen:
+            continue
+        roots_seen.add(id(node))
+        for expr in _plan_expressions(node):
+            required |= _expr_required(expr)
+        # Filters/sorts/limits/joins merely forward columns — they do
+        # not require them, so scans below can shed unused ones. Set
+        # operations and the iterative/analytical operators map columns
+        # positionally and keep their full inputs.
+        if isinstance(node, lp.LogicalSetOp):
+            required |= set(node.left.output_slots())
+            required |= set(node.right.output_slots())
+        if isinstance(
+            node,
+            (
+                lp.LogicalRecursiveCTE,
+                lp.LogicalIterate,
+                lp.LogicalTableFunction,
+            ),
+        ):
+            for child in node.children():
+                required |= set(child.output_slots())
+        stack.extend(node.children())
+    required |= set(plan.output_slots())
+    return required
+
+
+def _expr_required(expr: b.BoundExpr) -> set[str]:
+    slots = expr.referenced_slots()
+    # Subquery plans may reference outer slots through params — those
+    # slots are required too; and their internal scans are pruned when
+    # the subplan itself is optimized (conservative: require everything
+    # a subquery touches from its own scope).
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, b.BoundSubquery):
+            slots |= set(node.outer_slots)
+        stack.extend(node.children())
+    return slots
+
+
+def _apply_pruning(
+    plan: lp.LogicalPlan, required: set[str]
+) -> lp.LogicalPlan:
+    new_children = [
+        _apply_pruning(child, required) for child in plan.children()
+    ]
+    plan = plan.replace_children(new_children)
+    if isinstance(plan, lp.LogicalScan):
+        kept = [c for c in plan.output if c.slot in required]
+        if not kept:
+            kept = [plan.output[0]]  # keep one column for the row count
+        if len(kept) != len(plan.output):
+            return lp.LogicalScan(plan.table_name, kept)
+    if isinstance(plan, lp.LogicalJoin):
+        # The join's static output list must track its (possibly
+        # pruned) children.
+        output = list(plan.left.output) + list(plan.right.output)
+        if [c.slot for c in output] != [c.slot for c in plan.output]:
+            return lp.LogicalJoin(
+                plan.kind, plan.left, plan.right, plan.equi_keys,
+                plan.residual, output,
+            )
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# join side selection
+# ---------------------------------------------------------------------------
+
+
+def choose_join_sides(
+    plan: lp.LogicalPlan, estimator: CardinalityEstimator
+) -> lp.LogicalPlan:
+    """For inner equi-joins, make the smaller input the build (right)
+    side. LEFT joins are pinned: the probe side must stay left."""
+    plan = plan.replace_children(
+        [choose_join_sides(c, estimator) for c in plan.children()]
+    )
+    if (
+        isinstance(plan, lp.LogicalJoin)
+        and plan.kind == "inner"
+        and plan.equi_keys
+    ):
+        left_rows = estimator.estimate(plan.left)
+        right_rows = estimator.estimate(plan.right)
+        if left_rows < right_rows:
+            swapped_keys = [(rk, lk) for lk, rk in plan.equi_keys]
+            return lp.LogicalJoin(
+                "inner",
+                plan.right,
+                plan.left,
+                swapped_keys,
+                plan.residual,
+                plan.output,
+            )
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# constant folding
+# ---------------------------------------------------------------------------
+
+
+def fold_constants(plan: lp.LogicalPlan) -> lp.LogicalPlan:
+    """Evaluate literal-only arithmetic/comparison subtrees at plan time."""
+    plan = plan.replace_children(
+        [fold_constants(c) for c in plan.children()]
+    )
+    if isinstance(plan, lp.LogicalFilter):
+        return lp.LogicalFilter(plan.child, _fold(plan.predicate))
+    if isinstance(plan, lp.LogicalProject):
+        return lp.LogicalProject(
+            plan.child, [_fold(e) for e in plan.exprs], plan.output
+        )
+    return plan
+
+
+def _fold(expr: b.BoundExpr) -> b.BoundExpr:
+    if isinstance(expr, b.BoundBinary):
+        left = _fold(expr.left)
+        right = _fold(expr.right)
+        expr = replace(expr, left=left, right=right)
+        if isinstance(left, b.BoundLiteral) and isinstance(
+            right, b.BoundLiteral
+        ):
+            folded = _fold_binary(expr.op, left.value, right.value)
+            if folded is not _NOT_FOLDED:
+                return b.BoundLiteral(folded, expr.sql_type)
+        return expr
+    if isinstance(expr, b.BoundUnary):
+        operand = _fold(expr.operand)
+        expr = replace(expr, operand=operand)
+        if isinstance(operand, b.BoundLiteral):
+            if expr.op == "-" and operand.value is not None:
+                return b.BoundLiteral(-operand.value, expr.sql_type)
+            if expr.op == "not" and operand.value is not None:
+                return b.BoundLiteral(
+                    not operand.value, expr.sql_type
+                )
+        return expr
+    if isinstance(expr, b.BoundCast):
+        operand = _fold(expr.operand)
+        return replace(expr, operand=operand)
+    return expr
+
+
+_NOT_FOLDED = object()
+
+
+def _fold_binary(op: str, left: object, right: object):
+    # Kleene logic folds differently from strict NULL propagation.
+    if op == "and":
+        if left is False or right is False:
+            return False
+        if left is None or right is None:
+            return None
+        return bool(left) and bool(right)
+    if op == "or":
+        if left is True or right is True:
+            return True
+        if left is None or right is None:
+            return None
+        return bool(left) or bool(right)
+    if left is None or right is None:
+        return None
+    try:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                return _NOT_FOLDED  # keep runtime error semantics
+            if isinstance(left, int) and isinstance(right, int):
+                quotient = left / right
+                return int(quotient) if quotient >= 0 else -int(-quotient)
+            return left / right
+        if op == "=":
+            return left == right
+        if op == "<>":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        if op == "and":
+            return bool(left) and bool(right)
+        if op == "or":
+            return bool(left) or bool(right)
+    except Exception:  # noqa: BLE001 - never fail a plan on folding
+        return _NOT_FOLDED
+    return _NOT_FOLDED

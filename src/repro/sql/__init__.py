@@ -1,0 +1,12 @@
+"""SQL front end: lexer, AST, parser, and binder.
+
+The dialect is a substantial PostgreSQL-flavoured subset plus the paper's
+extensions: the non-appending ``ITERATE`` table construct (section 5.1),
+lambda expressions (section 7), and analytics table functions in ``FROM``
+(section 6, Listing 2).
+"""
+
+from .lexer import Lexer, tokenize
+from .parser import Parser, parse_sql, parse_statement
+
+__all__ = ["Lexer", "tokenize", "Parser", "parse_sql", "parse_statement"]

@@ -1,0 +1,410 @@
+"""Abstract syntax tree for the SQL dialect.
+
+Plain dataclasses, produced by :mod:`repro.sql.parser` and consumed by
+:mod:`repro.sql.binder`. Expression nodes and statement/query nodes live
+side by side; nothing here is resolved — names are raw strings and types
+are unknown until binding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+
+@dataclass
+class Literal(Expr):
+    """A constant: number, string, boolean, or NULL (value None)."""
+
+    value: object
+
+
+@dataclass
+class ColumnRef(Expr):
+    """A possibly qualified column reference ``[table.]name``."""
+
+    name: str
+    table: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass
+class Star(Expr):
+    """``*`` or ``t.*`` in a select list or COUNT(*)."""
+
+    table: Optional[str] = None
+
+
+@dataclass
+class Unary(Expr):
+    """Unary operator: ``-x``, ``+x``, ``NOT x``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    """Binary operator: arithmetic, comparison, AND/OR, ``||``, ``^``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class FunctionCall(Expr):
+    """A function application ``name(args)``.
+
+    The binder decides whether this is a scalar built-in, an aggregate,
+    or a registered UDF. ``distinct`` applies to aggregates
+    (``COUNT(DISTINCT x)``).
+    """
+
+    name: str
+    args: list[Expr]
+    distinct: bool = False
+
+
+@dataclass
+class Cast(Expr):
+    """``CAST(expr AS type)``."""
+
+    operand: Expr
+    type_name: str
+    width: Optional[int] = None
+
+
+@dataclass
+class Case(Expr):
+    """Searched or simple CASE expression."""
+
+    operand: Optional[Expr]
+    whens: list[tuple[Expr, Expr]]
+    else_result: Optional[Expr]
+
+
+@dataclass
+class IsNull(Expr):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass
+class InList(Expr):
+    """``expr [NOT] IN (item, ...)``."""
+
+    operand: Expr
+    items: list[Expr]
+    negated: bool = False
+
+
+@dataclass
+class InSubquery(Expr):
+    """``expr [NOT] IN (SELECT ...)``."""
+
+    operand: Expr
+    query: "SelectStatement"
+    negated: bool = False
+
+
+@dataclass
+class Exists(Expr):
+    """``[NOT] EXISTS (SELECT ...)``."""
+
+    query: "SelectStatement"
+    negated: bool = False
+
+
+@dataclass
+class ScalarSubquery(Expr):
+    """A parenthesised SELECT used as a scalar value."""
+
+    query: "SelectStatement"
+
+
+@dataclass
+class Between(Expr):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass
+class Like(Expr):
+    """``expr [NOT] LIKE pattern``."""
+
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+
+@dataclass
+class WindowFunction(Expr):
+    """``func(args) OVER (PARTITION BY ... ORDER BY ...)``.
+
+    The default frame applies: the whole partition when there is no
+    ORDER BY; RANGE UNBOUNDED PRECEDING .. CURRENT ROW (running values,
+    peers share results) when there is one.
+    """
+
+    name: str
+    args: list[Expr]
+    partition_by: list[Expr]
+    order_by: list["OrderItem"]
+
+
+@dataclass
+class LambdaExpr(Expr):
+    """A lambda expression ``λ(a, b) body`` (paper section 7).
+
+    ``params`` are tuple variables; inside ``body`` their attributes are
+    referenced as ``a.x``. Input and output types are inferred at binding
+    time from the variation point the lambda is plugged into.
+    """
+
+    params: list[str]
+    body: Expr
+
+
+# ---------------------------------------------------------------------------
+# Query structure
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SelectItem:
+    """One projection in a select list."""
+
+    expr: Expr
+    alias: Optional[str] = None
+
+
+class TableExpr:
+    """Base class for things that can appear in FROM."""
+
+
+@dataclass
+class TableRef(TableExpr):
+    """A base table or CTE reference, optionally aliased."""
+
+    name: str
+    alias: Optional[str] = None
+
+
+@dataclass
+class SubqueryRef(TableExpr):
+    """A derived table: ``(SELECT ...) AS alias(cols)``."""
+
+    query: "SelectStatement"
+    alias: Optional[str] = None
+    column_aliases: Optional[list[str]] = None
+
+
+@dataclass
+class ValuesRef(TableExpr):
+    """``(VALUES (...), (...)) AS alias(cols)``."""
+
+    rows: list[list[Expr]]
+    alias: Optional[str] = None
+    column_aliases: Optional[list[str]] = None
+
+
+@dataclass
+class Join(TableExpr):
+    """A binary join. ``kind`` is inner|left|cross."""
+
+    kind: str
+    left: TableExpr
+    right: TableExpr
+    condition: Optional[Expr] = None
+    using: Optional[list[str]] = None
+
+
+@dataclass
+class IterateRef(TableExpr):
+    """The paper's ITERATE construct (section 5.1, Listing 1).
+
+    ``ITERATE((init), (step), (stop))``: a working relation named
+    ``iterate`` is initialised from ``init``; each round replaces it with
+    the result of ``step``; iteration ends when ``stop`` returns at least
+    one row whose first column is true (or any row, for row-existence
+    predicates). The final contents of the working relation are the result.
+    """
+
+    init_query: "SelectStatement"
+    step_query: "SelectStatement"
+    stop_query: "SelectStatement"
+    alias: Optional[str] = None
+
+
+@dataclass
+class TableFunctionArg:
+    """One argument to a table function: exactly one field is set."""
+
+    query: Optional["SelectStatement"] = None
+    lambda_expr: Optional[LambdaExpr] = None
+    scalar: Optional[Expr] = None
+
+
+@dataclass
+class TableFunction(TableExpr):
+    """An analytics operator or table UDF in FROM (Listing 2/3):
+    ``KMEANS((SELECT ...), (SELECT ...), λ(a,b) ..., 3)``."""
+
+    name: str
+    args: list[TableFunctionArg]
+    alias: Optional[str] = None
+
+
+@dataclass
+class OrderItem:
+    """One ORDER BY key."""
+
+    expr: Expr
+    descending: bool = False
+    nulls_last: Optional[bool] = None
+
+
+@dataclass
+class SelectCore:
+    """A single SELECT block (no set ops / ORDER BY / LIMIT)."""
+
+    items: list[SelectItem]
+    from_clause: Optional[TableExpr] = None
+    where: Optional[Expr] = None
+    group_by: list[Expr] = field(default_factory=list)
+    having: Optional[Expr] = None
+    distinct: bool = False
+
+
+@dataclass
+class SetOp:
+    """UNION [ALL] / INTERSECT / EXCEPT between two query bodies."""
+
+    op: str  # "union" | "union_all" | "intersect" | "except"
+    left: Union[SelectCore, "SetOp"]
+    right: Union[SelectCore, "SetOp"]
+
+
+@dataclass
+class CommonTableExpr:
+    """One CTE in a WITH clause."""
+
+    name: str
+    query: "SelectStatement"
+    column_names: Optional[list[str]] = None
+    recursive: bool = False
+
+
+@dataclass
+class SelectStatement:
+    """A full query: WITH + body + ORDER BY + LIMIT/OFFSET."""
+
+    body: Union[SelectCore, SetOp]
+    ctes: list[CommonTableExpr] = field(default_factory=list)
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: Optional[Expr] = None
+    offset: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
+# DML / DDL / transaction statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ColumnDef:
+    """One column in CREATE TABLE."""
+
+    name: str
+    type_name: str
+    width: Optional[int] = None
+    not_null: bool = False
+
+
+@dataclass
+class CreateTable:
+    name: str
+    columns: list[ColumnDef] = field(default_factory=list)
+    if_not_exists: bool = False
+    as_query: Optional[SelectStatement] = None
+
+
+@dataclass
+class DropTable:
+    name: str
+    if_exists: bool = False
+
+
+@dataclass
+class Insert:
+    table: str
+    columns: Optional[list[str]]
+    rows: Optional[list[list[Expr]]] = None
+    query: Optional[SelectStatement] = None
+
+
+@dataclass
+class Update:
+    table: str
+    assignments: list[tuple[str, Expr]] = field(default_factory=list)
+    where: Optional[Expr] = None
+
+
+@dataclass
+class Delete:
+    table: str
+    where: Optional[Expr] = None
+
+
+@dataclass
+class Explain:
+    """``EXPLAIN <select>`` — returns the optimized plan as text."""
+
+    query: SelectStatement
+
+
+@dataclass
+class BeginTransaction:
+    pass
+
+
+@dataclass
+class CommitTransaction:
+    pass
+
+
+@dataclass
+class RollbackTransaction:
+    pass
+
+
+Statement = Union[
+    SelectStatement,
+    Explain,
+    CreateTable,
+    DropTable,
+    Insert,
+    Update,
+    Delete,
+    BeginTransaction,
+    CommitTransaction,
+    RollbackTransaction,
+]

@@ -1,0 +1,211 @@
+"""Hand-written SQL lexer.
+
+Produces a flat token stream with source positions. Handles:
+
+* ``--`` line comments and ``/* ... */`` block comments,
+* single-quoted strings with ``''`` escaping,
+* double-quoted (case-preserving) identifiers,
+* integer and decimal numbers including exponent form,
+* the lambda introducer, either the ``λ`` sign or the ``LAMBDA`` keyword.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from .tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    SINGLE_CHAR_OPERATORS,
+    Token,
+    TokenKind,
+)
+
+
+class Lexer:
+    """Single-pass scanner over a SQL string."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # -- character helpers ----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.text[idx] if idx < len(self.text) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        chunk = self.text[self.pos : self.pos + count]
+        for ch in chunk:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return chunk
+
+    def _error(self, message: str) -> ParseError:
+        return ParseError(message, self.line, self.column)
+
+    # -- scanning ----------------------------------------------------------------
+
+    def tokens(self) -> list[Token]:
+        """Scan the whole input; the list always ends with an EOF token."""
+        out: list[Token] = []
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.text):
+                out.append(Token(TokenKind.EOF, "", None, self.line, self.column))
+                return out
+            out.append(self._next_token())
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "-" and self._peek(1) == "-":
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line, start_col = self.line, self.column
+                self._advance(2)
+                while self.pos < len(self.text):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise ParseError(
+                        "unterminated block comment", start_line, start_col
+                    )
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        line, column = self.line, self.column
+        ch = self._peek()
+
+        if ch == "λ":
+            self._advance()
+            return Token(TokenKind.LAMBDA, "λ", None, line, column)
+        if ch == "'":
+            return self._string(line, column)
+        if ch == '"':
+            return self._quoted_identifier(line, column)
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._number(line, column)
+        if ch.isalpha() or ch == "_":
+            return self._word(line, column)
+        if ch == "(":
+            self._advance()
+            return Token(TokenKind.LPAREN, "(", None, line, column)
+        if ch == ")":
+            self._advance()
+            return Token(TokenKind.RPAREN, ")", None, line, column)
+        if ch == ",":
+            self._advance()
+            return Token(TokenKind.COMMA, ",", None, line, column)
+        if ch == ".":
+            self._advance()
+            return Token(TokenKind.DOT, ".", None, line, column)
+        if ch == ";":
+            self._advance()
+            return Token(TokenKind.SEMICOLON, ";", None, line, column)
+        if ch == "?":
+            self._advance()
+            return Token(TokenKind.PARAM, "?", None, line, column)
+        for op in MULTI_CHAR_OPERATORS:
+            if self.text.startswith(op, self.pos):
+                self._advance(len(op))
+                return Token(TokenKind.OPERATOR, op, None, line, column)
+        if ch in SINGLE_CHAR_OPERATORS:
+            self._advance()
+            return Token(TokenKind.OPERATOR, ch, None, line, column)
+        raise self._error(f"unexpected character {ch!r}")
+
+    def _string(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        parts: list[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise ParseError("unterminated string literal", line, column)
+            ch = self._advance()
+            if ch == "'":
+                if self._peek() == "'":  # escaped quote
+                    self._advance()
+                    parts.append("'")
+                else:
+                    break
+            else:
+                parts.append(ch)
+        value = "".join(parts)
+        return Token(TokenKind.STRING, value, value, line, column)
+
+    def _quoted_identifier(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        parts: list[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise ParseError(
+                    "unterminated quoted identifier", line, column
+                )
+            ch = self._advance()
+            if ch == '"':
+                if self._peek() == '"':
+                    self._advance()
+                    parts.append('"')
+                else:
+                    break
+            else:
+                parts.append(ch)
+        name = "".join(parts)
+        return Token(TokenKind.IDENT, name, name, line, column)
+
+    def _number(self, line: int, column: int) -> Token:
+        start = self.pos
+        is_float = False
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        elif self._peek() == "." and not self._peek(1).isalpha():
+            # trailing dot as in "7." — treat as float
+            is_float = True
+            self._advance()
+        if self._peek() in "eE" and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.text[start : self.pos]
+        value: object = float(text) if is_float else int(text)
+        return Token(TokenKind.NUMBER, text, value, line, column)
+
+    def _word(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.text[start : self.pos]
+        upper = text.upper()
+        if upper == "LAMBDA":
+            return Token(TokenKind.LAMBDA, upper, None, line, column)
+        if upper in KEYWORDS:
+            return Token(TokenKind.KEYWORD, upper, None, line, column)
+        return Token(TokenKind.IDENT, text.lower(), text.lower(), line, column)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; convenience wrapper over :class:`Lexer`."""
+    return Lexer(text).tokens()

@@ -1,0 +1,916 @@
+"""Recursive-descent SQL parser.
+
+Grammar highlights beyond the usual SELECT core:
+
+* ``WITH [RECURSIVE] name [(cols)] AS (query), ...`` common table
+  expressions, including the paper's appending-recursion baseline;
+* ``ITERATE((init), (step), (stop))`` in FROM — the paper's non-appending
+  iteration construct (section 5.1, Listing 1);
+* table functions in FROM taking subqueries, lambda expressions, and
+  scalars as arguments — the analytics operators of section 6
+  (``KMEANS``, ``PAGERANK``, ``NAIVE_BAYES_TRAIN`` ...);
+* lambda expressions ``λ(a, b) body`` / ``LAMBDA(a, b) body``
+  (section 7, Listing 3).
+
+Expression precedence, loosest first::
+
+    OR < AND < NOT < comparison/IS/IN/BETWEEN/LIKE < || < +,- < *,/,% < ^
+    < unary -,+ < postfix/primary
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ParseError
+from . import ast
+from .lexer import tokenize
+from .tokens import Token, TokenKind
+
+_COMPARISON_OPS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+
+class Parser:
+    """Parses a token stream into AST statements.
+
+    ``params`` supplies values for ``?`` placeholders positionally; each
+    placeholder becomes a plain literal during parsing, so parameter
+    values can never be interpreted as SQL (injection-safe by
+    construction).
+    """
+
+    def __init__(self, text: str, params: "Sequence[object] | None" = None):
+        self.tokens = tokenize(text)
+        self.pos = 0
+        self._params = list(params) if params is not None else None
+        self._next_param = 0
+
+    def _take_param(self) -> object:
+        if self._params is None:
+            raise self._error(
+                "query contains ? placeholders but no parameters were "
+                "supplied"
+            )
+        if self._next_param >= len(self._params):
+            raise self._error(
+                f"query has more ? placeholders than the "
+                f"{len(self._params)} parameter(s) supplied"
+            )
+        value = self._params[self._next_param]
+        self._next_param += 1
+        return value
+
+    def check_params_consumed(self) -> None:
+        if self._params is not None and self._next_param < len(
+            self._params
+        ):
+            raise ParseError(
+                f"{len(self._params)} parameter(s) supplied but only "
+                f"{self._next_param} ? placeholder(s) found"
+            )
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        idx = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        return ParseError(message, token.line, token.column)
+
+    def _at_keyword(self, *names: str) -> bool:
+        return self._peek().is_keyword(*names)
+
+    def _accept_keyword(self, *names: str) -> bool:
+        if self._at_keyword(*names):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, name: str) -> Token:
+        if not self._at_keyword(name):
+            raise self._error(f"expected {name}, found {self._peek().text!r}")
+        return self._advance()
+
+    def _accept(self, kind: TokenKind) -> Token | None:
+        if self._peek().kind is kind:
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokenKind, what: str) -> Token:
+        token = self._accept(kind)
+        if token is None:
+            raise self._error(
+                f"expected {what}, found {self._peek().text!r}"
+            )
+        return token
+
+    def _accept_operator(self, *ops: str) -> Token | None:
+        token = self._peek()
+        if token.kind is TokenKind.OPERATOR and token.text in ops:
+            return self._advance()
+        return None
+
+    def _expect_identifier(self, what: str = "identifier") -> str:
+        token = self._peek()
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            return token.text
+        # Allow a handful of non-reserved-looking keywords as identifiers
+        # in alias position (none currently), otherwise fail.
+        raise self._error(f"expected {what}, found {token.text!r}")
+
+    # -- entry points -------------------------------------------------------------
+
+    def parse_statements(self) -> list[ast.Statement]:
+        """Parse a script of one or more ``;``-separated statements."""
+        statements: list[ast.Statement] = []
+        while True:
+            while self._accept(TokenKind.SEMICOLON):
+                pass
+            if self._peek().kind is TokenKind.EOF:
+                return statements
+            statements.append(self.parse_statement())
+
+    def parse_statement(self) -> ast.Statement:
+        """Parse exactly one statement (not consuming a trailing ``;``)."""
+        token = self._peek()
+        if token.is_keyword("SELECT", "WITH", "VALUES"):
+            return self.parse_select_statement()
+        if token.is_keyword("EXPLAIN"):
+            self._advance()
+            return ast.Explain(self.parse_select_statement())
+        if token.is_keyword("CREATE"):
+            return self._parse_create()
+        if token.is_keyword("DROP"):
+            return self._parse_drop()
+        if token.is_keyword("INSERT"):
+            return self._parse_insert()
+        if token.is_keyword("UPDATE"):
+            return self._parse_update()
+        if token.is_keyword("DELETE"):
+            return self._parse_delete()
+        if token.is_keyword("BEGIN"):
+            self._advance()
+            self._accept_keyword("TRANSACTION")
+            return ast.BeginTransaction()
+        if token.is_keyword("COMMIT"):
+            self._advance()
+            self._accept_keyword("TRANSACTION")
+            return ast.CommitTransaction()
+        if token.is_keyword("ROLLBACK"):
+            self._advance()
+            self._accept_keyword("TRANSACTION")
+            return ast.RollbackTransaction()
+        raise self._error(f"unexpected start of statement: {token.text!r}")
+
+    # -- DDL / DML ----------------------------------------------------------------
+
+    def _parse_create(self) -> ast.CreateTable:
+        self._expect_keyword("CREATE")
+        self._expect_keyword("TABLE")
+        if_not_exists = False
+        if self._accept_keyword("IF"):
+            self._expect_keyword("NOT")
+            self._expect_keyword("EXISTS")
+            if_not_exists = True
+        name = self._expect_identifier("table name")
+        if self._accept_keyword("AS"):
+            query = self.parse_select_statement()
+            return ast.CreateTable(
+                name=name, if_not_exists=if_not_exists, as_query=query
+            )
+        self._expect(TokenKind.LPAREN, "(")
+        columns = [self._parse_column_def()]
+        while self._accept(TokenKind.COMMA):
+            columns.append(self._parse_column_def())
+        self._expect(TokenKind.RPAREN, ")")
+        return ast.CreateTable(
+            name=name, columns=columns, if_not_exists=if_not_exists
+        )
+
+    def _parse_column_def(self) -> ast.ColumnDef:
+        name = self._expect_identifier("column name")
+        type_name = self._parse_type_name()
+        # Consume "DOUBLE PRECISION"-style two-word types.
+        if type_name == "double" and self._peek().kind is TokenKind.IDENT \
+                and self._peek().text == "precision":
+            self._advance()
+        width = None
+        if self._accept(TokenKind.LPAREN):
+            width_token = self._expect(TokenKind.NUMBER, "type width")
+            width = int(width_token.value)  # type: ignore[arg-type]
+            self._expect(TokenKind.RPAREN, ")")
+        not_null = False
+        while True:
+            if self._accept_keyword("NOT"):
+                self._expect_keyword("NULL")
+                not_null = True
+            elif self._accept_keyword("PRIMARY"):
+                # KEY is deliberately not reserved (it is a natural
+                # column name); match it as an identifier here.
+                word = self._expect_identifier("KEY")
+                if word != "key":
+                    raise self._error("expected KEY after PRIMARY")
+                not_null = True
+            elif self._accept_keyword("NULL"):
+                pass
+            else:
+                break
+        return ast.ColumnDef(
+            name=name, type_name=type_name, width=width, not_null=not_null
+        )
+
+    def _parse_drop(self) -> ast.DropTable:
+        self._expect_keyword("DROP")
+        self._expect_keyword("TABLE")
+        if_exists = False
+        if self._accept_keyword("IF"):
+            self._expect_keyword("EXISTS")
+            if_exists = True
+        name = self._expect_identifier("table name")
+        return ast.DropTable(name=name, if_exists=if_exists)
+
+    def _parse_insert(self) -> ast.Insert:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._expect_identifier("table name")
+        columns = None
+        if self._peek().kind is TokenKind.LPAREN:
+            self._advance()
+            columns = [self._expect_identifier("column name")]
+            while self._accept(TokenKind.COMMA):
+                columns.append(self._expect_identifier("column name"))
+            self._expect(TokenKind.RPAREN, ")")
+        if self._accept_keyword("VALUES"):
+            rows = [self._parse_value_row()]
+            while self._accept(TokenKind.COMMA):
+                rows.append(self._parse_value_row())
+            return ast.Insert(table=table, columns=columns, rows=rows)
+        query = self.parse_select_statement()
+        return ast.Insert(table=table, columns=columns, query=query)
+
+    def _parse_update(self) -> ast.Update:
+        self._expect_keyword("UPDATE")
+        table = self._expect_identifier("table name")
+        self._expect_keyword("SET")
+        assignments = [self._parse_assignment()]
+        while self._accept(TokenKind.COMMA):
+            assignments.append(self._parse_assignment())
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self.parse_expression()
+        return ast.Update(table=table, assignments=assignments, where=where)
+
+    def _parse_assignment(self) -> tuple[str, ast.Expr]:
+        column = self._expect_identifier("column name")
+        if self._accept_operator("=") is None:
+            raise self._error("expected = in SET assignment")
+        return column, self.parse_expression()
+
+    def _parse_delete(self) -> ast.Delete:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._expect_identifier("table name")
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self.parse_expression()
+        return ast.Delete(table=table, where=where)
+
+    # -- SELECT -----------------------------------------------------------------
+
+    def parse_select_statement(self) -> ast.SelectStatement:
+        ctes: list[ast.CommonTableExpr] = []
+        if self._accept_keyword("WITH"):
+            recursive = self._accept_keyword("RECURSIVE")
+            while True:
+                ctes.append(self._parse_cte(recursive))
+                if not self._accept(TokenKind.COMMA):
+                    break
+        body = self._parse_query_body()
+        order_by: list[ast.OrderItem] = []
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            while True:
+                order_by.append(self._parse_order_item())
+                if not self._accept(TokenKind.COMMA):
+                    break
+        limit = offset = None
+        if self._accept_keyword("LIMIT"):
+            limit = self.parse_expression()
+        if self._accept_keyword("OFFSET"):
+            offset = self.parse_expression()
+        return ast.SelectStatement(
+            body=body, ctes=ctes, order_by=order_by, limit=limit,
+            offset=offset,
+        )
+
+    def _parse_cte(self, recursive: bool) -> ast.CommonTableExpr:
+        name = self._expect_identifier("CTE name")
+        column_names = None
+        if self._accept(TokenKind.LPAREN):
+            column_names = [self._expect_identifier("column name")]
+            while self._accept(TokenKind.COMMA):
+                column_names.append(self._expect_identifier("column name"))
+            self._expect(TokenKind.RPAREN, ")")
+        self._expect_keyword("AS")
+        self._expect(TokenKind.LPAREN, "(")
+        query = self.parse_select_statement()
+        self._expect(TokenKind.RPAREN, ")")
+        return ast.CommonTableExpr(
+            name=name, query=query, column_names=column_names,
+            recursive=recursive,
+        )
+
+    def _parse_order_item(self) -> ast.OrderItem:
+        expr = self.parse_expression()
+        descending = False
+        if self._accept_keyword("ASC"):
+            descending = False
+        elif self._accept_keyword("DESC"):
+            descending = True
+        nulls_last = None
+        if self._accept_keyword("NULLS"):
+            if self._accept_keyword("FIRST"):
+                nulls_last = False
+            else:
+                self._expect_keyword("LAST")
+                nulls_last = True
+        return ast.OrderItem(expr, descending, nulls_last)
+
+    def _parse_query_body(self):
+        left = self._parse_query_term()
+        while True:
+            if self._accept_keyword("UNION"):
+                op = "union_all" if self._accept_keyword("ALL") else "union"
+                self._accept_keyword("DISTINCT")
+            elif self._accept_keyword("INTERSECT"):
+                op = "intersect"
+            elif self._accept_keyword("EXCEPT"):
+                op = "except"
+            else:
+                return left
+            right = self._parse_query_term()
+            left = ast.SetOp(op=op, left=left, right=right)
+
+    def _parse_query_term(self):
+        if self._accept(TokenKind.LPAREN):
+            # A parenthesised term may be a full statement (WITH /
+            # ORDER BY / LIMIT); desugar those to SELECT * over a
+            # derived table so set operations stay core-shaped.
+            statement = self.parse_select_statement()
+            self._expect(TokenKind.RPAREN, ")")
+            plain = (
+                not statement.ctes
+                and not statement.order_by
+                and statement.limit is None
+                and statement.offset is None
+            )
+            if plain:
+                return statement.body
+            return ast.SelectCore(
+                items=[ast.SelectItem(ast.Star(), None)],
+                from_clause=ast.SubqueryRef(query=statement),
+            )
+        if self._at_keyword("VALUES"):
+            return self._parse_values_core()
+        return self._parse_select_core()
+
+    def _parse_values_core(self) -> ast.SelectCore:
+        """``VALUES (...), (...)`` as a query body: desugars to a
+        SelectCore over a ValuesRef with generated column names."""
+        self._expect_keyword("VALUES")
+        rows = [self._parse_value_row()]
+        while self._accept(TokenKind.COMMA):
+            rows.append(self._parse_value_row())
+        width = len(rows[0])
+        column_aliases = [f"column{i + 1}" for i in range(width)]
+        values = ast.ValuesRef(
+            rows=rows, alias="values", column_aliases=column_aliases
+        )
+        items = [
+            ast.SelectItem(ast.ColumnRef(name), None)
+            for name in column_aliases
+        ]
+        return ast.SelectCore(items=items, from_clause=values)
+
+    def _parse_value_row(self) -> list[ast.Expr]:
+        self._expect(TokenKind.LPAREN, "(")
+        row = [self.parse_expression()]
+        while self._accept(TokenKind.COMMA):
+            row.append(self.parse_expression())
+        self._expect(TokenKind.RPAREN, ")")
+        return row
+
+    def _parse_select_core(self) -> ast.SelectCore:
+        self._expect_keyword("SELECT")
+        distinct = False
+        if self._accept_keyword("DISTINCT"):
+            distinct = True
+        else:
+            self._accept_keyword("ALL")
+        items = [self._parse_select_item()]
+        while self._accept(TokenKind.COMMA):
+            items.append(self._parse_select_item())
+        from_clause = None
+        if self._accept_keyword("FROM"):
+            from_clause = self._parse_from()
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self.parse_expression()
+        group_by: list[ast.Expr] = []
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self.parse_expression())
+            while self._accept(TokenKind.COMMA):
+                group_by.append(self.parse_expression())
+        having = None
+        if self._accept_keyword("HAVING"):
+            having = self.parse_expression()
+        return ast.SelectCore(
+            items=items, from_clause=from_clause, where=where,
+            group_by=group_by, having=having, distinct=distinct,
+        )
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        token = self._peek()
+        if token.kind is TokenKind.OPERATOR and token.text == "*":
+            self._advance()
+            return ast.SelectItem(ast.Star(), None)
+        if (
+            token.kind is TokenKind.IDENT
+            and self._peek(1).kind is TokenKind.DOT
+            and self._peek(2).kind is TokenKind.OPERATOR
+            and self._peek(2).text == "*"
+        ):
+            self._advance()
+            self._advance()
+            self._advance()
+            return ast.SelectItem(ast.Star(table=token.text), None)
+        expr = self.parse_expression()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._parse_alias_name()
+        elif self._peek().kind in (TokenKind.IDENT, TokenKind.STRING):
+            alias = self._parse_alias_name()
+        return ast.SelectItem(expr, alias)
+
+    def _parse_alias_name(self) -> str:
+        token = self._peek()
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            return token.text
+        if token.kind is TokenKind.STRING:
+            # HyPer-style: SELECT 7 "x" — a string alias.
+            self._advance()
+            return token.value  # type: ignore[return-value]
+        raise self._error("expected alias name")
+
+    # -- FROM ----------------------------------------------------------------------
+
+    def _parse_from(self) -> ast.TableExpr:
+        left = self._parse_joined_table()
+        while self._accept(TokenKind.COMMA):
+            right = self._parse_joined_table()
+            left = ast.Join(kind="cross", left=left, right=right)
+        return left
+
+    def _parse_joined_table(self) -> ast.TableExpr:
+        left = self._parse_table_primary()
+        while True:
+            kind = None
+            if self._accept_keyword("CROSS"):
+                self._expect_keyword("JOIN")
+                kind = "cross"
+            elif self._accept_keyword("INNER"):
+                self._expect_keyword("JOIN")
+                kind = "inner"
+            elif self._accept_keyword("LEFT"):
+                self._accept_keyword("OUTER")
+                self._expect_keyword("JOIN")
+                kind = "left"
+            elif self._at_keyword("JOIN"):
+                self._advance()
+                kind = "inner"
+            else:
+                return left
+            right = self._parse_table_primary()
+            condition = None
+            using = None
+            if kind != "cross":
+                if self._accept_keyword("ON"):
+                    condition = self.parse_expression()
+                elif self._accept_keyword("USING"):
+                    self._expect(TokenKind.LPAREN, "(")
+                    using = [self._expect_identifier("column name")]
+                    while self._accept(TokenKind.COMMA):
+                        using.append(self._expect_identifier("column name"))
+                    self._expect(TokenKind.RPAREN, ")")
+                else:
+                    raise self._error("expected ON or USING after JOIN")
+            left = ast.Join(
+                kind=kind, left=left, right=right, condition=condition,
+                using=using,
+            )
+
+    def _parse_table_primary(self) -> ast.TableExpr:
+        token = self._peek()
+        if token.is_keyword("ITERATE"):
+            if self._peek(1).kind is TokenKind.LPAREN:
+                return self._parse_iterate()
+            # Inside the construct's subqueries the working relation is
+            # referenced by the name "iterate" (Listing 1).
+            self._advance()
+            alias, _ = self._parse_table_alias()
+            return ast.TableRef(name="iterate", alias=alias)
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            if self._at_keyword("VALUES"):
+                core = self._parse_values_core()
+                self._expect(TokenKind.RPAREN, ")")
+                values: ast.ValuesRef = core.from_clause  # type: ignore[assignment]
+                alias, column_aliases = self._parse_table_alias()
+                if alias:
+                    values.alias = alias
+                if column_aliases:
+                    values.column_aliases = column_aliases
+                return values
+            query = self.parse_select_statement()
+            self._expect(TokenKind.RPAREN, ")")
+            alias, column_aliases = self._parse_table_alias()
+            return ast.SubqueryRef(
+                query=query, alias=alias, column_aliases=column_aliases
+            )
+        if token.kind is TokenKind.IDENT:
+            if self._peek(1).kind is TokenKind.LPAREN:
+                return self._parse_table_function()
+            name = self._advance().text
+            alias, _ = self._parse_table_alias()
+            return ast.TableRef(name=name, alias=alias)
+        raise self._error(f"expected table expression, found {token.text!r}")
+
+    def _parse_table_alias(self) -> tuple[str | None, list[str] | None]:
+        alias = None
+        column_aliases = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier("alias")
+        elif self._peek().kind is TokenKind.IDENT:
+            alias = self._advance().text
+        if alias is not None and self._peek().kind is TokenKind.LPAREN:
+            self._advance()
+            column_aliases = [self._expect_identifier("column alias")]
+            while self._accept(TokenKind.COMMA):
+                column_aliases.append(
+                    self._expect_identifier("column alias")
+                )
+            self._expect(TokenKind.RPAREN, ")")
+        return alias, column_aliases
+
+    def _parse_iterate(self) -> ast.IterateRef:
+        self._expect_keyword("ITERATE")
+        self._expect(TokenKind.LPAREN, "(")
+        init_query = self._parse_parenthesised_query()
+        self._expect(TokenKind.COMMA, ",")
+        step_query = self._parse_parenthesised_query()
+        self._expect(TokenKind.COMMA, ",")
+        stop_query = self._parse_parenthesised_query()
+        self._expect(TokenKind.RPAREN, ")")
+        alias, _ = self._parse_table_alias()
+        return ast.IterateRef(
+            init_query=init_query, step_query=step_query,
+            stop_query=stop_query, alias=alias,
+        )
+
+    def _parse_parenthesised_query(self) -> ast.SelectStatement:
+        self._expect(TokenKind.LPAREN, "(")
+        query = self.parse_select_statement()
+        self._expect(TokenKind.RPAREN, ")")
+        return query
+
+    def _parse_table_function(self) -> ast.TableFunction:
+        name = self._advance().text
+        self._expect(TokenKind.LPAREN, "(")
+        args: list[ast.TableFunctionArg] = []
+        if self._peek().kind is not TokenKind.RPAREN:
+            args.append(self._parse_table_function_arg())
+            while self._accept(TokenKind.COMMA):
+                args.append(self._parse_table_function_arg())
+        self._expect(TokenKind.RPAREN, ")")
+        alias, _ = self._parse_table_alias()
+        return ast.TableFunction(name=name, args=args, alias=alias)
+
+    def _parse_table_function_arg(self) -> ast.TableFunctionArg:
+        token = self._peek()
+        if token.kind is TokenKind.LPAREN and self._peek(1).is_keyword(
+            "SELECT", "WITH", "VALUES"
+        ):
+            query = self._parse_parenthesised_query()
+            return ast.TableFunctionArg(query=query)
+        if token.kind is TokenKind.LAMBDA:
+            return ast.TableFunctionArg(lambda_expr=self._parse_lambda())
+        return ast.TableFunctionArg(scalar=self.parse_expression())
+
+    def _parse_lambda(self) -> ast.LambdaExpr:
+        self._expect(TokenKind.LAMBDA, "lambda")
+        self._expect(TokenKind.LPAREN, "(")
+        params = [self._expect_identifier("lambda parameter")]
+        while self._accept(TokenKind.COMMA):
+            params.append(self._expect_identifier("lambda parameter"))
+        self._expect(TokenKind.RPAREN, ")")
+        body = self.parse_expression()
+        return ast.LambdaExpr(params=params, body=body)
+
+    # -- expressions ------------------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self._accept_keyword("OR"):
+            left = ast.Binary("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_not()
+        while self._accept_keyword("AND"):
+            left = ast.Binary("and", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> ast.Expr:
+        if self._accept_keyword("NOT"):
+            return ast.Unary("not", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self._parse_concat()
+        while True:
+            op_token = self._accept_operator(*_COMPARISON_OPS)
+            if op_token is not None:
+                op = "<>" if op_token.text == "!=" else op_token.text
+                left = ast.Binary(op, left, self._parse_concat())
+                continue
+            if self._at_keyword("IS"):
+                self._advance()
+                negated = bool(self._accept_keyword("NOT"))
+                self._expect_keyword("NULL")
+                left = ast.IsNull(left, negated)
+                continue
+            negated = False
+            checkpoint = self.pos
+            if self._accept_keyword("NOT"):
+                negated = True
+            if self._accept_keyword("IN"):
+                left = self._parse_in_rhs(left, negated)
+                continue
+            if self._accept_keyword("BETWEEN"):
+                low = self._parse_concat()
+                self._expect_keyword("AND")
+                high = self._parse_concat()
+                left = ast.Between(left, low, high, negated)
+                continue
+            if self._accept_keyword("LIKE"):
+                pattern = self._parse_concat()
+                left = ast.Like(left, pattern, negated)
+                continue
+            if negated:
+                self.pos = checkpoint  # the NOT belonged to someone else
+            return left
+
+    def _parse_in_rhs(self, operand: ast.Expr, negated: bool) -> ast.Expr:
+        self._expect(TokenKind.LPAREN, "(")
+        if self._at_keyword("SELECT", "WITH"):
+            query = self.parse_select_statement()
+            self._expect(TokenKind.RPAREN, ")")
+            return ast.InSubquery(operand, query, negated)
+        items = [self.parse_expression()]
+        while self._accept(TokenKind.COMMA):
+            items.append(self.parse_expression())
+        self._expect(TokenKind.RPAREN, ")")
+        return ast.InList(operand, items, negated)
+
+    def _parse_concat(self) -> ast.Expr:
+        left = self._parse_additive()
+        while self._accept_operator("||"):
+            left = ast.Binary("||", left, self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._accept_operator("+", "-")
+            if token is None:
+                return left
+            left = ast.Binary(token.text, left, self._parse_multiplicative())
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_power()
+        while True:
+            token = self._accept_operator("*", "/", "%")
+            if token is None:
+                return left
+            left = ast.Binary(token.text, left, self._parse_power())
+
+    def _parse_power(self) -> ast.Expr:
+        base = self._parse_unary()
+        if self._accept_operator("^"):
+            # Right-associative exponentiation.
+            return ast.Binary("^", base, self._parse_power())
+        return base
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._accept_operator("-", "+")
+        if token is not None:
+            operand = self._parse_unary()
+            if token.text == "-":
+                if isinstance(operand, ast.Literal) and isinstance(
+                    operand.value, (int, float)
+                ):
+                    return ast.Literal(-operand.value)
+                return ast.Unary("-", operand)
+            return operand
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            return ast.Literal(token.value)
+        if token.kind is TokenKind.STRING:
+            self._advance()
+            return ast.Literal(token.value)
+        if token.is_keyword("NULL"):
+            self._advance()
+            return ast.Literal(None)
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return ast.Literal(True)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return ast.Literal(False)
+        if token.kind is TokenKind.PARAM:
+            self._advance()
+            return ast.Literal(self._take_param())
+        if token.kind is TokenKind.LAMBDA:
+            return self._parse_lambda()
+        if token.is_keyword("CAST"):
+            return self._parse_cast()
+        if token.is_keyword("CASE"):
+            return self._parse_case()
+        if token.is_keyword("EXISTS"):
+            self._advance()
+            query = self._parse_parenthesised_query()
+            return ast.Exists(query)
+        if token.is_keyword("NOT"):
+            # NOT EXISTS handled by _parse_not; direct path for safety.
+            self._advance()
+            return ast.Unary("not", self._parse_primary())
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            if self._at_keyword("SELECT", "WITH"):
+                query = self.parse_select_statement()
+                self._expect(TokenKind.RPAREN, ")")
+                return ast.ScalarSubquery(query)
+            expr = self.parse_expression()
+            self._expect(TokenKind.RPAREN, ")")
+            return expr
+        if token.kind is TokenKind.IDENT:
+            return self._parse_identifier_expression()
+        if token.is_keyword("ITERATE"):
+            # Column references qualified by the working relation,
+            # e.g. "iterate.x" inside an ITERATE subquery.
+            self._advance()
+            if self._peek().kind is TokenKind.DOT:
+                self._advance()
+                column = self._expect_identifier("column name")
+                return ast.ColumnRef(name=column, table="iterate")
+            return ast.ColumnRef(name="iterate")
+        raise self._error(f"unexpected token in expression: {token.text!r}")
+
+    def _parse_cast(self) -> ast.Expr:
+        self._expect_keyword("CAST")
+        self._expect(TokenKind.LPAREN, "(")
+        operand = self.parse_expression()
+        self._expect_keyword("AS")
+        type_name = self._parse_type_name()
+        width = None
+        if self._accept(TokenKind.LPAREN):
+            width_token = self._expect(TokenKind.NUMBER, "type width")
+            width = int(width_token.value)  # type: ignore[arg-type]
+            self._expect(TokenKind.RPAREN, ")")
+        self._expect(TokenKind.RPAREN, ")")
+        return ast.Cast(operand, type_name, width)
+
+    def _parse_type_name(self) -> str:
+        token = self._peek()
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            return token.text
+        raise self._error("expected type name")
+
+    def _parse_case(self) -> ast.Expr:
+        self._expect_keyword("CASE")
+        operand = None
+        if not self._at_keyword("WHEN"):
+            operand = self.parse_expression()
+        whens: list[tuple[ast.Expr, ast.Expr]] = []
+        while self._accept_keyword("WHEN"):
+            condition = self.parse_expression()
+            self._expect_keyword("THEN")
+            result = self.parse_expression()
+            whens.append((condition, result))
+        if not whens:
+            raise self._error("CASE requires at least one WHEN")
+        else_result = None
+        if self._accept_keyword("ELSE"):
+            else_result = self.parse_expression()
+        self._expect_keyword("END")
+        return ast.Case(operand, whens, else_result)
+
+    def _parse_identifier_expression(self) -> ast.Expr:
+        name = self._advance().text
+        if self._peek().kind is TokenKind.LPAREN:
+            return self._parse_function_call(name)
+        if self._peek().kind is TokenKind.DOT:
+            self._advance()
+            nxt = self._peek()
+            if nxt.kind is TokenKind.OPERATOR and nxt.text == "*":
+                self._advance()
+                return ast.Star(table=name)
+            column = self._expect_identifier("column name")
+            return ast.ColumnRef(name=column, table=name)
+        return ast.ColumnRef(name=name)
+
+    def _parse_function_call(self, name: str) -> ast.Expr:
+        self._expect(TokenKind.LPAREN, "(")
+        distinct = bool(self._accept_keyword("DISTINCT"))
+        args: list[ast.Expr] = []
+        token = self._peek()
+        if token.kind is TokenKind.OPERATOR and token.text == "*":
+            self._advance()
+            args.append(ast.Star())
+        elif token.kind is not TokenKind.RPAREN:
+            args.append(self.parse_expression())
+            while self._accept(TokenKind.COMMA):
+                args.append(self.parse_expression())
+        self._expect(TokenKind.RPAREN, ")")
+        if self._at_keyword("OVER"):
+            if distinct:
+                raise self._error(
+                    "DISTINCT is not supported in window functions"
+                )
+            return self._parse_over(name.lower(), args)
+        return ast.FunctionCall(name=name.lower(), args=args, distinct=distinct)
+
+    def _parse_over(
+        self, name: str, args: list[ast.Expr]
+    ) -> ast.WindowFunction:
+        self._expect_keyword("OVER")
+        self._expect(TokenKind.LPAREN, "(")
+        partition_by: list[ast.Expr] = []
+        order_by: list[ast.OrderItem] = []
+        if self._accept_keyword("PARTITION"):
+            self._expect_keyword("BY")
+            partition_by.append(self.parse_expression())
+            while self._accept(TokenKind.COMMA):
+                partition_by.append(self.parse_expression())
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._parse_order_item())
+            while self._accept(TokenKind.COMMA):
+                order_by.append(self._parse_order_item())
+        self._expect(TokenKind.RPAREN, ")")
+        return ast.WindowFunction(
+            name=name, args=args, partition_by=partition_by,
+            order_by=order_by,
+        )
+
+
+def parse_sql(
+    text: str, params: Sequence[object] | None = None
+) -> list[ast.Statement]:
+    """Parse a SQL script into a list of statements. ``params`` fills
+    ``?`` placeholders positionally (injection-safe)."""
+    parser = Parser(text, params)
+    statements = parser.parse_statements()
+    parser.check_params_consumed()
+    return statements
+
+
+def parse_statement(
+    text: str, params: Sequence[object] | None = None
+) -> ast.Statement:
+    """Parse exactly one statement; raises if the input holds more."""
+    statements = parse_sql(text, params)
+    if len(statements) != 1:
+        raise ParseError(
+            f"expected exactly one statement, found {len(statements)}"
+        )
+    return statements[0]

@@ -1,0 +1,63 @@
+"""Token kinds and the keyword table for the SQL lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "KEYWORD"
+    IDENT = "IDENT"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    OPERATOR = "OPERATOR"
+    LPAREN = "LPAREN"
+    RPAREN = "RPAREN"
+    COMMA = "COMMA"
+    DOT = "DOT"
+    SEMICOLON = "SEMICOLON"
+    LAMBDA = "LAMBDA"  # the λ sign or the LAMBDA keyword
+    PARAM = "PARAM"  # a ? placeholder
+    EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: TokenKind
+    text: str
+    value: object = None
+    line: int = 0
+    column: int = 0
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text in names
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r})"
+
+
+#: Reserved words. Matching is case-insensitive; tokens store the
+#: upper-cased spelling. Non-reserved function names (SUM, KMEANS, ...)
+#: deliberately stay ordinary identifiers so they can also name columns.
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER",
+        "LIMIT", "OFFSET", "AS", "ON", "USING", "JOIN", "INNER", "LEFT",
+        "RIGHT", "FULL", "OUTER", "CROSS", "AND", "OR", "NOT", "IN",
+        "IS", "NULL", "TRUE", "FALSE", "BETWEEN", "LIKE", "EXISTS",
+        "CASE", "WHEN", "THEN", "ELSE", "END", "CAST", "DISTINCT", "ALL",
+        "UNION", "INTERSECT", "EXCEPT", "WITH", "RECURSIVE", "VALUES",
+        "INSERT", "INTO", "UPDATE", "SET", "DELETE", "CREATE", "TABLE",
+        "DROP", "IF", "ASC", "DESC", "ITERATE", "LAMBDA", "BEGIN",
+        "COMMIT", "ROLLBACK", "TRANSACTION", "PRIMARY", "DEFAULT",
+        "NULLS", "FIRST", "LAST", "EXPLAIN", "OVER", "PARTITION",
+    }
+)
+
+#: Multi-character operators, longest match first.
+MULTI_CHAR_OPERATORS = ("<=", ">=", "<>", "!=", "||")
+
+SINGLE_CHAR_OPERATORS = frozenset("+-*/%^=<>")

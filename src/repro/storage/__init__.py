@@ -1,0 +1,22 @@
+"""Main-memory columnar storage engine.
+
+Tables are immutable, versioned sets of typed column vectors. Readers pin a
+version (snapshot isolation); writers copy-on-write and install new versions
+at commit. The unit of data flow through the execution engine is the
+:class:`~repro.storage.column.ColumnBatch`.
+"""
+
+from .column import Column, ColumnBatch
+from .schema import ColumnSchema, TableSchema
+from .table import Table, TableData
+from .catalog import Catalog
+
+__all__ = [
+    "Column",
+    "ColumnBatch",
+    "ColumnSchema",
+    "TableSchema",
+    "Table",
+    "TableData",
+    "Catalog",
+]

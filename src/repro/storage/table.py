@@ -1,0 +1,216 @@
+"""Versioned main-memory tables.
+
+A :class:`TableData` is one immutable version of a table's contents: a
+tuple of columns plus the row count. A :class:`Table` is a named sequence
+of versions, each tagged with the commit timestamp that installed it.
+Readers resolve the version visible at their snapshot timestamp; writers
+derive a new :class:`TableData` by copy-on-write and install it at commit.
+
+This versioning is what lets long-running analytical queries run against a
+consistent snapshot while transactional updates continue — the HyPer
+"one system for OLTP and OLAP" story the paper builds on (section 3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..errors import CatalogError, ExecutionError
+from .column import Column, ColumnBatch
+from .schema import TableSchema
+
+#: Default number of rows per batch ("morsel") produced by table scans.
+DEFAULT_MORSEL_ROWS = 65_536
+
+
+class TableData:
+    """One immutable version of a table's contents."""
+
+    __slots__ = ("schema", "columns", "row_count")
+
+    def __init__(self, schema: TableSchema, columns: Sequence[Column]):
+        if len(columns) != len(schema):
+            raise CatalogError(
+                f"schema has {len(schema)} columns, got {len(columns)}"
+            )
+        lengths = {len(c) for c in columns}
+        if len(lengths) > 1:
+            raise CatalogError(f"ragged table: column lengths {lengths}")
+        self.schema = schema
+        self.columns = tuple(columns)
+        self.row_count = lengths.pop() if lengths else 0
+
+    @classmethod
+    def empty(cls, schema: TableSchema) -> "TableData":
+        """A zero-row version conforming to ``schema``."""
+        cols = [
+            Column(np.zeros(0, dtype=c.sql_type.numpy_dtype()), c.sql_type)
+            for c in schema
+        ]
+        return cls(schema, cols)
+
+    @classmethod
+    def from_rows(
+        cls, schema: TableSchema, rows: Iterable[Sequence[object]]
+    ) -> "TableData":
+        """Build a version from Python row tuples (coercing values)."""
+        materialised = [tuple(r) for r in rows]
+        for r in materialised:
+            if len(r) != len(schema):
+                raise CatalogError(
+                    f"row has {len(r)} values, schema has {len(schema)}"
+                )
+        cols = []
+        for i, col_schema in enumerate(schema):
+            values = [r[i] for r in materialised]
+            if col_schema.not_null and any(v is None for v in values):
+                raise CatalogError(
+                    f"NULL in NOT NULL column {col_schema.name!r}"
+                )
+            cols.append(Column.from_values(values, col_schema.sql_type))
+        return cls(schema, cols)
+
+    @classmethod
+    def from_batch(cls, schema: TableSchema, batch: ColumnBatch) -> "TableData":
+        """Adopt a batch whose columns positionally match ``schema``."""
+        names = batch.names()
+        if len(names) != len(schema):
+            raise CatalogError(
+                f"batch has {len(names)} columns, schema has {len(schema)}"
+            )
+        return cls(schema, [batch[n] for n in names])
+
+    def column_by_name(self, name: str) -> Column:
+        return self.columns[self.schema.index_of(name)]
+
+    def to_batch(self) -> ColumnBatch:
+        """The whole version as a single batch keyed by schema names."""
+        return ColumnBatch(
+            dict(zip(self.schema.names(), self.columns))
+        )
+
+    def scan(
+        self, morsel_rows: int = DEFAULT_MORSEL_ROWS
+    ) -> Iterator[ColumnBatch]:
+        """Yield the contents as a sequence of bounded-size batches."""
+        names = self.schema.names()
+        if self.row_count == 0:
+            yield ColumnBatch.empty(
+                dict(zip(names, self.schema.types()))
+            )
+            return
+        for start in range(0, self.row_count, morsel_rows):
+            stop = min(start + morsel_rows, self.row_count)
+            yield ColumnBatch(
+                {
+                    name: col.slice(start, stop)
+                    for name, col in zip(names, self.columns)
+                }
+            )
+
+    def append_rows(self, rows: Iterable[Sequence[object]]) -> "TableData":
+        """A new version with ``rows`` appended (copy-on-write)."""
+        addition = TableData.from_rows(self.schema, rows)
+        return self.append_data(addition)
+
+    def append_data(self, other: "TableData") -> "TableData":
+        """A new version with another version's rows appended."""
+        if other.row_count == 0:
+            return self
+        if self.row_count == 0:
+            return TableData(self.schema, other.columns)
+        cols = [
+            Column.concat([mine, theirs])
+            for mine, theirs in zip(self.columns, other.columns)
+        ]
+        return TableData(self.schema, cols)
+
+    def delete_where(self, keep_mask: np.ndarray) -> "TableData":
+        """A new version keeping only rows where ``keep_mask`` is True."""
+        if len(keep_mask) != self.row_count:
+            raise ExecutionError("delete mask length mismatch")
+        return TableData(
+            self.schema, [c.filter(keep_mask) for c in self.columns]
+        )
+
+    def replace_columns(
+        self, replacements: dict[int, Column]
+    ) -> "TableData":
+        """A new version with the given column ordinals replaced (UPDATE)."""
+        cols = list(self.columns)
+        for i, col in replacements.items():
+            if len(col) != self.row_count:
+                raise ExecutionError("update column length mismatch")
+            cols[i] = col.cast(self.schema.columns[i].sql_type)
+        return TableData(self.schema, cols)
+
+    def rows(self) -> Iterator[tuple[object, ...]]:
+        """Iterate rows as Python tuples (slow path)."""
+        return self.to_batch().rows()
+
+
+class Table:
+    """A named, versioned table.
+
+    ``versions`` is an append-only list of ``(commit_ts, TableData)`` pairs
+    in increasing timestamp order. ``created_ts``/``dropped_ts`` scope the
+    table's visibility so snapshots see a consistent catalog.
+    """
+
+    def __init__(self, name: str, schema: TableSchema, created_ts: int):
+        self.name = name
+        self.schema = schema
+        self.created_ts = created_ts
+        self.dropped_ts: int | None = None
+        self.versions: list[tuple[int, TableData]] = [
+            (created_ts, TableData.empty(schema))
+        ]
+
+    def visible_at(self, ts: int) -> bool:
+        """Whether the table exists in the snapshot at ``ts``."""
+        if ts < self.created_ts:
+            return False
+        return self.dropped_ts is None or ts < self.dropped_ts
+
+    def data_at(self, ts: int) -> TableData:
+        """Latest version committed at or before ``ts``."""
+        chosen: TableData | None = None
+        for commit_ts, data in self.versions:
+            if commit_ts <= ts:
+                chosen = data
+            else:
+                break
+        if chosen is None:
+            raise CatalogError(
+                f"table {self.name!r} not visible at snapshot {ts}"
+            )
+        return chosen
+
+    def latest(self) -> TableData:
+        """The most recently committed version."""
+        return self.versions[-1][1]
+
+    def latest_commit_ts(self) -> int:
+        return self.versions[-1][0]
+
+    def install(self, commit_ts: int, data: TableData) -> None:
+        """Append a new committed version (called by the txn manager)."""
+        if commit_ts < self.versions[-1][0]:
+            raise CatalogError("non-monotonic version install")
+        self.versions.append((commit_ts, data))
+
+    def truncate_history(self, keep_after_ts: int) -> int:
+        """Garbage-collect versions no snapshot at or after
+        ``keep_after_ts`` can see. Returns the number dropped."""
+        # Keep the newest version at or before the horizon plus everything
+        # after it; everything older is unreachable.
+        idx = 0
+        for i, (commit_ts, _) in enumerate(self.versions):
+            if commit_ts <= keep_after_ts:
+                idx = i
+        dropped = idx
+        if dropped:
+            del self.versions[:idx]
+        return dropped

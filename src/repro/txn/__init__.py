@@ -1,0 +1,7 @@
+"""Transactions: snapshot isolation over versioned tables, plus a
+write-ahead log for durability and crash recovery."""
+
+from .manager import Transaction, TransactionManager
+from .wal import WriteAheadLog
+
+__all__ = ["Transaction", "TransactionManager", "WriteAheadLog"]

@@ -1,0 +1,182 @@
+"""Write-ahead log.
+
+Committed transactions append one JSON record per logical operation
+(create/drop table, insert) followed by a commit marker. Recovery replays
+complete transactions in order; torn trailing records (from a crash
+mid-append) are discarded, as is any transaction without a commit marker.
+
+The engine logs *logical* operations rather than physical page images
+because the storage layer is pure main-memory copy-on-write: replaying
+logical ops against an empty catalog deterministically reconstructs state.
+DELETE and UPDATE are logged as the full replacement row set of the table
+(simple and correct for a main-memory engine whose versions are already
+whole-table snapshots).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from typing import Sequence
+
+from ..errors import TransactionError
+from ..types import SQLType, TypeKind, type_from_name
+from ..storage.schema import ColumnSchema, TableSchema
+
+
+def _schema_to_json(schema: TableSchema) -> list[dict]:
+    out = []
+    for col in schema:
+        out.append(
+            {
+                "name": col.name,
+                "type": col.sql_type.kind.value,
+                "width": col.sql_type.width,
+                "not_null": col.not_null,
+            }
+        )
+    return out
+
+
+def _schema_from_json(payload: list[dict]) -> TableSchema:
+    cols = []
+    for item in payload:
+        sql_type = SQLType(TypeKind(item["type"]), item.get("width"))
+        cols.append(
+            ColumnSchema(item["name"], sql_type, item.get("not_null", False))
+        )
+    return TableSchema(tuple(cols))
+
+
+class WriteAheadLog:
+    """An append-only JSON-lines log of committed logical operations.
+
+    Pass ``path=None`` for an in-memory log (useful in tests); otherwise
+    records are flushed and fsynced at each commit.
+    """
+
+    def __init__(self, path: str | None = None):
+        self.path = path
+        self._memory = io.StringIO() if path is None else None
+        if path is not None and not os.path.exists(path):
+            with open(path, "w", encoding="utf-8"):
+                pass
+
+    # -- writing ---------------------------------------------------------------
+
+    def log_commit(self, txn_id: int, operations: Sequence[tuple]) -> None:
+        """Append a transaction's operations plus its commit marker."""
+        lines = []
+        for op in operations:
+            lines.append(json.dumps(self._encode(txn_id, op)))
+        lines.append(json.dumps({"txn": txn_id, "op": "commit"}))
+        payload = "\n".join(lines) + "\n"
+        if self._memory is not None:
+            self._memory.write(payload)
+            return
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    @staticmethod
+    def _encode(txn_id: int, op: tuple) -> dict:
+        kind = op[0]
+        if kind == "create_table":
+            _, name, schema = op
+            return {
+                "txn": txn_id,
+                "op": "create_table",
+                "name": name,
+                "schema": _schema_to_json(schema),
+            }
+        if kind == "drop_table":
+            _, name = op
+            return {"txn": txn_id, "op": "drop_table", "name": name}
+        if kind == "insert":
+            _, name, rows = op
+            return {
+                "txn": txn_id,
+                "op": "insert",
+                "name": name,
+                "rows": [list(r) for r in rows],
+            }
+        if kind == "replace":
+            _, name, rows = op
+            return {
+                "txn": txn_id,
+                "op": "replace",
+                "name": name,
+                "rows": [list(r) for r in rows],
+            }
+        raise TransactionError(f"unknown WAL operation: {kind!r}")
+
+    # -- reading ---------------------------------------------------------------
+
+    def records(self) -> list[dict]:
+        """All well-formed records, discarding a torn trailing line."""
+        if self._memory is not None:
+            text = self._memory.getvalue()
+        else:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        records = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                break  # torn write: ignore this and everything after
+        return records
+
+    def committed_operations(self) -> list[dict]:
+        """Operations of transactions that reached their commit marker,
+        in commit order."""
+        records = self.records()
+        committed = {
+            r["txn"] for r in records if r.get("op") == "commit"
+        }
+        return [
+            r
+            for r in records
+            if r.get("op") != "commit" and r.get("txn") in committed
+        ]
+
+    def replay_into(self, manager) -> int:
+        """Re-apply committed operations through a fresh transaction
+        manager; returns the number of operations replayed."""
+        ops = self.committed_operations()
+        count = 0
+        for record in ops:
+            txn = manager.begin()
+            op = record["op"]
+            if op == "create_table":
+                txn.create_table(
+                    record["name"], _schema_from_json(record["schema"])
+                )
+            elif op == "drop_table":
+                txn.drop_table(record["name"])
+            elif op == "insert":
+                txn.insert_rows(record["name"], record["rows"])
+            elif op == "replace":
+                data = txn.read(record["name"])
+                from ..storage.table import TableData
+
+                txn.write(
+                    record["name"],
+                    TableData.from_rows(data.schema, record["rows"]),
+                )
+            else:
+                raise TransactionError(f"unknown WAL record: {op!r}")
+            # Recovery replays through the normal commit path but must not
+            # re-log what is already durable.
+            saved_wal, manager.wal = manager.wal, None
+            try:
+                txn.commit()
+            finally:
+                manager.wal = saved_wal
+            count += 1
+        return count

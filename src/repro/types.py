@@ -1,0 +1,220 @@
+"""SQL type system.
+
+The engine supports a compact but complete scalar type lattice:
+
+    BOOLEAN < INTEGER < BIGINT < DOUBLE
+    VARCHAR
+    DATE (stored as days since epoch, INTEGER-backed)
+    NULL (the type of an untyped NULL literal; coerces to anything)
+
+Columns are numpy-backed; each SQL type maps to a numpy dtype. NULLs are
+tracked out-of-band with a boolean validity mask, so the value arrays stay
+densely typed (the columnar layout HyPer-style engines rely on).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import BindError
+
+
+class TypeKind(enum.Enum):
+    """Enumeration of scalar SQL types supported by the engine."""
+
+    BOOLEAN = "BOOLEAN"
+    INTEGER = "INTEGER"
+    BIGINT = "BIGINT"
+    DOUBLE = "DOUBLE"
+    VARCHAR = "VARCHAR"
+    DATE = "DATE"
+    NULL = "NULL"
+
+
+@dataclass(frozen=True)
+class SQLType:
+    """A resolved SQL type.
+
+    ``width`` is only meaningful for VARCHAR and is advisory (the storage
+    layer does not truncate); it is kept so DDL round-trips faithfully.
+    """
+
+    kind: TypeKind
+    width: int | None = None
+
+    def __str__(self) -> str:
+        if self.kind is TypeKind.VARCHAR and self.width is not None:
+            return f"VARCHAR({self.width})"
+        return self.kind.value
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.kind in _NUMERIC_KINDS
+
+    @property
+    def is_integral(self) -> bool:
+        return self.kind in (TypeKind.INTEGER, TypeKind.BIGINT)
+
+    def numpy_dtype(self) -> np.dtype:
+        """The numpy dtype used to store values of this type."""
+        return np.dtype(_NUMPY_DTYPES[self.kind])
+
+
+_NUMERIC_KINDS = frozenset(
+    {TypeKind.INTEGER, TypeKind.BIGINT, TypeKind.DOUBLE}
+)
+
+_NUMPY_DTYPES = {
+    TypeKind.BOOLEAN: np.bool_,
+    TypeKind.INTEGER: np.int32,
+    TypeKind.BIGINT: np.int64,
+    TypeKind.DOUBLE: np.float64,
+    TypeKind.VARCHAR: object,
+    TypeKind.DATE: np.int32,
+    TypeKind.NULL: object,
+}
+
+BOOLEAN = SQLType(TypeKind.BOOLEAN)
+INTEGER = SQLType(TypeKind.INTEGER)
+BIGINT = SQLType(TypeKind.BIGINT)
+DOUBLE = SQLType(TypeKind.DOUBLE)
+VARCHAR = SQLType(TypeKind.VARCHAR)
+DATE = SQLType(TypeKind.DATE)
+NULLTYPE = SQLType(TypeKind.NULL)
+
+_TYPE_NAMES = {
+    "BOOLEAN": BOOLEAN,
+    "BOOL": BOOLEAN,
+    "INTEGER": INTEGER,
+    "INT": INTEGER,
+    "INT4": INTEGER,
+    "SMALLINT": INTEGER,
+    "BIGINT": BIGINT,
+    "INT8": BIGINT,
+    "DOUBLE": DOUBLE,
+    "FLOAT": DOUBLE,
+    "FLOAT8": DOUBLE,
+    "REAL": DOUBLE,
+    "DOUBLE PRECISION": DOUBLE,
+    "NUMERIC": DOUBLE,
+    "DECIMAL": DOUBLE,
+    "VARCHAR": VARCHAR,
+    "TEXT": VARCHAR,
+    "CHAR": VARCHAR,
+    "STRING": VARCHAR,
+    "DATE": DATE,
+}
+
+# Numeric promotion order: the result of mixing two numeric types is the
+# wider of the two. BOOLEAN deliberately does not promote to numeric.
+_NUMERIC_ORDER = [TypeKind.INTEGER, TypeKind.BIGINT, TypeKind.DOUBLE]
+
+
+def type_from_name(name: str, width: int | None = None) -> SQLType:
+    """Resolve a type name appearing in DDL or CAST to an :class:`SQLType`.
+
+    Raises :class:`BindError` for unknown names.
+    """
+    base = _TYPE_NAMES.get(name.upper())
+    if base is None:
+        raise BindError(f"unknown type name: {name!r}")
+    if base.kind is TypeKind.VARCHAR and width is not None:
+        return SQLType(TypeKind.VARCHAR, width)
+    return base
+
+
+def common_supertype(left: SQLType, right: SQLType) -> SQLType:
+    """The least common supertype of two types, used for binary operators,
+    CASE branches, set operations, and recursive-CTE step unification.
+
+    Raises :class:`BindError` when the types are incompatible.
+    """
+    if left.kind is TypeKind.NULL:
+        return right
+    if right.kind is TypeKind.NULL:
+        return left
+    if left.kind == right.kind:
+        # Unify VARCHAR widths to the wider (or unbounded).
+        if left.kind is TypeKind.VARCHAR and left.width != right.width:
+            return VARCHAR
+        return left
+    if left.is_numeric and right.is_numeric:
+        rank = max(_NUMERIC_ORDER.index(left.kind),
+                   _NUMERIC_ORDER.index(right.kind))
+        return SQLType(_NUMERIC_ORDER[rank])
+    raise BindError(f"incompatible types: {left} and {right}")
+
+
+def can_implicitly_cast(source: SQLType, target: SQLType) -> bool:
+    """Whether ``source`` values may silently flow where ``target`` is
+    expected (assignment casts on INSERT, argument binding, comparisons)."""
+    if source.kind is TypeKind.NULL:
+        return True
+    if source.kind == target.kind:
+        return True
+    if source.is_numeric and target.is_numeric:
+        src_rank = _NUMERIC_ORDER.index(source.kind)
+        dst_rank = _NUMERIC_ORDER.index(target.kind)
+        return dst_rank >= src_rank
+    return False
+
+
+def python_type_of(sql_type: SQLType) -> type:
+    """The Python type results of this SQL type materialise as in rows."""
+    return {
+        TypeKind.BOOLEAN: bool,
+        TypeKind.INTEGER: int,
+        TypeKind.BIGINT: int,
+        TypeKind.DOUBLE: float,
+        TypeKind.VARCHAR: str,
+        TypeKind.DATE: int,
+        TypeKind.NULL: type(None),
+    }[sql_type.kind]
+
+
+def infer_literal_type(value: object) -> SQLType:
+    """SQL type of a Python literal (used by the binder for constants and
+    by INSERT ... VALUES type inference)."""
+    if value is None:
+        return NULLTYPE
+    if isinstance(value, bool):
+        return BOOLEAN
+    if isinstance(value, (int, np.integer)):
+        if -(2**31) <= int(value) < 2**31:
+            return INTEGER
+        return BIGINT
+    if isinstance(value, (float, np.floating)):
+        return DOUBLE
+    if isinstance(value, str):
+        return VARCHAR
+    raise BindError(f"cannot infer SQL type for literal {value!r}")
+
+
+def coerce_scalar(value: object, target: SQLType) -> object:
+    """Coerce a Python scalar to ``target``; raises BindError when the
+    value cannot represent the target type."""
+    if value is None:
+        return None
+    kind = target.kind
+    try:
+        if kind is TypeKind.BOOLEAN:
+            if isinstance(value, str):
+                lowered = value.strip().lower()
+                if lowered in ("true", "t", "1"):
+                    return True
+                if lowered in ("false", "f", "0"):
+                    return False
+                raise ValueError(value)
+            return bool(value)
+        if kind in (TypeKind.INTEGER, TypeKind.BIGINT, TypeKind.DATE):
+            return int(value)
+        if kind is TypeKind.DOUBLE:
+            return float(value)
+        if kind is TypeKind.VARCHAR:
+            return value if isinstance(value, str) else str(value)
+    except (TypeError, ValueError) as exc:
+        raise BindError(f"cannot coerce {value!r} to {target}") from exc
+    raise BindError(f"cannot coerce to type {target}")

@@ -1,0 +1,11 @@
+"""User-defined functions — the paper's layer 2.
+
+UDFs execute inside the database but as black boxes: the optimizer can
+not inspect, vectorise, or reorder them (section 4.1). Scalar UDFs are
+callable from any SQL expression; table UDFs appear in FROM like
+analytics operators but run row-at-a-time Python.
+"""
+
+from .registry import ScalarUDF, TableUDF, UDFRegistry
+
+__all__ = ["ScalarUDF", "TableUDF", "UDFRegistry"]

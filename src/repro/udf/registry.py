@@ -1,0 +1,149 @@
+"""UDF registration and the table-UDF operator adapter."""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..errors import BindError, UDFError
+from ..plan.logical import LogicalTableFunction, PlanColumn
+from ..storage.column import Column, ColumnBatch
+from ..types import SQLType
+from ..analytics.registry import OperatorDescriptor
+
+
+@dataclass(frozen=True)
+class ScalarUDF:
+    """A registered scalar UDF: a Python callable plus its declared
+    return type. Arity is taken from the function signature unless
+    overridden."""
+
+    name: str
+    func: Callable
+    return_type: SQLType
+    arity: Optional[int] = None
+
+    def check_arity(self, count: int) -> None:
+        if self.arity is not None and count != self.arity:
+            raise BindError(
+                f"UDF {self.name}() takes {self.arity} arguments, "
+                f"got {count}"
+            )
+
+
+@dataclass(frozen=True)
+class TableUDF:
+    """A registered table UDF: takes scalar arguments, returns an
+    iterable of row tuples matching ``output_schema``."""
+
+    name: str
+    func: Callable
+    output_schema: list[tuple[str, SQLType]]
+
+
+class TableUDFDescriptor(OperatorDescriptor):
+    """Adapts a :class:`TableUDF` to the operator-registry protocol so it
+    is callable in FROM, like the built-in analytics operators — the
+    paper's point that UDFs, SQL and operators share one syntax."""
+
+    def __init__(self, udf: TableUDF):
+        self.name = udf.name
+        self._udf = udf
+
+    def bind(self, binder, func, parent_scope, ctes) -> LogicalTableFunction:
+        params = []
+        for i, arg in enumerate(func.args):
+            if arg.scalar is None:
+                raise BindError(
+                    f"table UDF {self.name}() takes scalar arguments only "
+                    f"(argument {i + 1})"
+                )
+            params.append(
+                binder.constant_scalar(arg.scalar, f"argument {i + 1}")
+            )
+        output = [
+            PlanColumn(name, binder.fresh_expr_slot(), sql_type)
+            for name, sql_type in self._udf.output_schema
+        ]
+        return LogicalTableFunction(
+            name=self.name,
+            inputs=[],
+            lambdas={},
+            params=params,
+            output=output,
+        )
+
+    def estimate_rows(self, node, input_estimates) -> float:
+        return 100.0  # black box: the optimizer cannot know (section 4.1)
+
+    def run(self, node, inputs, ctx, eval_ctx) -> ColumnBatch:
+        try:
+            rows = list(self._udf.func(*node.params))
+        except Exception as exc:  # noqa: BLE001 - sandbox boundary
+            raise UDFError(
+                f"table UDF {self.name!r} raised "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        columns = {}
+        for i, (name, sql_type) in enumerate(self._udf.output_schema):
+            columns[name] = Column.from_values(
+                [row[i] for row in rows], sql_type
+            )
+        return ColumnBatch(columns)
+
+
+class UDFRegistry:
+    """Holds scalar UDFs; table UDFs are forwarded into the analytics
+    operator registry the database composes."""
+
+    def __init__(self) -> None:
+        self._scalars: dict[str, ScalarUDF] = {}
+        self._tables: dict[str, TableUDF] = {}
+
+    def register_scalar(
+        self,
+        name: str,
+        func: Callable,
+        return_type: SQLType,
+        arity: Optional[int] = None,
+    ) -> ScalarUDF:
+        if arity is None:
+            try:
+                signature = inspect.signature(func)
+                if all(
+                    p.kind
+                    in (
+                        inspect.Parameter.POSITIONAL_ONLY,
+                        inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                    )
+                    for p in signature.parameters.values()
+                ):
+                    arity = len(signature.parameters)
+            except (TypeError, ValueError):
+                arity = None
+        udf = ScalarUDF(name.lower(), func, return_type, arity)
+        self._scalars[udf.name] = udf
+        return udf
+
+    def register_table(
+        self,
+        name: str,
+        func: Callable,
+        output_schema: Sequence[tuple[str, SQLType]],
+    ) -> TableUDF:
+        udf = TableUDF(name.lower(), func, list(output_schema))
+        self._tables[udf.name] = udf
+        return udf
+
+    def lookup_scalar(self, name: str) -> Optional[ScalarUDF]:
+        return self._scalars.get(name.lower())
+
+    def lookup_table(self, name: str) -> Optional[TableUDF]:
+        return self._tables.get(name.lower())
+
+    def scalar_names(self) -> list[str]:
+        return sorted(self._scalars)
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)

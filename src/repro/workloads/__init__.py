@@ -1,0 +1,27 @@
+"""Layer-3 workloads: the paper's algorithms expressed in SQL.
+
+Each builder returns SQL text for our dialect, in two variants per
+algorithm where iteration is involved:
+
+* the **ITERATE** variant (non-appending working relation, section 5.1) —
+  the paper's *HyPer Iterate* series, and
+* the **recursive CTE** variant (appending, SQL:1999) — *HyPer SQL*.
+
+Naive Bayes training is a single aggregation query (no iteration), so it
+has one SQL form.
+"""
+
+from .kmeans_sql import kmeans_iterate_sql, kmeans_recursive_sql
+from .pagerank_sql import pagerank_iterate_sql, pagerank_recursive_sql
+from .naive_bayes_sql import naive_bayes_train_sql
+from .apriori_sql import FrequentItemset, apriori
+
+__all__ = [
+    "kmeans_iterate_sql",
+    "kmeans_recursive_sql",
+    "pagerank_iterate_sql",
+    "pagerank_recursive_sql",
+    "naive_bayes_train_sql",
+    "apriori",
+    "FrequentItemset",
+]

@@ -1,0 +1,123 @@
+"""Frequent itemset mining (a-priori) in SQL — layer 3.
+
+The paper singles out a-priori as an algorithm that "works well in SQL"
+(section 4.2): candidate generation and support counting are joins and
+GROUP BYs. This driver runs the classic SQL formulation level by level
+against a transactions table ``(tid, item)``:
+
+* L1 — frequent single items: GROUP BY item, HAVING count >= minsup;
+* Lk — self-join L(k-1) with the transaction table, extending each
+  frequent itemset by a lexicographically larger frequent item, then
+  count support per candidate.
+
+Itemsets are represented relationally as k item columns in sorted
+order, one row per itemset — no arrays needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FrequentItemset:
+    """One mined itemset with its absolute support."""
+
+    items: tuple
+    support: int
+
+
+def _level_table(prefix: str, k: int) -> str:
+    return f"{prefix}_l{k}"
+
+
+def apriori(
+    db,
+    table: str,
+    min_support: int,
+    max_size: int = 3,
+    tid: str = "tid",
+    item: str = "item",
+    keep_tables: bool = False,
+) -> list[FrequentItemset]:
+    """Mine frequent itemsets of size <= ``max_size``.
+
+    ``min_support`` is the absolute transaction count. Intermediate
+    level tables (``apriori_l1`` ...) are dropped afterwards unless
+    ``keep_tables`` is set. Returns itemsets sorted by (size, items).
+    """
+    if min_support < 1:
+        raise ValueError("min_support must be >= 1")
+    if max_size < 1:
+        raise ValueError("max_size must be >= 1")
+
+    prefix = "apriori"
+    results: list[FrequentItemset] = []
+    created: list[str] = []
+    try:
+        level1 = _level_table(prefix, 1)
+        db.execute(f"DROP TABLE IF EXISTS {level1}")
+        db.execute(
+            f"CREATE TABLE {level1} AS "
+            f"SELECT {item} AS i1, count(DISTINCT {tid}) AS support "
+            f"FROM {table} GROUP BY {item} "
+            f"HAVING count(DISTINCT {tid}) >= {min_support}"
+        )
+        created.append(level1)
+        for i1, support in db.execute(
+            f"SELECT i1, support FROM {level1} ORDER BY i1"
+        ).rows:
+            results.append(FrequentItemset((i1,), support))
+
+        for k in range(2, max_size + 1):
+            prev = _level_table(prefix, k - 1)
+            level = _level_table(prefix, k)
+            prev_items = [f"i{j}" for j in range(1, k)]
+            # Extend every frequent (k-1)-itemset by a larger frequent
+            # item co-occurring in the same transaction, then count the
+            # distinct supporting transactions per candidate.
+            tx_match = " AND ".join(
+                f"t{j}.{item} = p.i{j}" for j in range(1, k)
+            )
+            tx_tables = ", ".join(
+                f"{table} t{j}" for j in range(1, k + 1)
+            )
+            same_tid = " AND ".join(
+                f"t{j}.{tid} = t1.{tid}" for j in range(2, k + 1)
+            )
+            group_cols = ", ".join(
+                [f"p.i{j}" for j in range(1, k)] + [f"t{k}.{item}"]
+            )
+            select_cols = ", ".join(
+                [f"p.i{j} AS i{j}" for j in range(1, k)]
+                + [f"t{k}.{item} AS i{k}"]
+            )
+            frequent_last = (
+                f"t{k}.{item} IN (SELECT i1 FROM {level1})"
+            )
+            db.execute(f"DROP TABLE IF EXISTS {level}")
+            db.execute(
+                f"CREATE TABLE {level} AS "
+                f"SELECT {select_cols}, "
+                f"count(DISTINCT t1.{tid}) AS support "
+                f"FROM {prev} p, {tx_tables} "
+                f"WHERE {tx_match} AND {same_tid} "
+                f"AND t{k}.{item} > p.i{k - 1} "
+                f"AND {frequent_last} "
+                f"GROUP BY {group_cols} "
+                f"HAVING count(DISTINCT t1.{tid}) >= {min_support}"
+            )
+            created.append(level)
+            cols = ", ".join(f"i{j}" for j in range(1, k + 1))
+            rows = db.execute(
+                f"SELECT {cols}, support FROM {level} ORDER BY {cols}"
+            ).rows
+            if not rows:
+                break
+            for row in rows:
+                results.append(FrequentItemset(tuple(row[:-1]), row[-1]))
+    finally:
+        if not keep_tables:
+            for name in created:
+                db.execute(f"DROP TABLE IF EXISTS {name}")
+    return results

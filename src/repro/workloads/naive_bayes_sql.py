@@ -1,0 +1,39 @@
+"""Naive Bayes training expressed in pure SQL (layer 3).
+
+Training is a single (non-iterative) aggregation pass per attribute:
+per class, the tuple count, mean, and population standard deviation,
+plus the Laplace-smoothed prior PR(c) = (|c| + 1)/(|D| + |C|)
+(section 6.2). The output relation matches the training operator's
+layout (class, attribute, prior, mean, stddev, count), so the same
+NAIVE_BAYES_PREDICT post-processing applies to either.
+
+One UNION ALL branch per attribute: the straightforward SQL form scans
+the training relation d times where the operator makes a single pass —
+part of the layer-3 vs layer-4 gap the evaluation measures.
+"""
+
+from __future__ import annotations
+
+
+def naive_bayes_train_sql(
+    train_table: str,
+    label: str,
+    features: list[str],
+) -> str:
+    branches = []
+    for feature in features:
+        branches.append(
+            f"SELECT {label} AS class, '{feature}' AS attribute, "
+            f"(count(*) + 1.0) / (min(t.total) + min(t.nclasses)) AS prior, "
+            f"avg({feature}) AS mean, "
+            f"stddev_pop({feature}) AS stddev, "
+            f"count(*) AS cnt "
+            f"FROM {train_table}, totals t "
+            f"GROUP BY {label}"
+        )
+    union = " UNION ALL ".join(branches)
+    return (
+        f"WITH totals AS (SELECT count(*) AS total, "
+        f"count(DISTINCT {label}) AS nclasses FROM {train_table}) "
+        f"{union} ORDER BY class, attribute"
+    )

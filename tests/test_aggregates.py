@@ -1,0 +1,229 @@
+"""Aggregation semantics: GROUP BY, HAVING, DISTINCT, NULL skipping."""
+
+import pytest
+
+import repro
+from repro.errors import BindError
+
+
+@pytest.fixture
+def sales(db):
+    db.execute(
+        "CREATE TABLE sales (region VARCHAR, product VARCHAR, "
+        "amount FLOAT, qty INTEGER)"
+    )
+    db.insert_rows(
+        "sales",
+        [
+            ("north", "apple", 10.0, 1),
+            ("north", "pear", 20.0, 2),
+            ("north", "apple", None, 4),
+            ("south", "apple", 30.0, 3),
+            ("south", "pear", 15.0, None),
+            (None, "pear", 5.0, 1),
+        ],
+    )
+    return db
+
+
+class TestGlobalAggregates:
+    def test_count_star_vs_count_column(self, sales):
+        row = sales.execute(
+            "SELECT count(*), count(amount), count(qty) FROM sales"
+        ).fetchone()
+        assert row == (6, 5, 5)
+
+    def test_sum_avg_skip_nulls(self, sales):
+        total, mean = sales.execute(
+            "SELECT sum(amount), avg(amount) FROM sales"
+        ).fetchone()
+        assert total == pytest.approx(80.0)
+        assert mean == pytest.approx(16.0)
+
+    def test_min_max(self, sales):
+        assert sales.execute(
+            "SELECT min(amount), max(amount) FROM sales"
+        ).fetchone() == (5.0, 30.0)
+
+    def test_min_max_strings(self, sales):
+        assert sales.execute(
+            "SELECT min(product), max(product) FROM sales"
+        ).fetchone() == ("apple", "pear")
+
+    def test_sum_integer_returns_bigint_exact(self, db):
+        db.execute("CREATE TABLE big (a BIGINT)")
+        value = 2**60
+        db.insert_rows("big", [(value,), (value,)])
+        assert db.execute("SELECT sum(a) FROM big").scalar() == 2 * value
+
+    def test_empty_table_global_aggregate(self, db):
+        db.execute("CREATE TABLE empty (a INTEGER)")
+        row = db.execute(
+            "SELECT count(*), sum(a), min(a), avg(a) FROM empty"
+        ).fetchone()
+        assert row == (0, None, None, None)
+
+    def test_all_null_column(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.insert_rows("t", [(None,), (None,)])
+        row = db.execute(
+            "SELECT count(a), sum(a), avg(a) FROM t"
+        ).fetchone()
+        assert row == (0, None, None)
+
+    def test_stddev_variance(self, db):
+        db.execute("CREATE TABLE t (a FLOAT)")
+        db.insert_rows("t", [(2.0,), (4.0,), (4.0,), (4.0,), (5.0,),
+                             (5.0,), (7.0,), (9.0,)])
+        pop = db.execute("SELECT stddev_pop(a) FROM t").scalar()
+        samp = db.execute("SELECT stddev(a) FROM t").scalar()
+        assert pop == pytest.approx(2.0)
+        assert samp == pytest.approx(2.13809, abs=1e-4)
+        var = db.execute("SELECT var_pop(a) FROM t").scalar()
+        assert var == pytest.approx(4.0)
+
+    def test_stddev_single_value_sample_is_null(self, db):
+        db.execute("CREATE TABLE t (a FLOAT)")
+        db.insert_rows("t", [(1.0,)])
+        assert db.execute("SELECT stddev(a) FROM t").scalar() is None
+        assert db.execute("SELECT stddev_pop(a) FROM t").scalar() == 0.0
+
+    def test_bool_aggregates(self, db):
+        db.execute("CREATE TABLE t (a BOOLEAN)")
+        db.insert_rows("t", [(True,), (False,), (None,)])
+        assert db.execute("SELECT bool_and(a) FROM t").scalar() is False
+        assert db.execute("SELECT bool_or(a) FROM t").scalar() is True
+
+
+class TestGroupBy:
+    def test_group_counts(self, sales):
+        rows = sales.execute(
+            "SELECT region, count(*) FROM sales GROUP BY region "
+            "ORDER BY region NULLS LAST"
+        ).rows
+        assert rows == [("north", 3), ("south", 2), (None, 1)]
+
+    def test_nulls_form_one_group(self, sales):
+        rows = sales.execute(
+            "SELECT region FROM sales GROUP BY region"
+        ).rows
+        assert len(rows) == 3
+
+    def test_group_by_expression(self, sales):
+        rows = sales.execute(
+            "SELECT qty % 2, count(*) FROM sales WHERE qty IS NOT NULL "
+            "GROUP BY qty % 2 ORDER BY 1"
+        ).rows
+        assert rows == [(0, 2), (1, 3)]
+
+    def test_group_by_ordinal(self, sales):
+        rows = sales.execute(
+            "SELECT product, sum(qty) FROM sales GROUP BY 1 ORDER BY 1"
+        ).rows
+        assert rows == [("apple", 8), ("pear", 3)]
+
+    def test_group_by_alias(self, sales):
+        rows = sales.execute(
+            "SELECT region AS r, count(*) FROM sales GROUP BY r "
+            "ORDER BY r NULLS LAST"
+        ).rows
+        assert rows[0][0] == "north"
+
+    def test_multi_key_grouping(self, sales):
+        rows = sales.execute(
+            "SELECT region, product, count(*) FROM sales "
+            "GROUP BY region, product ORDER BY region NULLS LAST, product"
+        ).rows
+        assert len(rows) == 5
+
+    def test_expression_over_aggregate(self, sales):
+        rows = sales.execute(
+            "SELECT region, sum(amount) / count(amount) AS mean "
+            "FROM sales WHERE region IS NOT NULL GROUP BY region "
+            "ORDER BY region"
+        ).rows
+        assert rows[0][1] == pytest.approx(15.0)
+
+    def test_group_key_in_expression(self, sales):
+        rows = sales.execute(
+            "SELECT upper(region), count(*) FROM sales "
+            "WHERE region = 'north' GROUP BY upper(region)"
+        ).rows
+        assert rows == [("NORTH", 3)]
+
+    def test_non_grouped_column_rejected(self, sales):
+        with pytest.raises(BindError, match="GROUP BY"):
+            sales.execute(
+                "SELECT region, amount FROM sales GROUP BY region"
+            )
+
+    def test_nested_aggregate_rejected(self, sales):
+        with pytest.raises(BindError, match="nested"):
+            sales.execute("SELECT sum(count(*)) FROM sales")
+
+    def test_aggregate_in_where_rejected(self, sales):
+        with pytest.raises(BindError):
+            sales.execute("SELECT 1 FROM sales WHERE sum(amount) > 0")
+
+
+class TestHaving:
+    def test_having_filters_groups(self, sales):
+        rows = sales.execute(
+            "SELECT region, count(*) AS n FROM sales GROUP BY region "
+            "HAVING count(*) > 1 ORDER BY region"
+        ).rows
+        assert rows == [("north", 3), ("south", 2)]
+
+    def test_having_with_different_aggregate(self, sales):
+        rows = sales.execute(
+            "SELECT region FROM sales GROUP BY region "
+            "HAVING sum(amount) >= 30 ORDER BY region"
+        ).rows
+        assert rows == [("north",), ("south",)]
+
+    def test_having_without_group_by(self, sales):
+        rows = sales.execute(
+            "SELECT count(*) FROM sales HAVING count(*) > 100"
+        ).rows
+        assert rows == []
+
+    def test_having_requires_aggregation_context(self, sales):
+        with pytest.raises(BindError):
+            sales.execute("SELECT region FROM sales HAVING region = 'x'")
+
+
+class TestDistinctAggregates:
+    def test_count_distinct(self, sales):
+        assert sales.execute(
+            "SELECT count(DISTINCT product) FROM sales"
+        ).scalar() == 2
+
+    def test_sum_distinct(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.insert_rows("t", [(1,), (1,), (2,), (3,), (3,)])
+        assert db.execute("SELECT sum(DISTINCT a) FROM t").scalar() == 6
+
+    def test_count_distinct_per_group(self, sales):
+        rows = sales.execute(
+            "SELECT region, count(DISTINCT product) FROM sales "
+            "WHERE region IS NOT NULL GROUP BY region ORDER BY region"
+        ).rows
+        assert rows == [("north", 2), ("south", 2)]
+
+
+class TestSelectDistinct:
+    def test_distinct_rows(self, sales):
+        rows = sales.execute(
+            "SELECT DISTINCT product FROM sales ORDER BY product"
+        ).rows
+        assert rows == [("apple",), ("pear",)]
+
+    def test_distinct_keeps_null(self, sales):
+        rows = sales.execute("SELECT DISTINCT region FROM sales").rows
+        assert len(rows) == 3
+
+    def test_distinct_multi_column(self, sales):
+        rows = sales.execute(
+            "SELECT DISTINCT region, product FROM sales"
+        ).rows
+        assert len(rows) == 5

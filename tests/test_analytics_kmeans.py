@@ -1,0 +1,243 @@
+"""The k-Means operator (SQL level) and the library kernel."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analytics.kmeans import kmeans
+from repro.errors import AnalyticsError, BindError
+
+
+@pytest.fixture
+def clustered(db):
+    """Two well-separated blobs plus the centers table."""
+    rng = np.random.default_rng(0)
+    db.execute("CREATE TABLE pts (x FLOAT, y FLOAT)")
+    blob_a = rng.normal(0.0, 0.1, (30, 2))
+    blob_b = rng.normal(5.0, 0.1, (30, 2))
+    db.load_columns(
+        "pts",
+        {
+            "x": np.concatenate([blob_a[:, 0], blob_b[:, 0]]),
+            "y": np.concatenate([blob_a[:, 1], blob_b[:, 1]]),
+        },
+    )
+    db.execute("CREATE TABLE seeds (x FLOAT, y FLOAT)")
+    db.insert_rows("seeds", [(0.0, 0.0), (5.0, 5.0)])
+    return db
+
+
+class TestOperatorSQL:
+    def test_finds_blob_centers(self, clustered):
+        rows = clustered.execute(
+            "SELECT * FROM KMEANS((SELECT x, y FROM pts), "
+            "(SELECT x, y FROM seeds), 20) ORDER BY x"
+        ).rows
+        assert len(rows) == 2
+        cluster0 = rows[0]
+        assert cluster0[1] == pytest.approx(0.0, abs=0.2)
+        assert cluster0[3] == 30  # size
+        assert rows[1][1] == pytest.approx(5.0, abs=0.2)
+
+    def test_output_schema(self, clustered):
+        result = clustered.execute(
+            "SELECT * FROM KMEANS((SELECT x, y FROM pts), "
+            "(SELECT x, y FROM seeds), 5)"
+        )
+        assert result.columns == ["cluster", "x", "y", "size"]
+
+    def test_lambda_euclidean_matches_default(self, clustered):
+        default = clustered.execute(
+            "SELECT x, y FROM KMEANS((SELECT x, y FROM pts), "
+            "(SELECT x, y FROM seeds), 10) ORDER BY x"
+        ).rows
+        explicit = clustered.execute(
+            "SELECT x, y FROM KMEANS((SELECT x, y FROM pts), "
+            "(SELECT x, y FROM seeds), "
+            "LAMBDA(a, b) (a.x - b.x)^2 + (a.y - b.y)^2, 10) ORDER BY x"
+        ).rows
+        for d_row, e_row in zip(default, explicit):
+            assert d_row == pytest.approx(e_row)
+
+    def test_manhattan_lambda_changes_semantics(self, clustered):
+        # k-Medians-flavoured distance (paper section 7): still runs,
+        # converges to sane centers.
+        rows = clustered.execute(
+            "SELECT * FROM KMEANS((SELECT x, y FROM pts), "
+            "(SELECT x, y FROM seeds), "
+            "LAMBDA(a, b) abs(a.x - b.x) + abs(a.y - b.y), 10) "
+            "ORDER BY x"
+        ).rows
+        assert rows[0][1] == pytest.approx(0.0, abs=0.2)
+
+    def test_weighted_lambda(self, clustered):
+        rows = clustered.execute(
+            "SELECT count(*) FROM KMEANS((SELECT x, y FROM pts), "
+            "(SELECT x, y FROM seeds), "
+            "LAMBDA(a, b) 10.0 * (a.x - b.x)^2 + (a.y - b.y)^2, 5)"
+        )
+        assert rows.scalar() == 2
+
+    def test_subquery_preprocessing(self, clustered):
+        # Arbitrary pre-processing: filter one blob away, one center.
+        rows = clustered.execute(
+            "SELECT * FROM KMEANS("
+            "(SELECT x, y FROM pts WHERE x < 2), "
+            "(SELECT x, y FROM seeds LIMIT 1), 10)"
+        ).rows
+        assert len(rows) == 1
+        assert rows[0][3] == 30
+
+    def test_postprocessing_in_same_query(self, clustered):
+        total = clustered.execute(
+            "SELECT sum(size) FROM KMEANS((SELECT x, y FROM pts), "
+            "(SELECT x, y FROM seeds), 5)"
+        ).scalar()
+        assert total == 60
+
+    def test_dimension_mismatch_rejected(self, clustered):
+        with pytest.raises(BindError, match="dimensions"):
+            clustered.execute(
+                "SELECT * FROM KMEANS((SELECT x, y FROM pts), "
+                "(SELECT x FROM seeds), 3)"
+            )
+
+    def test_non_numeric_input_rejected(self, db):
+        db.execute("CREATE TABLE t (s VARCHAR)")
+        with pytest.raises(BindError):
+            db.execute(
+                "SELECT * FROM KMEANS((SELECT s FROM t), "
+                "(SELECT s FROM t), 3)"
+            )
+
+    def test_bad_max_iterations(self, clustered):
+        with pytest.raises(BindError, match="positive"):
+            clustered.execute(
+                "SELECT * FROM KMEANS((SELECT x, y FROM pts), "
+                "(SELECT x, y FROM seeds), 0)"
+            )
+
+    def test_null_data_rejected(self, db):
+        db.execute("CREATE TABLE t (x FLOAT)")
+        db.insert_rows("t", [(1.0,), (None,)])
+        with pytest.raises(AnalyticsError, match="NULL"):
+            db.execute(
+                "SELECT * FROM KMEANS((SELECT x FROM t), "
+                "(SELECT x FROM t WHERE x IS NOT NULL), 3)"
+            )
+
+    def test_deterministic(self, clustered):
+        sql = (
+            "SELECT * FROM KMEANS((SELECT x, y FROM pts), "
+            "(SELECT x, y FROM seeds), 7) ORDER BY cluster"
+        )
+        assert clustered.execute(sql).rows == clustered.execute(sql).rows
+
+
+class TestLibraryKernel:
+    def test_convergence_stops_early(self):
+        points = np.asarray([[0.0], [0.1], [10.0], [10.1]])
+        centers = np.asarray([[0.0], [10.0]])
+        out, assign, sizes, iterations = kmeans(
+            points, centers, max_iterations=100
+        )
+        assert iterations < 100
+        assert sorted(sizes.tolist()) == [2, 2]
+
+    def test_assignment_is_nearest(self):
+        points = np.asarray([[0.0], [1.0], [9.0]])
+        centers = np.asarray([[0.0], [10.0]])
+        _out, assign, _sizes, _it = kmeans(points, centers, 1)
+        assert assign.tolist() == [0, 0, 1]
+
+    def test_empty_cluster_keeps_center(self):
+        points = np.asarray([[0.0], [0.1]])
+        centers = np.asarray([[0.0], [100.0]])
+        out, _assign, sizes, _it = kmeans(points, centers, 5)
+        assert sizes.tolist() == [2, 0]
+        assert out[1, 0] == 100.0  # untouched
+
+    def test_custom_metric(self):
+        points = np.asarray([[0.0], [4.0]])
+        centers = np.asarray([[1.0], [5.0]])
+
+        def inverted(pts, center):
+            # Prefer the FARTHEST center: distances negated.
+            diff = pts - center
+            return -np.einsum("ij,ij->i", diff, diff)
+
+        _out, assign, _sizes, _it = kmeans(
+            points, centers, 1, metric=inverted
+        )
+        assert assign.tolist() == [1, 0]
+
+    def test_single_point(self):
+        out, assign, sizes, _it = kmeans(
+            np.asarray([[3.0, 4.0]]), np.asarray([[0.0, 0.0]]), 5
+        )
+        assert out.tolist() == [[3.0, 4.0]]
+
+    def test_validation(self):
+        with pytest.raises(AnalyticsError):
+            kmeans(np.zeros((2, 2)), np.zeros((1, 3)), 3)
+        with pytest.raises(AnalyticsError):
+            kmeans(np.zeros(3), np.zeros((1, 1)), 3)
+        with pytest.raises(AnalyticsError):
+            kmeans(np.zeros((2, 1)), np.zeros((1, 1)), 0)
+
+    def test_matches_chunked_processing(self):
+        """Chunked morsel execution must be equivalent to one pass."""
+        import importlib
+
+        km = importlib.import_module("repro.analytics.kmeans")
+
+        rng = np.random.default_rng(5)
+        points = rng.random((1000, 3))
+        centers = points[:4].copy()
+        saved = km.UPDATE_CHUNK_ROWS
+        try:
+            km.UPDATE_CHUNK_ROWS = 64
+            chunked = kmeans(points, centers, 5)
+            km.UPDATE_CHUNK_ROWS = 1_000_000
+            whole = kmeans(points, centers, 5)
+        finally:
+            km.UPDATE_CHUNK_ROWS = saved
+        assert np.allclose(chunked[0], whole[0])
+        assert (chunked[1] == whole[1]).all()
+
+
+class TestEdgeInputs:
+    def test_more_centers_than_points(self, db):
+        db.execute("CREATE TABLE p (x FLOAT)")
+        db.insert_rows("p", [(1.0,), (2.0,)])
+        db.execute("CREATE TABLE c (x FLOAT)")
+        db.insert_rows("c", [(0.0,), (1.5,), (9.0,)])
+        rows = db.execute(
+            "SELECT * FROM KMEANS((SELECT x FROM p), "
+            "(SELECT x FROM c), 5)"
+        ).rows
+        assert len(rows) == 3
+        assert sum(r[-1] for r in rows) == 2  # all points assigned
+
+    def test_empty_data_keeps_centers(self, db):
+        db.execute("CREATE TABLE p (x FLOAT)")
+        db.execute("CREATE TABLE c (x FLOAT)")
+        db.insert_rows("c", [(0.0,), (1.0,)])
+        rows = db.execute(
+            "SELECT * FROM KMEANS((SELECT x FROM p), "
+            "(SELECT x FROM c), 5)"
+        ).rows
+        assert [r[1] for r in rows] == [0.0, 1.0]
+        assert all(r[-1] == 0 for r in rows)
+
+    def test_zero_centers_rejected(self, db):
+        from repro.errors import AnalyticsError
+
+        db.execute("CREATE TABLE p (x FLOAT)")
+        db.insert_rows("p", [(1.0,)])
+        db.execute("CREATE TABLE c (x FLOAT)")
+        with pytest.raises(AnalyticsError, match="at least one"):
+            db.execute(
+                "SELECT * FROM KMEANS((SELECT x FROM p), "
+                "(SELECT x FROM c), 5)"
+            )

@@ -1,0 +1,241 @@
+"""Naive Bayes train/predict operators, the model, and the stats ops."""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analytics.naive_bayes import (
+    naive_bayes_predict,
+    naive_bayes_train,
+)
+from repro.errors import AnalyticsError, BindError
+
+
+@pytest.fixture
+def labelled(db):
+    db.execute(
+        "CREATE TABLE train (label INTEGER, f1 FLOAT, f2 FLOAT)"
+    )
+    db.insert_rows(
+        "train",
+        [
+            (0, 1.0, 2.0), (0, 1.2, 2.2), (0, 0.8, 1.8),
+            (1, 5.0, 9.0), (1, 5.2, 9.2), (1, 4.8, 8.8),
+        ],
+    )
+    return db
+
+
+class TestTrainOperator:
+    def test_model_shape(self, labelled):
+        result = labelled.execute(
+            "SELECT * FROM NAIVE_BAYES_TRAIN("
+            "(SELECT label, f1, f2 FROM train)) "
+            "ORDER BY class, attribute"
+        )
+        assert result.columns == [
+            "class", "attribute", "prior", "mean", "stddev", "count",
+        ]
+        assert len(result.rows) == 4  # 2 classes x 2 attributes
+
+    def test_laplace_smoothed_prior(self, labelled):
+        # PR(c) = (|c| + 1) / (|D| + |C|) = (3 + 1)/(6 + 2) = 0.5
+        priors = {
+            row[0]: row[2]
+            for row in labelled.execute(
+                "SELECT class, attribute, prior FROM NAIVE_BAYES_TRAIN("
+                "(SELECT label, f1, f2 FROM train))"
+            ).rows
+        }
+        assert priors[0] == pytest.approx(0.5)
+        assert priors[1] == pytest.approx(0.5)
+
+    def test_unbalanced_prior(self, db):
+        db.execute("CREATE TABLE t (label INTEGER, f FLOAT)")
+        db.insert_rows("t", [(0, 1.0)] * 7 + [(1, 2.0)] * 1)
+        rows = db.execute(
+            "SELECT class, prior FROM NAIVE_BAYES_TRAIN("
+            "(SELECT label, f FROM t)) ORDER BY class"
+        ).rows
+        assert rows[0][1] == pytest.approx((7 + 1) / (8 + 2))
+        assert rows[1][1] == pytest.approx((1 + 1) / (8 + 2))
+
+    def test_moments(self, labelled):
+        rows = labelled.execute(
+            "SELECT mean, stddev FROM NAIVE_BAYES_TRAIN("
+            "(SELECT label, f1, f2 FROM train)) "
+            "WHERE class = 0 AND attribute = 'f1'"
+        ).rows
+        mean, std = rows[0]
+        assert mean == pytest.approx(1.0)
+        assert std == pytest.approx(
+            math.sqrt(((0.0) ** 2 + 0.2**2 + 0.2**2) / 3)
+        )
+
+    def test_varchar_labels(self, db):
+        db.execute("CREATE TABLE t (label VARCHAR, f FLOAT)")
+        db.insert_rows("t", [("ham", 1.0), ("spam", 9.0)])
+        rows = db.execute(
+            "SELECT class FROM NAIVE_BAYES_TRAIN("
+            "(SELECT label, f FROM t)) ORDER BY class"
+        ).rows
+        assert rows == [("ham",), ("spam",)]
+
+    def test_needs_label_plus_feature(self, db):
+        db.execute("CREATE TABLE t (label INTEGER)")
+        with pytest.raises(BindError):
+            db.execute(
+                "SELECT * FROM NAIVE_BAYES_TRAIN((SELECT label FROM t))"
+            )
+
+    def test_empty_training_set_rejected(self, db):
+        db.execute("CREATE TABLE t (label INTEGER, f FLOAT)")
+        with pytest.raises(AnalyticsError, match="empty"):
+            db.execute(
+                "SELECT * FROM NAIVE_BAYES_TRAIN("
+                "(SELECT label, f FROM t))"
+            )
+
+    def test_null_label_rejected(self, db):
+        db.execute("CREATE TABLE t (label INTEGER, f FLOAT)")
+        db.insert_rows("t", [(None, 1.0)])
+        with pytest.raises(AnalyticsError, match="NULL"):
+            db.execute(
+                "SELECT * FROM NAIVE_BAYES_TRAIN("
+                "(SELECT label, f FROM t))"
+            )
+
+
+class TestPredictOperator:
+    def test_roundtrip_classifies_training_data(self, labelled):
+        rows = labelled.execute(
+            "SELECT * FROM NAIVE_BAYES_PREDICT("
+            "(SELECT * FROM NAIVE_BAYES_TRAIN("
+            "(SELECT label, f1, f2 FROM train))), "
+            "(SELECT f1, f2 FROM train))"
+        ).rows
+        predicted = [row[-1] for row in rows]
+        assert predicted == [0, 0, 0, 1, 1, 1]
+
+    def test_predict_includes_data_columns(self, labelled):
+        result = labelled.execute(
+            "SELECT * FROM NAIVE_BAYES_PREDICT("
+            "(SELECT * FROM NAIVE_BAYES_TRAIN("
+            "(SELECT label, f1, f2 FROM train))), "
+            "(SELECT f1, f2 FROM train))"
+        )
+        assert result.columns == ["f1", "f2", "label"]
+
+    def test_model_storable_in_table(self, labelled):
+        labelled.execute(
+            "CREATE TABLE model AS SELECT * FROM NAIVE_BAYES_TRAIN("
+            "(SELECT label, f1, f2 FROM train))"
+        )
+        rows = labelled.execute(
+            "SELECT label FROM NAIVE_BAYES_PREDICT("
+            "(SELECT * FROM model), (SELECT f1, f2 FROM train))"
+        ).rows
+        assert [r[0] for r in rows] == [0, 0, 0, 1, 1, 1]
+
+    def test_malformed_model_rejected(self, db):
+        db.execute("CREATE TABLE fake (a INTEGER, b INTEGER)")
+        with pytest.raises(BindError, match="model"):
+            db.execute(
+                "SELECT * FROM NAIVE_BAYES_PREDICT("
+                "(SELECT a, b FROM fake), (SELECT a FROM fake))"
+            )
+
+    def test_attribute_order_independent(self, labelled):
+        # The predict data may present attributes in any order; they
+        # are matched by name to the model.
+        rows = labelled.execute(
+            "SELECT label FROM NAIVE_BAYES_PREDICT("
+            "(SELECT * FROM NAIVE_BAYES_TRAIN("
+            "(SELECT label, f1, f2 FROM train))), "
+            "(SELECT f2, f1 FROM train))"
+        ).rows
+        assert [r[0] for r in rows] == [0, 0, 0, 1, 1, 1]
+
+
+class TestLibraryAPI:
+    def test_train_and_predict(self):
+        labels = np.asarray([0, 0, 1, 1])
+        matrix = np.asarray([[1.0], [1.2], [8.0], [8.2]])
+        model = naive_bayes_train(labels, matrix)
+        out = naive_bayes_predict(
+            model, np.asarray([[1.1], [7.9]])
+        )
+        assert out.tolist() == [0, 1]
+
+    def test_prior_affects_ties(self):
+        # Identical likelihoods: the more frequent class wins.
+        labels = np.asarray([0, 0, 0, 1])
+        matrix = np.asarray([[1.0], [1.0], [1.0], [1.0]])
+        model = naive_bayes_train(labels, matrix)
+        assert model.predict(np.asarray([[1.0]]))[0] == 0
+
+    def test_degenerate_variance_guarded(self):
+        labels = np.asarray([0, 1])
+        matrix = np.asarray([[1.0], [2.0]])  # zero in-class variance
+        model = naive_bayes_train(labels, matrix)
+        out = model.predict(np.asarray([[1.0], [2.0]]))
+        assert out.tolist() == [0, 1]
+
+    def test_shape_validation(self):
+        with pytest.raises(AnalyticsError):
+            naive_bayes_train(np.asarray([0]), np.zeros((2, 1)))
+
+
+class TestStatsOperators:
+    def test_column_stats(self, db):
+        db.execute("CREATE TABLE t (a FLOAT, b FLOAT)")
+        db.insert_rows("t", [(1.0, 10.0), (3.0, 30.0), (None, 20.0)])
+        rows = db.execute(
+            "SELECT * FROM COLUMN_STATS((SELECT a, b FROM t)) "
+            "ORDER BY attribute"
+        ).rows
+        a_row = rows[0]
+        assert a_row[0] == "a"
+        assert a_row[1] == 2  # count skips NULL
+        assert a_row[2] == pytest.approx(2.0)  # mean
+        assert a_row[4] == 1.0 and a_row[5] == 3.0  # min, max
+
+    def test_column_stats_rejects_strings(self, db):
+        db.execute("CREATE TABLE t (s VARCHAR)")
+        with pytest.raises(BindError):
+            db.execute("SELECT * FROM COLUMN_STATS((SELECT s FROM t))")
+
+    def test_grouped_stats(self, db):
+        db.execute("CREATE TABLE t (k VARCHAR, x FLOAT)")
+        db.insert_rows(
+            "t", [("a", 1.0), ("a", 3.0), ("b", 10.0)]
+        )
+        rows = db.execute(
+            "SELECT key, count, mean FROM GROUPED_STATS("
+            "(SELECT k, x FROM t)) ORDER BY key"
+        ).rows
+        assert rows == [("a", 2, 2.0), ("b", 1, 10.0)]
+
+    def test_grouped_stats_matches_nb_moments(self, labelled):
+        """The shared building block: GROUPED_STATS computes exactly the
+        per-class moments NB training uses (section 6.2)."""
+        stats = {
+            (row[0], row[1]): (row[3], row[4])
+            for row in labelled.execute(
+                "SELECT key, attribute, count, mean, stddev "
+                "FROM GROUPED_STATS((SELECT label, f1, f2 FROM train))"
+            ).rows
+        }
+        model = {
+            (row[0], row[1]): (row[3], row[4])
+            for row in labelled.execute(
+                "SELECT class, attribute, prior, mean, stddev "
+                "FROM NAIVE_BAYES_TRAIN("
+                "(SELECT label, f1, f2 FROM train))"
+            ).rows
+        }
+        for key, (mean, std) in model.items():
+            assert stats[key][0] == pytest.approx(mean)
+            assert stats[key][1] == pytest.approx(std)

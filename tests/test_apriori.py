@@ -1,0 +1,106 @@
+"""The a-priori SQL workload (frequent itemset mining, section 4.2)."""
+
+import pytest
+
+import repro
+from repro.workloads import FrequentItemset, apriori
+
+
+@pytest.fixture
+def market(db):
+    db.execute("CREATE TABLE baskets (tid INTEGER, item VARCHAR)")
+    transactions = {
+        1: ["bread", "milk"],
+        2: ["bread", "diapers", "beer", "eggs"],
+        3: ["milk", "diapers", "beer", "cola"],
+        4: ["bread", "milk", "diapers", "beer"],
+        5: ["bread", "milk", "diapers", "cola"],
+    }
+    rows = [
+        (tid, item)
+        for tid, items in transactions.items()
+        for item in items
+    ]
+    db.insert_rows("baskets", rows)
+    return db
+
+
+def supports(results):
+    return {fs.items: fs.support for fs in results}
+
+
+class TestApriori:
+    def test_frequent_singles(self, market):
+        got = supports(apriori(market, "baskets", 3, max_size=1))
+        assert got == {
+            ("beer",): 3,
+            ("bread",): 4,
+            ("diapers",): 4,
+            ("milk",): 4,
+        }
+
+    def test_frequent_pairs(self, market):
+        got = supports(apriori(market, "baskets", 3, max_size=2))
+        assert got[("beer", "diapers")] == 3
+        assert got[("bread", "milk")] == 3
+        assert got[("diapers", "milk")] == 3
+        assert ("beer", "milk") not in got  # support 2 < 3
+
+    def test_triples(self, market):
+        got = supports(apriori(market, "baskets", 2, max_size=3))
+        assert got[("bread", "diapers", "milk")] == 2
+        assert got[("beer", "bread", "diapers")] == 2
+
+    def test_apriori_monotonicity(self, market):
+        """Every subset of a frequent itemset is frequent (the property
+        the algorithm exploits)."""
+        results = apriori(market, "baskets", 2, max_size=3)
+        frequent = {fs.items for fs in results}
+        for itemset in frequent:
+            if len(itemset) > 1:
+                for drop in range(len(itemset)):
+                    subset = tuple(
+                        v for i, v in enumerate(itemset) if i != drop
+                    )
+                    assert subset in frequent
+
+    def test_support_decreases_with_size(self, market):
+        results = apriori(market, "baskets", 2, max_size=3)
+        lookup = supports(results)
+        for itemset, support in lookup.items():
+            if len(itemset) > 1:
+                for drop in range(len(itemset)):
+                    subset = tuple(
+                        v for i, v in enumerate(itemset) if i != drop
+                    )
+                    assert lookup[subset] >= support
+
+    def test_duplicate_items_in_transaction_counted_once(self, db):
+        db.execute("CREATE TABLE b (tid INTEGER, item VARCHAR)")
+        db.insert_rows("b", [(1, "x"), (1, "x"), (2, "x")])
+        got = supports(apriori(db, "b", 2, max_size=1))
+        assert got == {("x",): 2}
+
+    def test_nothing_frequent(self, market):
+        assert apriori(market, "baskets", 99) == []
+
+    def test_intermediate_tables_cleaned(self, market):
+        apriori(market, "baskets", 3, max_size=2)
+        assert all(
+            not name.startswith("apriori_")
+            for name in market.table_names()
+        )
+
+    def test_keep_tables(self, market):
+        apriori(market, "baskets", 3, max_size=2, keep_tables=True)
+        assert "apriori_l1" in market.table_names()
+
+    def test_validation(self, market):
+        with pytest.raises(ValueError):
+            apriori(market, "baskets", 0)
+        with pytest.raises(ValueError):
+            apriori(market, "baskets", 1, max_size=0)
+
+    def test_result_type(self, market):
+        results = apriori(market, "baskets", 4, max_size=1)
+        assert all(isinstance(fs, FrequentItemset) for fs in results)

@@ -1,0 +1,136 @@
+"""Unit tests for the competitor-system simulators."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines.external import ExternalToolClient
+from repro.baselines.matlab_like import (
+    matlab_like_kmeans,
+    matlab_like_naive_bayes_train,
+    matlab_like_pagerank,
+)
+from repro.baselines.spark_like import SparkLikeContext
+from repro.errors import AnalyticsError
+
+
+class TestSparkLike:
+    def test_partitioning_covers_all_rows(self):
+        sc = SparkLikeContext(4, serialized_cache=False)
+        parts = sc.parallelize(np.arange(10).reshape(10, 1))
+        assert sum(len(p) for p in parts) == 10
+
+    def test_serialized_cache_blocks_are_bytes(self):
+        sc = SparkLikeContext(2)
+        parts = sc.parallelize(np.arange(4).reshape(4, 1))
+        assert all(isinstance(p, bytes) for p in parts)
+
+    def test_task_counter_and_bytes_shipped(self):
+        sc = SparkLikeContext(4)
+        sc.kmeans(np.random.default_rng(0).random((40, 2)),
+                  np.asarray([[0.5, 0.5]]), 2)
+        assert sc.tasks_run == 8  # 4 partitions x 2 iterations
+        assert sc.bytes_shipped > 0
+
+    def test_result_independent_of_partition_count(self):
+        rng = np.random.default_rng(1)
+        points = rng.random((200, 3))
+        centers = points[:3].copy()
+        one = SparkLikeContext(1).kmeans(points, centers, 4)
+        many = SparkLikeContext(16).kmeans(points, centers, 4)
+        assert np.allclose(one, many)
+
+    def test_pagerank_partition_independence(self):
+        rng = np.random.default_rng(2)
+        src = rng.integers(0, 30, 200)
+        dst = rng.integers(0, 30, 200)
+        ids1, r1 = SparkLikeContext(1).pagerank(src, dst, 0.85, 10)
+        ids2, r2 = SparkLikeContext(8).pagerank(src, dst, 0.85, 10)
+        assert np.array_equal(ids1, ids2)
+        assert np.allclose(r1, r2)
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(AnalyticsError):
+            SparkLikeContext(0)
+
+    def test_nb_train_shapes(self):
+        labels = np.asarray([0, 1, 0, 1])
+        matrix = np.asarray([[1.0], [5.0], [1.2], [5.2]])
+        classes, priors, means, stds = SparkLikeContext(
+            2
+        ).naive_bayes_train(labels, matrix)
+        assert classes.tolist() == [0, 1]
+        assert priors.sum() == pytest.approx(1.0)
+        assert means.shape == (2, 1)
+
+
+class TestMatlabLike:
+    def test_kmeans_converges_early(self):
+        points = [[0.0], [0.1], [9.0], [9.1]]
+        centers = matlab_like_kmeans(points, [[0.0], [9.0]], 50)
+        assert centers[0][0] == pytest.approx(0.05)
+        assert centers[1][0] == pytest.approx(9.05)
+
+    def test_kmeans_requires_centers(self):
+        with pytest.raises(AnalyticsError):
+            matlab_like_kmeans([[1.0]], [], 3)
+
+    def test_pagerank_distribution(self):
+        ranks = matlab_like_pagerank(
+            [(0, 1), (1, 2), (2, 0)], 0.85, 20
+        )
+        assert sum(ranks.values()) == pytest.approx(1.0)
+
+    def test_nb_empty_rejected(self):
+        with pytest.raises(AnalyticsError):
+            matlab_like_naive_bayes_train([], [])
+
+    def test_nb_priors_smoothed(self):
+        model = matlab_like_naive_bayes_train(
+            [0, 0, 1], [[1.0], [1.0], [2.0]]
+        )
+        assert model[0]["prior"][0] == pytest.approx((2 + 1) / (3 + 2))
+
+
+class TestExternalTool:
+    def test_transfer_bytes_counted(self, db):
+        db.execute("CREATE TABLE pts (x FLOAT)")
+        db.insert_rows("pts", [(float(i),) for i in range(100)])
+        client = ExternalToolClient(db)
+        client.kmeans("SELECT x FROM pts", "SELECT x FROM pts LIMIT 2", 2)
+        assert client.bytes_transferred > 100 * 8
+
+    def test_results_written_back(self, db):
+        db.execute("CREATE TABLE pts (x FLOAT)")
+        db.insert_rows("pts", [(0.0,), (0.2,), (8.0,), (8.2,)])
+        db.execute("CREATE TABLE result (x FLOAT)")
+        client = ExternalToolClient(db)
+        client.kmeans(
+            "SELECT x FROM pts", "SELECT x FROM pts LIMIT 2",
+            10, result_table="result",
+        )
+        rows = sorted(db.execute("SELECT x FROM result").rows)
+        assert rows[0][0] == pytest.approx(0.1)
+        assert rows[1][0] == pytest.approx(8.1)
+
+    def test_pagerank_roundtrip(self, db):
+        db.execute("CREATE TABLE e (src INTEGER, dest INTEGER)")
+        db.insert_rows("e", [(0, 1), (1, 0)])
+        db.execute("CREATE TABLE pr (v BIGINT, rank FLOAT)")
+        client = ExternalToolClient(db)
+        ids, ranks = client.pagerank(
+            "SELECT src, dest FROM e", 0.85, 10, result_table="pr"
+        )
+        assert db.execute("SELECT count(*) FROM pr").scalar() == 2
+        assert ranks.sum() == pytest.approx(1.0)
+
+    def test_stale_data_hazard_demonstrated(self, db):
+        """The layer-1 weakness the paper opens with: the exported copy
+        does not see later updates."""
+        db.execute("CREATE TABLE pts (x FLOAT)")
+        db.insert_rows("pts", [(1.0,)])
+        client = ExternalToolClient(db)
+        exported = client._export("SELECT x FROM pts")
+        db.insert_rows("pts", [(2.0,)])  # arrives after the export
+        assert len(exported) == 1
+        assert db.execute("SELECT count(*) FROM pts").scalar() == 2

@@ -1,0 +1,105 @@
+"""The benchmark harness: runner utilities and experiment runners."""
+
+import pytest
+
+from repro.bench.experiments import (
+    KMEANS_SYSTEMS,
+    run_kmeans,
+    run_naive_bayes,
+    run_pagerank,
+    setup_kmeans,
+    setup_naive_bayes,
+    setup_pagerank,
+)
+from repro.bench.runner import BenchResult, SeriesTable, measure
+
+
+class TestRunner:
+    def test_measure_returns_positive(self):
+        assert measure(lambda: sum(range(100))) > 0
+
+    def test_measure_best_of_repeats(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+
+        measure(fn, repeat=3)
+        assert len(calls) == 3
+
+    def test_series_table_format(self):
+        table = SeriesTable("Demo", "x", ["sysA", "sysB"])
+        table.record("sysA", 1, 0.5)
+        table.record("sysB", 1, None, "over cap")
+        table.record("sysA", 2, 1.25)
+        text = table.format()
+        assert "Demo" in text
+        assert "0.5000s" in text
+        assert "—" in text
+
+    def test_lookup(self):
+        table = SeriesTable("T", "x", ["a"])
+        table.record("a", 10, 0.1)
+        assert table.lookup("a", 10).seconds == 0.1
+        assert table.lookup("a", 99) is None
+
+    def test_x_values_preserve_order(self):
+        table = SeriesTable("T", "x", ["a"])
+        for x in (3, 1, 2, 1):
+            table.record("a", x, 0.0)
+        assert table.x_values() == [3, 1, 2]
+
+
+class TestExperimentRunners:
+    def test_kmeans_all_systems_run(self):
+        setup = setup_kmeans(300, 3, 2, 2)
+        for system in KMEANS_SYSTEMS:
+            assert run_kmeans(setup, system) is not None
+
+    def test_kmeans_caps_apply(self):
+        setup = setup_kmeans(300, 3, 2, 2)
+        # Force the data over the interpreted caps.
+        setup.n = 10**9
+        setup.matlab_points = []
+        assert run_kmeans(setup, "MATLAB-like") is None
+        assert run_kmeans(setup, "MADlib-like") is None
+
+    def test_kmeans_unknown_system(self):
+        setup = setup_kmeans(50, 2, 2, 1)
+        with pytest.raises(ValueError):
+            run_kmeans(setup, "Oracle")
+
+    def test_pagerank_all_systems_run(self):
+        setup = setup_pagerank(60, 600, iterations=5)
+        for system in KMEANS_SYSTEMS:
+            assert run_pagerank(setup, system) is not None
+
+    def test_naive_bayes_all_systems_run(self):
+        setup = setup_naive_bayes(300, 3)
+        for system in KMEANS_SYSTEMS:
+            assert run_naive_bayes(setup, system) is not None
+
+    def test_external_tool_system(self):
+        setup = setup_kmeans(100, 2, 2, 2)
+        assert run_kmeans(setup, "External tool") is not None
+
+
+class TestCLI:
+    def test_unknown_experiment_rejected(self):
+        from repro.bench.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["no_such_experiment"])
+
+    def test_fig1_runs_at_tiny_scale(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["fig1_layers", "--scale", "0.00005"]) == 0
+        out = capsys.readouterr().out
+        assert "layer 4: in-core operator" in out
+
+    def test_table1_runs(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["table1", "--scale", "0.0001"]) == 0
+        assert "Table 1" in capsys.readouterr().out

@@ -1,0 +1,143 @@
+"""CSV bulk loading and export."""
+
+import io
+
+import pytest
+
+import repro
+from repro.api.csv_io import infer_column_type
+from repro.errors import CatalogError
+from repro.types import BIGINT, BOOLEAN, DOUBLE, VARCHAR
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    path = tmp_path / "people.csv"
+    path.write_text(
+        "id,name,age,score,active\n"
+        "1,alice,34,91.5,true\n"
+        "2,bob,28,,false\n"
+        '3,"o""brien, jr",41,77.0,true\n',
+        encoding="utf-8",
+    )
+    return str(path)
+
+
+class TestTypeInference:
+    def test_integers(self):
+        assert infer_column_type(["1", "2", ""]) == BIGINT
+
+    def test_floats(self):
+        assert infer_column_type(["1.5", "2"]) == DOUBLE
+
+    def test_booleans(self):
+        assert infer_column_type(["true", "false"]) == BOOLEAN
+
+    def test_zero_one_is_numeric_not_bool(self):
+        assert infer_column_type(["0", "1"]) == BIGINT
+
+    def test_strings(self):
+        assert infer_column_type(["a", "2"]) == VARCHAR
+
+    def test_all_empty(self):
+        assert infer_column_type(["", ""]) == VARCHAR
+
+
+class TestLoadCSV:
+    def test_create_and_load(self, db, csv_file):
+        count = db.load_csv("people", csv_file)
+        assert count == 3
+        schema = db.table_schema("people")
+        assert schema.names() == ["id", "name", "age", "score", "active"]
+        assert str(schema.column("id").sql_type) == "BIGINT"
+        assert str(schema.column("score").sql_type) == "DOUBLE"
+        assert str(schema.column("active").sql_type) == "BOOLEAN"
+
+    def test_quoted_fields_and_nulls(self, db, csv_file):
+        db.load_csv("people", csv_file)
+        rows = db.execute(
+            "SELECT name, score FROM people ORDER BY id"
+        ).rows
+        assert rows[2][0] == 'o"brien, jr'
+        assert rows[1][1] is None
+
+    def test_queryable_after_load(self, db, csv_file):
+        db.load_csv("people", csv_file)
+        assert db.execute(
+            "SELECT avg(age) FROM people WHERE active"
+        ).scalar() == pytest.approx(37.5)
+
+    def test_load_into_existing_table(self, db, csv_file):
+        db.execute(
+            "CREATE TABLE people (id INTEGER, name VARCHAR, "
+            "age INTEGER, score FLOAT, active BOOLEAN)"
+        )
+        db.load_csv("people", csv_file)
+        assert db.execute("SELECT count(*) FROM people").scalar() == 3
+
+    def test_column_type_override(self, db, csv_file):
+        db.load_csv(
+            "people", csv_file, column_types={"id": "VARCHAR"}
+        )
+        assert str(
+            db.table_schema("people").column("id").sql_type
+        ) == "VARCHAR"
+
+    def test_headerless(self, db, tmp_path):
+        path = tmp_path / "plain.csv"
+        path.write_text("1,2\n3,4\n", encoding="utf-8")
+        db.load_csv("t", str(path), header=False)
+        assert db.table_schema("t").names() == ["c1", "c2"]
+        assert db.execute("SELECT sum(c1) FROM t").scalar() == 4
+
+    def test_ragged_rejected(self, db, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1\n", encoding="utf-8")
+        with pytest.raises(CatalogError, match="fields"):
+            db.load_csv("t", str(path))
+
+    def test_width_mismatch_existing_table(self, db, csv_file):
+        db.execute("CREATE TABLE people (id INTEGER)")
+        with pytest.raises(CatalogError, match="columns"):
+            db.load_csv("people", csv_file)
+
+    def test_create_false_requires_table(self, db, csv_file):
+        with pytest.raises(CatalogError, match="no such table"):
+            db.load_csv("ghost", csv_file, create=False)
+
+
+class TestExportCSV:
+    def test_roundtrip(self, db, csv_file, tmp_path):
+        db.load_csv("people", csv_file)
+        out = tmp_path / "out.csv"
+        written = db.execute(
+            "SELECT id, name, score FROM people ORDER BY id"
+        ).to_csv(str(out))
+        assert written == 3
+
+        db2 = repro.Database()
+        db2.load_csv("copy", str(out))
+        assert db2.execute("SELECT count(*) FROM copy").scalar() == 3
+        assert db2.execute(
+            "SELECT score FROM copy WHERE id = 2"
+        ).scalar() is None
+
+    def test_write_to_buffer(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.insert_rows("t", [(1,), (None,)])
+        buffer = io.StringIO()
+        db.execute("SELECT a FROM t").to_csv(buffer)
+        # The csv module quotes a lone empty field ('""') so the row is
+        # distinguishable from a blank line; it reads back as NULL.
+        assert buffer.getvalue().splitlines() == ["a", "1", '""']
+
+    def test_analytics_result_export(self, db, tmp_path):
+        db.execute("CREATE TABLE pts (x FLOAT)")
+        db.insert_rows("pts", [(0.0,), (0.1,), (9.0,)])
+        out = tmp_path / "centers.csv"
+        db.execute(
+            "SELECT * FROM KMEANS((SELECT x FROM pts), "
+            "(SELECT x FROM pts LIMIT 2), 10)"
+        ).to_csv(str(out))
+        text = out.read_text(encoding="utf-8")
+        assert text.startswith("cluster,x,size")

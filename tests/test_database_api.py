@@ -1,0 +1,173 @@
+"""The public Database / QueryResult API surface."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import BindError, CatalogError, TransactionError
+
+
+class TestExecute:
+    def test_multi_statement_returns_last(self, db):
+        result = db.execute(
+            "CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1); "
+            "SELECT a FROM t"
+        )
+        assert result.rows == [(1,)]
+
+    def test_empty_script_rejected(self, db):
+        with pytest.raises(BindError):
+            db.execute("   ")
+
+    def test_query_alias(self, db):
+        assert db.query("SELECT 1").scalar() == 1
+
+
+class TestQueryResult:
+    def test_columns_and_types(self, people_db):
+        result = people_db.execute(
+            "SELECT name, age FROM people LIMIT 1"
+        )
+        assert result.columns == ["name", "age"]
+        assert [str(t) for t in result.types] == ["VARCHAR", "INTEGER"]
+
+    def test_fetch_interface(self, people_db):
+        result = people_db.execute(
+            "SELECT id FROM people ORDER BY id"
+        )
+        assert result.fetchone() == (1,)
+        assert len(result.fetchall()) == 5
+        assert len(result) == 5
+        assert list(iter(result))[0] == (1,)
+
+    def test_scalar_errors(self, people_db):
+        with pytest.raises(ValueError):
+            people_db.execute("SELECT id FROM people").scalar()
+        with pytest.raises(ValueError):
+            people_db.execute("SELECT id, name FROM people LIMIT 1").scalar()
+
+    def test_column_access_numpy(self, people_db):
+        col = people_db.execute(
+            "SELECT age FROM people ORDER BY id"
+        ).column("age")
+        assert isinstance(col.values, np.ndarray)
+        assert col.null_count() == 1
+
+    def test_to_dict(self, people_db):
+        data = people_db.execute(
+            "SELECT id, name FROM people ORDER BY id LIMIT 2"
+        ).to_dict()
+        assert data == {"id": [1, 2], "name": ["alice", "bob"]}
+
+    def test_missing_column_keyerror(self, people_db):
+        with pytest.raises(KeyError):
+            people_db.execute("SELECT id FROM people").column("nope")
+
+    def test_rowcount_for_dml(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        assert db.execute("INSERT INTO t VALUES (1), (2)").rowcount == 2
+
+
+class TestIntrospection:
+    def test_table_names(self, people_db):
+        assert people_db.table_names() == ["orders", "people"]
+
+    def test_table_schema(self, people_db):
+        schema = people_db.table_schema("people")
+        assert schema.names() == ["id", "name", "age", "city"]
+
+    def test_row_count(self, people_db):
+        assert people_db.row_count("people") == 5
+
+    def test_explain(self, people_db):
+        text = people_db.explain(
+            "SELECT name FROM people WHERE age > 30"
+        )
+        assert "Scan people" in text
+        assert "Filter" in text
+
+    def test_explain_rejects_dml(self, people_db):
+        with pytest.raises(BindError):
+            people_db.explain("DELETE FROM people")
+
+
+class TestBulkLoading:
+    def test_load_columns(self, db):
+        db.execute("CREATE TABLE t (a BIGINT, b FLOAT)")
+        count = db.load_columns(
+            "t",
+            {
+                "a": np.arange(10, dtype=np.int64),
+                "b": np.linspace(0, 1, 10),
+            },
+        )
+        assert count == 10
+        assert db.execute("SELECT count(*), max(a) FROM t").fetchone() == (
+            10, 9,
+        )
+
+    def test_load_columns_missing_column(self, db):
+        db.execute("CREATE TABLE t (a BIGINT, b FLOAT)")
+        with pytest.raises(CatalogError, match="missing"):
+            db.load_columns("t", {"a": np.arange(3)})
+
+    def test_load_columns_ragged(self, db):
+        db.execute("CREATE TABLE t (a BIGINT, b FLOAT)")
+        with pytest.raises(CatalogError, match="ragged"):
+            db.load_columns(
+                "t", {"a": np.arange(3), "b": np.arange(4.0)}
+            )
+
+    def test_load_columns_casts_dtypes(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.load_columns("t", {"a": np.arange(3, dtype=np.int64)})
+        assert db.execute("SELECT sum(a) FROM t").scalar() == 3
+
+    def test_insert_rows_validates_table(self, db):
+        with pytest.raises(CatalogError):
+            db.insert_rows("ghost", [(1,)])
+
+
+class TestSessionTransactions:
+    def test_begin_twice_rejected(self, db):
+        db.begin()
+        with pytest.raises(TransactionError):
+            db.begin()
+        db.rollback()
+
+    def test_commit_without_begin(self, db):
+        with pytest.raises(TransactionError):
+            db.commit()
+
+    def test_in_transaction_flag(self, db):
+        assert not db.in_transaction
+        db.begin()
+        assert db.in_transaction
+        db.rollback()
+        assert not db.in_transaction
+
+    def test_statements_join_open_transaction(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.begin()
+        db.execute("INSERT INTO t VALUES (1)")
+        db.execute("INSERT INTO t VALUES (2)")
+        db.rollback()
+        assert db.execute("SELECT count(*) FROM t").scalar() == 0
+
+
+class TestStats:
+    def test_rows_scanned_recorded(self, people_db):
+        people_db.execute("SELECT * FROM people")
+        assert people_db.last_stats.rows_scanned == 5
+
+    def test_connect_helper(self):
+        db = repro.connect()
+        assert isinstance(db, repro.Database)
+
+    def test_disable_optimizer(self):
+        db = repro.Database(optimize=False)
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.insert_rows("t", [(1,), (2,)])
+        assert db.execute(
+            "SELECT a FROM t WHERE a > 1"
+        ).rows == [(2,)]

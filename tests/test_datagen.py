@@ -1,0 +1,150 @@
+"""Workload generators: the Table 1 grid and LDBC-like graphs."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.datagen.graphs import (
+    LDBC_SCALES,
+    generate_social_graph,
+    graph_experiments,
+    load_edge_table,
+)
+from repro.datagen.vectors import (
+    KMEANS_CLUSTER_SWEEP,
+    KMEANS_DEFAULTS,
+    KMEANS_DIMENSION_SWEEP,
+    KMEANS_TUPLE_SWEEP,
+    generate_labels,
+    generate_vectors,
+    load_centers_table,
+    load_vector_table,
+    pick_initial_centers,
+    table1_experiments,
+)
+
+
+class TestVectors:
+    def test_table1_grid_shape(self):
+        experiments = table1_experiments(scale=1.0)
+        # 6 tuple points + 5 dimension points + 5 cluster points.
+        assert len(experiments) == 16
+        tuple_ns = [
+            e.n for e in experiments if e.sweep == "tuples"
+        ]
+        assert tuple_ns == list(KMEANS_TUPLE_SWEEP)
+        dims = [e.d for e in experiments if e.sweep == "dimensions"]
+        assert dims == list(KMEANS_DIMENSION_SWEEP)
+        ks = [e.k for e in experiments if e.sweep == "clusters"]
+        assert ks == list(KMEANS_CLUSTER_SWEEP)
+
+    def test_sweeps_share_center_point(self):
+        # Table 1's starred rows: the same (4M, 10, 5) configuration
+        # connects the three sweeps.
+        for sweep, value in (
+            ("tuples", KMEANS_DEFAULTS["n"]),
+            ("dimensions", KMEANS_DEFAULTS["d"]),
+            ("clusters", KMEANS_DEFAULTS["k"]),
+        ):
+            experiments = [
+                e for e in table1_experiments(1.0) if e.sweep == sweep
+            ]
+            matches = [
+                e
+                for e in experiments
+                if (e.n, e.d, e.k)
+                == (
+                    KMEANS_DEFAULTS["n"],
+                    KMEANS_DEFAULTS["d"],
+                    KMEANS_DEFAULTS["k"],
+                )
+            ]
+            assert matches, f"sweep {sweep} misses the center point"
+
+    def test_scaling_preserves_d_and_k(self):
+        scaled = table1_experiments(scale=0.001)
+        assert {e.d for e in scaled if e.sweep == "dimensions"} == set(
+            KMEANS_DIMENSION_SWEEP
+        )
+        assert max(e.n for e in scaled) == 500_000
+
+    def test_uniform_distribution(self):
+        columns = generate_vectors(10_000, 2, seed=1)
+        values = columns["f0"]
+        assert 0.0 <= values.min() and values.max() < 1.0
+        assert values.mean() == pytest.approx(0.5, abs=0.02)
+
+    def test_deterministic_by_seed(self):
+        a = generate_vectors(100, 3, seed=7)
+        b = generate_vectors(100, 3, seed=7)
+        c = generate_vectors(100, 3, seed=8)
+        assert np.array_equal(a["f1"], b["f1"])
+        assert not np.array_equal(a["f1"], c["f1"])
+
+    def test_labels_uniform_binary(self):
+        labels = generate_labels(10_000, 2, seed=2)
+        assert set(np.unique(labels)) == {0, 1}
+        assert abs(labels.mean() - 0.5) < 0.05
+
+    def test_pick_initial_centers(self):
+        columns = generate_vectors(100, 2, seed=0)
+        centers = pick_initial_centers(columns, 5, seed=1)
+        assert len(centers["cid"]) == 5
+        assert set(centers) == {"cid", "f0", "f1"}
+
+    def test_load_vector_table(self, db):
+        load_vector_table(db, "v", 50, 3, seed=0)
+        assert db.execute("SELECT count(*) FROM v").scalar() == 50
+        assert db.table_schema("v").names() == [
+            "id", "f0", "f1", "f2",
+        ]
+
+    def test_load_with_labels(self, db):
+        load_vector_table(db, "v", 50, 2, seed=0, with_label=True)
+        assert db.execute(
+            "SELECT count(DISTINCT label) FROM v"
+        ).scalar() == 2
+
+
+class TestGraphs:
+    def test_paper_scale_points(self):
+        assert LDBC_SCALES[0] == (11_000, 452_000)
+        assert LDBC_SCALES[2] == (499_000, 46_000_000)
+        experiments = graph_experiments(scale=0.01)
+        assert experiments[0].n_vertices == 110
+
+    def test_both_directions_present(self):
+        src, dst = generate_social_graph(100, 1000, seed=0)
+        edges = set(zip(src.tolist(), dst.tolist()))
+        for a, b in list(edges)[:100]:
+            assert (b, a) in edges
+
+    def test_every_vertex_connected(self):
+        src, dst = generate_social_graph(200, 2000, seed=1)
+        touched = set(src.tolist()) | set(dst.tolist())
+        assert touched == set(range(200))
+
+    def test_no_self_loops(self):
+        src, dst = generate_social_graph(50, 600, seed=2)
+        assert not (src == dst).any()
+
+    def test_skewed_degrees(self):
+        src, _dst = generate_social_graph(1000, 40_000, seed=3)
+        degrees = np.bincount(src, minlength=1000)
+        # Heavy tail: the busiest vertex far exceeds the median.
+        assert degrees.max() > 4 * np.median(degrees)
+
+    def test_edge_count_approximate(self):
+        src, _dst = generate_social_graph(100, 5000, seed=4)
+        assert abs(len(src) - 5000) < 300
+
+    def test_deterministic_by_seed(self):
+        a = generate_social_graph(100, 1000, seed=5)
+        b = generate_social_graph(100, 1000, seed=5)
+        assert np.array_equal(a[0], b[0])
+
+    def test_load_edge_table(self, db):
+        src, _dst = load_edge_table(db, "e", 50, 500, seed=0)
+        assert db.execute(
+            "SELECT count(*) FROM e"
+        ).scalar() == len(src)

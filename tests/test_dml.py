@@ -1,0 +1,191 @@
+"""INSERT / UPDATE / DELETE / CREATE TABLE AS semantics."""
+
+import pytest
+
+import repro
+from repro.errors import BindError, CatalogError
+
+
+class TestInsert:
+    def test_values(self, db):
+        db.execute("CREATE TABLE t (a INTEGER, b VARCHAR)")
+        result = db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        assert result.rowcount == 2
+        assert db.execute("SELECT count(*) FROM t").scalar() == 2
+
+    def test_column_list_fills_missing_with_null(self, db):
+        db.execute("CREATE TABLE t (a INTEGER, b VARCHAR, c FLOAT)")
+        db.execute("INSERT INTO t (c, a) VALUES (1.5, 7)")
+        assert db.execute("SELECT a, b, c FROM t").rows == [(7, None, 1.5)]
+
+    def test_insert_select(self, db):
+        db.execute("CREATE TABLE src (a INTEGER)")
+        db.execute("CREATE TABLE dst (a INTEGER)")
+        db.insert_rows("src", [(1,), (2,), (3,)])
+        result = db.execute(
+            "INSERT INTO dst SELECT a * 10 FROM src WHERE a > 1"
+        )
+        assert result.rowcount == 2
+        assert db.execute("SELECT a FROM dst ORDER BY a").rows == [
+            (20,), (30,),
+        ]
+
+    def test_type_coercion_on_insert(self, db):
+        db.execute("CREATE TABLE t (a FLOAT)")
+        db.execute("INSERT INTO t VALUES (1)")
+        value = db.execute("SELECT a FROM t").scalar()
+        assert value == 1.0 and isinstance(value, float)
+
+    def test_arity_mismatch(self, db):
+        db.execute("CREATE TABLE t (a INTEGER, b INTEGER)")
+        with pytest.raises(BindError, match="values"):
+            db.execute("INSERT INTO t VALUES (1)")
+
+    def test_not_null_violation(self, db):
+        db.execute("CREATE TABLE t (a INTEGER NOT NULL)")
+        with pytest.raises(CatalogError, match="NOT NULL"):
+            db.execute("INSERT INTO t VALUES (NULL)")
+
+    def test_insert_expression_values(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("INSERT INTO t VALUES (2 + 3 * 4)")
+        assert db.execute("SELECT a FROM t").scalar() == 14
+
+    def test_insert_subquery_value(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.insert_rows("t", [(5,)])
+        db.execute("INSERT INTO t VALUES ((SELECT max(a) + 1 FROM t))")
+        assert db.execute("SELECT max(a) FROM t").scalar() == 6
+
+
+class TestUpdate:
+    def test_update_where(self, people_db):
+        result = people_db.execute(
+            "UPDATE people SET age = age + 1 WHERE city = 'munich'"
+        )
+        assert result.rowcount == 2
+        rows = people_db.execute(
+            "SELECT name, age FROM people WHERE city = 'munich' "
+            "ORDER BY name"
+        ).rows
+        assert rows == [("alice", 35), ("carol", 42)]
+
+    def test_update_all_rows(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.insert_rows("t", [(1,), (2,)])
+        assert db.execute("UPDATE t SET a = 0").rowcount == 2
+
+    def test_update_multiple_columns_sees_old_values(self, db):
+        db.execute("CREATE TABLE t (a INTEGER, b INTEGER)")
+        db.insert_rows("t", [(1, 10)])
+        db.execute("UPDATE t SET a = b, b = a")
+        assert db.execute("SELECT a, b FROM t").rows == [(10, 1)]
+
+    def test_update_to_null(self, people_db):
+        people_db.execute("UPDATE people SET city = NULL WHERE id = 1")
+        assert people_db.execute(
+            "SELECT city FROM people WHERE id = 1"
+        ).scalar() is None
+
+    def test_update_null_predicate_matches_nothing(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.insert_rows("t", [(None,), (1,)])
+        assert db.execute("UPDATE t SET a = 9 WHERE a > 0").rowcount == 1
+
+    def test_update_not_null_violation(self, db):
+        db.execute("CREATE TABLE t (a INTEGER NOT NULL)")
+        db.insert_rows("t", [(1,)])
+        with pytest.raises(CatalogError, match="NOT NULL"):
+            db.execute("UPDATE t SET a = NULL")
+
+    def test_update_with_cast(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.insert_rows("t", [(1,)])
+        db.execute("UPDATE t SET a = 2.9")
+        assert db.execute("SELECT a FROM t").scalar() == 2
+
+
+class TestDelete:
+    def test_delete_where(self, people_db):
+        assert people_db.execute(
+            "DELETE FROM people WHERE age < 30"
+        ).rowcount == 2
+        assert people_db.execute(
+            "SELECT count(*) FROM people"
+        ).scalar() == 3
+
+    def test_delete_all(self, people_db):
+        assert people_db.execute("DELETE FROM people").rowcount == 5
+        assert people_db.execute(
+            "SELECT count(*) FROM people"
+        ).scalar() == 0
+
+    def test_delete_unknown_is_kept(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.insert_rows("t", [(None,), (1,), (-1,)])
+        db.execute("DELETE FROM t WHERE a > 0")
+        # The NULL row's predicate is unknown -> not deleted.
+        assert db.execute("SELECT count(*) FROM t").scalar() == 2
+
+
+class TestCreateDrop:
+    def test_create_table_as(self, people_db):
+        result = people_db.execute(
+            "CREATE TABLE munich AS SELECT name, age FROM people "
+            "WHERE city = 'munich'"
+        )
+        assert result.rowcount == 2
+        schema = people_db.table_schema("munich")
+        assert schema.names() == ["name", "age"]
+
+    def test_create_if_not_exists(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("CREATE TABLE IF NOT EXISTS t (a INTEGER)")
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TABLE t (a INTEGER)")
+
+    def test_drop_if_exists(self, db):
+        db.execute("DROP TABLE IF EXISTS ghost")
+        with pytest.raises(CatalogError):
+            db.execute("DROP TABLE ghost")
+
+    def test_drop_then_recreate(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.insert_rows("t", [(1,)])
+        db.execute("DROP TABLE t")
+        db.execute("CREATE TABLE t (b VARCHAR)")
+        assert db.table_schema("t").names() == ["b"]
+        assert db.execute("SELECT count(*) FROM t").scalar() == 0
+
+
+class TestStatementTransactions:
+    def test_explicit_txn_rollback(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("BEGIN")
+        db.execute("INSERT INTO t VALUES (1)")
+        assert db.execute("SELECT count(*) FROM t").scalar() == 1
+        db.execute("ROLLBACK")
+        assert db.execute("SELECT count(*) FROM t").scalar() == 0
+
+    def test_explicit_txn_commit(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("BEGIN; INSERT INTO t VALUES (1); COMMIT")
+        assert db.execute("SELECT count(*) FROM t").scalar() == 1
+
+    def test_failed_statement_autocommit_rolls_back(self, db):
+        db.execute("CREATE TABLE t (a INTEGER NOT NULL)")
+        with pytest.raises(CatalogError):
+            db.execute("INSERT INTO t VALUES (1), (NULL)")
+        assert db.execute("SELECT count(*) FROM t").scalar() == 0
+
+    def test_transaction_context_manager(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        with db.transaction():
+            db.execute("INSERT INTO t VALUES (1)")
+            db.execute("INSERT INTO t VALUES (2)")
+        assert db.execute("SELECT count(*) FROM t").scalar() == 2
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.execute("INSERT INTO t VALUES (3)")
+                raise RuntimeError("boom")
+        assert db.execute("SELECT count(*) FROM t").scalar() == 2

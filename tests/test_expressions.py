@@ -1,0 +1,220 @@
+"""SQL expression semantics, evaluated end-to-end through the engine."""
+
+import pytest
+
+import repro
+from repro.errors import BindError, ExecutionError
+
+
+def one(db, expr):
+    """Evaluate a scalar expression via SELECT."""
+    return db.execute(f"SELECT {expr}").scalar()
+
+
+class TestArithmetic:
+    def test_basic(self, db):
+        assert one(db, "1 + 2 * 3") == 7
+        assert one(db, "(1 + 2) * 3") == 9
+        assert one(db, "10 - 4 - 3") == 3  # left associative
+
+    def test_integer_division_truncates(self, db):
+        assert one(db, "7 / 2") == 3
+        assert one(db, "-7 / 2") == -3  # toward zero, not floor
+
+    def test_float_division(self, db):
+        assert one(db, "7.0 / 2") == 3.5
+        assert one(db, "7 / 2.0") == 3.5
+
+    def test_division_by_zero(self, db):
+        with pytest.raises(ExecutionError, match="division by zero"):
+            db.execute("CREATE TABLE t (a INTEGER)")
+            db.insert_rows("t", [(1,)])
+            db.execute("SELECT a / 0 FROM t")
+
+    def test_modulo(self, db):
+        assert one(db, "10 % 3") == 1
+
+    def test_power(self, db):
+        assert one(db, "2 ^ 10") == 1024.0
+        assert one(db, "4 ^ 0.5") == 2.0
+
+    def test_unary_minus(self, db):
+        assert one(db, "-(2 + 3)") == -5
+
+    def test_mixed_type_promotion(self, db):
+        value = one(db, "1 + 2.5")
+        assert value == 3.5 and isinstance(value, float)
+
+
+class TestNullSemantics:
+    def test_null_propagates_through_arithmetic(self, db):
+        assert one(db, "1 + NULL") is None
+        assert one(db, "NULL * 2") is None
+
+    def test_null_comparison_is_unknown(self, db):
+        assert one(db, "NULL = NULL") is None
+        assert one(db, "1 < NULL") is None
+
+    def test_is_null(self, db):
+        assert one(db, "NULL IS NULL") is True
+        assert one(db, "1 IS NULL") is False
+        assert one(db, "1 IS NOT NULL") is True
+
+    def test_kleene_and(self, db):
+        assert one(db, "FALSE AND NULL") is False
+        assert one(db, "TRUE AND NULL") is None
+        assert one(db, "NULL AND NULL") is None
+
+    def test_kleene_or(self, db):
+        assert one(db, "TRUE OR NULL") is True
+        assert one(db, "FALSE OR NULL") is None
+
+    def test_not_null(self, db):
+        assert one(db, "NOT NULL") is None
+
+    def test_where_drops_unknown(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.insert_rows("t", [(1,), (None,), (3,)])
+        rows = db.execute("SELECT a FROM t WHERE a > 0").rows
+        assert rows == [(1,), (3,)]
+
+    def test_coalesce(self, db):
+        assert one(db, "coalesce(NULL, NULL, 5, 7)") == 5
+        assert one(db, "coalesce(NULL, NULL)") is None
+
+    def test_nullif(self, db):
+        assert one(db, "nullif(3, 3)") is None
+        assert one(db, "nullif(3, 4)") == 3
+
+
+class TestBooleansAndPredicates:
+    def test_comparisons(self, db):
+        assert one(db, "1 < 2") is True
+        assert one(db, "2 <= 2") is True
+        assert one(db, "3 <> 4") is True
+        assert one(db, "'abc' < 'abd'") is True
+
+    def test_between(self, db):
+        assert one(db, "5 BETWEEN 1 AND 10") is True
+        assert one(db, "5 NOT BETWEEN 6 AND 10") is True
+        assert one(db, "5 BETWEEN 10 AND 1") is False
+
+    def test_in_list(self, db):
+        assert one(db, "2 IN (1, 2, 3)") is True
+        assert one(db, "9 NOT IN (1, 2, 3)") is True
+
+    def test_in_list_with_null_sql_semantics(self, db):
+        assert one(db, "2 IN (1, NULL, 2)") is True
+        assert one(db, "9 IN (1, NULL)") is None  # unknown, not false
+
+    def test_like(self, db):
+        assert one(db, "'hello' LIKE 'he%'") is True
+        assert one(db, "'hello' LIKE 'h_llo'") is True
+        assert one(db, "'hello' NOT LIKE 'x%'") is True
+        assert one(db, "'a.c' LIKE 'a.c'") is True
+        assert one(db, "'abc' LIKE 'a.c'") is False  # dot is literal
+
+    def test_like_percent_matches_empty(self, db):
+        assert one(db, "'' LIKE '%'") is True
+
+
+class TestCase:
+    def test_searched(self, db):
+        assert one(db, "CASE WHEN 1 < 2 THEN 'yes' ELSE 'no' END") == "yes"
+
+    def test_no_else_yields_null(self, db):
+        assert one(db, "CASE WHEN FALSE THEN 1 END") is None
+
+    def test_simple_form(self, db):
+        assert one(db, "CASE 2 WHEN 1 THEN 'a' WHEN 2 THEN 'b' END") == "b"
+
+    def test_first_match_wins(self, db):
+        assert one(db, "CASE WHEN TRUE THEN 1 WHEN TRUE THEN 2 END") == 1
+
+    def test_branch_type_unification(self, db):
+        assert one(db, "CASE WHEN TRUE THEN 1 ELSE 2.5 END") == 1.0
+
+
+class TestCastAndStrings:
+    def test_casts(self, db):
+        assert one(db, "CAST('12' AS INTEGER)") == 12
+        assert one(db, "CAST(3.9 AS INTEGER)") == 3
+        assert one(db, "CAST(1 AS FLOAT)") == 1.0
+        assert one(db, "CAST(42 AS VARCHAR)") == "42"
+        assert one(db, "CAST('true' AS BOOLEAN)") is True
+
+    def test_concat_operator_null(self, db):
+        assert one(db, "'a' || 'b'") == "ab"
+        assert one(db, "'a' || NULL") is None
+
+    def test_concat_function_skips_null(self, db):
+        assert one(db, "concat('a', NULL, 'b')") == "ab"
+
+    def test_string_functions(self, db):
+        assert one(db, "upper('abc')") == "ABC"
+        assert one(db, "lower('ABC')") == "abc"
+        assert one(db, "length('hello')") == 5
+        assert one(db, "substr('hello', 2, 3)") == "ell"
+        assert one(db, "substr('hello', 3)") == "llo"
+        assert one(db, "replace('aXa', 'X', 'b')") == "aba"
+        assert one(db, "trim('  x  ')") == "x"
+        assert one(db, "reverse('abc')") == "cba"
+
+    def test_math_functions(self, db):
+        assert one(db, "abs(-4)") == 4
+        assert one(db, "sqrt(9)") == 3.0
+        assert one(db, "floor(3.7)") == 3
+        assert one(db, "ceil(3.2)") == 4
+        assert one(db, "round(3.456, 2)") == pytest.approx(3.46)
+        assert one(db, "sign(-2)") == -1
+        assert one(db, "power(2, 8)") == 256.0
+        assert one(db, "mod(10, 3)") == 1
+        assert one(db, "ln(exp(1.0))") == pytest.approx(1.0)
+        assert one(db, "log(100)") == pytest.approx(2.0)
+        assert one(db, "least(3, 1, 2)") == 1
+        assert one(db, "greatest(3, NULL, 5)") == 5
+        assert one(db, "pi()") == pytest.approx(3.14159265)
+
+    def test_sqrt_negative_raises(self, db):
+        db.execute("CREATE TABLE t (a FLOAT)")
+        db.insert_rows("t", [(-1.0,)])
+        with pytest.raises(ExecutionError, match="domain"):
+            db.execute("SELECT sqrt(a) FROM t")
+
+
+class TestBindErrors:
+    def test_unknown_column(self, people_db):
+        with pytest.raises(BindError, match="column not found"):
+            people_db.execute("SELECT nope FROM people")
+
+    def test_unknown_table(self, db):
+        with pytest.raises(BindError, match="no such table"):
+            db.execute("SELECT 1 FROM ghost")
+
+    def test_unknown_function(self, db):
+        with pytest.raises(BindError, match="unknown function"):
+            db.execute("SELECT frobnicate(1)")
+
+    def test_type_mismatch(self, db):
+        with pytest.raises(BindError):
+            db.execute("SELECT 1 + 'x'")
+
+    def test_ambiguous_column(self, people_db):
+        with pytest.raises(BindError, match="ambiguous"):
+            people_db.execute(
+                "SELECT id FROM people p1, people p2"
+            )
+
+    def test_where_must_be_boolean(self, people_db):
+        with pytest.raises(BindError, match="boolean"):
+            people_db.execute("SELECT 1 FROM people WHERE age")
+
+    def test_function_arity(self, db):
+        with pytest.raises(BindError, match="argument"):
+            db.execute("SELECT sqrt(1, 2)")
+
+    def test_duplicate_alias(self, people_db):
+        with pytest.raises(BindError, match="duplicate"):
+            people_db.execute(
+                "SELECT 1 FROM people p, orders p"
+            )

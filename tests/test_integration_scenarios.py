@@ -1,0 +1,180 @@
+"""End-to-end scenarios composing many subsystems in single queries —
+the "seamless integration" the paper claims (sections 4.3, 6)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.datagen.graphs import generate_social_graph
+
+
+@pytest.fixture
+def world(db):
+    """Persons, friendships, purchases: a small integrated dataset."""
+    rng = np.random.default_rng(13)
+    n = 300
+    src, dst = generate_social_graph(n, 3000, seed=13)
+    db.execute("CREATE TABLE person (id BIGINT, age INTEGER)")
+    db.insert_rows(
+        "person",
+        [(i, int(rng.integers(18, 80))) for i in range(n)],
+    )
+    db.execute("CREATE TABLE knows (src BIGINT, dest BIGINT)")
+    db.load_columns("knows", {"src": src, "dest": dst})
+    db.execute(
+        "CREATE TABLE purchase (pid BIGINT, amount FLOAT, "
+        "category VARCHAR)"
+    )
+    categories = ["books", "games", "food"]
+    db.insert_rows(
+        "purchase",
+        [
+            (
+                int(rng.integers(0, n)),
+                float(rng.uniform(1, 500)),
+                categories[int(rng.integers(0, 3))],
+            )
+            for _ in range(2000)
+        ],
+    )
+    return db
+
+
+class TestComposedQueries:
+    def test_pagerank_joined_aggregated_filtered(self, world):
+        """Operator output -> join -> group -> having -> order, one
+        statement (Figure 2a's arbitrary post-processing)."""
+        rows = world.execute(
+            "SELECT CASE WHEN p.age < 40 THEN 'young' ELSE 'old' END "
+            "AS bracket, avg(r.rank) AS avg_rank, count(*) AS n "
+            "FROM PAGERANK((SELECT src, dest FROM knows), 0.85, "
+            "0.0001) r JOIN person p ON p.id = r.vertex "
+            "GROUP BY CASE WHEN p.age < 40 THEN 'young' ELSE 'old' END "
+            "HAVING count(*) > 10 ORDER BY avg_rank DESC"
+        ).rows
+        assert 1 <= len(rows) <= 2
+        total = sum(r[2] for r in rows)
+        assert total == 300
+
+    def test_kmeans_over_joined_aggregate(self, world):
+        """Operator input built by join + GROUP BY (Figure 2a's
+        arbitrary pre-processing)."""
+        features = (
+            "SELECT sum(amount) AS spend, count(*) * 1.0 AS cnt "
+            "FROM purchase GROUP BY pid"
+        )
+        rows = world.execute(
+            f"SELECT * FROM KMEANS(({features}), "
+            f"({features} ORDER BY spend LIMIT 3), 10) ORDER BY spend"
+        ).rows
+        assert len(rows) == 3
+        assert sum(r[-1] for r in rows) == world.execute(
+            "SELECT count(DISTINCT pid) FROM purchase"
+        ).scalar()
+
+    def test_operator_inside_cte(self, world):
+        rows = world.execute(
+            "WITH ranks AS (SELECT * FROM PAGERANK("
+            "(SELECT src, dest FROM knows), 0.85, 0.0001)) "
+            "SELECT count(*) FROM ranks a JOIN ranks b "
+            "ON a.vertex = b.vertex"
+        )
+        assert rows.scalar() == 300
+
+    def test_two_operators_in_one_query(self, world):
+        """Rank vertices AND cluster spending in the same statement."""
+        rows = world.execute(
+            "SELECT k.cluster, count(*) "
+            "FROM PAGERANK((SELECT src, dest FROM knows), 0.85, "
+            "0.0001) r "
+            "JOIN person p ON p.id = r.vertex "
+            "JOIN (SELECT pid, sum(amount) AS spend FROM purchase "
+            "      GROUP BY pid) s ON s.pid = p.id "
+            "JOIN KMEANS((SELECT amount FROM purchase), "
+            "(SELECT amount FROM purchase LIMIT 2), 5) k "
+            "ON 1 = 1 "
+            "GROUP BY k.cluster ORDER BY k.cluster"
+        ).rows
+        assert len(rows) == 2
+
+    def test_iterate_over_analytics_output(self, world):
+        """ITERATE whose init comes from an analytics operator:
+        repeatedly halve the max rank until it is tiny."""
+        result = world.execute(
+            "SELECT * FROM ITERATE("
+            "(SELECT max(rank) AS m FROM PAGERANK("
+            "(SELECT src, dest FROM knows), 0.85, 0.0001)),"
+            "(SELECT m / 2.0 FROM iterate),"
+            "(SELECT m FROM iterate WHERE m < 0.0001))"
+        ).scalar()
+        assert result < 0.0001
+
+    def test_analytics_inside_iterate_step(self, world):
+        """An analytics operator evaluated inside every ITERATE round:
+        count how many rounds of center-halving keep two clusters
+        distinguishable."""
+        result = world.execute(
+            "SELECT * FROM ITERATE("
+            "(SELECT 1.0 AS scale, 0 AS it),"
+            "(SELECT scale / 2.0, it + 1 FROM iterate),"
+            "(SELECT 1 FROM iterate, "
+            "(SELECT count(*) AS c FROM COLUMN_STATS("
+            "(SELECT amount FROM purchase))) st "
+            "WHERE it >= 3 AND st.c = 1))"
+        ).rows
+        assert result[0][1] == 3
+
+    def test_model_lifecycle_transactional(self, world):
+        """Train -> store -> concurrent write -> predict from the
+        stored model; prediction uses the stored (older) model."""
+        world.execute(
+            "CREATE TABLE labelled AS "
+            "SELECT CASE WHEN amount > 250 THEN 1 ELSE 0 END AS label, "
+            "amount FROM purchase"
+        )
+        world.execute(
+            "CREATE TABLE model AS SELECT * FROM NAIVE_BAYES_TRAIN("
+            "(SELECT label, amount FROM labelled))"
+        )
+        world.execute("INSERT INTO purchase VALUES (0, 9999.0, 'books')")
+        predicted = world.execute(
+            "SELECT label, count(*) FROM NAIVE_BAYES_PREDICT("
+            "(SELECT * FROM model), (SELECT amount FROM labelled)) "
+            "GROUP BY label ORDER BY label"
+        ).rows
+        assert [r[0] for r in predicted] == [0, 1]
+
+    def test_parameterised_analytics_query(self, world):
+        rows = world.execute(
+            "SELECT count(*) FROM PAGERANK("
+            "(SELECT src, dest FROM knows), ?, ?) WHERE rank > ?",
+            (0.85, 0.0001, 0.0),
+        )
+        assert rows.scalar() == 300
+
+    def test_union_of_operator_outputs(self, world):
+        rows = world.execute(
+            "SELECT vertex FROM PAGERANK((SELECT src, dest FROM knows), "
+            "0.85, 0.001) "
+            "UNION "
+            "SELECT vertex FROM PAGERANK((SELECT src, dest FROM knows), "
+            "0.5, 0.001)"
+        ).rows
+        assert len(rows) == 300
+
+    def test_executemany_bulk(self, db):
+        db.execute("CREATE TABLE t (a INTEGER, b VARCHAR)")
+        total = db.executemany(
+            "INSERT INTO t VALUES (?, ?)",
+            [(i, f"row{i}") for i in range(25)],
+        )
+        assert total == 25
+        assert db.execute("SELECT count(*) FROM t").scalar() == 25
+
+    def test_executemany_atomic(self, db):
+        db.execute("CREATE TABLE t (a INTEGER NOT NULL)")
+        with pytest.raises(Exception):
+            db.executemany(
+                "INSERT INTO t VALUES (?)", [(1,), (None,), (3,)]
+            )
+        assert db.execute("SELECT count(*) FROM t").scalar() == 0

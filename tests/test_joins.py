@@ -1,0 +1,168 @@
+"""Join semantics: hash joins, outer joins, non-equi, NULL keys."""
+
+import pytest
+
+import repro
+
+
+class TestInnerJoins:
+    def test_basic_equi_join(self, people_db):
+        rows = people_db.execute(
+            "SELECT p.name, o.amount FROM people p "
+            "JOIN orders o ON p.id = o.person_id ORDER BY o.order_id"
+        ).rows
+        assert rows == [
+            ("alice", 25.0), ("alice", 75.0), ("bob", 10.0),
+            ("carol", 99.5),
+        ]
+
+    def test_comma_join_with_where_becomes_equi(self, people_db):
+        rows = people_db.execute(
+            "SELECT count(*) FROM people p, orders o "
+            "WHERE p.id = o.person_id"
+        ).scalar()
+        assert rows == 4
+
+    def test_using_clause(self, db):
+        db.execute("CREATE TABLE a (k INTEGER, x INTEGER)")
+        db.execute("CREATE TABLE b (k INTEGER, y INTEGER)")
+        db.insert_rows("a", [(1, 10), (2, 20)])
+        db.insert_rows("b", [(2, 200), (3, 300)])
+        rows = db.execute(
+            "SELECT a.k, x, y FROM a JOIN b USING (k)"
+        ).rows
+        assert rows == [(2, 20, 200)]
+
+    def test_multi_key_join(self, db):
+        db.execute("CREATE TABLE a (k1 INTEGER, k2 VARCHAR, v INTEGER)")
+        db.execute("CREATE TABLE b (k1 INTEGER, k2 VARCHAR, w INTEGER)")
+        db.insert_rows("a", [(1, "x", 10), (1, "y", 11), (2, "x", 20)])
+        db.insert_rows("b", [(1, "x", 100), (2, "y", 201)])
+        rows = db.execute(
+            "SELECT v, w FROM a JOIN b ON a.k1 = b.k1 AND a.k2 = b.k2"
+        ).rows
+        assert rows == [(10, 100)]
+
+    def test_duplicate_build_keys_expand(self, db):
+        db.execute("CREATE TABLE l (k INTEGER)")
+        db.execute("CREATE TABLE r (k INTEGER)")
+        db.insert_rows("l", [(1,), (1,)])
+        db.insert_rows("r", [(1,), (1,), (1,)])
+        assert db.execute(
+            "SELECT count(*) FROM l JOIN r ON l.k = r.k"
+        ).scalar() == 6
+
+    def test_null_keys_never_match(self, db):
+        db.execute("CREATE TABLE l (k INTEGER)")
+        db.execute("CREATE TABLE r (k INTEGER)")
+        db.insert_rows("l", [(1,), (None,)])
+        db.insert_rows("r", [(None,), (1,)])
+        assert db.execute(
+            "SELECT count(*) FROM l JOIN r ON l.k = r.k"
+        ).scalar() == 1
+
+    def test_join_expression_keys(self, db):
+        db.execute("CREATE TABLE l (k INTEGER)")
+        db.execute("CREATE TABLE r (k INTEGER)")
+        db.insert_rows("l", [(2,), (3,)])
+        db.insert_rows("r", [(4,), (9,)])
+        rows = db.execute(
+            "SELECT l.k, r.k FROM l JOIN r ON l.k * 2 = r.k"
+        ).rows
+        assert rows == [(2, 4)]
+
+    def test_self_join_disambiguated(self, people_db):
+        rows = people_db.execute(
+            "SELECT a.name, b.name FROM people a JOIN people b "
+            "ON a.age = b.age AND a.id < b.id"
+        ).rows
+        assert rows == [("bob", "erin")]
+
+    def test_residual_predicate(self, people_db):
+        rows = people_db.execute(
+            "SELECT p.name FROM people p JOIN orders o "
+            "ON p.id = o.person_id AND o.amount > 50 ORDER BY p.name"
+        ).rows
+        assert rows == [("alice",), ("carol",)]
+
+    def test_join_three_tables(self, db):
+        db.execute("CREATE TABLE a (x INTEGER)")
+        db.execute("CREATE TABLE b (x INTEGER)")
+        db.execute("CREATE TABLE c (x INTEGER)")
+        for table in ("a", "b", "c"):
+            db.insert_rows(table, [(1,), (2,)])
+        assert db.execute(
+            "SELECT count(*) FROM a JOIN b ON a.x = b.x "
+            "JOIN c ON b.x = c.x"
+        ).scalar() == 2
+
+
+class TestLeftJoins:
+    def test_unmatched_left_rows_null_extended(self, people_db):
+        rows = people_db.execute(
+            "SELECT p.name, o.amount FROM people p "
+            "LEFT JOIN orders o ON p.id = o.person_id "
+            "ORDER BY p.id, o.order_id"
+        ).rows
+        assert ("dave", None) in rows
+        assert ("erin", None) in rows
+        assert len(rows) == 6
+
+    def test_left_join_empty_right(self, db):
+        db.execute("CREATE TABLE l (k INTEGER)")
+        db.execute("CREATE TABLE r (k INTEGER, v INTEGER)")
+        db.insert_rows("l", [(1,), (2,)])
+        rows = db.execute(
+            "SELECT l.k, r.v FROM l LEFT JOIN r ON l.k = r.k ORDER BY l.k"
+        ).rows
+        assert rows == [(1, None), (2, None)]
+
+    def test_left_join_residual_failure_keeps_row(self, people_db):
+        # A match that fails the residual makes the row unmatched.
+        rows = people_db.execute(
+            "SELECT p.name, o.order_id FROM people p "
+            "LEFT JOIN orders o ON p.id = o.person_id "
+            "AND o.amount > 1000 ORDER BY p.id"
+        ).rows
+        assert all(order_id is None for _name, order_id in rows)
+        assert len(rows) == 5
+
+    def test_is_null_filter_finds_unmatched(self, people_db):
+        rows = people_db.execute(
+            "SELECT p.name FROM people p "
+            "LEFT JOIN orders o ON p.id = o.person_id "
+            "WHERE o.order_id IS NULL ORDER BY p.name"
+        ).rows
+        assert rows == [("dave",), ("erin",)]
+
+
+class TestCrossAndNonEqui:
+    def test_cross_join_cardinality(self, db):
+        db.execute("CREATE TABLE a (x INTEGER)")
+        db.execute("CREATE TABLE b (y INTEGER)")
+        db.insert_rows("a", [(1,), (2,), (3,)])
+        db.insert_rows("b", [(10,), (20,)])
+        assert db.execute(
+            "SELECT count(*) FROM a CROSS JOIN b"
+        ).scalar() == 6
+
+    def test_non_equi_join(self, db):
+        db.execute("CREATE TABLE a (x INTEGER)")
+        db.execute("CREATE TABLE b (y INTEGER)")
+        db.insert_rows("a", [(1,), (5,)])
+        db.insert_rows("b", [(3,), (4,)])
+        rows = db.execute(
+            "SELECT x, y FROM a JOIN b ON a.x < b.y ORDER BY x, y"
+        ).rows
+        assert rows == [(1, 3), (1, 4)]
+
+    def test_empty_inputs(self, db):
+        db.execute("CREATE TABLE a (x INTEGER)")
+        db.execute("CREATE TABLE b (y INTEGER)")
+        db.insert_rows("a", [(1,)])
+        assert db.execute(
+            "SELECT count(*) FROM a JOIN b ON a.x = b.y"
+        ).scalar() == 0
+        assert db.execute(
+            "SELECT count(*) FROM a CROSS JOIN b"
+        ).scalar() == 0

@@ -1,0 +1,136 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import TokenKind
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize(sql)]
+
+
+def texts(sql):
+    return [t.text for t in tokenize(sql)[:-1]]  # drop EOF
+
+
+class TestBasics:
+    def test_keywords_uppercased(self):
+        tokens = tokenize("select from where")
+        assert all(t.kind is TokenKind.KEYWORD for t in tokens[:-1])
+        assert texts("select FROM Where") == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_lowercased(self):
+        assert texts("MyTable") == ["mytable"]
+
+    def test_quoted_identifier_preserves_case(self):
+        token = tokenize('"MyCol"')[0]
+        assert token.kind is TokenKind.IDENT
+        assert token.text == "MyCol"
+
+    def test_quoted_identifier_escaped_quote(self):
+        token = tokenize('"a""b"')[0]
+        assert token.text == 'a"b'
+
+    def test_eof_always_last(self):
+        assert tokenize("")[-1].kind is TokenKind.EOF
+        assert tokenize("select")[-1].kind is TokenKind.EOF
+
+
+class TestNumbers:
+    def test_integer(self):
+        token = tokenize("42")[0]
+        assert token.kind is TokenKind.NUMBER
+        assert token.value == 42 and isinstance(token.value, int)
+
+    def test_decimal(self):
+        assert tokenize("3.14")[0].value == pytest.approx(3.14)
+
+    def test_leading_dot(self):
+        assert tokenize(".5")[0].value == 0.5
+
+    def test_exponent(self):
+        assert tokenize("1e3")[0].value == 1000.0
+        assert tokenize("2.5E-2")[0].value == pytest.approx(0.025)
+
+    def test_number_then_dot_ident(self):
+        # "1.e" should not swallow the identifier.
+        tokens = tokenize("x.y")
+        assert [t.kind for t in tokens[:-1]] == [
+            TokenKind.IDENT, TokenKind.DOT, TokenKind.IDENT,
+        ]
+
+
+class TestStrings:
+    def test_simple(self):
+        token = tokenize("'hello'")[0]
+        assert token.kind is TokenKind.STRING
+        assert token.value == "hello"
+
+    def test_escaped_quote(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_unterminated(self):
+        with pytest.raises(ParseError, match="unterminated string"):
+            tokenize("'oops")
+
+    def test_empty_string(self):
+        assert tokenize("''")[0].value == ""
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert texts("select -- comment\n 1") == ["SELECT", "1"]
+
+    def test_block_comment(self):
+        assert texts("select /* hi */ 1") == ["SELECT", "1"]
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError, match="unterminated block"):
+            tokenize("select /* oops")
+
+    def test_multiline_block(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+
+class TestOperators:
+    def test_multi_char(self):
+        assert texts("<= >= <> != ||") == ["<=", ">=", "<>", "!=", "||"]
+
+    def test_single_char(self):
+        assert texts("+ - * / % ^ = < >") == list("+-*/%^=<>")
+
+    def test_punctuation(self):
+        assert kinds("( ) , . ;")[:-1] == [
+            TokenKind.LPAREN, TokenKind.RPAREN, TokenKind.COMMA,
+            TokenKind.DOT, TokenKind.SEMICOLON,
+        ]
+
+    def test_unexpected_char(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize("select @")
+
+
+class TestLambda:
+    def test_unicode_lambda(self):
+        assert tokenize("λ")[0].kind is TokenKind.LAMBDA
+
+    def test_keyword_lambda(self):
+        assert tokenize("LAMBDA")[0].kind is TokenKind.LAMBDA
+        assert tokenize("lambda")[0].kind is TokenKind.LAMBDA
+
+
+class TestPositions:
+    def test_line_column_tracking(self):
+        tokens = tokenize("select\n  x")
+        assert tokens[0].line == 1 and tokens[0].column == 1
+        assert tokens[1].line == 2 and tokens[1].column == 3
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("a\n  @")
+        except ParseError as exc:
+            assert exc.line == 2
+        else:
+            pytest.fail("expected ParseError")

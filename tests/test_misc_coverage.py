@@ -1,0 +1,102 @@
+"""Coverage for smaller surfaces: errors, window registry, CLI
+ablations, explain formatting of every operator."""
+
+import pytest
+
+import repro
+from repro.errors import ParseError
+from repro.expr.windows import lookup_window, window_names
+
+
+class TestErrors:
+    def test_parse_error_position_in_message(self):
+        error = ParseError("bad thing", line=3, column=7)
+        assert "line 3" in str(error) and error.column == 7
+
+    def test_parse_error_without_position(self):
+        assert str(ParseError("just bad")) == "just bad"
+
+    def test_hierarchy(self):
+        from repro.errors import (
+            AnalyticsError,
+            ExecutionError,
+            IterationLimitError,
+            ReproError,
+            SerializationConflict,
+            TransactionError,
+        )
+
+        assert issubclass(IterationLimitError, ExecutionError)
+        assert issubclass(AnalyticsError, ExecutionError)
+        assert issubclass(SerializationConflict, TransactionError)
+        assert issubclass(TransactionError, ReproError)
+
+
+class TestWindowRegistry:
+    def test_names(self):
+        names = window_names()
+        for expected in ("row_number", "rank", "lag", "sum"):
+            assert expected in names
+
+    def test_lookup_case_insensitive(self):
+        assert lookup_window("ROW_NUMBER") is not None
+        assert lookup_window("ntile") is None
+
+    def test_arity_messages(self):
+        from repro.errors import BindError
+
+        descriptor = lookup_window("lag")
+        with pytest.raises(BindError, match="1..3"):
+            descriptor.check_arity(0)
+        descriptor.check_arity(2)  # no raise
+
+
+class TestCLIAblations:
+    def test_ablation_lambda_runs(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["ablation_lambda", "--scale", "0.0002"]) == 0
+        out = capsys.readouterr().out
+        assert "black box" in out
+
+    def test_json_export(self, tmp_path, capsys):
+        import json
+
+        from repro.bench.__main__ import main
+
+        path = str(tmp_path / "out.json")
+        assert main(
+            ["fig1_layers", "--scale", "0.00005", "--json", path]
+        ) == 0
+        payload = json.loads(open(path, encoding="utf-8").read())
+        assert "fig1_layers" in payload
+        results = payload["fig1_layers"]["results"]
+        assert any(r["seconds"] for r in results)
+
+
+class TestExplainEveryOperator:
+    def test_setop_and_values(self, db):
+        text = db.explain("SELECT 1 UNION SELECT 2")
+        assert "SetOp union" in text
+        assert "Values" in text
+
+    def test_distinct_and_window(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        text = db.explain(
+            "SELECT DISTINCT a, row_number() OVER (ORDER BY a) FROM t"
+        )
+        assert "LogicalDistinct" in text or "Distinct" in text
+        assert "Window" in text
+
+    def test_recursive_cte_explain(self, db):
+        text = db.explain(
+            "WITH RECURSIVE r(n) AS (SELECT 1 UNION ALL "
+            "SELECT n+1 FROM r WHERE n < 3) SELECT * FROM r"
+        )
+        assert "RecursiveCTE" in text
+
+    def test_nl_join_explain(self, db):
+        db.execute("CREATE TABLE a (x INTEGER)")
+        db.execute("CREATE TABLE b (y INTEGER)")
+        text = db.explain("SELECT * FROM a JOIN b ON a.x < b.y")
+        assert "NLJoin" in text

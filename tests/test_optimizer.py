@@ -1,0 +1,238 @@
+"""Optimizer rules: plan shapes and optimized/unoptimized equivalence."""
+
+import pytest
+
+import repro
+from repro.plan import logical as lp
+from repro.sql.parser import parse_statement
+
+
+def plan_of(db, sql):
+    statement = parse_statement(sql)
+    txn = db.txns.begin()
+    try:
+        return db._plan_select(statement, txn)
+    finally:
+        txn.rollback()
+
+
+def find_nodes(plan, node_type):
+    out = []
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, node_type):
+            out.append(node)
+        stack.extend(node.children())
+    return out
+
+
+@pytest.fixture
+def schema_db(db):
+    db.execute("CREATE TABLE big (k INTEGER, a INTEGER, b VARCHAR)")
+    db.execute("CREATE TABLE small (k INTEGER, c INTEGER)")
+    db.insert_rows("big", [(i, i * 2, f"s{i}") for i in range(100)])
+    db.insert_rows("small", [(i, i) for i in range(5)])
+    return db
+
+
+class TestPredicatePushdown:
+    def test_filter_reaches_scan_side_of_join(self, schema_db):
+        plan = plan_of(
+            schema_db,
+            "SELECT * FROM big JOIN small ON big.k = small.k "
+            "WHERE big.a > 10 AND small.c < 3",
+        )
+        joins = find_nodes(plan, lp.LogicalJoin)
+        assert len(joins) == 1
+        # Both join inputs are filters (predicates pushed to each side).
+        kinds = {type(c).__name__ for c in joins[0].children()}
+        assert kinds == {"LogicalFilter"}
+
+    def test_where_over_comma_join_becomes_hash_join(self, schema_db):
+        plan = plan_of(
+            schema_db,
+            "SELECT * FROM big, small WHERE big.k = small.k",
+        )
+        joins = find_nodes(plan, lp.LogicalJoin)
+        assert joins[0].kind == "inner"
+        assert joins[0].equi_keys
+
+    def test_filter_pushed_below_sort(self, schema_db):
+        plan = plan_of(
+            schema_db,
+            "SELECT * FROM (SELECT a FROM big ORDER BY a) s WHERE a > 5",
+        )
+        sorts = find_nodes(plan, lp.LogicalSort)
+        assert sorts
+        # A filter exists somewhere below the sort.
+        below = find_nodes(sorts[0], lp.LogicalFilter)
+        assert below
+
+    def test_filter_not_pushed_below_limit(self, schema_db):
+        plan = plan_of(
+            schema_db,
+            "SELECT * FROM (SELECT a FROM big LIMIT 3) s WHERE a > 0",
+        )
+        limits = find_nodes(plan, lp.LogicalLimit)
+        assert not find_nodes(limits[0], lp.LogicalFilter)
+
+    def test_group_key_filter_pushed_below_aggregate(self, schema_db):
+        plan = plan_of(
+            schema_db,
+            "SELECT * FROM (SELECT k, count(*) AS n FROM big GROUP BY k) "
+            "g WHERE k = 1",
+        )
+        aggregates = find_nodes(plan, lp.LogicalAggregate)
+        assert find_nodes(aggregates[0].child, lp.LogicalFilter)
+
+    def test_aggregate_result_filter_stays_above(self, schema_db):
+        plan = plan_of(
+            schema_db,
+            "SELECT * FROM (SELECT k, count(*) AS n FROM big GROUP BY k) "
+            "g WHERE n > 1",
+        )
+        aggregates = find_nodes(plan, lp.LogicalAggregate)
+        assert not find_nodes(aggregates[0].child, lp.LogicalFilter)
+
+    def test_no_pushdown_through_analytics_operator(self, db):
+        """Section 5.2: selections must not cross an analytical
+        operator — its result depends on the whole input."""
+        db.execute("CREATE TABLE pts (x FLOAT, y FLOAT)")
+        db.insert_rows("pts", [(0.0, 0.0), (5.0, 5.0)])
+        plan = plan_of(
+            db,
+            "SELECT * FROM KMEANS((SELECT x, y FROM pts), "
+            "(SELECT x, y FROM pts), 3) WHERE x > 1",
+        )
+        ops = find_nodes(plan, lp.LogicalTableFunction)
+        assert len(ops) == 1
+        assert not find_nodes(ops[0], lp.LogicalFilter)
+        # The filter survives above the operator.
+        assert find_nodes(plan, lp.LogicalFilter)
+
+    def test_no_pushdown_into_iterate(self, db):
+        plan = plan_of(
+            db,
+            "SELECT * FROM ITERATE((SELECT 1 AS x),"
+            " (SELECT x + 1 FROM iterate),"
+            " (SELECT x FROM iterate WHERE x > 3)) WHERE x > 100",
+        )
+        iterates = find_nodes(plan, lp.LogicalIterate)
+        filters_above = find_nodes(plan, lp.LogicalFilter)
+        # The x > 100 filter stays outside the ITERATE's init plan.
+        assert not find_nodes(iterates[0].init, lp.LogicalFilter)
+        assert filters_above
+
+    def test_pushdown_into_union_branches(self, schema_db):
+        plan = plan_of(
+            schema_db,
+            "SELECT * FROM (SELECT a FROM big UNION ALL "
+            "SELECT c FROM small) u WHERE a > 3",
+        )
+        setops = find_nodes(plan, lp.LogicalSetOp)
+        for branch in setops[0].children():
+            assert find_nodes(branch, lp.LogicalFilter)
+
+
+class TestColumnPruning:
+    def test_scan_projects_only_needed_columns(self, schema_db):
+        plan = plan_of(schema_db, "SELECT a FROM big WHERE k = 1")
+        scans = find_nodes(plan, lp.LogicalScan)
+        names = {c.name for c in scans[0].output}
+        assert names == {"a", "k"}
+
+    def test_count_star_keeps_one_column(self, schema_db):
+        plan = plan_of(schema_db, "SELECT count(*) FROM big")
+        scans = find_nodes(plan, lp.LogicalScan)
+        assert len(scans[0].output) == 1
+
+    def test_star_keeps_everything(self, schema_db):
+        plan = plan_of(schema_db, "SELECT * FROM big")
+        scans = find_nodes(plan, lp.LogicalScan)
+        assert len(scans[0].output) == 3
+
+
+class TestJoinSides:
+    def test_smaller_input_becomes_build_side(self, schema_db):
+        plan = plan_of(
+            schema_db,
+            "SELECT * FROM small JOIN big ON small.k = big.k",
+        )
+        joins = find_nodes(plan, lp.LogicalJoin)
+        # big (100 rows) should be the probe (left), small the build.
+        left_scans = find_nodes(joins[0].left, lp.LogicalScan)
+        assert left_scans[0].table_name == "big"
+
+    def test_left_join_sides_pinned(self, schema_db):
+        plan = plan_of(
+            schema_db,
+            "SELECT * FROM small LEFT JOIN big ON small.k = big.k",
+        )
+        joins = find_nodes(plan, lp.LogicalJoin)
+        left_scans = find_nodes(joins[0].left, lp.LogicalScan)
+        assert left_scans[0].table_name == "small"
+
+
+class TestEquivalence:
+    """The optimizer must never change results."""
+
+    QUERIES = [
+        "SELECT a FROM big WHERE a > 50 AND k < 80 ORDER BY a",
+        "SELECT big.k, c FROM big, small WHERE big.k = small.k "
+        "ORDER BY big.k",
+        "SELECT k % 3, count(*), sum(a) FROM big GROUP BY k % 3 "
+        "ORDER BY 1",
+        "SELECT * FROM (SELECT k, a FROM big WHERE a > 10) s "
+        "JOIN small ON s.k = small.k ORDER BY s.k",
+        "SELECT a FROM big WHERE a IN (SELECT c * 2 FROM small) "
+        "ORDER BY a",
+        "SELECT b FROM big WHERE k IN (1, 2, 3) OR a > 190 ORDER BY b",
+    ]
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_optimized_matches_unoptimized(self, sql):
+        def build(optimize):
+            db = repro.Database(optimize=optimize)
+            db.execute(
+                "CREATE TABLE big (k INTEGER, a INTEGER, b VARCHAR)"
+            )
+            db.execute("CREATE TABLE small (k INTEGER, c INTEGER)")
+            db.insert_rows(
+                "big", [(i, i * 2, f"s{i}") for i in range(100)]
+            )
+            db.insert_rows("small", [(i, i) for i in range(5)])
+            return db.execute(sql).rows
+
+        assert build(True) == build(False)
+
+
+class TestCardinality:
+    def test_estimates_available(self, schema_db):
+        txn = schema_db.txns.begin()
+        try:
+            optimizer = schema_db._make_optimizer(txn)
+            plan = schema_db._make_binder(txn).bind_query(
+                parse_statement("SELECT * FROM big WHERE a = 1")
+            )
+            estimate = optimizer.estimate(plan)
+            assert 0 < estimate < 100
+        finally:
+            txn.rollback()
+
+    def test_analytics_contract_kmeans(self, db):
+        db.execute("CREATE TABLE pts (x FLOAT)")
+        db.insert_rows("pts", [(float(i),) for i in range(50)])
+        txn = db.txns.begin()
+        try:
+            optimizer = db._make_optimizer(txn)
+            plan = db._make_binder(txn).bind_query(
+                parse_statement(
+                    "SELECT * FROM KMEANS((SELECT x FROM pts), "
+                    "(SELECT x FROM pts LIMIT 3), 5)"
+                )
+            )
+            # Contract: k-Means returns k rows (the centers input size).
+            assert optimizer.estimate(plan) <= 5
+        finally:
+            txn.rollback()

@@ -1,0 +1,119 @@
+"""Query parameters (? placeholders) and k-means++ initialization."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analytics import kmeans, kmeans_plusplus_init
+from repro.errors import AnalyticsError, ParseError
+
+
+class TestQueryParameters:
+    def test_basic_binding(self, db):
+        db.execute("CREATE TABLE t (a INTEGER, s VARCHAR)")
+        db.execute("INSERT INTO t VALUES (?, ?)", (1, "x"))
+        assert db.execute(
+            "SELECT s FROM t WHERE a = ?", (1,)
+        ).scalar() == "x"
+
+    def test_injection_impossible(self, db):
+        db.execute("CREATE TABLE t (s VARCHAR)")
+        hostile = "'; DROP TABLE t; --"
+        db.execute("INSERT INTO t VALUES (?)", (hostile,))
+        assert db.table_names() == ["t"]
+        assert db.execute("SELECT s FROM t").scalar() == hostile
+
+    def test_null_parameter(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("INSERT INTO t VALUES (?)", (None,))
+        assert db.execute("SELECT a FROM t").scalar() is None
+
+    def test_float_and_bool_parameters(self, db):
+        row = db.execute("SELECT ?, ?", (2.5, True)).fetchone()
+        assert row == (2.5, True)
+
+    def test_parameters_in_expressions(self, db):
+        assert db.execute("SELECT ? + ? * 2", (1, 3)).scalar() == 7
+
+    def test_too_few_parameters(self, db):
+        with pytest.raises(ParseError, match="more .* placeholders"):
+            db.execute("SELECT ?, ?", (1,))
+
+    def test_too_many_parameters(self, db):
+        with pytest.raises(ParseError, match="supplied"):
+            db.execute("SELECT ?", (1, 2))
+
+    def test_placeholder_without_params(self, db):
+        with pytest.raises(ParseError, match="no parameters"):
+            db.execute("SELECT ?")
+
+    def test_question_mark_inside_string_is_literal(self, db):
+        assert db.execute("SELECT 'what?'").scalar() == "what?"
+
+    def test_parameters_across_statements(self, db):
+        db.execute(
+            "CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (?); "
+            "INSERT INTO t VALUES (?)",
+            (1, 2),
+        )
+        assert db.execute("SELECT sum(a) FROM t").scalar() == 3
+
+
+class TestKMeansPlusPlus:
+    def test_centers_are_data_points(self):
+        rng = np.random.default_rng(0)
+        points = rng.random((100, 2))
+        centers = kmeans_plusplus_init(points, 4, seed=1)
+        assert centers.shape == (4, 2)
+        for center in centers:
+            assert any(np.allclose(center, p) for p in points)
+
+    def test_spreads_over_separated_blobs(self):
+        rng = np.random.default_rng(2)
+        blobs = [
+            rng.normal(loc, 0.05, (30, 2))
+            for loc in (0.0, 5.0, 10.0)
+        ]
+        points = np.concatenate(blobs)
+        centers = kmeans_plusplus_init(points, 3, seed=3)
+        # One center per blob (by nearest-blob assignment).
+        blob_of = {
+            tuple(np.round(c, 6)): int(round(c[0] / 5.0))
+            for c in centers
+        }
+        assert len(set(blob_of.values())) == 3
+
+    def test_deterministic_by_seed(self):
+        points = np.random.default_rng(4).random((50, 3))
+        a = kmeans_plusplus_init(points, 5, seed=7)
+        b = kmeans_plusplus_init(points, 5, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_duplicate_points_handled(self):
+        points = np.ones((10, 2))
+        centers = kmeans_plusplus_init(points, 3, seed=0)
+        assert np.allclose(centers, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(AnalyticsError):
+            kmeans_plusplus_init(np.zeros((5, 2)), 0)
+        with pytest.raises(AnalyticsError):
+            kmeans_plusplus_init(np.zeros((5, 2)), 6)
+        with pytest.raises(AnalyticsError):
+            kmeans_plusplus_init(np.zeros((0, 2)), 1)
+
+    def test_improves_over_bad_random_seeding(self):
+        rng = np.random.default_rng(8)
+        blobs = np.concatenate(
+            [rng.normal(loc, 0.1, (40, 1)) for loc in (0.0, 10.0, 20.0)]
+        )
+        # Adversarial seeding: all three from the same blob.
+        bad = blobs[:3].copy()
+        good = kmeans_plusplus_init(blobs, 3, seed=9)
+
+        def cost(centers):
+            out, assignment, _s, _i = kmeans(blobs, centers, 20)
+            diffs = blobs - out[assignment]
+            return float((diffs**2).sum())
+
+        assert cost(good) < cost(bad)

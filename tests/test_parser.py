@@ -1,0 +1,385 @@
+"""Unit tests for the SQL parser (AST shapes and error cases)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql.parser import parse_sql, parse_statement
+
+
+def select(sql) -> ast.SelectStatement:
+    stmt = parse_statement(sql)
+    assert isinstance(stmt, ast.SelectStatement)
+    return stmt
+
+
+def core(sql) -> ast.SelectCore:
+    body = select(sql).body
+    assert isinstance(body, ast.SelectCore)
+    return body
+
+
+class TestSelectCore:
+    def test_select_items_and_aliases(self):
+        c = core("SELECT a, b AS bee, c cee FROM t")
+        assert [i.alias for i in c.items] == [None, "bee", "cee"]
+
+    def test_string_alias_hyper_style(self):
+        c = core('SELECT 7 "x"')
+        assert c.items[0].alias == "x"
+
+    def test_star(self):
+        c = core("SELECT * FROM t")
+        assert isinstance(c.items[0].expr, ast.Star)
+
+    def test_qualified_star(self):
+        c = core("SELECT t.* FROM t")
+        assert c.items[0].expr.table == "t"
+
+    def test_distinct(self):
+        assert core("SELECT DISTINCT a FROM t").distinct
+        assert not core("SELECT ALL a FROM t").distinct
+
+    def test_where_group_having(self):
+        c = core(
+            "SELECT a, count(*) FROM t WHERE a > 0 GROUP BY a "
+            "HAVING count(*) > 1"
+        )
+        assert c.where is not None
+        assert len(c.group_by) == 1
+        assert c.having is not None
+
+    def test_no_from(self):
+        c = core("SELECT 1")
+        assert c.from_clause is None
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = core("SELECT 1 + 2 * 3").items[0].expr
+        assert isinstance(expr, ast.Binary) and expr.op == "+"
+        assert isinstance(expr.right, ast.Binary) and expr.right.op == "*"
+
+    def test_power_right_associative(self):
+        expr = core("SELECT 2 ^ 3 ^ 2").items[0].expr
+        assert expr.op == "^"
+        assert isinstance(expr.right, ast.Binary)
+        assert expr.right.op == "^"
+
+    def test_unary_minus_folds_literal(self):
+        expr = core("SELECT -5").items[0].expr
+        assert isinstance(expr, ast.Literal) and expr.value == -5
+
+    def test_comparison_chain_left_assoc(self):
+        expr = core("SELECT a = b").items[0].expr
+        assert expr.op == "="
+
+    def test_not_equals_normalised(self):
+        expr = core("SELECT a != b").items[0].expr
+        assert expr.op == "<>"
+
+    def test_and_or_precedence(self):
+        expr = core("SELECT a OR b AND c").items[0].expr
+        assert expr.op == "or"
+        assert isinstance(expr.right, ast.Binary) and expr.right.op == "and"
+
+    def test_not(self):
+        expr = core("SELECT NOT a").items[0].expr
+        assert isinstance(expr, ast.Unary) and expr.op == "not"
+
+    def test_between(self):
+        expr = core("SELECT a BETWEEN 1 AND 2").items[0].expr
+        assert isinstance(expr, ast.Between)
+
+    def test_not_between(self):
+        expr = core("SELECT a NOT BETWEEN 1 AND 2").items[0].expr
+        assert expr.negated
+
+    def test_in_list(self):
+        expr = core("SELECT a IN (1, 2, 3)").items[0].expr
+        assert isinstance(expr, ast.InList) and len(expr.items) == 3
+
+    def test_in_subquery(self):
+        expr = core("SELECT a IN (SELECT b FROM t)").items[0].expr
+        assert isinstance(expr, ast.InSubquery)
+
+    def test_like(self):
+        expr = core("SELECT a LIKE 'x%'").items[0].expr
+        assert isinstance(expr, ast.Like)
+
+    def test_is_null_and_not_null(self):
+        assert not core("SELECT a IS NULL").items[0].expr.negated
+        assert core("SELECT a IS NOT NULL").items[0].expr.negated
+
+    def test_case_searched(self):
+        expr = core(
+            "SELECT CASE WHEN a THEN 1 WHEN b THEN 2 ELSE 3 END"
+        ).items[0].expr
+        assert isinstance(expr, ast.Case)
+        assert expr.operand is None and len(expr.whens) == 2
+
+    def test_case_simple(self):
+        expr = core("SELECT CASE a WHEN 1 THEN 'x' END").items[0].expr
+        assert expr.operand is not None
+
+    def test_case_requires_when(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT CASE ELSE 1 END")
+
+    def test_cast(self):
+        expr = core("SELECT CAST(a AS INTEGER)").items[0].expr
+        assert isinstance(expr, ast.Cast)
+        assert expr.type_name == "integer"
+
+    def test_cast_with_width(self):
+        expr = core("SELECT CAST(a AS VARCHAR(10))").items[0].expr
+        assert expr.width == 10
+
+    def test_exists(self):
+        expr = core("SELECT EXISTS (SELECT 1)").items[0].expr
+        assert isinstance(expr, ast.Exists)
+
+    def test_scalar_subquery(self):
+        expr = core("SELECT (SELECT max(a) FROM t)").items[0].expr
+        assert isinstance(expr, ast.ScalarSubquery)
+
+    def test_function_call(self):
+        expr = core("SELECT coalesce(a, b, 0)").items[0].expr
+        assert isinstance(expr, ast.FunctionCall)
+        assert len(expr.args) == 3
+
+    def test_count_star(self):
+        expr = core("SELECT count(*)").items[0].expr
+        assert isinstance(expr.args[0], ast.Star)
+
+    def test_count_distinct(self):
+        expr = core("SELECT count(DISTINCT a)").items[0].expr
+        assert expr.distinct
+
+    def test_concat_operator(self):
+        expr = core("SELECT a || b").items[0].expr
+        assert expr.op == "||"
+
+
+class TestFromClause:
+    def test_join_on(self):
+        c = core("SELECT * FROM a JOIN b ON a.x = b.x")
+        assert isinstance(c.from_clause, ast.Join)
+        assert c.from_clause.kind == "inner"
+
+    def test_left_join(self):
+        c = core("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.x")
+        assert c.from_clause.kind == "left"
+
+    def test_cross_join(self):
+        c = core("SELECT * FROM a CROSS JOIN b")
+        assert c.from_clause.kind == "cross"
+        assert c.from_clause.condition is None
+
+    def test_comma_join(self):
+        c = core("SELECT * FROM a, b, c")
+        outer = c.from_clause
+        assert outer.kind == "cross"
+        assert outer.left.kind == "cross"
+
+    def test_using(self):
+        c = core("SELECT * FROM a JOIN b USING (x, y)")
+        assert c.from_clause.using == ["x", "y"]
+
+    def test_join_requires_condition(self):
+        with pytest.raises(ParseError, match="ON or USING"):
+            parse_statement("SELECT * FROM a JOIN b")
+
+    def test_derived_table(self):
+        c = core("SELECT * FROM (SELECT 1) AS sub(one)")
+        assert isinstance(c.from_clause, ast.SubqueryRef)
+        assert c.from_clause.column_aliases == ["one"]
+
+    def test_values_in_from(self):
+        c = core("SELECT * FROM (VALUES (1, 'a'), (2, 'b')) v(n, s)")
+        ref = c.from_clause
+        assert isinstance(ref, ast.ValuesRef)
+        assert len(ref.rows) == 2
+        assert ref.column_aliases == ["n", "s"]
+
+    def test_table_alias(self):
+        c = core("SELECT * FROM people p")
+        assert c.from_clause.alias == "p"
+
+
+class TestIterate:
+    def test_listing1(self):
+        c = core(
+            'SELECT * FROM ITERATE((SELECT 7 "x"),'
+            " (SELECT x+7 FROM iterate),"
+            " (SELECT x FROM iterate WHERE x >= 100))"
+        )
+        ref = c.from_clause
+        assert isinstance(ref, ast.IterateRef)
+
+    def test_iterate_as_working_table_name(self):
+        c = core("SELECT iterate.x FROM iterate")
+        assert isinstance(c.from_clause, ast.TableRef)
+        assert c.from_clause.name == "iterate"
+        assert c.items[0].expr.table == "iterate"
+
+    def test_iterate_requires_three_queries(self):
+        with pytest.raises(ParseError):
+            parse_statement(
+                "SELECT * FROM ITERATE((SELECT 1), (SELECT 2))"
+            )
+
+
+class TestTableFunctions:
+    def test_kmeans_with_lambda(self):
+        c = core(
+            "SELECT * FROM KMEANS((SELECT x FROM d), (SELECT x FROM c),"
+            " λ(a, b) (a.x - b.x)^2, 3)"
+        )
+        fn = c.from_clause
+        assert isinstance(fn, ast.TableFunction)
+        assert fn.name == "kmeans"
+        assert fn.args[0].query is not None
+        assert fn.args[2].lambda_expr is not None
+        assert fn.args[3].scalar is not None
+
+    def test_ascii_lambda_spelling(self):
+        c = core("SELECT * FROM F((SELECT 1), LAMBDA(e) e.x + 1)")
+        lam = c.from_clause.args[1].lambda_expr
+        assert lam.params == ["e"]
+
+    def test_lambda_body_stops_at_comma(self):
+        c = core("SELECT * FROM F(LAMBDA(a) a.x + 1, 5)")
+        assert c.from_clause.args[1].scalar is not None
+
+    def test_pagerank_listing2(self):
+        c = core(
+            "SELECT * FROM PAGE_RANK((SELECT src, dest FROM edges), "
+            "0.85, 0.0001)"
+        )
+        fn = c.from_clause
+        assert fn.name == "page_rank"
+        assert len(fn.args) == 3
+
+
+class TestSetOpsAndCTEs:
+    def test_union_all_chain(self):
+        body = select("SELECT 1 UNION ALL SELECT 2 UNION SELECT 3").body
+        assert isinstance(body, ast.SetOp)
+        assert body.op == "union"
+        assert body.left.op == "union_all"
+
+    def test_intersect_except(self):
+        assert select("SELECT 1 INTERSECT SELECT 2").body.op == "intersect"
+        assert select("SELECT 1 EXCEPT SELECT 2").body.op == "except"
+
+    def test_cte(self):
+        stmt = select("WITH t AS (SELECT 1) SELECT * FROM t")
+        assert len(stmt.ctes) == 1
+        assert not stmt.ctes[0].recursive
+
+    def test_recursive_cte_with_columns(self):
+        stmt = select(
+            "WITH RECURSIVE t(n) AS (SELECT 1 UNION ALL "
+            "SELECT n+1 FROM t WHERE n < 3) SELECT * FROM t"
+        )
+        assert stmt.ctes[0].recursive
+        assert stmt.ctes[0].column_names == ["n"]
+
+    def test_multiple_ctes(self):
+        stmt = select(
+            "WITH a AS (SELECT 1), b AS (SELECT 2) SELECT * FROM a, b"
+        )
+        assert [c.name for c in stmt.ctes] == ["a", "b"]
+
+
+class TestOrderLimit:
+    def test_order_by_directions(self):
+        stmt = select("SELECT a, b FROM t ORDER BY a DESC, b ASC")
+        assert stmt.order_by[0].descending
+        assert not stmt.order_by[1].descending
+
+    def test_nulls_first_last(self):
+        stmt = select("SELECT a FROM t ORDER BY a NULLS FIRST")
+        assert stmt.order_by[0].nulls_last is False
+
+    def test_limit_offset(self):
+        stmt = select("SELECT a FROM t LIMIT 5 OFFSET 2")
+        assert stmt.limit.value == 5
+        assert stmt.offset.value == 2
+
+
+class TestOtherStatements:
+    def test_create_table(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (a INTEGER NOT NULL, b VARCHAR(10), "
+            "c FLOAT PRIMARY KEY)"
+        )
+        assert isinstance(stmt, ast.CreateTable)
+        assert stmt.columns[0].not_null
+        assert stmt.columns[1].width == 10
+        assert stmt.columns[2].not_null  # PRIMARY KEY implies NOT NULL
+
+    def test_create_table_if_not_exists(self):
+        stmt = parse_statement("CREATE TABLE IF NOT EXISTS t (a INT)")
+        assert stmt.if_not_exists
+
+    def test_create_table_as(self):
+        stmt = parse_statement("CREATE TABLE t AS SELECT 1 AS one")
+        assert stmt.as_query is not None
+
+    def test_drop(self):
+        assert parse_statement("DROP TABLE t").if_exists is False
+        assert parse_statement("DROP TABLE IF EXISTS t").if_exists
+
+    def test_insert_values(self):
+        stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 2), (3, 4)")
+        assert stmt.columns == ["a", "b"]
+        assert len(stmt.rows) == 2
+
+    def test_insert_select(self):
+        stmt = parse_statement("INSERT INTO t SELECT * FROM s")
+        assert stmt.query is not None
+
+    def test_update(self):
+        stmt = parse_statement("UPDATE t SET a = 1, b = b + 1 WHERE c")
+        assert len(stmt.assignments) == 2
+        assert stmt.where is not None
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM t WHERE a < 0")
+        assert isinstance(stmt, ast.Delete)
+
+    def test_transactions(self):
+        kinds = [type(s).__name__ for s in parse_sql("BEGIN; COMMIT; ROLLBACK")]
+        assert kinds == [
+            "BeginTransaction", "CommitTransaction", "RollbackTransaction",
+        ]
+
+    def test_script_with_semicolons(self):
+        assert len(parse_sql(";;SELECT 1;; SELECT 2;")) == 2
+
+    def test_single_statement_enforced(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT 1; SELECT 2")
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT",
+            "SELECT FROM t",
+            "SELECT * FROM",
+            "SELECT * FROM t WHERE",
+            "CREATE TABLE",
+            "INSERT INTO",
+            "SELECT * FROM (SELECT 1",
+            "FOO BAR",
+            "SELECT a FROM t GROUP",
+            "UPDATE t SET",
+        ],
+    )
+    def test_malformed(self, sql):
+        with pytest.raises(ParseError):
+            parse_sql(sql)

@@ -1,0 +1,288 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.analytics.kmeans import kmeans
+from repro.analytics.pagerank import pagerank
+from repro.exec.common import factorize, factorize_column
+from repro.storage.column import Column
+from repro.types import DOUBLE, INTEGER, VARCHAR
+
+# Bounded integer values (avoid int32 overflow in SQL arithmetic).
+small_ints = st.integers(min_value=-10_000, max_value=10_000)
+opt_ints = st.one_of(st.none(), small_ints)
+
+
+def load_ints(values):
+    db = repro.Database()
+    db.execute("CREATE TABLE t (a INTEGER)")
+    db.insert_rows("t", [(v,) for v in values])
+    return db
+
+
+class TestSQLAggregatesMatchPython:
+    @given(st.lists(opt_ints, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_count_sum_min_max(self, values):
+        db = load_ints(values)
+        row = db.execute(
+            "SELECT count(*), count(a), sum(a), min(a), max(a) FROM t"
+        ).fetchone()
+        non_null = [v for v in values if v is not None]
+        assert row[0] == len(values)
+        assert row[1] == len(non_null)
+        assert row[2] == (sum(non_null) if non_null else None)
+        assert row[3] == (min(non_null) if non_null else None)
+        assert row[4] == (max(non_null) if non_null else None)
+
+    @given(st.lists(small_ints, min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_group_by_matches_dict(self, values):
+        db = load_ints(values)
+        rows = db.execute(
+            "SELECT a % 5, count(*) FROM t GROUP BY a % 5"
+        ).rows
+        expected: dict[int, int] = {}
+        for v in values:
+            key = v - (v // 5) * 5 if v >= 0 else -((-v) % 5)
+            # SQL % truncates toward zero: emulate with math.fmod.
+            key = int(np.fmod(v, 5))
+            expected[key] = expected.get(key, 0) + 1
+        assert dict(rows) == expected
+
+
+class TestSortProperties:
+    @given(st.lists(opt_ints, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_order_matches_python_sorted(self, values):
+        db = load_ints(values)
+        rows = [r[0] for r in db.execute(
+            "SELECT a FROM t ORDER BY a"
+        ).rows]
+        non_null = sorted(v for v in values if v is not None)
+        nulls = [None] * (len(values) - len(non_null))
+        assert rows == non_null + nulls  # NULLs last for ASC
+
+    @given(st.lists(st.text(max_size=6), max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_string_sort(self, values):
+        db = repro.Database()
+        db.execute("CREATE TABLE t (s VARCHAR)")
+        db.insert_rows("t", [(v,) for v in values])
+        rows = [r[0] for r in db.execute(
+            "SELECT s FROM t ORDER BY s DESC"
+        ).rows]
+        assert rows == sorted(values, reverse=True)
+
+    @given(st.lists(opt_ints, max_size=40), st.integers(0, 10),
+           st.integers(0, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_limit_offset_slice(self, values, limit, offset):
+        db = load_ints(values)
+        rows = db.execute(
+            f"SELECT a FROM t ORDER BY a LIMIT {limit} OFFSET {offset}"
+        ).rows
+        everything = db.execute("SELECT a FROM t ORDER BY a").rows
+        assert rows == everything[offset : offset + limit]
+
+
+class TestSetOpProperties:
+    @given(st.lists(small_ints, max_size=30), st.lists(small_ints, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_set_ops_match_python_sets(self, left, right):
+        db = repro.Database()
+        db.execute("CREATE TABLE l (a INTEGER)")
+        db.execute("CREATE TABLE r (a INTEGER)")
+        db.insert_rows("l", [(v,) for v in left])
+        db.insert_rows("r", [(v,) for v in right])
+        union = {
+            r[0] for r in db.execute(
+                "SELECT a FROM l UNION SELECT a FROM r"
+            ).rows
+        }
+        intersect = {
+            r[0] for r in db.execute(
+                "SELECT a FROM l INTERSECT SELECT a FROM r"
+            ).rows
+        }
+        except_ = {
+            r[0] for r in db.execute(
+                "SELECT a FROM l EXCEPT SELECT a FROM r"
+            ).rows
+        }
+        assert union == set(left) | set(right)
+        assert intersect == set(left) & set(right)
+        assert except_ == set(left) - set(right)
+
+
+class TestJoinProperties:
+    @given(st.lists(st.integers(0, 8), max_size=25),
+           st.lists(st.integers(0, 8), max_size=25))
+    @settings(max_examples=40, deadline=None)
+    def test_join_matches_nested_loops(self, left, right):
+        db = repro.Database()
+        db.execute("CREATE TABLE l (a INTEGER)")
+        db.execute("CREATE TABLE r (a INTEGER)")
+        db.insert_rows("l", [(v,) for v in left])
+        db.insert_rows("r", [(v,) for v in right])
+        got = sorted(db.execute(
+            "SELECT l.a, r.a FROM l JOIN r ON l.a = r.a"
+        ).rows)
+        expected = sorted(
+            (x, y) for x in left for y in right if x == y
+        )
+        assert got == expected
+
+
+class TestFactorize:
+    @given(st.lists(opt_ints, max_size=80))
+    @settings(max_examples=50, deadline=None)
+    def test_codes_respect_equality(self, values):
+        col = Column.from_values(values, INTEGER)
+        codes, count = factorize_column(col)
+        assert len(codes) == len(values)
+        if values:
+            assert codes.max(initial=-1) < max(count, 1)
+        for i in range(len(values)):
+            for j in range(i + 1, len(values)):
+                same = values[i] == values[j] or (
+                    values[i] is None and values[j] is None
+                )
+                if same:
+                    assert codes[i] == codes[j]
+                else:
+                    assert codes[i] != codes[j]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.text(max_size=2)),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_multi_column_rows(self, rows):
+        ints = Column.from_values([r[0] for r in rows], INTEGER)
+        strs = Column.from_values([r[1] for r in rows], VARCHAR)
+        codes, _count = factorize([ints, strs])
+        seen: dict[int, tuple] = {}
+        for i, row in enumerate(rows):
+            code = int(codes[i])
+            if code in seen:
+                assert seen[code] == row
+            else:
+                seen[code] = row
+
+
+class TestAnalyticsInvariants:
+    @given(
+        st.integers(5, 60), st.integers(1, 3), st.integers(1, 4),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_kmeans_invariants(self, n, d, k, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.random((n, d))
+        centers = points[rng.choice(n, size=min(k, n), replace=False)]
+        out, assignment, sizes, iterations = kmeans(
+            points, centers, max_iterations=10
+        )
+        assert sizes.sum() == n
+        assert out.shape == centers.shape
+        assert iterations >= 1
+        assert ((assignment >= 0) & (assignment < len(centers))).all()
+        # Centers of non-empty clusters lie in the data's bounding box.
+        non_empty = sizes > 0
+        assert (out[non_empty] >= points.min() - 1e-9).all()
+        assert (out[non_empty] <= points.max() + 1e-9).all()
+
+    @given(st.integers(2, 40), st.integers(1, 120), st.integers(0, 99))
+    @settings(max_examples=25, deadline=None)
+    def test_pagerank_is_a_distribution(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        src = rng.integers(0, n, m)
+        dst = rng.integers(0, n, m)
+        _ids, ranks, _it = pagerank(src, dst, max_iterations=40)
+        assert ranks.sum() == pytest.approx(1.0)
+        assert (ranks > 0).all()
+
+
+class TestRoundTrips:
+    @given(st.lists(st.tuples(opt_ints, st.one_of(st.none(),
+                                                  st.text(max_size=5))),
+                    max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_insert_select_roundtrip(self, rows):
+        db = repro.Database()
+        db.execute("CREATE TABLE t (a INTEGER, s VARCHAR)")
+        db.insert_rows("t", rows)
+        got = db.execute("SELECT a, s FROM t").rows
+        assert got == [tuple(r) for r in rows]
+
+    @given(st.lists(st.tuples(small_ints, st.text(max_size=4)),
+                    max_size=15))
+    @settings(max_examples=20, deadline=None)
+    def test_wal_recovery_roundtrip(self, tmp_path_factory, rows):
+        path = str(
+            tmp_path_factory.mktemp("wal") / "log.jsonl"
+        )
+        db = repro.Database(wal_path=path)
+        db.execute("CREATE TABLE t (a INTEGER, s VARCHAR)")
+        db.insert_rows("t", rows)
+        db2 = repro.Database(wal_path=path)
+        assert db2.execute("SELECT a, s FROM t").rows == rows
+
+
+class TestWindowProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(-50, 50)),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_row_number_rank_against_reference(self, rows):
+        db = repro.Database()
+        db.execute("CREATE TABLE w (g INTEGER, v INTEGER)")
+        db.insert_rows("w", rows)
+        got = db.execute(
+            "SELECT g, v, "
+            "row_number() OVER (PARTITION BY g ORDER BY v) AS rn, "
+            "rank() OVER (PARTITION BY g ORDER BY v) AS rk, "
+            "dense_rank() OVER (PARTITION BY g ORDER BY v) AS dr, "
+            "sum(v) OVER (PARTITION BY g) AS total "
+            "FROM w"
+        ).rows
+        # Brute-force reference per partition.
+        by_group: dict[int, list[int]] = {}
+        for g, v in rows:
+            by_group.setdefault(g, []).append(v)
+        for g, v, rn, rk, dr, total in got:
+            values = sorted(by_group[g])
+            assert total == sum(by_group[g])
+            assert rk == values.index(v) + 1  # first peer position
+            distinct_below = len({x for x in values if x < v})
+            assert dr == distinct_below + 1
+            assert 1 <= rn <= len(values)
+            assert values[rn - 1] == v  # rn points at a peer slot
+
+    @given(
+        st.lists(st.integers(-20, 20), min_size=1, max_size=40)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_running_sum_matches_prefix_sums(self, values):
+        db = repro.Database()
+        db.execute("CREATE TABLE w (v INTEGER)")
+        db.insert_rows("w", [(v,) for v in values])
+        got = db.execute(
+            "SELECT v, sum(v) OVER (ORDER BY v) FROM w ORDER BY v"
+        ).rows
+        ordered = sorted(values)
+        for i, (v, running) in enumerate(got):
+            # RANGE frame: running sum includes every peer of v.
+            expected = sum(x for x in ordered if x <= v)
+            assert running == expected

@@ -1,0 +1,238 @@
+"""Set operations, subqueries, ORDER BY / LIMIT, VALUES, CTEs."""
+
+import pytest
+
+import repro
+from repro.errors import BindError, ExecutionError
+
+
+class TestSetOps:
+    def test_union_all_keeps_duplicates(self, db):
+        rows = db.execute(
+            "SELECT 1 UNION ALL SELECT 1 UNION ALL SELECT 2"
+        ).rows
+        assert sorted(rows) == [(1,), (1,), (2,)]
+
+    def test_union_deduplicates(self, db):
+        rows = db.execute("SELECT 1 UNION SELECT 1 UNION SELECT 2").rows
+        assert sorted(rows) == [(1,), (2,)]
+
+    def test_intersect(self, db):
+        db.execute("CREATE TABLE a (x INTEGER)")
+        db.execute("CREATE TABLE b (x INTEGER)")
+        db.insert_rows("a", [(1,), (2,), (2,), (3,)])
+        db.insert_rows("b", [(2,), (3,), (4,)])
+        rows = db.execute(
+            "SELECT x FROM a INTERSECT SELECT x FROM b ORDER BY x"
+        ).rows
+        assert rows == [(2,), (3,)]
+
+    def test_except(self, db):
+        db.execute("CREATE TABLE a (x INTEGER)")
+        db.execute("CREATE TABLE b (x INTEGER)")
+        db.insert_rows("a", [(1,), (2,), (2,), (3,)])
+        db.insert_rows("b", [(2,)])
+        rows = db.execute(
+            "SELECT x FROM a EXCEPT SELECT x FROM b ORDER BY x"
+        ).rows
+        assert rows == [(1,), (3,)]
+
+    def test_type_unification_across_branches(self, db):
+        rows = db.execute("SELECT 1 UNION ALL SELECT 2.5 ORDER BY 1").rows
+        assert rows == [(1.0,), (2.5,)]
+
+    def test_arity_mismatch_rejected(self, db):
+        with pytest.raises(BindError, match="arity"):
+            db.execute("SELECT 1 UNION SELECT 1, 2")
+
+    def test_union_with_nulls(self, db):
+        rows = db.execute(
+            "SELECT NULL UNION SELECT NULL UNION SELECT 1"
+        ).rows
+        assert len(rows) == 2
+
+
+class TestSubqueries:
+    def test_scalar_subquery(self, people_db):
+        rows = people_db.execute(
+            "SELECT name FROM people "
+            "WHERE age > (SELECT avg(age) FROM people) ORDER BY name"
+        ).rows
+        assert rows == [("alice",), ("carol",)]
+
+    def test_scalar_subquery_empty_is_null(self, people_db):
+        assert people_db.execute(
+            "SELECT (SELECT age FROM people WHERE id = 99)"
+        ).scalar() is None
+
+    def test_scalar_subquery_multirow_raises(self, people_db):
+        with pytest.raises(ExecutionError, match="more than one row"):
+            people_db.execute("SELECT (SELECT age FROM people)")
+
+    def test_in_subquery(self, people_db):
+        rows = people_db.execute(
+            "SELECT name FROM people WHERE id IN "
+            "(SELECT person_id FROM orders) ORDER BY name"
+        ).rows
+        assert rows == [("alice",), ("bob",), ("carol",)]
+
+    def test_not_in_subquery_with_null_probe(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.insert_rows("t", [(1,), (2,)])
+        # NOT IN over a set containing NULL is never true.
+        rows = db.execute(
+            "SELECT a FROM t WHERE a NOT IN (SELECT NULL)"
+        ).rows
+        assert rows == []
+
+    def test_exists(self, people_db):
+        rows = people_db.execute(
+            "SELECT name FROM people p WHERE EXISTS "
+            "(SELECT 1 FROM orders o WHERE o.person_id = p.id) "
+            "ORDER BY name"
+        ).rows
+        assert rows == [("alice",), ("bob",), ("carol",)]
+
+    def test_not_exists(self, people_db):
+        rows = people_db.execute(
+            "SELECT name FROM people p WHERE NOT EXISTS "
+            "(SELECT 1 FROM orders o WHERE o.person_id = p.id) "
+            "ORDER BY name"
+        ).rows
+        assert rows == [("dave",), ("erin",)]
+
+    def test_correlated_scalar_subquery(self, people_db):
+        rows = people_db.execute(
+            "SELECT name, (SELECT sum(amount) FROM orders o "
+            "WHERE o.person_id = p.id) FROM people p ORDER BY id"
+        ).rows
+        assert rows[0] == ("alice", 100.0)
+        assert rows[3] == ("dave", None)
+
+    def test_subquery_in_select_list(self, people_db):
+        assert people_db.execute(
+            "SELECT (SELECT count(*) FROM orders)"
+        ).scalar() == 5
+
+    def test_derived_table(self, people_db):
+        rows = people_db.execute(
+            "SELECT city, n FROM (SELECT city, count(*) AS n "
+            "FROM people GROUP BY city) sub WHERE n > 1"
+        ).rows
+        assert rows == [("munich", 2)]
+
+
+class TestOrderByLimit:
+    def test_order_by_multiple_keys(self, people_db):
+        rows = people_db.execute(
+            "SELECT name, age FROM people "
+            "ORDER BY age DESC NULLS LAST, name"
+        ).rows
+        assert [r[0] for r in rows] == [
+            "carol", "alice", "bob", "erin", "dave",
+        ]
+
+    def test_nulls_default_sort_large(self, people_db):
+        ascending = people_db.execute(
+            "SELECT age FROM people ORDER BY age"
+        ).rows
+        assert ascending[-1] == (None,)
+        descending = people_db.execute(
+            "SELECT age FROM people ORDER BY age DESC"
+        ).rows
+        assert descending[0] == (None,)
+
+    def test_order_by_ordinal(self, people_db):
+        rows = people_db.execute(
+            "SELECT name, age FROM people ORDER BY 2 NULLS LAST, 1"
+        ).rows
+        assert rows[0][0] == "bob"
+
+    def test_order_by_expression(self, people_db):
+        rows = people_db.execute(
+            "SELECT name FROM people WHERE age IS NOT NULL "
+            "ORDER BY age % 10, name"
+        ).rows
+        assert rows[0] == ("carol",)
+
+    def test_order_by_string_desc(self, people_db):
+        rows = people_db.execute(
+            "SELECT name FROM people ORDER BY name DESC LIMIT 2"
+        ).rows
+        assert rows == [("erin",), ("dave",)]
+
+    def test_limit_offset(self, people_db):
+        rows = people_db.execute(
+            "SELECT id FROM people ORDER BY id LIMIT 2 OFFSET 1"
+        ).rows
+        assert rows == [(2,), (3,)]
+
+    def test_limit_zero(self, people_db):
+        assert people_db.execute(
+            "SELECT id FROM people LIMIT 0"
+        ).rows == []
+
+    def test_offset_past_end(self, people_db):
+        assert people_db.execute(
+            "SELECT id FROM people ORDER BY id OFFSET 10"
+        ).rows == []
+
+    def test_stable_sort(self, db):
+        db.execute("CREATE TABLE t (k INTEGER, seq INTEGER)")
+        db.insert_rows("t", [(1, i) for i in range(20)])
+        rows = db.execute("SELECT seq FROM t ORDER BY k").rows
+        assert [r[0] for r in rows] == list(range(20))
+
+
+class TestValuesAndConstants:
+    def test_select_without_from_one_row(self, db):
+        assert len(db.execute("SELECT 1, 2, 3").rows) == 1
+
+    def test_values_statement(self, db):
+        rows = db.execute("VALUES (1, 'a'), (2, 'b')").rows
+        assert rows == [(1, "a"), (2, "b")]
+
+    def test_values_in_from_with_aliases(self, db):
+        rows = db.execute(
+            "SELECT n * 2 FROM (VALUES (1), (2), (3)) v(n) ORDER BY 1"
+        ).rows
+        assert rows == [(2,), (4,), (6,)]
+
+    def test_values_type_unification(self, db):
+        rows = db.execute("VALUES (1), (2.5)").rows
+        assert rows == [(1.0,), (2.5,)]
+
+
+class TestCTEs:
+    def test_simple_cte(self, people_db):
+        rows = people_db.execute(
+            "WITH adults AS (SELECT * FROM people WHERE age >= 30) "
+            "SELECT name FROM adults ORDER BY name"
+        ).rows
+        assert rows == [("alice",), ("carol",)]
+
+    def test_cte_referenced_twice(self, db):
+        db.execute("CREATE TABLE t (x INTEGER)")
+        db.insert_rows("t", [(1,), (2,)])
+        rows = db.execute(
+            "WITH c AS (SELECT x FROM t) "
+            "SELECT a.x, b.x FROM c a JOIN c b ON a.x = b.x ORDER BY 1"
+        ).rows
+        assert rows == [(1, 1), (2, 2)]
+
+    def test_chained_ctes(self, db):
+        assert db.execute(
+            "WITH a AS (SELECT 2 AS x), b AS (SELECT x + 3 AS y FROM a) "
+            "SELECT y FROM b"
+        ).scalar() == 5
+
+    def test_cte_column_aliases(self, db):
+        assert db.execute(
+            "WITH c(n) AS (SELECT 41) SELECT n + 1 FROM c"
+        ).scalar() == 42
+
+    def test_cte_shadows_table(self, people_db):
+        rows = people_db.execute(
+            "WITH people AS (SELECT 1 AS only) SELECT * FROM people"
+        ).rows
+        assert rows == [(1,)]

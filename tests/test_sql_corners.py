@@ -1,0 +1,129 @@
+"""Regression tests for odd-but-legal SQL corners."""
+
+import pytest
+
+import repro
+from repro.errors import ParseError
+
+
+@pytest.fixture
+def corner_db(db):
+    db.execute("CREATE TABLE t (a INTEGER, b VARCHAR)")
+    db.insert_rows("t", [(1, "x"), (2, "y"), (None, "z")])
+    db.execute("CREATE TABLE u (a INTEGER)")
+    db.insert_rows("u", [(1,), (3,)])
+    return db
+
+
+class TestCorners:
+    def test_qualified_star_with_where(self, corner_db):
+        rows = corner_db.execute(
+            "SELECT t.* FROM t WHERE a IS NOT NULL"
+        ).rows
+        assert rows == [(1, "x"), (2, "y")]
+
+    def test_same_column_two_aliases(self, corner_db):
+        rows = corner_db.execute(
+            "SELECT * FROM (SELECT a AS x, a AS y FROM t) s "
+            "WHERE x = y"
+        ).rows
+        assert rows == [(1, 1), (2, 2)]
+
+    def test_correlated_equals_subquery(self, corner_db):
+        assert corner_db.execute(
+            "SELECT a FROM t WHERE a = "
+            "(SELECT max(a) FROM u WHERE u.a = t.a)"
+        ).rows == [(1,)]
+
+    def test_correlated_count_in_select(self, corner_db):
+        rows = corner_db.execute(
+            "SELECT (SELECT count(*) FROM u WHERE u.a > t.a) FROM t "
+            "ORDER BY 1"
+        ).rows
+        assert rows == [(0,), (1,), (1,)]
+
+    def test_chained_dependent_ctes_joined(self, corner_db):
+        assert corner_db.execute(
+            "WITH x AS (SELECT 1 AS v), "
+            "y AS (SELECT v + 1 AS w FROM x) "
+            "SELECT w FROM y JOIN x ON x.v < y.w"
+        ).scalar() == 2
+
+    def test_aggregate_over_union(self, corner_db):
+        assert corner_db.execute(
+            "SELECT sum(a) FROM (SELECT a FROM t UNION ALL "
+            "SELECT a FROM u) z"
+        ).scalar() == 7
+
+    def test_from_less_select_with_where(self, corner_db):
+        assert corner_db.execute("SELECT 1 WHERE 1 = 2").rows == []
+        assert corner_db.execute("SELECT 1 WHERE 1 = 1").rows == [(1,)]
+
+    def test_nested_exists(self, corner_db):
+        assert corner_db.execute(
+            "SELECT a FROM t t1 WHERE EXISTS ("
+            "SELECT 1 FROM t t2 WHERE t2.a = t1.a AND EXISTS ("
+            "SELECT 1 FROM u WHERE u.a = t2.a))"
+        ).rows == [(1,)]
+
+    def test_subquery_inside_aggregate_argument(self, corner_db):
+        assert corner_db.execute(
+            "SELECT sum(a + (SELECT min(a) FROM u)) FROM t"
+        ).scalar() == 5
+
+    def test_distinct_over_boolean_expression(self, corner_db):
+        rows = sorted(corner_db.execute(
+            "SELECT DISTINCT a IS NULL FROM t"
+        ).rows)
+        assert rows == [(False,), (True,)]
+
+    def test_order_by_expression_desc_nulls_first(self, corner_db):
+        rows = corner_db.execute(
+            "SELECT a FROM t ORDER BY a + 1 DESC NULLS FIRST"
+        ).rows
+        assert rows == [(None,), (2,), (1,)]
+
+    def test_iterate_with_carried_string_column(self, corner_db):
+        rows = corner_db.execute(
+            "SELECT * FROM ITERATE((SELECT a, b FROM t WHERE a = 1),"
+            " (SELECT a + 1, b FROM iterate),"
+            " (SELECT 1 FROM iterate WHERE a > 3))"
+        ).rows
+        assert rows == [(4, "x")]
+
+    def test_window_in_derived_table_filtered(self, corner_db):
+        rows = corner_db.execute(
+            "SELECT r.rn FROM (SELECT row_number() OVER "
+            "(ORDER BY a NULLS LAST) AS rn FROM t) r WHERE r.rn > 1"
+        ).rows
+        assert sorted(rows) == [(2,), (3,)]
+
+    def test_self_insert_snapshot(self, corner_db):
+        corner_db.execute("INSERT INTO u SELECT a FROM u")
+        assert corner_db.execute(
+            "SELECT count(*) FROM u"
+        ).scalar() == 4
+
+    def test_except_null_branch(self, corner_db):
+        rows = sorted(
+            corner_db.execute(
+                "SELECT a FROM t EXCEPT SELECT NULL"
+            ).rows,
+            key=lambda r: (r[0] is None, r[0]),
+        )
+        assert rows == [(1,), (2,)]
+
+    def test_values_with_expressions(self, corner_db):
+        assert corner_db.execute(
+            "VALUES (1+1, 'a' || 'b')"
+        ).rows == [(2, "ab")]
+
+    def test_empty_group_by_parens_rejected(self, corner_db):
+        with pytest.raises(ParseError):
+            corner_db.execute("SELECT count(*) FROM t GROUP BY ()")
+
+    def test_filter_clause_unsupported(self, corner_db):
+        with pytest.raises(ParseError):
+            corner_db.execute(
+                "SELECT count(*) FILTER (WHERE a > 1) FROM t"
+            )

@@ -1,0 +1,243 @@
+"""Transaction manager: snapshot isolation, conflicts, WAL recovery."""
+
+import os
+
+import pytest
+
+import repro
+from repro.errors import (
+    CatalogError,
+    SerializationConflict,
+    TransactionError,
+)
+from repro.storage import Catalog, TableSchema
+from repro.txn import TransactionManager, WriteAheadLog
+from repro.types import INTEGER, VARCHAR
+
+
+def make_manager(wal=None):
+    return TransactionManager(Catalog(), wal)
+
+
+def simple_schema():
+    return TableSchema.of(("id", INTEGER), ("name", VARCHAR))
+
+
+class TestBasics:
+    def test_create_insert_commit(self):
+        manager = make_manager()
+        txn = manager.begin()
+        txn.create_table("t", simple_schema())
+        txn.insert_rows("t", [(1, "a")])
+        txn.commit()
+        assert manager.catalog.data("t").row_count == 1
+
+    def test_rollback_discards(self):
+        manager = make_manager()
+        txn = manager.begin()
+        txn.create_table("t", simple_schema())
+        txn.rollback()
+        assert not manager.catalog.has_table("t")
+
+    def test_own_writes_visible(self):
+        manager = make_manager()
+        txn = manager.begin()
+        txn.create_table("t", simple_schema())
+        txn.insert_rows("t", [(1, "a")])
+        assert txn.read("t").row_count == 1
+        txn.commit()
+
+    def test_use_after_commit_raises(self):
+        manager = make_manager()
+        txn = manager.begin()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.read("t")
+
+    def test_context_manager_commit_and_rollback(self):
+        manager = make_manager()
+        with manager.begin() as txn:
+            txn.create_table("t", simple_schema())
+        assert manager.catalog.has_table("t")
+        with pytest.raises(ValueError):
+            with manager.begin() as txn:
+                txn.insert_rows("t", [(1, "x")])
+                raise ValueError("boom")
+        assert manager.catalog.data("t").row_count == 0
+
+    def test_drop_created_in_same_txn(self):
+        manager = make_manager()
+        txn = manager.begin()
+        txn.create_table("t", simple_schema())
+        txn.drop_table("t")
+        txn.commit()
+        assert not manager.catalog.has_table("t")
+
+
+class TestSnapshotIsolation:
+    def test_reader_pins_snapshot(self):
+        manager = make_manager()
+        setup = manager.begin()
+        setup.create_table("t", simple_schema())
+        setup.insert_rows("t", [(1, "a")])
+        setup.commit()
+
+        reader = manager.begin()
+        writer = manager.begin()
+        writer.insert_rows("t", [(2, "b")])
+        writer.commit()
+
+        assert reader.read("t").row_count == 1  # snapshot unchanged
+        reader.commit()
+        assert manager.begin().read("t").row_count == 2
+
+    def test_new_table_invisible_to_older_snapshot(self):
+        manager = make_manager()
+        old = manager.begin()
+        creator = manager.begin()
+        creator.create_table("t", simple_schema())
+        creator.commit()
+        assert not old.table_exists("t")
+        with pytest.raises(CatalogError):
+            old.read("t")
+
+    def test_first_committer_wins(self):
+        manager = make_manager()
+        setup = manager.begin()
+        setup.create_table("t", simple_schema())
+        setup.commit()
+
+        a = manager.begin()
+        b = manager.begin()
+        a.insert_rows("t", [(1, "a")])
+        b.insert_rows("t", [(2, "b")])
+        a.commit()
+        with pytest.raises(SerializationConflict):
+            b.commit()
+        assert [r[0] for r in manager.catalog.data("t").rows()] == [1]
+
+    def test_disjoint_writes_both_commit(self):
+        manager = make_manager()
+        setup = manager.begin()
+        setup.create_table("t1", simple_schema())
+        setup.create_table("t2", simple_schema())
+        setup.commit()
+        a = manager.begin()
+        b = manager.begin()
+        a.insert_rows("t1", [(1, "a")])
+        b.insert_rows("t2", [(2, "b")])
+        a.commit()
+        b.commit()
+        assert manager.catalog.data("t1").row_count == 1
+        assert manager.catalog.data("t2").row_count == 1
+
+    def test_read_only_never_conflicts(self):
+        manager = make_manager()
+        setup = manager.begin()
+        setup.create_table("t", simple_schema())
+        setup.commit()
+        reader = manager.begin()
+        reader.read("t")
+        writer = manager.begin()
+        writer.insert_rows("t", [(1, "a")])
+        writer.commit()
+        reader.commit()  # no raise
+
+    def test_concurrent_drop_conflicts(self):
+        manager = make_manager()
+        setup = manager.begin()
+        setup.create_table("t", simple_schema())
+        setup.commit()
+        dropper = manager.begin()
+        writer = manager.begin()
+        writer.insert_rows("t", [(1, "a")])
+        writer.commit()
+        dropper.drop_table("t")
+        with pytest.raises(SerializationConflict):
+            dropper.commit()
+
+    def test_vacuum_respects_active_snapshots(self):
+        manager = make_manager()
+        setup = manager.begin()
+        setup.create_table("t", simple_schema())
+        setup.insert_rows("t", [(1, "a")])
+        setup.commit()
+        reader = manager.begin()
+        writer = manager.begin()
+        writer.insert_rows("t", [(2, "b")])
+        writer.commit()
+        manager.vacuum()
+        # The reader's snapshot version must survive vacuum.
+        assert reader.read("t").row_count == 1
+        reader.commit()
+
+
+class TestWAL:
+    def test_in_memory_roundtrip(self):
+        wal = WriteAheadLog()
+        manager = make_manager(wal)
+        txn = manager.begin()
+        txn.create_table("t", simple_schema())
+        txn.insert_rows("t", [(1, "a"), (2, None)])
+        txn.commit()
+
+        recovered = make_manager()
+        count = wal.replay_into(recovered)
+        assert count == 2
+        assert list(recovered.catalog.data("t").rows()) == [
+            (1, "a"), (2, None),
+        ]
+
+    def test_uncommitted_not_replayed(self):
+        wal = WriteAheadLog()
+        manager = make_manager(wal)
+        txn = manager.begin()
+        txn.create_table("t", simple_schema())
+        txn.rollback()  # never logged
+        recovered = make_manager()
+        assert wal.replay_into(recovered) == 0
+
+    def test_file_recovery(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        db = repro.Database(wal_path=path)
+        db.execute("CREATE TABLE t (id INTEGER, name VARCHAR)")
+        db.insert_rows("t", [(1, "a")])
+        db.execute("INSERT INTO t VALUES (2, 'b')")
+
+        db2 = repro.Database(wal_path=path)
+        assert db2.execute("SELECT count(*) FROM t").scalar() == 2
+
+    def test_torn_tail_ignored(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        db = repro.Database(wal_path=path)
+        db.execute("CREATE TABLE t (id INTEGER, name VARCHAR)")
+        db.insert_rows("t", [(1, "a")])
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"txn": 99, "op": "insert", "name": "t", "ro')
+        db2 = repro.Database(wal_path=path)
+        assert db2.execute("SELECT count(*) FROM t").scalar() == 1
+
+    def test_update_delete_replayed(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        db = repro.Database(wal_path=path)
+        db.execute("CREATE TABLE t (id INTEGER, name VARCHAR)")
+        db.insert_rows("t", [(1, "a"), (2, "b"), (3, "c")])
+        db.execute("UPDATE t SET name = 'z' WHERE id = 2")
+        db.execute("DELETE FROM t WHERE id = 1")
+
+        db2 = repro.Database(wal_path=path)
+        rows = db2.execute("SELECT id, name FROM t ORDER BY id").rows
+        assert rows == [(2, "z"), (3, "c")]
+
+    def test_drop_replayed(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        db = repro.Database(wal_path=path)
+        db.execute("CREATE TABLE t (id INTEGER, name VARCHAR)")
+        db.execute("DROP TABLE t")
+        db2 = repro.Database(wal_path=path)
+        assert "t" not in db2.table_names()
+
+    def test_wal_file_created(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        repro.Database(wal_path=path)
+        assert os.path.exists(path)

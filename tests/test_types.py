@@ -1,0 +1,181 @@
+"""Unit tests for the SQL type system."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BindError
+from repro.types import (
+    BIGINT,
+    BOOLEAN,
+    DATE,
+    DOUBLE,
+    INTEGER,
+    NULLTYPE,
+    SQLType,
+    TypeKind,
+    VARCHAR,
+    can_implicitly_cast,
+    coerce_scalar,
+    common_supertype,
+    infer_literal_type,
+    python_type_of,
+    type_from_name,
+)
+
+
+class TestTypeNames:
+    def test_integer_aliases(self):
+        for name in ("INTEGER", "INT", "int4", "smallint"):
+            assert type_from_name(name) == INTEGER
+
+    def test_bigint_aliases(self):
+        for name in ("BIGINT", "int8"):
+            assert type_from_name(name) == BIGINT
+
+    def test_double_aliases(self):
+        for name in ("FLOAT", "DOUBLE", "real", "numeric", "decimal"):
+            assert type_from_name(name) == DOUBLE
+
+    def test_varchar_with_width(self):
+        t = type_from_name("VARCHAR", 500)
+        assert t.kind is TypeKind.VARCHAR
+        assert t.width == 500
+        assert str(t) == "VARCHAR(500)"
+
+    def test_text_alias(self):
+        assert type_from_name("text") == VARCHAR
+
+    def test_boolean(self):
+        assert type_from_name("bool") == BOOLEAN
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(BindError, match="unknown type"):
+            type_from_name("blob")
+
+
+class TestSupertype:
+    def test_same_type(self):
+        assert common_supertype(INTEGER, INTEGER) == INTEGER
+
+    def test_numeric_promotion(self):
+        assert common_supertype(INTEGER, BIGINT) == BIGINT
+        assert common_supertype(INTEGER, DOUBLE) == DOUBLE
+        assert common_supertype(BIGINT, DOUBLE) == DOUBLE
+
+    def test_promotion_symmetric(self):
+        assert common_supertype(DOUBLE, INTEGER) == DOUBLE
+
+    def test_null_yields_other(self):
+        assert common_supertype(NULLTYPE, VARCHAR) == VARCHAR
+        assert common_supertype(INTEGER, NULLTYPE) == INTEGER
+
+    def test_varchar_width_unification(self):
+        narrow = SQLType(TypeKind.VARCHAR, 10)
+        wide = SQLType(TypeKind.VARCHAR, 20)
+        assert common_supertype(narrow, wide) == VARCHAR
+
+    def test_incompatible_raises(self):
+        with pytest.raises(BindError, match="incompatible"):
+            common_supertype(INTEGER, VARCHAR)
+        with pytest.raises(BindError):
+            common_supertype(BOOLEAN, DOUBLE)
+
+
+class TestImplicitCast:
+    def test_null_casts_anywhere(self):
+        assert can_implicitly_cast(NULLTYPE, VARCHAR)
+        assert can_implicitly_cast(NULLTYPE, BOOLEAN)
+
+    def test_widening_allowed(self):
+        assert can_implicitly_cast(INTEGER, DOUBLE)
+        assert can_implicitly_cast(INTEGER, BIGINT)
+
+    def test_narrowing_rejected(self):
+        assert not can_implicitly_cast(DOUBLE, INTEGER)
+        assert not can_implicitly_cast(BIGINT, INTEGER)
+
+    def test_cross_family_rejected(self):
+        assert not can_implicitly_cast(VARCHAR, INTEGER)
+        assert not can_implicitly_cast(BOOLEAN, INTEGER)
+
+
+class TestLiteralInference:
+    def test_none(self):
+        assert infer_literal_type(None) == NULLTYPE
+
+    def test_bool_before_int(self):
+        # bool is a subclass of int in Python; must map to BOOLEAN.
+        assert infer_literal_type(True) == BOOLEAN
+
+    def test_small_int(self):
+        assert infer_literal_type(42) == INTEGER
+
+    def test_large_int(self):
+        assert infer_literal_type(2**40) == BIGINT
+
+    def test_negative_boundary(self):
+        assert infer_literal_type(-(2**31)) == INTEGER
+        assert infer_literal_type(2**31) == BIGINT
+
+    def test_float(self):
+        assert infer_literal_type(1.5) == DOUBLE
+
+    def test_str(self):
+        assert infer_literal_type("x") == VARCHAR
+
+    def test_numpy_scalars(self):
+        assert infer_literal_type(np.int32(5)) == INTEGER
+        assert infer_literal_type(np.float64(5.0)) == DOUBLE
+
+    def test_unsupported_raises(self):
+        with pytest.raises(BindError):
+            infer_literal_type(object())
+
+
+class TestCoerce:
+    def test_none_passthrough(self):
+        assert coerce_scalar(None, INTEGER) is None
+
+    def test_int_to_double(self):
+        assert coerce_scalar(3, DOUBLE) == 3.0
+
+    def test_float_to_int(self):
+        assert coerce_scalar(3.7, INTEGER) == 3
+
+    def test_str_to_bool(self):
+        assert coerce_scalar("true", BOOLEAN) is True
+        assert coerce_scalar("F", BOOLEAN) is False
+
+    def test_bad_bool_string(self):
+        with pytest.raises(BindError):
+            coerce_scalar("maybe", BOOLEAN)
+
+    def test_to_varchar(self):
+        assert coerce_scalar(12, VARCHAR) == "12"
+
+    def test_bad_numeric_string(self):
+        with pytest.raises(BindError):
+            coerce_scalar("abc", INTEGER)
+
+    def test_date_is_int_backed(self):
+        assert coerce_scalar(19000, DATE) == 19000
+
+
+class TestNumpyMapping:
+    def test_dtypes(self):
+        assert INTEGER.numpy_dtype() == np.dtype(np.int32)
+        assert BIGINT.numpy_dtype() == np.dtype(np.int64)
+        assert DOUBLE.numpy_dtype() == np.dtype(np.float64)
+        assert BOOLEAN.numpy_dtype() == np.dtype(np.bool_)
+        assert VARCHAR.numpy_dtype() == np.dtype(object)
+
+    def test_python_types(self):
+        assert python_type_of(INTEGER) is int
+        assert python_type_of(DOUBLE) is float
+        assert python_type_of(VARCHAR) is str
+        assert python_type_of(BOOLEAN) is bool
+
+    def test_numeric_flags(self):
+        assert INTEGER.is_numeric and INTEGER.is_integral
+        assert DOUBLE.is_numeric and not DOUBLE.is_integral
+        assert not VARCHAR.is_numeric

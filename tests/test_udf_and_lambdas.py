@@ -1,0 +1,176 @@
+"""UDFs (layer 2) and lambda expressions (section 7)."""
+
+import pytest
+
+import repro
+from repro.errors import BindError, UDFError
+from repro.types import DOUBLE, INTEGER, VARCHAR
+
+
+class TestScalarUDFs:
+    def test_basic_udf(self, db):
+        db.create_function("plus_one", lambda x: x + 1, INTEGER)
+        assert db.execute("SELECT plus_one(41)").scalar() == 42
+
+    def test_udf_over_table(self, people_db):
+        people_db.create_function(
+            "shout", lambda s: (s or "").upper() + "!", VARCHAR
+        )
+        rows = people_db.execute(
+            "SELECT shout(name) FROM people WHERE id <= 2 ORDER BY id"
+        ).rows
+        assert rows == [("ALICE!",), ("BOB!",)]
+
+    def test_udf_receives_none_for_null(self, db):
+        db.create_function(
+            "is_missing", lambda x: x is None, "BOOLEAN", arity=1
+        )
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.insert_rows("t", [(None,), (1,)])
+        rows = db.execute("SELECT is_missing(a) FROM t").rows
+        assert rows == [(True,), (False,)]
+
+    def test_udf_returning_none_is_null(self, db):
+        db.create_function("nothing", lambda x: None, INTEGER)
+        assert db.execute("SELECT nothing(1)").scalar() is None
+
+    def test_udf_arity_checked(self, db):
+        db.create_function("two_args", lambda a, b: a + b, INTEGER)
+        with pytest.raises(BindError, match="argument"):
+            db.execute("SELECT two_args(1)")
+
+    def test_udf_exception_wrapped(self, db):
+        def boom(x):
+            raise RuntimeError("kaput")
+
+        db.create_function("boom", boom, INTEGER)
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.insert_rows("t", [(1,)])
+        with pytest.raises(UDFError, match="kaput"):
+            db.execute("SELECT boom(a) FROM t")
+
+    def test_udf_composes_with_sql(self, db):
+        db.create_function("double_it", lambda x: x * 2, INTEGER)
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.insert_rows("t", [(1,), (2,), (3,)])
+        assert db.execute(
+            "SELECT sum(double_it(a)) FROM t WHERE double_it(a) > 2"
+        ).scalar() == 10
+
+    def test_return_type_by_name(self, db):
+        db.create_function("half", lambda x: x / 2, "FLOAT")
+        assert db.execute("SELECT half(3)").scalar() == 1.5
+
+
+class TestTableUDFs:
+    def test_table_udf_in_from(self, db):
+        def series(n):
+            for i in range(int(n)):
+                yield (i, i * i)
+
+        db.create_table_function(
+            "squares", series, [("n", INTEGER), ("sq", INTEGER)]
+        )
+        rows = db.execute(
+            "SELECT sq FROM squares(4) WHERE n > 1 ORDER BY n"
+        ).rows
+        assert rows == [(4,), (9,)]
+
+    def test_table_udf_joins_with_tables(self, people_db):
+        people_db.create_table_function(
+            "ids", lambda: [(1,), (3,)], [("id", INTEGER)]
+        )
+        rows = people_db.execute(
+            "SELECT name FROM people p JOIN ids() i ON p.id = i.id "
+            "ORDER BY name"
+        ).rows
+        assert rows == [("alice",), ("carol",)]
+
+    def test_table_udf_error_wrapped(self, db):
+        def bad():
+            raise ValueError("nope")
+
+        db.create_table_function("bad_fn", bad, [("x", INTEGER)])
+        with pytest.raises(UDFError, match="nope"):
+            db.execute("SELECT * FROM bad_fn()")
+
+    def test_table_udf_rejects_subquery_args(self, db):
+        db.create_table_function(
+            "one", lambda: [(1,)], [("x", INTEGER)]
+        )
+        with pytest.raises(BindError, match="scalar"):
+            db.execute("SELECT * FROM one((SELECT 1))")
+
+
+class TestLambdas:
+    def test_lambda_only_in_operator_position(self, db):
+        with pytest.raises(BindError, match="lambda"):
+            db.execute("SELECT LAMBDA(a) a.x + 1")
+
+    def test_lambda_types_inferred(self, db):
+        # The paper: input/output types are inferred, never declared.
+        db.execute("CREATE TABLE pts (x FLOAT)")
+        db.insert_rows("pts", [(0.0,), (4.0,)])
+        rows = db.execute(
+            "SELECT cluster FROM KMEANS((SELECT x FROM pts), "
+            "(SELECT x FROM pts), LAMBDA(a, b) (a.x - b.x)^2, 3) "
+            "ORDER BY cluster"
+        ).rows
+        assert rows == [(0,), (1,)]
+
+    def test_lambda_wrong_param_count(self, db):
+        db.execute("CREATE TABLE pts (x FLOAT)")
+        db.insert_rows("pts", [(0.0,)])
+        with pytest.raises(BindError, match="parameter"):
+            db.execute(
+                "SELECT * FROM KMEANS((SELECT x FROM pts), "
+                "(SELECT x FROM pts), LAMBDA(a) a.x, 3)"
+            )
+
+    def test_lambda_unknown_attribute(self, db):
+        db.execute("CREATE TABLE pts (x FLOAT)")
+        db.insert_rows("pts", [(0.0,)])
+        with pytest.raises(BindError, match="not found"):
+            db.execute(
+                "SELECT * FROM KMEANS((SELECT x FROM pts), "
+                "(SELECT x FROM pts), LAMBDA(a, b) a.nope, 3)"
+            )
+
+    def test_lambda_with_builtin_functions(self, db):
+        db.execute("CREATE TABLE pts (x FLOAT)")
+        db.insert_rows("pts", [(0.0,), (1.0,), (10.0,)])
+        rows = db.execute(
+            "SELECT count(*) FROM KMEANS((SELECT x FROM pts), "
+            "(SELECT x FROM pts LIMIT 2), "
+            "LAMBDA(a, b) sqrt((a.x - b.x)^2), 5)"
+        )
+        assert rows.scalar() == 2
+
+    def test_lambda_with_udf_black_box(self, db):
+        """A lambda body may call a Python UDF; the operator still runs,
+        just without vectorisation of that call (section 4.1)."""
+        db.create_function(
+            "pydist", lambda a, b: (a - b) ** 2, DOUBLE
+        )
+        db.execute("CREATE TABLE pts (x FLOAT)")
+        db.insert_rows("pts", [(0.0,), (0.1,), (9.0,)])
+        rows = db.execute(
+            "SELECT size FROM KMEANS((SELECT x FROM pts), "
+            "(SELECT x FROM pts LIMIT 2), "
+            "LAMBDA(a, b) pydist(a.x, b.x), 10) ORDER BY size"
+        ).rows
+        assert [r[0] for r in rows] == [1, 2]
+
+    def test_unicode_and_ascii_spellings_equal(self, db):
+        db.execute("CREATE TABLE pts (x FLOAT)")
+        db.insert_rows("pts", [(0.0,), (5.0,)])
+        uni = db.execute(
+            "SELECT x FROM KMEANS((SELECT x FROM pts), "
+            "(SELECT x FROM pts), λ(a, b) (a.x - b.x)^2, 3) ORDER BY x"
+        ).rows
+        ascii_rows = db.execute(
+            "SELECT x FROM KMEANS((SELECT x FROM pts), "
+            "(SELECT x FROM pts), LAMBDA(a, b) (a.x - b.x)^2, 3) "
+            "ORDER BY x"
+        ).rows
+        assert uni == ascii_rows

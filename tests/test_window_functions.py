@@ -1,0 +1,201 @@
+"""Window functions: ranking, navigation, windowed aggregates."""
+
+import pytest
+
+import repro
+from repro.errors import BindError
+
+
+@pytest.fixture
+def staff(db):
+    db.execute(
+        "CREATE TABLE staff (dept VARCHAR, name VARCHAR, pay INTEGER)"
+    )
+    db.insert_rows(
+        "staff",
+        [
+            ("eng", "a", 100),
+            ("eng", "b", 120),
+            ("eng", "c", 120),
+            ("ops", "d", 90),
+            ("ops", "e", 80),
+        ],
+    )
+    return db
+
+
+class TestRanking:
+    def test_row_number_per_partition(self, staff):
+        rows = staff.execute(
+            "SELECT name, row_number() OVER "
+            "(PARTITION BY dept ORDER BY pay DESC, name) AS rn "
+            "FROM staff ORDER BY dept, rn"
+        ).rows
+        assert rows == [
+            ("b", 1), ("c", 2), ("a", 3), ("d", 1), ("e", 2),
+        ]
+
+    def test_rank_with_ties(self, staff):
+        rows = dict(staff.execute(
+            "SELECT name, rank() OVER (PARTITION BY dept "
+            "ORDER BY pay DESC) FROM staff"
+        ).rows)
+        assert rows["b"] == 1 and rows["c"] == 1
+        assert rows["a"] == 3  # rank skips after ties
+
+    def test_dense_rank_no_gaps(self, staff):
+        rows = dict(staff.execute(
+            "SELECT name, dense_rank() OVER (PARTITION BY dept "
+            "ORDER BY pay DESC) FROM staff"
+        ).rows)
+        assert rows["a"] == 2
+
+    def test_row_number_without_partition(self, staff):
+        rows = staff.execute(
+            "SELECT row_number() OVER (ORDER BY pay, name) FROM staff"
+        ).rows
+        assert sorted(r[0] for r in rows) == [1, 2, 3, 4, 5]
+
+    def test_rank_requires_order_by(self, staff):
+        with pytest.raises(BindError, match="ORDER BY"):
+            staff.execute("SELECT rank() OVER () FROM staff")
+
+    def test_top_n_per_group_idiom(self, staff):
+        rows = staff.execute(
+            "SELECT dept, name FROM ("
+            "SELECT dept, name, row_number() OVER "
+            "(PARTITION BY dept ORDER BY pay DESC, name) AS rn "
+            "FROM staff) t WHERE rn = 1 ORDER BY dept"
+        ).rows
+        assert rows == [("eng", "b"), ("ops", "d")]
+
+
+class TestNavigation:
+    def test_lag_and_lead(self, staff):
+        rows = staff.execute(
+            "SELECT name, lag(pay) OVER (PARTITION BY dept "
+            "ORDER BY pay) AS prev, lead(pay) OVER (PARTITION BY dept "
+            "ORDER BY pay) AS next FROM staff ORDER BY dept, pay"
+        ).rows
+        assert rows[0] == ("a", None, 120)  # eng lowest
+        assert rows[-1] == ("d", 80, None)  # ops highest
+
+    def test_lag_offset_and_default(self, staff):
+        rows = staff.execute(
+            "SELECT name, lag(pay, 2, -1) OVER (ORDER BY pay, name) "
+            "FROM staff ORDER BY pay, name"
+        ).rows
+        assert rows[0][1] == -1 and rows[1][1] == -1
+        assert rows[2][1] == 80
+
+    def test_lag_does_not_cross_partitions(self, staff):
+        rows = dict(staff.execute(
+            "SELECT name, lag(pay) OVER (PARTITION BY dept "
+            "ORDER BY pay) FROM staff"
+        ).rows)
+        assert rows["e"] is None  # ops lowest, nothing from eng
+
+
+class TestWindowedAggregates:
+    def test_whole_partition_frame(self, staff):
+        rows = dict(staff.execute(
+            "SELECT name, sum(pay) OVER (PARTITION BY dept) "
+            "FROM staff"
+        ).rows)
+        assert rows["a"] == 340 and rows["d"] == 170
+
+    def test_running_sum_with_peers(self, db):
+        db.execute("CREATE TABLE t (g INTEGER, v INTEGER)")
+        db.insert_rows("t", [(1, 10), (1, 10), (1, 20)])
+        rows = db.execute(
+            "SELECT v, sum(v) OVER (ORDER BY v) FROM t ORDER BY v"
+        ).rows
+        # Peers (the two 10s) share the running value 20.
+        assert rows == [(10, 20), (10, 20), (20, 40)]
+
+    def test_running_count_avg(self, staff):
+        rows = staff.execute(
+            "SELECT count(*) OVER (ORDER BY pay, name), "
+            "avg(pay) OVER (ORDER BY pay, name) FROM staff "
+            "ORDER BY pay, name"
+        ).rows
+        assert rows[0] == (1, 80.0)
+        assert rows[-1][0] == 5
+        assert rows[-1][1] == pytest.approx((80+90+100+120+120) / 5)
+
+    def test_running_min_max(self, staff):
+        rows = staff.execute(
+            "SELECT pay, min(pay) OVER (ORDER BY pay DESC, name), "
+            "max(pay) OVER (PARTITION BY dept) "
+            "FROM staff ORDER BY pay DESC, name"
+        ).rows
+        assert rows[0][1] == 120
+        assert rows[-1][1] == 80
+        maxes = {r[0]: r[2] for r in rows}
+        assert maxes[80] == 90  # ops max
+
+    def test_null_skipping(self, db):
+        db.execute("CREATE TABLE t (v INTEGER)")
+        db.insert_rows("t", [(None,), (1,), (2,)])
+        rows = db.execute(
+            "SELECT v, sum(v) OVER (ORDER BY v NULLS LAST), "
+            "count(v) OVER (ORDER BY v NULLS LAST) FROM t "
+            "ORDER BY v NULLS LAST"
+        ).rows
+        assert rows == [(1, 1, 1), (2, 3, 2), (None, 3, 2)]
+
+    def test_count_star_over_empty_window(self, staff):
+        rows = staff.execute(
+            "SELECT count(*) OVER () FROM staff LIMIT 1"
+        ).rows
+        assert rows == [(5,)]
+
+    def test_window_result_original_order(self, staff):
+        """Window computation must not reorder the output rows."""
+        plain = staff.execute("SELECT name FROM staff").rows
+        windowed = staff.execute(
+            "SELECT name, row_number() OVER (ORDER BY pay) FROM staff"
+        ).rows
+        assert [r[0] for r in windowed] == [r[0] for r in plain]
+
+    def test_expression_over_window(self, staff):
+        rows = staff.execute(
+            "SELECT pay * 100 / sum(pay) OVER () AS pct FROM staff "
+            "ORDER BY pct DESC"
+        ).rows
+        # Integer division truncates per row: 19+23+23+17+15 = 97.
+        assert sum(r[0] for r in rows) == 97
+
+    def test_empty_input(self, db):
+        db.execute("CREATE TABLE t (v INTEGER)")
+        assert db.execute(
+            "SELECT row_number() OVER (ORDER BY v) FROM t"
+        ).rows == []
+
+
+class TestWindowValidation:
+    def test_window_in_where_rejected(self, staff):
+        with pytest.raises(BindError, match="SELECT list"):
+            staff.execute(
+                "SELECT 1 FROM staff WHERE row_number() OVER "
+                "(ORDER BY pay) = 1"
+            )
+
+    def test_window_with_group_by_rejected(self, staff):
+        with pytest.raises(BindError, match="GROUP BY"):
+            staff.execute(
+                "SELECT dept, sum(count(*)) OVER () FROM staff "
+                "GROUP BY dept"
+            )
+
+    def test_unknown_window_function(self, staff):
+        with pytest.raises(BindError, match="unknown window"):
+            staff.execute(
+                "SELECT ntile(4) OVER (ORDER BY pay) FROM staff"
+            )
+
+    def test_distinct_in_window_rejected(self, staff):
+        with pytest.raises(Exception, match="DISTINCT"):
+            staff.execute(
+                "SELECT count(DISTINCT pay) OVER () FROM staff"
+            )
