@@ -1,0 +1,19 @@
+# Convenience targets; everything assumes PYTHONPATH=src.
+
+PY := PYTHONPATH=src python
+N ?= 1000
+START ?= 0
+
+.PHONY: test test-all fuzz bench
+
+test:
+	$(PY) -m pytest -x -q
+
+test-all:
+	$(PY) -m pytest -q -m ""
+
+fuzz:
+	$(PY) -m repro.testing.fuzz --seeds $(N) --start $(START) -v
+
+bench:
+	$(PY) -m repro.bench all --scale 0.001

@@ -35,7 +35,7 @@ from ..txn.manager import Transaction, TransactionManager
 from ..txn.wal import WriteAheadLog
 from ..types import SQLType, coerce_scalar, type_from_name
 from ..udf.registry import TableUDFDescriptor, UDFRegistry
-from .result import QueryResult
+from .result import AnalyzedQuery, QueryResult
 
 
 class _TxnCatalogView:
@@ -220,6 +220,51 @@ class Database:
         finally:
             if owned:
                 txn.rollback()
+
+    def explain_analyze(
+        self, sql: str, params: Optional[Sequence[object]] = None
+    ) -> AnalyzedQuery:
+        """Execute a single SELECT with per-operator instrumentation.
+
+        Every physical operator reports rows/batches in and out, call
+        count, and inclusive wall time; the returned
+        :class:`AnalyzedQuery` carries the result rows plus the stats
+        tree (``.root``, ``.operators()``, ``str(...)`` for the
+        rendered form). Iterative operators (ITERATE, recursive CTEs)
+        accumulate their init/step/stop children over all rounds.
+        """
+        import time
+
+        statements = parse_sql(sql, params)
+        if len(statements) != 1 or not isinstance(
+            statements[0], ast.SelectStatement
+        ):
+            raise BindError(
+                "explain_analyze supports a single SELECT statement"
+            )
+        txn, owned = self._current_txn()
+        try:
+            plan = self._plan_select(statements[0], txn)
+            ctx = self._make_exec_context(txn)
+            ctx.profile = True
+            op = build_physical(plan, ctx)
+            started = time.perf_counter()
+            batch = materialize(
+                list(op.execute(ctx.new_eval_context())), plan.output
+            )
+            total_s = time.perf_counter() - started
+            self.last_stats = ctx.stats
+            result = QueryResult.from_batch(batch, plan.output)
+            if owned:
+                txn.commit()
+            return AnalyzedQuery(
+                result, ctx.profile_roots[0], ctx.profile_roots[1:],
+                total_s,
+            )
+        except BaseException:
+            if owned and txn.status == "active":
+                txn.rollback()
+            raise
 
     def table_names(self) -> list[str]:
         txn, owned = self._current_txn()

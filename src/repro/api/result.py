@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
+from ..exec.physical import OperatorStats
 from ..plan.logical import PlanColumn
 from ..storage.column import Column, ColumnBatch
 from ..types import SQLType
@@ -116,3 +117,60 @@ class QueryResult:
             if col_name not in out and self._batch is not None:
                 out[col_name] = self._batch[slot].to_pylist()
         return out
+
+
+class AnalyzedQuery:
+    """What :meth:`Database.explain_analyze` returns: the query's
+    result plus the profiled physical-operator tree.
+
+    ``root`` is the main plan's :class:`OperatorStats`; ``subplans``
+    holds the stats trees of subquery plans built lazily during
+    execution (scalar/IN/EXISTS subqueries), in build order.
+    """
+
+    def __init__(
+        self,
+        result: QueryResult,
+        root: OperatorStats,
+        subplans: list[OperatorStats],
+        total_s: float,
+    ):
+        self.result = result
+        self.root = root
+        self.subplans = subplans
+        self.total_s = total_s
+
+    def operators(self) -> Iterator[OperatorStats]:
+        """Every stats node of the main plan and all subplans."""
+        yield from self.root.walk()
+        for sub in self.subplans:
+            yield from sub.walk()
+
+    def find(self, prefix: str) -> Optional[OperatorStats]:
+        """First operator (pre-order, main plan then subplans) whose
+        label starts with ``prefix``."""
+        for node in self.operators():
+            if node.label.startswith(prefix):
+                return node
+        return None
+
+    def format(self) -> str:
+        parts = [
+            f"total time: {self.total_s * 1e3:.3f}ms, "
+            f"{len(self.result)} row(s)",
+            self.root.format(),
+        ]
+        for i, sub in enumerate(self.subplans):
+            parts.append(f"subplan {i}:")
+            parts.append(sub.format(indent=1))
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.format()
+
+    def __repr__(self) -> str:
+        n_ops = sum(1 for _ in self.operators())
+        return (
+            f"AnalyzedQuery({len(self.result)} rows, {n_ops} operators, "
+            f"{self.total_s * 1e3:.3f}ms)"
+        )

@@ -46,6 +46,12 @@ class HashAggregateOp(PhysicalOperator):
                 )
             self._kernels.append(func)
 
+    def describe(self) -> str:
+        return (
+            f"HashAggregate(keys={len(self._node.group_exprs)}, "
+            f"aggs={len(self._node.aggregates)})"
+        )
+
     def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
         batch = self._child.execute_materialized(eval_ctx)
         node = self._node
@@ -111,6 +117,9 @@ class DistinctOp(PhysicalOperator):
     ):
         super().__init__(list(node.output))
         self._child = child
+
+    def describe(self) -> str:
+        return "Distinct"
 
     def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
         batch = self._child.execute_materialized(eval_ctx)

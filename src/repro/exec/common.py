@@ -43,16 +43,23 @@ def factorize_column(col: Column) -> tuple[np.ndarray, int]:
                     mapping[value] = code
                 codes[i] = code
         return codes, len(mapping)
-    _uniques, codes = np.unique(col.values, return_inverse=True)
-    codes = codes.astype(np.int64)
+    if col.valid is None:
+        _uniques, codes = np.unique(col.values, return_inverse=True)
+        return codes.astype(np.int64), len(_uniques)
+    # Factorize only valid slots: backing values at NULL slots (NaN,
+    # sentinels) must not mint codes of their own, or they'd surface
+    # as phantom empty groups downstream.
+    valid = col.valid
+    codes = np.zeros(n, dtype=np.int64)
+    _uniques, valid_codes = np.unique(
+        col.values[valid], return_inverse=True
+    )
+    codes[valid] = valid_codes.astype(np.int64)
     count = len(_uniques)
-    if col.valid is not None:
-        nulls = ~col.valid
-        if nulls.any():
-            codes[nulls] = count
-            count += 1
-            # Compact: some codes may now be unused (a value appearing
-            # only at NULL slots); harmless for grouping correctness.
+    nulls = ~valid
+    if nulls.any():
+        codes[nulls] = count
+        count += 1
     return codes, count
 
 

@@ -39,6 +39,11 @@ class RecursiveCTEOp(PhysicalOperator):
         self._init = init
         self._step = step
         self._ctx = ctx
+        #: Rounds executed by the most recent run (EXPLAIN ANALYZE).
+        self.last_iterations = 0
+
+    def describe(self) -> str:
+        return f"RecursiveCTE({self._node.key})"
 
     def _as_working(self, batch: ColumnBatch, slots: list[str]) -> ColumnBatch:
         """Re-key a round's rows to canonical working-table column names
@@ -94,6 +99,7 @@ class RecursiveCTEOp(PhysicalOperator):
             ctx.stats.observe_live_tuples(total_rows)
             current = produced
         ctx.stats.iterations += iterations
+        self.last_iterations = iterations
 
         yield materialize(accumulated, node.output)
 

@@ -23,6 +23,9 @@ class FilterOp(PhysicalOperator):
         self._child = child
         self._predicate = ctx.compiler.compile_predicate(node.predicate)
 
+    def describe(self) -> str:
+        return "Filter"
+
     def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
         for batch in self._child.execute(eval_ctx):
             if len(batch) == 0:

@@ -43,6 +43,11 @@ class IterateOp(PhysicalOperator):
         self._step = step
         self._stop = stop
         self._ctx = ctx
+        #: Rounds executed by the most recent run (EXPLAIN ANALYZE).
+        self.last_iterations = 0
+
+    def describe(self) -> str:
+        return "Iterate"
 
     def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
         node = self._node
@@ -81,6 +86,7 @@ class IterateOp(PhysicalOperator):
             )
             working = next_working
         ctx.stats.iterations += iterations
+        self.last_iterations = iterations
 
         yield ColumnBatch(
             {

@@ -73,6 +73,12 @@ class HashJoinOp(PhysicalOperator):
             else None
         )
 
+    def describe(self) -> str:
+        return (
+            f"HashJoin({self._node.kind}, "
+            f"keys={len(self._node.equi_keys)})"
+        )
+
     def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
         left_batch = self._left.execute_materialized(eval_ctx)
         right_batch = self._right.execute_materialized(eval_ctx)
@@ -223,6 +229,9 @@ class NestedLoopJoinOp(PhysicalOperator):
             if predicate is not None
             else None
         )
+
+    def describe(self) -> str:
+        return f"NestedLoopJoin({self._node.kind})"
 
     def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
         left_batch = self._left.execute_materialized(eval_ctx)

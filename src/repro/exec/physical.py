@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Iterator, Optional
 
 from ..errors import ExecutionError
@@ -30,12 +31,85 @@ class ExecutionStats:
             self.peak_live_tuples = count
 
 
+class OperatorStats:
+    """Per-operator counters of one profiled execution (EXPLAIN ANALYZE).
+
+    One node per physical operator; ``children`` mirrors the operator
+    tree. ``elapsed_s`` is *inclusive* wall time (the operator plus
+    everything below it); ``self_s`` subtracts the children. Operators
+    that run repeatedly inside an iteration (ITERATE / recursive-CTE
+    step and stop plans) accumulate over all rounds, with ``calls``
+    recording how many times they were opened.
+    """
+
+    def __init__(self, label: str, children: list["OperatorStats"]):
+        self.label = label
+        self.children = children
+        self.calls = 0
+        self.batches_out = 0
+        self.rows_out = 0
+        self.elapsed_s = 0.0
+
+    @property
+    def rows_in(self) -> int:
+        return sum(child.rows_out for child in self.children)
+
+    @property
+    def batches_in(self) -> int:
+        return sum(child.batches_out for child in self.children)
+
+    @property
+    def self_s(self) -> float:
+        return max(
+            0.0,
+            self.elapsed_s - sum(c.elapsed_s for c in self.children),
+        )
+
+    def walk(self) -> Iterator["OperatorStats"]:
+        """This node and every descendant, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, prefix: str) -> Optional["OperatorStats"]:
+        """The first node (pre-order) whose label starts with ``prefix``."""
+        for node in self.walk():
+            if node.label.startswith(prefix):
+                return node
+        return None
+
+    def format(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        line = (
+            f"{pad}{self.label}  "
+            f"(rows_in={self.rows_in} rows_out={self.rows_out} "
+            f"batches={self.batches_out} calls={self.calls} "
+            f"time={self.elapsed_s * 1e3:.3f}ms "
+            f"self={self.self_s * 1e3:.3f}ms)"
+        )
+        parts = [line]
+        parts.extend(c.format(indent + 1) for c in self.children)
+        return "\n".join(parts)
+
+    def __repr__(self) -> str:
+        return (
+            f"OperatorStats({self.label!r}, rows_out={self.rows_out}, "
+            f"time={self.elapsed_s:.6f}s)"
+        )
+
+
 class ExecutionContext:
     """Everything physical operators need at run time.
 
     ``read_table`` resolves a base-table name to the snapshot's
     :class:`TableData`; the transaction layer provides it so a whole
     statement sees one consistent snapshot.
+
+    With ``profile`` enabled, :func:`repro.exec.planner.build_physical`
+    wraps every operator it instantiates in a :class:`ProfiledOperator`;
+    the resulting :class:`OperatorStats` trees accumulate in
+    ``profile_roots`` (the main plan first, lazily-built subquery plans
+    after it).
     """
 
     def __init__(
@@ -54,6 +128,9 @@ class ExecutionContext:
         self.compiler = ExpressionCompiler()
         self.working_tables: dict[str, ColumnBatch] = {}
         self.stats = ExecutionStats()
+        self.profile = False
+        self.profile_roots: list[OperatorStats] = []
+        self._profile_stack: list[list[OperatorStats]] = []
         self._physical_cache: dict[int, "PhysicalOperator"] = {}
 
     def new_eval_context(
@@ -102,6 +179,45 @@ class PhysicalOperator:
         return ColumnBatch.empty(
             {c.slot: c.sql_type for c in self.output}
         )
+
+    def describe(self) -> str:
+        """Short label for EXPLAIN ANALYZE output (operators override
+        this to add table names, join kinds, key counts, ...)."""
+        return type(self).__name__
+
+
+class ProfiledOperator(PhysicalOperator):
+    """Transparent wrapper that meters another operator's execution.
+
+    Counts batches/rows produced and accumulates inclusive wall time
+    (time spent inside ``next()`` on the wrapped generator — which
+    includes the children, themselves wrapped, so a parent's elapsed
+    time always bounds each child's).
+    """
+
+    def __init__(self, inner: PhysicalOperator, stats: OperatorStats):
+        super().__init__(inner.output)
+        self.inner = inner
+        self.stats = stats
+
+    def describe(self) -> str:
+        return self.inner.describe()
+
+    def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
+        stats = self.stats
+        stats.calls += 1
+        source = self.inner.execute(eval_ctx)
+        while True:
+            started = time.perf_counter()
+            try:
+                batch = next(source)
+            except StopIteration:
+                stats.elapsed_s += time.perf_counter() - started
+                return
+            stats.elapsed_s += time.perf_counter() - started
+            stats.batches_out += 1
+            stats.rows_out += len(batch)
+            yield batch
 
 
 def materialize(

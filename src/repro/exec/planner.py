@@ -10,7 +10,13 @@ from .cte import RecursiveCTEOp
 from .filter import FilterOp
 from .iterate import IterateOp
 from .join import HashJoinOp, NestedLoopJoinOp
-from .physical import ExecutionContext, PhysicalOperator, materialize
+from .physical import (
+    ExecutionContext,
+    OperatorStats,
+    PhysicalOperator,
+    ProfiledOperator,
+    materialize,
+)
 from .project import ProjectOp
 from .scan import ScanOp, ValuesOp, WorkingTableOp
 from .setops import SetOpOp
@@ -22,7 +28,34 @@ from .window import WindowOp
 def build_physical(
     plan: lp.LogicalPlan, ctx: ExecutionContext
 ) -> PhysicalOperator:
-    """Recursively instantiate physical operators for a logical plan."""
+    """Recursively instantiate physical operators for a logical plan.
+
+    With ``ctx.profile`` set, every operator is wrapped in a
+    :class:`ProfiledOperator` and its :class:`OperatorStats` node is
+    linked to its parent's — the stats tree mirrors the operator tree.
+    A plan built while no other profiled build is in flight becomes a
+    new root in ``ctx.profile_roots`` (the main plan, then any subquery
+    plans built lazily during execution).
+    """
+    if not ctx.profile:
+        return _build_physical_node(plan, ctx)
+    children: list[OperatorStats] = []
+    ctx._profile_stack.append(children)
+    try:
+        op = _build_physical_node(plan, ctx)
+    finally:
+        ctx._profile_stack.pop()
+    stats = OperatorStats(op.describe(), children)
+    if ctx._profile_stack:
+        ctx._profile_stack[-1].append(stats)
+    else:
+        ctx.profile_roots.append(stats)
+    return ProfiledOperator(op, stats)
+
+
+def _build_physical_node(
+    plan: lp.LogicalPlan, ctx: ExecutionContext
+) -> PhysicalOperator:
     if isinstance(plan, lp.LogicalScan):
         return ScanOp(plan, ctx)
     if isinstance(plan, lp.LogicalValues):

@@ -24,6 +24,9 @@ class ProjectOp(PhysicalOperator):
         self._child = child
         self._fns = [ctx.compiler.compile(e) for e in node.exprs]
 
+    def describe(self) -> str:
+        return f"Project({len(self._fns)} exprs)"
+
     def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
         for batch in self._child.execute(eval_ctx):
             yield ColumnBatch(

@@ -25,6 +25,9 @@ class ScanOp(PhysicalOperator):
         self._node = node
         self._ctx = ctx
 
+    def describe(self) -> str:
+        return f"Scan({self._node.table_name})"
+
     def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
         data = self._ctx.read_table(self._node.table_name)
         self._ctx.stats.rows_scanned += data.row_count
@@ -55,6 +58,9 @@ class WorkingTableOp(PhysicalOperator):
         super().__init__(node.output)
         self._node = node
         self._ctx = ctx
+
+    def describe(self) -> str:
+        return f"WorkingTable({self._node.key})"
 
     def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
         from ..errors import ExecutionError
@@ -95,6 +101,9 @@ class ValuesOp(PhysicalOperator):
             [ctx.compiler.compile(cell) for cell in row]
             for row in node.rows
         ]
+
+    def describe(self) -> str:
+        return f"Values({len(self._node.rows)} rows)"
 
     def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
         one_row = ColumnBatch(

@@ -32,6 +32,9 @@ class SetOpOp(PhysicalOperator):
         self._left = left
         self._right = right
 
+    def describe(self) -> str:
+        return f"SetOp({self._node.op})"
+
     def _relabel(
         self, batch: ColumnBatch, source_slots: list[str]
     ) -> ColumnBatch:

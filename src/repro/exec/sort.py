@@ -33,6 +33,9 @@ class SortOp(PhysicalOperator):
         self._child = child
         self._key_fns = [ctx.compiler.compile(k.expr) for k in node.keys]
 
+    def describe(self) -> str:
+        return f"Sort(keys={len(self._node.keys)})"
+
     def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
         batch = self._child.execute_materialized(eval_ctx)
         if len(batch) <= 1:
@@ -86,6 +89,9 @@ class LimitOp(PhysicalOperator):
         self._child = child
         self._limit = node.limit
         self._offset = node.offset or 0
+
+    def describe(self) -> str:
+        return f"Limit({self._limit}, offset={self._offset})"
 
     def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
         to_skip = self._offset

@@ -39,6 +39,9 @@ class TableFunctionOp(PhysicalOperator):
                 f"unknown analytics operator {node.name!r}"
             )
 
+    def describe(self) -> str:
+        return f"TableFunction({self._node.name})"
+
     def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
         input_batches = [
             op.execute_materialized(eval_ctx) for op in self._inputs

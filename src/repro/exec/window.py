@@ -52,6 +52,9 @@ class WindowOp(PhysicalOperator):
                 )
             )
 
+    def describe(self) -> str:
+        return f"Window({len(self._node.specs)} specs)"
+
     def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
         batch = self._child.execute_materialized(eval_ctx)
         columns = dict(batch.columns)

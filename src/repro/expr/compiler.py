@@ -700,8 +700,14 @@ class ExpressionCompiler:
             validity = probe_col.validity().copy()
             if not correlated:
                 members, has_null = cached_result(ctx)
+                empty = not members and not has_null
                 for i in range(n):
                     if not validity[i]:
+                        # NULL IN (empty set) is FALSE, not NULL:
+                        # there is no row for the comparison to be
+                        # unknown against.
+                        if empty:
+                            validity[i] = True
                         continue
                     hit = probe_col.value_at(i) in members
                     out[i] = hit
@@ -709,12 +715,14 @@ class ExpressionCompiler:
                         validity[i] = False  # unknown
             else:
                 for i in range(n):
-                    if not validity[i]:
-                        continue
                     params = {
                         s: batch[s].value_at(i) for s in outer_slots
                     }
                     members, has_null = result_for(ctx, params)
+                    if not validity[i]:
+                        if not members and not has_null:
+                            validity[i] = True
+                        continue
                     hit = probe_col.value_at(i) in members
                     out[i] = hit
                     if not hit and has_null:

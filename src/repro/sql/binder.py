@@ -1101,11 +1101,43 @@ class Binder:
             assert join.condition is not None
             condition = self._bind_scalar(join.condition, scope, ctes)
             self._require_boolean(condition, "JOIN ON")
+            self._check_on_scope(condition, output, scope)
 
         equi, residual = self._split_equi_keys(condition, left, right)
         return lp.LogicalJoin(
             join.kind, left, right, equi, residual, output
         )
+
+    @staticmethod
+    def _check_on_scope(
+        condition: b.BoundExpr,
+        output: list[lp.PlanColumn],
+        scope: Scope,
+    ) -> None:
+        """Reject ON conditions referencing FROM entries outside the
+        join's own operands (PostgreSQL semantics; SQLite would accept
+        them). Without this check the reference resolves at bind time
+        but its slot is absent from the join's batches at execution."""
+        used = set(condition.referenced_slots())
+        display: dict[str, str] = {}
+        stack = [condition]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, b.BoundSubquery):
+                used.update(node.outer_slots)
+            elif isinstance(node, b.BoundColumnRef) and node.display:
+                display[node.slot] = node.display
+            stack.extend(node.children())
+        available = {c.slot for c in output}
+        missing = used - available - scope.outer_refs
+        if missing:
+            names = ", ".join(
+                sorted(display.get(slot, slot) for slot in missing)
+            )
+            raise BindError(
+                "JOIN ON may only reference columns of its own "
+                f"operands; out of scope: {names}"
+            )
 
     @staticmethod
     def _find_output_column(

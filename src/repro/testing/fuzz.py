@@ -1,0 +1,96 @@
+"""Fuzzing CLI for the differential oracle.
+
+Usage::
+
+    python -m repro.testing.fuzz --seeds 1000
+    python -m repro.testing.fuzz --seeds 1 --start 4242 -v
+
+Exit status is 0 when every seed agrees with SQLite, 1 when any
+divergence was found (minimized reproducers are printed), 2 on bad
+arguments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .oracle import run_seed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing.fuzz",
+        description=(
+            "Differential fuzzing of repro.Database against SQLite."
+        ),
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=100,
+        help="number of seeds to run (default: 100)",
+    )
+    parser.add_argument(
+        "--start", type=int, default=0,
+        help="first seed (default: 0)",
+    )
+    parser.add_argument(
+        "--queries-per-seed", type=int, default=3,
+        help="queries generated per seed/schema (default: 3)",
+    )
+    parser.add_argument(
+        "--no-minimize", action="store_true",
+        help="report raw reproducers without shrinking",
+    )
+    parser.add_argument(
+        "--no-subqueries", action="store_true",
+        help="disable IN-subquery generation",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="progress line every 50 seeds",
+    )
+    args = parser.parse_args(argv)
+    if args.seeds < 1 or args.queries_per_seed < 1:
+        parser.print_usage(sys.stderr)
+        return 2
+
+    started = time.perf_counter()
+    n_divergences = 0
+    for offset in range(args.seeds):
+        seed = args.start + offset
+        divergences = run_seed(
+            seed,
+            queries_per_seed=args.queries_per_seed,
+            minimize=not args.no_minimize,
+            allow_subqueries=not args.no_subqueries,
+        )
+        for divergence in divergences:
+            n_divergences += 1
+            print(divergence.report())
+            print()
+        if args.verbose and (offset + 1) % 50 == 0:
+            elapsed = time.perf_counter() - started
+            print(
+                f"... {offset + 1}/{args.seeds} seeds "
+                f"({elapsed:.1f}s, {n_divergences} divergence(s))",
+                file=sys.stderr,
+            )
+
+    elapsed = time.perf_counter() - started
+    total = args.seeds * args.queries_per_seed
+    if n_divergences:
+        print(
+            f"FAIL: {n_divergences} divergence(s) in {total} queries "
+            f"across {args.seeds} seed(s) ({elapsed:.1f}s)"
+        )
+        return 1
+    print(
+        f"OK: {total} queries across {args.seeds} seed(s) agree "
+        f"with SQLite ({elapsed:.1f}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

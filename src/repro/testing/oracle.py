@@ -1,0 +1,475 @@
+"""Differential oracle: our engine vs an in-memory SQLite mirror.
+
+Both engines load identical data (from the generator's table specs),
+run the same generated query, and must produce the same *normalized*
+result. Normalization bridges representation differences that are not
+semantic: numpy scalars vs Python scalars, booleans vs SQLite's 0/1,
+float rounding noise (different summation orders), and row order when
+the query doesn't pin a total order.
+
+On divergence the oracle shrinks the query (dropping clauses, items,
+joins) and then the data (dropping rows) while the divergence persists,
+so the reported reproducer is close to minimal.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+import sqlite3
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..api.database import Database
+from ..errors import ReproError
+from .generator import (
+    BOOLEAN,
+    FLOAT,
+    GenQuery,
+    GenTable,
+    INTEGER,
+    QueryGenerator,
+    VARCHAR,
+)
+
+_SQLITE_TYPES = {
+    INTEGER: "INTEGER",
+    FLOAT: "REAL",
+    VARCHAR: "TEXT",
+    BOOLEAN: "INTEGER",
+}
+
+#: Tolerances for float comparison: generated data is O(100) and row
+#: counts are O(100), so genuine equality holds far tighter than this.
+_ABS_TOL = 1e-6
+_REL_TOL = 1e-6
+
+
+# ---------------------------------------------------------------------------
+# Result normalization
+# ---------------------------------------------------------------------------
+
+
+def normalize_value(value: object) -> object:
+    """Engine-independent canonical form of one result cell."""
+    if value is None:
+        return None
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if value == 0.0:  # merge -0.0 and +0.0
+            return 0.0
+        return value
+    return value
+
+
+def _sort_key(row: tuple) -> tuple:
+    """Total order over normalized rows of mixed types (bag compare)."""
+    key = []
+    for value in row:
+        if value is None:
+            key.append((0, ""))
+        elif isinstance(value, (int, float)):
+            key.append((1, float(value)))
+        else:
+            key.append((2, str(value)))
+    return tuple(key)
+
+
+def normalize_rows(
+    rows: Iterable[tuple], ordered: bool
+) -> list[tuple]:
+    out = [
+        tuple(normalize_value(v) for v in row) for row in rows
+    ]
+    if not ordered:
+        out.sort(key=_sort_key)
+    return out
+
+
+def _values_match(left: object, right: object) -> bool:
+    if isinstance(left, float) and isinstance(right, (int, float)):
+        return math.isclose(
+            left, float(right), rel_tol=_REL_TOL, abs_tol=_ABS_TOL
+        )
+    if isinstance(right, float) and isinstance(left, (int, float)):
+        return math.isclose(
+            float(left), right, rel_tol=_REL_TOL, abs_tol=_ABS_TOL
+        )
+    return left == right
+
+
+def rows_equal(
+    left: list[tuple], right: list[tuple], ordered: bool
+) -> bool:
+    """Compare two *normalized* result sets.
+
+    Exact match first; on mismatch, floats get a tolerance pass —
+    after aligning by sort order when the comparison is unordered
+    (tiny float noise rarely flips the sort in only one engine: the
+    generator keeps float expressions out of anything order-critical).
+    """
+    if left == right:
+        return True
+    if len(left) != len(right):
+        return False
+    for lrow, rrow in zip(left, right):
+        if len(lrow) != len(rrow):
+            return False
+        for lval, rval in zip(lrow, rrow):
+            if not _values_match(lval, rval):
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Engine harnesses
+# ---------------------------------------------------------------------------
+
+
+def build_repro_db(tables: list[GenTable]) -> Database:
+    db = Database()
+    for table in tables:
+        db.execute(table.ddl())
+        if table.rows:
+            db.insert_rows(table.name, table.rows)
+    return db
+
+
+def build_sqlite_db(tables: list[GenTable]) -> sqlite3.Connection:
+    conn = sqlite3.connect(":memory:")
+    for table in tables:
+        cols = ", ".join(
+            f"{c.name} {_SQLITE_TYPES[c.sql_type]}"
+            for c in table.columns
+        )
+        conn.execute(f"CREATE TABLE {table.name} ({cols})")
+        if table.rows:
+            placeholders = ", ".join("?" * len(table.columns))
+            converted = [
+                tuple(
+                    int(v) if isinstance(v, bool) else v
+                    for v in row
+                )
+                for row in table.rows
+            ]
+            conn.executemany(
+                f"INSERT INTO {table.name} VALUES ({placeholders})",
+                converted,
+            )
+    conn.commit()
+    return conn
+
+
+# ---------------------------------------------------------------------------
+# Divergences
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Divergence:
+    """One observed disagreement, carrying a standalone reproducer."""
+
+    seed: int
+    query_index: int
+    kind: str  # "result" | "error"
+    sql: str
+    tables: list[GenTable]
+    detail: str
+    repro_rows: Optional[list[tuple]] = None
+    sqlite_rows: Optional[list[tuple]] = None
+
+    def report(self) -> str:
+        lines = [
+            f"=== divergence (seed={self.seed}, "
+            f"query={self.query_index}, kind={self.kind}) ===",
+            f"-- reproduce: python -m repro.testing.fuzz "
+            f"--seeds 1 --start {self.seed}",
+            "-- schema + data:",
+        ]
+        for table in self.tables:
+            lines.append(f"{table.ddl()};")
+            lines.extend(
+                f"{stmt};" for stmt in table.insert_statements()
+            )
+        lines.append("-- query:")
+        lines.append(f"{self.sql};")
+        lines.append(f"-- {self.detail}")
+        if self.repro_rows is not None:
+            lines.append(f"-- repro rows:  {self.repro_rows[:10]}")
+        if self.sqlite_rows is not None:
+            lines.append(f"-- sqlite rows: {self.sqlite_rows[:10]}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# The oracle
+# ---------------------------------------------------------------------------
+
+
+class DifferentialOracle:
+    """Runs generated queries through both engines and compares."""
+
+    def __init__(self, tables: list[GenTable]):
+        self.tables = tables
+        self.db = build_repro_db(tables)
+        self.conn = build_sqlite_db(tables)
+
+    def close(self) -> None:
+        self.conn.close()
+
+    def check(self, query: GenQuery) -> Optional[dict]:
+        """None when both engines agree; otherwise a dict describing
+        the disagreement (used by :meth:`check_query` and the
+        minimizer)."""
+        return self._check_sql(query.to_sql(), query.ordered)
+
+    def _check_sql(self, sql: str, ordered: bool) -> Optional[dict]:
+        repro_error = sqlite_error = None
+        repro_rows = sqlite_rows = None
+        try:
+            repro_rows = normalize_rows(
+                self.db.execute(sql).rows, ordered
+            )
+        except (ReproError, OverflowError, ValueError) as exc:
+            repro_error = f"{type(exc).__name__}: {exc}"
+        try:
+            sqlite_rows = normalize_rows(
+                self.conn.execute(sql).fetchall(), ordered
+            )
+        except sqlite3.Error as exc:
+            sqlite_error = f"{type(exc).__name__}: {exc}"
+
+        if repro_error is None and sqlite_error is None:
+            if rows_equal(repro_rows, sqlite_rows, ordered):
+                return None
+            return {
+                "kind": "result",
+                "detail": (
+                    f"results differ: {len(repro_rows)} vs "
+                    f"{len(sqlite_rows)} row(s)"
+                ),
+                "repro_rows": repro_rows,
+                "sqlite_rows": sqlite_rows,
+            }
+        if repro_error is not None and sqlite_error is not None:
+            # Both engines reject the statement: not a semantic
+            # divergence (the generator overstepped both dialects).
+            return None
+        return {
+            "kind": "error",
+            "detail": (
+                f"repro error: {repro_error}"
+                if repro_error is not None
+                else f"sqlite error: {sqlite_error}"
+            ),
+            "repro_rows": repro_rows,
+            "sqlite_rows": sqlite_rows,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Minimization
+# ---------------------------------------------------------------------------
+
+
+def _query_variants(query: GenQuery) -> list[GenQuery]:
+    """Candidate one-step shrinks of a query, all well-formed."""
+    out = []
+
+    def clone() -> GenQuery:
+        return copy.deepcopy(query)
+
+    if query.limit is not None:
+        candidate = clone()
+        candidate.limit = None
+        candidate.offset = None
+        out.append(candidate)
+    if query.order_by:
+        candidate = clone()
+        candidate.order_by = []
+        candidate.limit = None
+        candidate.offset = None
+        out.append(candidate)
+    if query.set_op is not None:
+        candidate = clone()
+        candidate.set_op = None
+        out.append(candidate)
+    if query.having is not None:
+        candidate = clone()
+        candidate.having = None
+        out.append(candidate)
+    if query.distinct:
+        candidate = clone()
+        candidate.distinct = False
+        out.append(candidate)
+    for i in range(len(query.where)):
+        candidate = clone()
+        del candidate.where[i]
+        out.append(candidate)
+    # Select items: only in plain queries without set op (arms must
+    # keep matching signatures; group keys stay tied to GROUP BY).
+    if query.set_op is None and not query.group_by:
+        for i in range(len(query.items)):
+            if len(query.items) > 1:
+                candidate = clone()
+                del candidate.items[i]
+                candidate.order_by = []
+                candidate.limit = None
+                candidate.offset = None
+                out.append(candidate)
+    # Aggregates beyond the group keys can drop one by one.
+    if query.group_by and query.set_op is None:
+        n_keys = len(query.group_by)
+        for i in range(n_keys, len(query.items)):
+            if len(query.items) > 1:
+                candidate = clone()
+                del candidate.items[i]
+                candidate.order_by = []
+                candidate.limit = None
+                candidate.offset = None
+                out.append(candidate)
+    # Drop a join plus everything that references its alias.
+    for i, join in enumerate(query.joins):
+        alias = join.alias
+        used = any(
+            alias in item.aliases for item in query.items
+        ) or any(alias in g.aliases for g in query.group_by)
+        if query.having is not None and alias in query.having.aliases:
+            used = True
+        if used:
+            continue
+        candidate = clone()
+        del candidate.joins[i]
+        candidate.where = [
+            p for p in candidate.where if alias not in p.aliases
+        ]
+        out.append(candidate)
+    return out
+
+
+def minimize_query(
+    oracle: DifferentialOracle, query: GenQuery
+) -> GenQuery:
+    """Greedy shrink: keep applying the first one-step variant that
+    still diverges, until none does."""
+    current = query
+    for _ in range(64):
+        for candidate in _query_variants(current):
+            if oracle.check(candidate) is not None:
+                current = candidate
+                break
+        else:
+            return current
+    return current
+
+
+def minimize_data(
+    tables: list[GenTable], query: GenQuery
+) -> list[GenTable]:
+    """Drop row chunks (halves, then quarters, ...) from each table
+    while the divergence persists. Rebuilds both engines per probe."""
+
+    def diverges(candidate_tables: list[GenTable]) -> bool:
+        oracle = DifferentialOracle(candidate_tables)
+        try:
+            return oracle.check(query) is not None
+        finally:
+            oracle.close()
+
+    current = copy.deepcopy(tables)
+    for t_index in range(len(current)):
+        chunk = max(len(current[t_index].rows) // 2, 1)
+        while chunk >= 1:
+            start = 0
+            rows = current[t_index].rows
+            progressed = False
+            while start < len(rows):
+                candidate = copy.deepcopy(current)
+                del candidate[t_index].rows[start:start + chunk]
+                if candidate[t_index].rows != rows and diverges(
+                    candidate
+                ):
+                    current = candidate
+                    rows = current[t_index].rows
+                    progressed = True
+                else:
+                    start += chunk
+            if not progressed or chunk == 1:
+                chunk //= 2
+            else:
+                chunk = min(chunk, max(len(rows) // 2, 1))
+    return current
+
+
+# ---------------------------------------------------------------------------
+# Seed-level driver (shared by tests and the fuzz CLI)
+# ---------------------------------------------------------------------------
+
+
+def run_seed(
+    seed: int,
+    queries_per_seed: int = 3,
+    minimize: bool = True,
+    allow_subqueries: bool = True,
+) -> list[Divergence]:
+    """Run one seed's schema + queries; returns found divergences."""
+    generator = QueryGenerator(seed, allow_subqueries=allow_subqueries)
+    tables = generator.schema()
+    oracle = DifferentialOracle(tables)
+    divergences = []
+    try:
+        for index in range(queries_per_seed):
+            query = generator.query(tables)
+            failure = oracle.check(query)
+            if failure is None:
+                continue
+            small_tables = tables
+            if minimize:
+                query = minimize_query(oracle, query)
+                small_tables = minimize_data(tables, query)
+                probe = DifferentialOracle(small_tables)
+                try:
+                    failure = probe.check(query) or failure
+                finally:
+                    probe.close()
+            divergences.append(
+                Divergence(
+                    seed=seed,
+                    query_index=index,
+                    kind=failure["kind"],
+                    sql=query.to_sql(),
+                    tables=small_tables,
+                    detail=failure["detail"],
+                    repro_rows=failure.get("repro_rows"),
+                    sqlite_rows=failure.get("sqlite_rows"),
+                )
+            )
+    finally:
+        oracle.close()
+    return divergences
+
+
+def run_seeds(
+    seeds: Iterable[int],
+    queries_per_seed: int = 3,
+    minimize: bool = True,
+    allow_subqueries: bool = True,
+) -> list[Divergence]:
+    out = []
+    for seed in seeds:
+        out.extend(
+            run_seed(
+                seed,
+                queries_per_seed=queries_per_seed,
+                minimize=minimize,
+                allow_subqueries=allow_subqueries,
+            )
+        )
+    return out

@@ -183,6 +183,19 @@ class TestNaiveBayesEquivalence:
             [row[:5] for row in rows], reference
         )
 
+    def test_iterate_matches_operator(self, nb_world):
+        # Training is single-pass, so its ITERATE formulation is the
+        # same model inside a zero-round loop (terminator immediately
+        # true) — covering the middle layer on this workload too.
+        db, feats, _c, reference = nb_world
+        sql = naive_bayes_train_sql("train", "label", feats)
+        rows = db.execute(
+            "SELECT class, attribute, prior, mean, stddev, cnt "
+            f"FROM ITERATE(({sql}), (SELECT * FROM iterate), "
+            "(SELECT 1)) ORDER BY class, attribute"
+        ).rows
+        assert_model_rows_match([row[:5] for row in rows], reference)
+
     def test_madlib_like_matches(self, nb_world):
         db, feats, _c, reference = nb_world
         rows = madlib_like_naive_bayes_train(db, "train", "label", feats)
