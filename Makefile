@@ -4,10 +4,15 @@ PY := PYTHONPATH=src python
 N ?= 1000
 START ?= 0
 
-.PHONY: test test-all fuzz bench
+.PHONY: test test-all fuzz bench metrics-smoke
 
-test:
+test: metrics-smoke
 	$(PY) -m pytest -x -q
+
+# Runs a tiny end-to-end workload and validates the Prometheus
+# exposition the engine produces (format, TYPE lines, histogram series).
+metrics-smoke:
+	$(PY) -m repro.obs.export --check
 
 test-all:
 	$(PY) -m pytest -q -m ""

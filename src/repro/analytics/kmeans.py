@@ -153,31 +153,33 @@ class KMeansDescriptor(OperatorDescriptor):
             def metric(points: np.ndarray, center: np.ndarray) -> np.ndarray:
                 diff = points - center
                 return np.einsum("ij,ij->i", diff, diff)
+        else:
+            def metric(points: np.ndarray, center: np.ndarray) -> np.ndarray:
+                n = points.shape[0]
+                columns: dict[str, Column] = {}
+                a_attrs = distance.param_attrs[distance.params[0]]
+                b_attrs = distance.param_attrs[distance.params[1]]
+                for j, attr in enumerate(a_attrs):
+                    columns[f"{distance.params[0]}.{attr}"] = Column(
+                        points[:, j], DOUBLE
+                    )
+                for j, attr in enumerate(b_attrs):
+                    columns[f"{distance.params[1]}.{attr}"] = Column(
+                        np.full(n, center[j]), DOUBLE
+                    )
+                result = distance_fn(ColumnBatch(columns), eval_ctx)
+                return result.values.astype(np.float64, copy=False)
 
-            centers_out, assignment, sizes, _iters = lloyd_kmeans(
-                matrix, centers, metric, max_iterations
-            )
-            return self._output_batch(attrs, centers_out, sizes)
-
-        def metric(points: np.ndarray, center: np.ndarray) -> np.ndarray:
-            n = points.shape[0]
-            columns: dict[str, Column] = {}
-            a_attrs = distance.param_attrs[distance.params[0]]
-            b_attrs = distance.param_attrs[distance.params[1]]
-            for j, attr in enumerate(a_attrs):
-                columns[f"{distance.params[0]}.{attr}"] = Column(
-                    points[:, j], DOUBLE
-                )
-            for j, attr in enumerate(b_attrs):
-                columns[f"{distance.params[1]}.{attr}"] = Column(
-                    np.full(n, center[j]), DOUBLE
-                )
-            result = distance_fn(ColumnBatch(columns), eval_ctx)
-            return result.values.astype(np.float64, copy=False)
-
-        centers_out, assignment, sizes, _iters = lloyd_kmeans(
-            matrix, centers, metric, max_iterations
+        rounds: list[dict] = []
+        centers_out, assignment, sizes, iters = lloyd_kmeans(
+            matrix, centers, metric, max_iterations, telemetry=rounds
         )
+        ctx.stats.iterations += iters
+        ctx.telemetry["kmeans"] = {
+            "iterations": iters,
+            "inertia": [r["inertia"] for r in rounds],
+            "center_shift": [r["center_shift"] for r in rounds],
+        }
         return self._output_batch(attrs, centers_out, sizes)
 
     @staticmethod
@@ -214,10 +216,16 @@ def lloyd_kmeans(
     centers: np.ndarray,
     metric: Callable[[np.ndarray, np.ndarray], np.ndarray],
     max_iterations: int,
+    telemetry: Optional[list] = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
     """Core Lloyd iteration shared by the SQL operator and the Python API.
 
     ``metric(points, center)`` returns per-point distances to one center.
+    ``telemetry``, when given, receives one dict per iteration with the
+    round's ``inertia`` (sum of each point's distance to its assigned
+    center, under ``metric``) and ``center_shift`` (largest L2 move of
+    any center in the update step) — the convergence series the paper's
+    section 8.1 wall-time claims rest on.
     Returns (centers, assignment, cluster_sizes, iterations_run).
     """
     n = matrix.shape[0]
@@ -240,6 +248,7 @@ def lloyd_kmeans(
     for _round in range(max_iterations):
         iterations += 1
         changed = False
+        inertia = 0.0
         sums = np.zeros_like(centers)
         counts = np.zeros(k, dtype=np.int64)
         for start in range(0, n, chunk_rows):
@@ -249,6 +258,12 @@ def lloyd_kmeans(
             for j in range(k):
                 dist_block[:, j] = metric(block, centers[j])
             local_assign = np.argmin(dist_block, axis=1)
+            if telemetry is not None:
+                inertia += float(
+                    dist_block[
+                        np.arange(stop - start), local_assign
+                    ].sum()
+                )
             if not changed and (
                 local_assign != assignment[start:stop]
             ).any():
@@ -260,9 +275,19 @@ def lloyd_kmeans(
                     local_assign, weights=block[:, dim], minlength=k
                 )
         non_empty = counts > 0
+        previous_centers = centers.copy() if telemetry is not None else None
         centers[non_empty] = (
             sums[non_empty] / counts[non_empty, None]
         )
+        if telemetry is not None:
+            shift = float(
+                np.sqrt(
+                    ((centers - previous_centers) ** 2).sum(axis=1)
+                ).max()
+            )
+            telemetry.append(
+                {"inertia": inertia, "center_shift": shift}
+            )
         if not changed:
             break
     sizes = np.bincount(assignment, minlength=k)
@@ -308,10 +333,13 @@ def kmeans(
     initial_centers: np.ndarray,
     max_iterations: int = 100,
     metric: Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]] = None,
+    telemetry: Optional[list] = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
     """Library-level k-Means over numpy arrays (no SQL involved).
 
-    ``metric`` defaults to squared Euclidean distance. Returns
+    ``metric`` defaults to squared Euclidean distance; ``telemetry``
+    receives one per-iteration convergence dict (see
+    :func:`lloyd_kmeans`). Returns
     (centers, assignment, sizes, iterations)."""
     points = np.asarray(points, dtype=np.float64)
     initial_centers = np.asarray(initial_centers, dtype=np.float64)
@@ -325,4 +353,7 @@ def kmeans(
         def metric(pts: np.ndarray, center: np.ndarray) -> np.ndarray:
             diff = pts - center
             return np.einsum("ij,ij->i", diff, diff)
-    return lloyd_kmeans(points, initial_centers, metric, max_iterations)
+    return lloyd_kmeans(
+        points, initial_centers, metric, max_iterations,
+        telemetry=telemetry,
+    )

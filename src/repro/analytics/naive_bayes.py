@@ -168,6 +168,11 @@ class NaiveBayesTrainDescriptor(OperatorDescriptor):
         else:
             labels = label_col.values
         model = naive_bayes_train(labels, matrix, attributes=attrs)
+        ctx.telemetry["naive_bayes"] = {
+            "classes": [str(c) for c in model.classes],
+            "class_counts": model.counts.tolist(),
+            "priors": model.priors.tolist(),
+        }
         k = len(model.classes)
         d = len(attrs)
         class_rows = np.repeat(np.arange(k), d)
@@ -239,6 +244,13 @@ class NaiveBayesPredictDescriptor(OperatorDescriptor):
         ordered = _align_attributes(model, data_names)
         matrix = _matrix_from(data_batch, ordered)
         predictions = model.predict(matrix)
+        labels, label_counts = np.unique(
+            np.asarray(predictions, dtype=object), return_counts=True
+        )
+        ctx.telemetry["naive_bayes_predict"] = {
+            "classes": [str(c) for c in labels],
+            "predicted_counts": label_counts.tolist(),
+        }
         columns = {
             name: data_batch[name] for name in data_names
         }

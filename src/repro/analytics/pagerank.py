@@ -132,10 +132,16 @@ class PageRankDescriptor(OperatorDescriptor):
                 )
 
         graph = CSRGraph.from_edges(src, dst, weights)
+        residuals: list[float] = []
         ranks, iterations = pagerank_csr(
-            graph, damping, epsilon, max_iterations
+            graph, damping, epsilon, max_iterations,
+            telemetry=residuals,
         )
         ctx.stats.iterations += iterations
+        ctx.telemetry["pagerank"] = {
+            "iterations": iterations,
+            "residual_l1": residuals,
+        }
         return ColumnBatch(
             {
                 "vertex": Column(
@@ -151,6 +157,7 @@ def pagerank_csr(
     damping: float,
     epsilon: float,
     max_iterations: int,
+    telemetry: Optional[list] = None,
 ) -> tuple[np.ndarray, int]:
     """Iterate PageRank over a CSR index.
 
@@ -158,7 +165,9 @@ def pagerank_csr(
     non-appending state, contrast with the relational formulation).
     Dangling vertices redistribute their mass uniformly. Stops when the
     aggregated rank change ``max |r' - r|`` is <= epsilon, or at the
-    iteration cap. Returns (ranks, iterations_run)."""
+    iteration cap. ``telemetry``, when given, receives the per-round L1
+    residual ``sum |r' - r|`` (the convergence series).
+    Returns (ranks, iterations_run)."""
     n = graph.n_vertices
     if n == 0:
         return np.zeros(0, dtype=np.float64), 0
@@ -176,7 +185,10 @@ def pagerank_csr(
         new_ranks = base + damping * graph.gather_incoming(per_source)
         if dangling.any():
             new_ranks += damping * ranks[dangling].sum() / n
-        delta = float(np.max(np.abs(new_ranks - ranks)))
+        change = np.abs(new_ranks - ranks)
+        delta = float(change.max())
+        if telemetry is not None:
+            telemetry.append(float(change.sum()))
         ranks = new_ranks
         if delta <= epsilon:
             break

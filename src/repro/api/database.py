@@ -11,6 +11,7 @@ otherwise each statement autocommits.
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from typing import Callable, Iterable, Optional, Sequence
 
@@ -22,6 +23,8 @@ from ..exec.physical import ExecutionContext, ExecutionStats
 from ..exec.planner import build_physical
 from ..exec.physical import materialize
 from ..expr.compiler import truth_mask
+from ..obs.metrics import MetricsRegistry, global_registry
+from ..obs.trace import QueryLogEntry, Span, Tracer
 from ..plan.logical import PlanColumn
 from ..plan.optimizer import Optimizer
 from ..sql import ast
@@ -59,6 +62,11 @@ class Database:
             durability (pure main-memory session). Passing a path that
             already holds a log **recovers** from it.
         optimize: disable to run binder plans verbatim (ablations).
+        profile_operators: keep per-operator self-time histograms for
+            every statement (``operator_self_seconds{op=...}``); disable
+            to shave the wrapper overhead in micro-benchmarks.
+        query_log_size: how many statements the query-log ring buffer
+            retains (see :meth:`query_log`).
     """
 
     def __init__(
@@ -67,16 +75,26 @@ class Database:
         optimize: bool = True,
         morsel_rows: int = 65_536,
         max_iterations: int = 10_000,
+        profile_operators: bool = True,
+        query_log_size: int = 256,
     ):
         self.catalog = Catalog()
+        #: Session metrics registry; mirrored into
+        #: :func:`repro.obs.metrics.global_registry` so tools that open
+        #: many sessions (bench sweeps, the fuzzer) see aggregates.
+        self.metrics = MetricsRegistry(parent=global_registry())
         wal = WriteAheadLog(wal_path) if wal_path is not None else None
-        self.txns = TransactionManager(self.catalog, wal)
+        self.txns = TransactionManager(
+            self.catalog, wal, metrics=self.metrics
+        )
         self.udfs = UDFRegistry()
         self.analytics: OperatorRegistry = default_registry()
         self.optimize_enabled = optimize
         self.morsel_rows = morsel_rows
         self.max_iterations = max_iterations
+        self.profile_operators = profile_operators
         self._session_txn: Optional[Transaction] = None
+        self._tracer = Tracer(log_size=query_log_size)
         #: Stats of the most recent statement (peak live tuples, etc.).
         self.last_stats: ExecutionStats = ExecutionStats()
         if wal is not None:
@@ -171,13 +189,26 @@ class Database:
         ``params`` fills ``?`` placeholders positionally; values become
         literals during parsing and are never string-interpolated, so
         user input cannot inject SQL."""
-        statements = parse_sql(sql, params)
-        if not statements:
-            raise BindError("empty statement")
-        result = QueryResult.statement(0)
-        for statement in statements:
-            result = self._execute_statement(statement)
-        return result
+        tracer = self._tracer
+        started = time.perf_counter()
+        try:
+            with tracer.statement(sql) as stmt:
+                with tracer.span("parse"):
+                    statements = parse_sql(sql, params)
+                if not statements:
+                    raise BindError("empty statement")
+                result = QueryResult.statement(0)
+                for statement in statements:
+                    result = self._execute_statement(statement)
+                stmt.attributes["rows"] = len(result)
+                return result
+        except BaseException:
+            self.metrics.counter("statement_errors_total").inc()
+            raise
+        finally:
+            self.metrics.histogram("statement_seconds").observe(
+                time.perf_counter() - started
+            )
 
     def query(
         self, sql: str, params: Optional[Sequence[object]] = None
@@ -215,7 +246,8 @@ class Database:
             raise BindError("EXPLAIN supports a single SELECT statement")
         txn, owned = self._current_txn()
         try:
-            plan = self._plan_select(statement[0], txn)
+            with self._tracer.statement(sql):
+                plan = self._plan_select(statement[0], txn)
             return plan.explain()
         finally:
             if owned:
@@ -233,38 +265,63 @@ class Database:
         rendered form). Iterative operators (ITERATE, recursive CTEs)
         accumulate their init/step/stop children over all rounds.
         """
-        import time
+        tracer = self._tracer
+        with tracer.statement(sql) as stmt:
+            with tracer.span("parse"):
+                statements = parse_sql(sql, params)
+            if len(statements) != 1 or not isinstance(
+                statements[0], ast.SelectStatement
+            ):
+                raise BindError(
+                    "explain_analyze supports a single SELECT statement"
+                )
+            txn, owned = self._current_txn()
+            try:
+                plan = self._plan_select(statements[0], txn)
+                ctx = self._make_exec_context(txn)
+                ctx.profile = True
+                with tracer.span("plan"):
+                    op = build_physical(plan, ctx)
+                started = time.perf_counter()
+                with tracer.span("execute"):
+                    batch = materialize(
+                        list(op.execute(ctx.new_eval_context())),
+                        plan.output,
+                    )
+                total_s = time.perf_counter() - started
+                self.last_stats = ctx.stats
+                self._flush_exec_metrics(ctx)
+                result = QueryResult.from_batch(batch, plan.output)
+                result.telemetry = dict(ctx.telemetry)
+                stmt.attributes["rows"] = len(result)
+                if owned:
+                    txn.commit()
+                return AnalyzedQuery(
+                    result, ctx.profile_roots[0], ctx.profile_roots[1:],
+                    total_s,
+                )
+            except BaseException:
+                if owned and txn.status == "active":
+                    txn.rollback()
+                raise
 
-        statements = parse_sql(sql, params)
-        if len(statements) != 1 or not isinstance(
-            statements[0], ast.SelectStatement
-        ):
-            raise BindError(
-                "explain_analyze supports a single SELECT statement"
-            )
-        txn, owned = self._current_txn()
-        try:
-            plan = self._plan_select(statements[0], txn)
-            ctx = self._make_exec_context(txn)
-            ctx.profile = True
-            op = build_physical(plan, ctx)
-            started = time.perf_counter()
-            batch = materialize(
-                list(op.execute(ctx.new_eval_context())), plan.output
-            )
-            total_s = time.perf_counter() - started
-            self.last_stats = ctx.stats
-            result = QueryResult.from_batch(batch, plan.output)
-            if owned:
-                txn.commit()
-            return AnalyzedQuery(
-                result, ctx.profile_roots[0], ctx.profile_roots[1:],
-                total_s,
-            )
-        except BaseException:
-            if owned and txn.status == "active":
-                txn.rollback()
-            raise
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def last_trace(self) -> Optional[Span]:
+        """The span tree of the most recent completed statement: a
+        ``statement`` root whose children are the lifecycle phases
+        (``parse``, ``bind``, ``optimize``, ``plan``, ``execute``), with
+        one ``iteration`` span per round under ``execute`` for ITERATE
+        and recursive CTEs. ``None`` before the first statement."""
+        return self._tracer.last_root
+
+    def query_log(self, n: int = 20) -> list[QueryLogEntry]:
+        """The most recent ``n`` statements (oldest first): SQL text,
+        total and per-phase timings, row count, and the error message
+        for statements that failed."""
+        return self._tracer.log(n)
 
     def table_names(self) -> list[str]:
         txn, owned = self._current_txn()
@@ -379,12 +436,42 @@ class Database:
         return Binder(_TxnCatalogView(txn), self.udfs, self.analytics)
 
     def _make_exec_context(self, txn: Transaction) -> ExecutionContext:
-        return ExecutionContext(
+        ctx = ExecutionContext(
             read_table=txn.read,
             analytics=self.analytics,
             udfs=self.udfs,
             morsel_rows=self.morsel_rows,
             max_iterations=self.max_iterations,
+            tracer=self._tracer,
+            metrics=self.metrics,
+        )
+        ctx.profile = self.profile_operators
+        return ctx
+
+    def _flush_exec_metrics(self, ctx: ExecutionContext) -> None:
+        """Fold one statement's :class:`ExecutionStats` and profiled
+        operator trees into the session metrics registry."""
+        stats = ctx.stats
+        batches = 0
+        for root in ctx.profile_roots:
+            for node in root.walk():
+                batches += node.batches_out
+                self.metrics.histogram(
+                    "operator_self_seconds", op=node.operator_class
+                ).observe(node.self_s)
+        stats.batches_produced += batches
+        if stats.rows_scanned:
+            self.metrics.counter("exec_rows_scanned_total").inc(
+                stats.rows_scanned
+            )
+        if stats.iterations:
+            self.metrics.counter("exec_iterations_total").inc(
+                stats.iterations
+            )
+        if batches:
+            self.metrics.counter("exec_batches_total").inc(batches)
+        self.metrics.gauge("exec_peak_live_tuples").set(
+            stats.peak_live_tuples
         )
 
     def _make_optimizer(self, txn: Transaction) -> Optimizer:
@@ -396,10 +483,15 @@ class Database:
         )
 
     def _plan_select(self, statement: ast.SelectStatement, txn):
-        plan = self._make_binder(txn).bind_query(statement)
-        return self._make_optimizer(txn).optimize(plan)
+        with self._tracer.span("bind"):
+            plan = self._make_binder(txn).bind_query(statement)
+        with self._tracer.span("optimize"):
+            return self._make_optimizer(txn).optimize(plan)
 
     def _execute_statement(self, statement: ast.Statement) -> QueryResult:
+        self.metrics.counter(
+            "statements_total", kind=type(statement).__name__
+        ).inc()
         if isinstance(statement, ast.BeginTransaction):
             self.begin()
             return QueryResult.statement(0)
@@ -457,12 +549,21 @@ class Database:
     ) -> QueryResult:
         plan = self._plan_select(statement, txn)
         ctx = self._make_exec_context(txn)
-        op = build_physical(plan, ctx)
-        batch = materialize(
-            list(op.execute(ctx.new_eval_context())), plan.output
-        )
-        self.last_stats = ctx.stats
-        return QueryResult.from_batch(batch, plan.output)
+        with self._tracer.span("plan"):
+            op = build_physical(plan, ctx)
+        try:
+            with self._tracer.span("execute"):
+                batch = materialize(
+                    list(op.execute(ctx.new_eval_context())), plan.output
+                )
+        finally:
+            # Publish even when execution aborts (iteration limit, ...):
+            # rounds already executed stay observable.
+            self.last_stats = ctx.stats
+            self._flush_exec_metrics(ctx)
+        result = QueryResult.from_batch(batch, plan.output)
+        result.telemetry = dict(ctx.telemetry)
+        return result
 
     def _run_create(
         self, statement: ast.CreateTable, txn: Transaction
@@ -606,7 +707,9 @@ class Database:
         new_data = data.replace_columns(replacements)
         txn.write(statement.table, new_data)
         self._log_replace(txn, statement.table, new_data)
-        return QueryResult.statement(int(mask.sum()))
+        updated = int(mask.sum())
+        self.metrics.counter("storage_rows_updated_total").inc(updated)
+        return QueryResult.statement(updated)
 
     def _run_delete(
         self, statement: ast.Delete, txn: Transaction
@@ -629,6 +732,7 @@ class Database:
         new_data = data.delete_where(keep)
         txn.write(statement.table, new_data)
         self._log_replace(txn, statement.table, new_data)
+        self.metrics.counter("storage_rows_deleted_total").inc(deleted)
         return QueryResult.statement(deleted)
 
     def _log_replace(

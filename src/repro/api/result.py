@@ -32,6 +32,12 @@ class QueryResult:
         self._slots = slots or []
         #: For DML statements: number of affected rows; -1 for queries.
         self.rowcount = rowcount
+        #: Operator-reported convergence telemetry, keyed by operator
+        #: name (``kmeans``: per-iteration inertia and center shift,
+        #: ``pagerank``: per-iteration L1 residual, ``naive_bayes``:
+        #: per-class counts and priors). Empty for statements that ran
+        #: no analytics operator.
+        self.telemetry: dict[str, object] = {}
         self._rows: Optional[list[tuple]] = None
 
     @classmethod
@@ -153,6 +159,14 @@ class AnalyzedQuery:
             if node.label.startswith(prefix):
                 return node
         return None
+
+    def top(self, n: int = 5) -> list[OperatorStats]:
+        """The ``n`` most expensive operators (main plan and subplans)
+        by exclusive time ``self_s``, most expensive first."""
+        return sorted(
+            self.operators(), key=lambda node: node.self_s,
+            reverse=True,
+        )[: max(n, 0)]
 
     def format(self) -> str:
         parts = [

@@ -29,6 +29,8 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..obs.metrics import global_registry
+from .runner import write_bench_json
 from .figures import (
     run_ablation_csr,
     run_ablation_iterate,
@@ -81,6 +83,13 @@ def main(argv: list[str] | None = None) -> int:
         "--json", metavar="PATH", default=None,
         help="also write all measured points to a JSON file",
     )
+    parser.add_argument(
+        "--results-dir", metavar="DIR", default="results",
+        help=(
+            "directory for per-experiment BENCH_<name>.json files, "
+            "each embedding a metrics snapshot (default: results)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     names = list(EXPERIMENTS) if "all" in args.experiments else (
@@ -94,27 +103,23 @@ def main(argv: list[str] | None = None) -> int:
         )
     tables = {}
     for name in names:
+        # Experiments open their own Database sessions; those mirror
+        # into the process-wide registry, so resetting it before each
+        # experiment gives a per-experiment metrics snapshot.
+        global_registry().reset()
         tables[name] = EXPERIMENTS[name](
             scale=args.scale, repeat=args.repeat
         )
+        path = write_bench_json(
+            name, tables[name], directory=args.results_dir,
+            metrics=global_registry().snapshot(),
+        )
+        print(f"wrote {path}")
     if args.json is not None:
         import json
 
         payload = {
-            name: {
-                "title": table.title,
-                "xlabel": table.xlabel,
-                "results": [
-                    {
-                        "series": r.series,
-                        "x": str(r.x),
-                        "seconds": r.seconds,
-                        "note": r.note,
-                    }
-                    for r in table.results
-                ],
-            }
-            for name, table in tables.items()
+            name: table.to_dict() for name, table in tables.items()
         }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
@@ -99,3 +101,37 @@ class SeriesTable:
         print()
         print(self.format())
         print()
+
+    def to_dict(self) -> dict:
+        return {
+            "title": self.title,
+            "xlabel": self.xlabel,
+            "results": [
+                {
+                    "series": r.series,
+                    "x": str(r.x),
+                    "seconds": r.seconds,
+                    "note": r.note,
+                }
+                for r in self.results
+            ],
+        }
+
+
+def write_bench_json(
+    name: str,
+    table: SeriesTable,
+    directory: str = "results",
+    metrics: Optional[dict] = None,
+) -> str:
+    """Write one experiment's measurements to
+    ``<directory>/BENCH_<name>.json``, embedding a metrics snapshot of
+    the engine counters the run produced; returns the path written."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    payload = table.to_dict()
+    payload["experiment"] = name
+    payload["metrics"] = metrics if metrics is not None else {}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    return path

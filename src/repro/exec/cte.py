@@ -14,6 +14,7 @@ iterate-vs-CTE ablation benchmark.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Iterator
 
 import numpy as np
@@ -70,20 +71,32 @@ class RecursiveCTEOp(PhysicalOperator):
         total_rows = len(current)
         ctx.stats.observe_live_tuples(total_rows)
 
+        tracer = ctx.tracer
         iterations = 0
         max_iterations = min(node.max_iterations, ctx.max_iterations)
         while len(current) > 0:
-            iterations += 1
-            if iterations > max_iterations:
+            if iterations >= max_iterations:
                 raise IterationLimitError(
                     f"recursive CTE {node.key!r} exceeded "
                     f"{max_iterations} iterations"
                 )
+            iterations += 1
+            # Incremented per round (not once at the end) so the count
+            # survives an iteration-limit abort.
+            ctx.stats.iterations += 1
             ctx.working_tables[node.key] = self._as_working(
                 current, out_slots
             )
+            round_span = (
+                tracer.span("iteration", round=iterations)
+                if tracer is not None
+                else nullcontext()
+            )
             try:
-                step_batch = self._step.execute_materialized(eval_ctx)
+                with round_span:
+                    step_batch = self._step.execute_materialized(
+                        eval_ctx
+                    )
             finally:
                 ctx.working_tables.pop(node.key, None)
             produced = self._relabel(
@@ -98,7 +111,6 @@ class RecursiveCTEOp(PhysicalOperator):
             # Appending semantics: every prior round stays live.
             ctx.stats.observe_live_tuples(total_rows)
             current = produced
-        ctx.stats.iterations += iterations
         self.last_iterations = iterations
 
         yield materialize(accumulated, node.output)

@@ -18,6 +18,7 @@ max-iteration guard aborts infinite loops, as the paper requires.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Iterator
 
 from ..errors import IterationLimitError
@@ -59,6 +60,7 @@ class IterateOp(PhysicalOperator):
         )
         ctx.stats.observe_live_tuples(2 * len(working))
 
+        tracer = ctx.tracer
         iterations = 0
         max_iterations = min(node.max_iterations, ctx.max_iterations)
         while True:
@@ -67,13 +69,24 @@ class IterateOp(PhysicalOperator):
                 stop_batch = self._stop.execute_materialized(eval_ctx)
                 if self._stop_satisfied(stop_batch):
                     break
-                iterations += 1
-                if iterations > max_iterations:
+                if iterations >= max_iterations:
                     raise IterationLimitError(
                         f"ITERATE exceeded {max_iterations} iterations "
                         "without satisfying its stop condition"
                     )
-                step_batch = self._step.execute_materialized(eval_ctx)
+                iterations += 1
+                # Incremented per round (not once at the end) so the
+                # count survives an iteration-limit abort.
+                ctx.stats.iterations += 1
+                round_span = (
+                    tracer.span("iteration", round=iterations)
+                    if tracer is not None
+                    else nullcontext()
+                )
+                with round_span:
+                    step_batch = self._step.execute_materialized(
+                        eval_ctx
+                    )
             finally:
                 ctx.working_tables.pop(node.key, None)
             next_working = self._as_working(
@@ -85,7 +98,6 @@ class IterateOp(PhysicalOperator):
                 len(working) + len(next_working)
             )
             working = next_working
-        ctx.stats.iterations += iterations
         self.last_iterations = iterations
 
         yield ColumnBatch(

@@ -78,6 +78,19 @@ class OperatorStats:
                 return node
         return None
 
+    @property
+    def operator_class(self) -> str:
+        """The label without its argument decoration — ``Scan(t)`` and
+        ``Scan(u)`` both report as class ``Scan`` (metrics grouping)."""
+        return self.label.split("(", 1)[0]
+
+    def top(self, n: int = 5) -> list["OperatorStats"]:
+        """The ``n`` most expensive operators of this subtree by
+        ``self_s`` (exclusive time), most expensive first."""
+        return sorted(
+            self.walk(), key=lambda node: node.self_s, reverse=True
+        )[: max(n, 0)]
+
     def format(self, indent: int = 0) -> str:
         pad = "  " * indent
         line = (
@@ -119,6 +132,8 @@ class ExecutionContext:
         udfs=None,
         morsel_rows: int = DEFAULT_MORSEL_ROWS,
         max_iterations: int = 10_000,
+        tracer=None,
+        metrics=None,
     ):
         self.read_table = read_table
         self.analytics = analytics
@@ -132,6 +147,17 @@ class ExecutionContext:
         self.profile_roots: list[OperatorStats] = []
         self._profile_stack: list[list[OperatorStats]] = []
         self._physical_cache: dict[int, "PhysicalOperator"] = {}
+        #: Optional :class:`repro.obs.trace.Tracer` — iterative operators
+        #: open one ``iteration`` span per round when it is set.
+        self.tracer = tracer
+        #: Optional :class:`repro.obs.metrics.MetricsRegistry` for
+        #: operators that want to record directly (most metrics are
+        #: flushed from ``stats`` by the session after the statement).
+        self.metrics = metrics
+        #: Operator-reported telemetry for the statement (convergence
+        #: series of analytics operators); surfaced on
+        #: :attr:`repro.api.result.QueryResult.telemetry`.
+        self.telemetry: dict[str, object] = {}
 
     def new_eval_context(
         self, params: Optional[dict[str, object]] = None

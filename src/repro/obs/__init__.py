@@ -1,0 +1,38 @@
+"""Engine-wide observability: metrics, query tracing, exporters.
+
+``repro.obs`` is the instrumentation trunk the engine's layers hang
+measurements on:
+
+* :mod:`repro.obs.metrics` — the :class:`MetricsRegistry` behind
+  ``Database.metrics`` (counters, gauges, fixed-bucket histograms),
+  mirrored into a process-wide :func:`global_registry`;
+* :mod:`repro.obs.trace` — per-statement span trees
+  (``Database.last_trace()``) and the statement ring buffer
+  (``Database.query_log(n)``);
+* :mod:`repro.obs.export` — Prometheus text exposition and JSON dump,
+  runnable as ``python -m repro.obs.export``.
+
+See ``docs/observability.md`` for metric names and the span model.
+"""
+
+from .metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+)
+from .trace import QueryLogEntry, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS",
+    "global_registry",
+    "QueryLogEntry",
+    "Span",
+    "Tracer",
+]

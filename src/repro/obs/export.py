@@ -1,0 +1,233 @@
+"""Metric exporters: Prometheus text exposition and JSON dump.
+
+Library use::
+
+    from repro.obs.export import to_prometheus, to_json
+    print(to_prometheus(db.metrics))
+
+CLI (runs a tiny built-in workload, then exports its session metrics)::
+
+    python -m repro.obs.export                    # Prometheus text
+    python -m repro.obs.export --format json      # JSON dump
+    python -m repro.obs.export --check            # validate exposition
+
+``--check`` is the ``make metrics-smoke`` entry point: it drives the
+workload, renders the exposition, and verifies every line parses with
+no duplicate series — exit 0 on success, 1 on a malformed exposition.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import re
+import sys
+
+from .metrics import MetricsRegistry, format_series
+
+_METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_LABELS = r"\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\}"
+_SAMPLE_RE = re.compile(
+    rf"^({_METRIC_NAME})({_LABELS})?\s+(-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|NaN)$"
+)
+_TYPE_RE = re.compile(
+    rf"^# TYPE ({_METRIC_NAME}) (counter|gauge|histogram)$"
+)
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _bucket_label(upper: float) -> str:
+    return "+Inf" if upper == math.inf else _format_value(upper)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for name, kind, children in registry.families():
+        lines.append(f"# TYPE {name} {kind}")
+        for key, metric in sorted(children.items()):
+            if kind in ("counter", "gauge"):
+                lines.append(
+                    f"{format_series(name, key)} "
+                    f"{_format_value(metric.value)}"
+                )
+                continue
+            cumulative = metric.cumulative()
+            uppers = list(metric.buckets) + [math.inf]
+            for upper, count in zip(uppers, cumulative):
+                bucket_key = key + (("le", _bucket_label(upper)),)
+                bucket_key = tuple(sorted(bucket_key))
+                lines.append(
+                    f"{format_series(name + '_bucket', bucket_key)} "
+                    f"{count}"
+                )
+            lines.append(
+                f"{format_series(name + '_sum', key)} "
+                f"{_format_value(metric.sum)}"
+            )
+            lines.append(
+                f"{format_series(name + '_count', key)} {metric.count}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_json(registry: MetricsRegistry, indent: int | None = 2) -> str:
+    """The registry snapshot as a JSON document."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+def validate_exposition(text: str) -> list[str]:
+    """Check a Prometheus text exposition: every line must be a comment,
+    a ``# TYPE`` declaration, or a well-formed sample; each family gets
+    exactly one TYPE line, declared before its samples; no series may
+    repeat. Returns a list of problems (empty = valid)."""
+    problems: list[str] = []
+    declared: dict[str, str] = {}
+    seen_series: set[str] = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            match = _TYPE_RE.match(line)
+            if match is None:
+                if line.startswith("# TYPE"):
+                    problems.append(
+                        f"line {lineno}: malformed TYPE line: {line!r}"
+                    )
+                continue  # other comments (HELP etc.) are fine
+            name, kind = match.group(1), match.group(2)
+            if name in declared:
+                problems.append(
+                    f"line {lineno}: duplicate TYPE for {name!r}"
+                )
+            declared[name] = kind
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: malformed sample: {line!r}")
+            continue
+        name = match.group(1)
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in declared:
+                family = name[: -len(suffix)]
+                break
+        if family not in declared:
+            problems.append(
+                f"line {lineno}: sample {name!r} has no TYPE declaration"
+            )
+        series = line.rsplit(" ", 1)[0]
+        if series in seen_series:
+            problems.append(
+                f"line {lineno}: duplicate series {series!r}"
+            )
+        seen_series.add(series)
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def run_tiny_workload():
+    """A minimal session exercising every instrumented layer: DDL, DML,
+    a join, ITERATE, k-Means, PageRank, a rollback, and a vacuum.
+    Returns the session so callers can export ``db.metrics``."""
+    from ..api.database import Database
+
+    db = Database()
+    db.execute("CREATE TABLE pts (x FLOAT, y FLOAT)")
+    db.insert_rows(
+        "pts",
+        [(0.0, 0.0), (0.1, 0.2), (1.0, 1.1), (9.0, 9.1), (8.8, 9.3)],
+    )
+    db.execute("CREATE TABLE edges (src INTEGER, dest INTEGER)")
+    db.insert_rows("edges", [(1, 2), (2, 3), (3, 1), (3, 4), (4, 1)])
+    db.execute("SELECT count(*) FROM pts p, edges e WHERE e.src > p.x")
+    db.execute(
+        "SELECT * FROM ITERATE((SELECT 1 AS n),"
+        " (SELECT n + 1 FROM iterate),"
+        " (SELECT n FROM iterate WHERE n >= 4))"
+    )
+    db.execute(
+        "SELECT * FROM KMEANS((SELECT x, y FROM pts),"
+        " (SELECT x, y FROM pts LIMIT 2), 5)"
+    )
+    db.execute(
+        "SELECT * FROM PAGERANK((SELECT src, dest FROM edges),"
+        " 0.85, 0.000001, 20)"
+    )
+    db.execute("UPDATE pts SET x = x + 1 WHERE x < 1")
+    db.execute("DELETE FROM edges WHERE src = 4")
+    try:
+        db.execute("SELECT * FROM no_such_table")
+    except Exception:
+        pass  # an error statement, so error counters are non-zero
+    db.begin()
+    db.execute("INSERT INTO pts VALUES (2.0, 2.0)")
+    db.rollback()
+    db.vacuum()
+    return db
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.export",
+        description=(
+            "Run a tiny workload and export its engine metrics."
+        ),
+    )
+    parser.add_argument(
+        "--format", choices=("prometheus", "json"), default="prometheus",
+        help="output format (default: prometheus)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help=(
+            "validate that the Prometheus exposition parses (line "
+            "format, one TYPE per family, no duplicate series); exit "
+            "1 on problems instead of printing the exposition"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    db = run_tiny_workload()
+    if args.check:
+        text = to_prometheus(db.metrics)
+        problems = validate_exposition(text)
+        if problems:
+            for problem in problems:
+                print(problem, file=sys.stderr)
+            print(
+                f"FAIL: {len(problems)} problem(s) in "
+                f"{len(text.splitlines())} exposition lines",
+                file=sys.stderr,
+            )
+            return 1
+        n_series = sum(
+            1 for line in text.splitlines()
+            if line and not line.startswith("#")
+        )
+        print(
+            f"metrics exposition OK: {n_series} series, "
+            f"{len(db.query_log(100))} statements traced"
+        )
+        return 0
+    if args.format == "json":
+        print(to_json(db.metrics))
+    else:
+        sys.stdout.write(to_prometheus(db.metrics))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,236 @@
+"""The metrics registry: counters, gauges, fixed-bucket histograms.
+
+Every :class:`~repro.api.database.Database` owns one
+:class:`MetricsRegistry` (``db.metrics``) that the transaction layer,
+storage layer, and executor update as statements run. Registries form a
+two-level hierarchy: a session registry mirrors every update into the
+process-wide :func:`global_registry`, so a benchmark sweep or fuzz run
+that opens hundreds of sessions still produces one cumulative view —
+the shape MADlib-style systems use to defend per-phase numbers.
+
+Metric families are typed at first registration; re-registering a name
+with a different kind is an error. Labels are plain keyword arguments
+(``registry.counter("statements_total", kind="SelectStatement")``);
+each distinct label set is its own time series within the family.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Iterator, Optional
+
+#: Default fixed buckets for duration histograms, in seconds. Log-ish
+#: spacing from 10µs to 10s covers a single operator batch up to a full
+#: analytics sweep on laptop-sized data.
+DEFAULT_TIME_BUCKETS = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def format_series(name: str, key: LabelKey) -> str:
+    """``name{k="v",...}`` — the Prometheus series spelling, also used
+    as the flat key in :meth:`MetricsRegistry.snapshot`."""
+    if not key:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value", "_mirror")
+
+    def __init__(self, mirror: Optional["Counter"] = None):
+        self.value = 0.0
+        self._mirror = mirror
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+        if self._mirror is not None:
+            self._mirror.inc(amount)
+
+
+class Gauge:
+    """A value that can go up and down (or be set outright)."""
+
+    __slots__ = ("value", "_mirror")
+
+    def __init__(self, mirror: Optional["Gauge"] = None):
+        self.value = 0.0
+        self._mirror = mirror
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        if self._mirror is not None:
+            self._mirror.set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+        if self._mirror is not None:
+            self._mirror.inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+
+class Histogram:
+    """Fixed-bucket histogram: cumulative counts are computed at export
+    time; observation is one bisect plus two adds."""
+
+    __slots__ = ("buckets", "counts", "sum", "count", "_mirror")
+
+    def __init__(
+        self,
+        buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+        mirror: Optional["Histogram"] = None,
+    ):
+        if not buckets or list(buckets) != sorted(set(buckets)):
+            raise ValueError("histogram buckets must be sorted and unique")
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # +1 for +Inf
+        self.sum = 0.0
+        self.count = 0
+        self._mirror = mirror
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+        if self._mirror is not None:
+            self._mirror.observe(value)
+
+    def cumulative(self) -> list[int]:
+        """Per-bucket cumulative counts, ending with the +Inf total."""
+        out, running = [], 0
+        for count in self.counts:
+            running += count
+            out.append(running)
+        return out
+
+
+class _Family:
+    """One metric name: its kind plus one child per label set."""
+
+    __slots__ = ("name", "kind", "children", "buckets")
+
+    def __init__(self, name: str, kind: str, buckets=None):
+        self.name = name
+        self.kind = kind
+        self.children: dict[LabelKey, object] = {}
+        self.buckets = buckets
+
+
+class MetricsRegistry:
+    """Thread-safe registry of metric families.
+
+    ``parent`` links a session registry to a shared aggregate: every
+    update to a child metric is mirrored into the same-named metric of
+    the parent (gauges mirror by re-applying the operation, so a
+    parent gauge reflects the *last* writer).
+    """
+
+    def __init__(self, parent: Optional["MetricsRegistry"] = None):
+        self._families: dict[str, _Family] = {}
+        self._lock = threading.RLock()
+        self.parent = parent
+
+    # -- registration ------------------------------------------------------
+
+    def _child(self, name: str, kind: str, labels: dict, buckets=None):
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(name, kind, buckets)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} is a {family.kind}, not a {kind}"
+                )
+            key = _label_key(labels)
+            child = family.children.get(key)
+            if child is None:
+                mirror = None
+                if self.parent is not None:
+                    mirror = self.parent._child(
+                        name, kind, labels, buckets
+                    )
+                if kind == "counter":
+                    child = Counter(mirror)
+                elif kind == "gauge":
+                    child = Gauge(mirror)
+                else:
+                    child = Histogram(
+                        family.buckets or DEFAULT_TIME_BUCKETS, mirror
+                    )
+                family.children[key] = child
+            return child
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._child(name, "counter", labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._child(name, "gauge", labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] | None = None,
+        **labels,
+    ) -> Histogram:
+        return self._child(name, "histogram", labels, buckets)
+
+    # -- reading -----------------------------------------------------------
+
+    def families(self) -> Iterator[tuple[str, str, dict]]:
+        """(name, kind, {label_key: metric}) per family, name-sorted."""
+        with self._lock:
+            for name in sorted(self._families):
+                family = self._families[name]
+                yield name, family.kind, dict(family.children)
+
+    def snapshot(self) -> dict:
+        """A plain-data dump: flat series name -> value (counters and
+        gauges) or ``{buckets, counts, sum, count}`` (histograms)."""
+        out: dict[str, dict] = {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        for name, kind, children in self.families():
+            for key, metric in sorted(children.items()):
+                series = format_series(name, key)
+                if kind == "counter":
+                    out["counters"][series] = metric.value
+                elif kind == "gauge":
+                    out["gauges"][series] = metric.value
+                else:
+                    out["histograms"][series] = {
+                        "buckets": list(metric.buckets),
+                        "counts": list(metric.counts),
+                        "sum": metric.sum,
+                        "count": metric.count,
+                    }
+        return out
+
+    def reset(self) -> None:
+        """Drop every family (scoping helper for sweeps and tests)."""
+        with self._lock:
+            self._families.clear()
+
+
+_GLOBAL = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide aggregate every session registry mirrors into."""
+    return _GLOBAL

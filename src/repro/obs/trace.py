@@ -1,0 +1,190 @@
+"""Query-lifecycle tracing: span trees and the statement ring buffer.
+
+One :class:`Tracer` per :class:`~repro.api.database.Database` session.
+Every statement becomes a root span (``statement``) whose children are
+the lifecycle phases — ``parse`` → ``bind`` → ``optimize`` → ``plan`` →
+``execute`` — and iterative executors (ITERATE, recursive CTEs) add one
+``iteration`` child span per round under ``execute``. The most recent
+root is available as :meth:`Database.last_trace`; a bounded ring buffer
+of :class:`QueryLogEntry` summaries (SQL, phase timings, rows, errors)
+backs :meth:`Database.query_log`.
+
+Spans are cheap (two ``perf_counter`` calls plus a list append) and
+always on; the ring buffer bounds memory for long-lived sessions.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+@dataclass
+class Span:
+    """One timed region; ``children`` mirrors nesting order."""
+
+    name: str
+    attributes: dict = field(default_factory=dict)
+    start_s: float = 0.0
+    end_s: Optional[float] = None
+    children: list["Span"] = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First span (pre-order) with the given name."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def find_all(self, name: str) -> list["Span"]:
+        return [s for s in self.walk() if s.name == name]
+
+    def format(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        attrs = "".join(
+            f" {k}={v!r}" for k, v in self.attributes.items()
+            if k != "sql"
+        )
+        tail = f" ERROR: {self.error}" if self.error else ""
+        line = (
+            f"{pad}{self.name}  {self.duration_s * 1e3:.3f}ms"
+            f"{attrs}{tail}"
+        )
+        parts = [line]
+        parts.extend(c.format(indent + 1) for c in self.children)
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+@dataclass
+class QueryLogEntry:
+    """One ring-buffer line: what a statement was and what it cost."""
+
+    sql: str
+    started_at: float  # wall-clock epoch seconds
+    duration_s: float
+    phases: dict = field(default_factory=dict)
+    rows: int = 0
+    error: Optional[str] = None
+
+    @classmethod
+    def from_span(cls, span: Span, started_at: float) -> "QueryLogEntry":
+        phases: dict[str, float] = {}
+        for child in span.children:
+            phases[child.name] = (
+                phases.get(child.name, 0.0) + child.duration_s
+            )
+        return cls(
+            sql=span.attributes.get("sql", ""),
+            started_at=started_at,
+            duration_s=span.duration_s,
+            phases=phases,
+            rows=int(span.attributes.get("rows", 0)),
+            error=span.error,
+        )
+
+    def format(self) -> str:
+        phase_text = " ".join(
+            f"{name}={seconds * 1e3:.3f}ms"
+            for name, seconds in self.phases.items()
+        )
+        status = f"ERROR: {self.error}" if self.error else f"{self.rows} row(s)"
+        return (
+            f"[{self.duration_s * 1e3:.3f}ms] {self.sql!r} — {status}"
+            + (f" ({phase_text})" if phase_text else "")
+        )
+
+
+class Tracer:
+    """Builds span trees; roots of statement spans feed the query log.
+
+    The open-span stack is thread-local so concurrent sessions sharing
+    one :class:`~repro.api.database.Database` trace independently;
+    ``last_root`` and the ring buffer are shared (last writer wins)."""
+
+    def __init__(self, log_size: int = 256):
+        self._local = threading.local()
+        self.last_root: Optional[Span] = None
+        self._log: deque[QueryLogEntry] = deque(maxlen=log_size)
+
+    @property
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    # -- spans -------------------------------------------------------------
+
+    def _open(self, name: str, attributes: dict) -> Span:
+        span = Span(name, attributes)
+        stack = self._stack
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+        span.start_s = time.perf_counter()
+        return span
+
+    def _close(self, span: Span) -> None:
+        span.end_s = time.perf_counter()
+        stack = self._stack
+        popped = stack.pop()
+        assert popped is span, "span close order violated"
+        if not stack:
+            self.last_root = span
+
+    @contextmanager
+    def span(self, name: str, **attributes):
+        span = self._open(name, attributes)
+        try:
+            yield span
+        except BaseException as exc:
+            if span.error is None:
+                span.error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            self._close(span)
+
+    @contextmanager
+    def statement(self, sql: str):
+        """A root span for one statement; on exit (success *or* error)
+        a :class:`QueryLogEntry` is appended to the ring buffer."""
+        started_at = time.time()
+        span = self._open("statement", {"sql": sql})
+        try:
+            yield span
+        except BaseException as exc:
+            if span.error is None:
+                span.error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            self._close(span)
+            self._log.append(QueryLogEntry.from_span(span, started_at))
+
+    # -- the query log -----------------------------------------------------
+
+    def log(self, n: int = 20) -> list[QueryLogEntry]:
+        """The most recent ``n`` statements, oldest first."""
+        if n <= 0:
+            return []
+        entries = list(self._log)
+        return entries[-n:]

@@ -50,6 +50,13 @@ def main(argv: list[str] | None = None) -> int:
         "-v", "--verbose", action="store_true",
         help="progress line every 50 seeds",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help=(
+            "print a metrics snapshot after the run (queries run, "
+            "divergences, rows compared, engine counters)"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.seeds < 1 or args.queries_per_seed < 1:
         parser.print_usage(sys.stderr)
@@ -79,6 +86,8 @@ def main(argv: list[str] | None = None) -> int:
 
     elapsed = time.perf_counter() - started
     total = args.seeds * args.queries_per_seed
+    if args.profile:
+        _print_profile()
     if n_divergences:
         print(
             f"FAIL: {n_divergences} divergence(s) in {total} queries "
@@ -90,6 +99,25 @@ def main(argv: list[str] | None = None) -> int:
         f"with SQLite ({elapsed:.1f}s)"
     )
     return 0
+
+
+def _print_profile() -> None:
+    """Summarize the run's metrics (fuzz counters first, then every
+    engine counter the workload touched)."""
+    from ..obs.metrics import global_registry
+
+    snapshot = global_registry().snapshot()
+    counters = snapshot["counters"]
+    print("-- fuzz profile --")
+    for name in (
+        "fuzz_queries_total",
+        "fuzz_divergences_total",
+        "fuzz_rows_compared_total",
+    ):
+        print(f"{name} {counters.get(name, 0)}")
+    for series, value in sorted(counters.items()):
+        if not series.startswith("fuzz_"):
+            print(f"{series} {value}")
 
 
 if __name__ == "__main__":

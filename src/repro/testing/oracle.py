@@ -24,6 +24,7 @@ import numpy as np
 
 from ..api.database import Database
 from ..errors import ReproError
+from ..obs.metrics import global_registry
 from .generator import (
     BOOLEAN,
     FLOAT,
@@ -231,11 +232,16 @@ class DifferentialOracle:
         return self._check_sql(query.to_sql(), query.ordered)
 
     def _check_sql(self, sql: str, ordered: bool) -> Optional[dict]:
+        metrics = global_registry()
+        metrics.counter("fuzz_queries_total").inc()
         repro_error = sqlite_error = None
         repro_rows = sqlite_rows = None
         try:
             repro_rows = normalize_rows(
                 self.db.execute(sql).rows, ordered
+            )
+            metrics.counter("fuzz_rows_compared_total").inc(
+                len(repro_rows)
             )
         except (ReproError, OverflowError, ValueError) as exc:
             repro_error = f"{type(exc).__name__}: {exc}"
@@ -439,6 +445,7 @@ def run_seed(
                     failure = probe.check(query) or failure
                 finally:
                     probe.close()
+            global_registry().counter("fuzz_divergences_total").inc()
             divergences.append(
                 Divergence(
                     seed=seed,

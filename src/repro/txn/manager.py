@@ -18,6 +18,7 @@ import threading
 from typing import Iterable, Sequence
 
 from ..errors import CatalogError, SerializationConflict, TransactionError
+from ..obs.metrics import MetricsRegistry
 from ..storage.catalog import Catalog
 from ..storage.schema import TableSchema
 from ..storage.table import TableData
@@ -116,6 +117,9 @@ class Transaction:
         current = self.read(name)
         self.write(name, current.append_rows(materialised))
         self._log.append(("insert", name.lower(), materialised))
+        self._manager.metrics.counter(
+            "storage_rows_inserted_total"
+        ).inc(len(materialised))
         return len(materialised)
 
     # -- lifecycle ----------------------------------------------------------------
@@ -130,6 +134,7 @@ class Transaction:
 
     def rollback(self) -> None:
         self._check_active()
+        self._manager.metrics.counter("txn_rollbacks_total").inc()
         self._manager.finish(self)
         self.write_set.clear()
         self.created_tables.clear()
@@ -158,9 +163,16 @@ class Transaction:
 class TransactionManager:
     """Hands out transactions and arbitrates commits."""
 
-    def __init__(self, catalog: Catalog, wal: WriteAheadLog | None = None):
+    def __init__(
+        self,
+        catalog: Catalog,
+        wal: WriteAheadLog | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
         self.catalog = catalog
         self.wal = wal
+        #: Session metrics; a standalone manager gets its own registry.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._lock = threading.RLock()
         self._next_txn_id = 1
         self._active: dict[int, Transaction] = {}
@@ -172,6 +184,8 @@ class TransactionManager:
             )
             self._next_txn_id += 1
             self._active[txn.txn_id] = txn
+            self.metrics.counter("txn_begun_total").inc()
+            self.metrics.gauge("txn_active").set(len(self._active))
             return txn
 
     def active_count(self) -> int:
@@ -187,6 +201,7 @@ class TransactionManager:
     def finish(self, txn: Transaction) -> None:
         with self._lock:
             self._active.pop(txn.txn_id, None)
+            self.metrics.gauge("txn_active").set(len(self._active))
 
     def commit(self, txn: Transaction) -> int:
         """Validate and install a transaction's write set.
@@ -202,28 +217,36 @@ class TransactionManager:
                     and not txn.dropped_tables
                 )
                 if read_only:
+                    self.metrics.counter("txn_commits_total").inc()
                     return txn.start_ts
 
-                for name in txn.write_set:
-                    if name in txn.created_tables:
-                        continue
-                    latest = self.catalog.latest_commit_ts_of(name)
-                    if latest > txn.start_ts:
-                        raise SerializationConflict(
-                            f"table {name!r} was modified by a concurrent "
-                            f"transaction (committed at {latest}, snapshot "
-                            f"is {txn.start_ts})"
-                        )
-                for name in txn.dropped_tables:
-                    latest = self.catalog.latest_commit_ts_of(name)
-                    if latest > txn.start_ts:
-                        raise SerializationConflict(
-                            f"table {name!r} was modified by a concurrent "
-                            "transaction; cannot drop"
-                        )
+                try:
+                    for name in txn.write_set:
+                        if name in txn.created_tables:
+                            continue
+                        latest = self.catalog.latest_commit_ts_of(name)
+                        if latest > txn.start_ts:
+                            raise SerializationConflict(
+                                f"table {name!r} was modified by a "
+                                f"concurrent transaction (committed at "
+                                f"{latest}, snapshot is {txn.start_ts})"
+                            )
+                    for name in txn.dropped_tables:
+                        latest = self.catalog.latest_commit_ts_of(name)
+                        if latest > txn.start_ts:
+                            raise SerializationConflict(
+                                f"table {name!r} was modified by a "
+                                "concurrent transaction; cannot drop"
+                            )
+                except SerializationConflict:
+                    self.metrics.counter("txn_conflicts_total").inc()
+                    raise
 
                 if self.wal is not None:
-                    self.wal.log_commit(txn.txn_id, txn._log)
+                    written = self.wal.log_commit(txn.txn_id, txn._log)
+                    self.metrics.counter(
+                        "wal_bytes_written_total"
+                    ).inc(written)
 
                 # Install DDL first so created tables exist for writes.
                 for name, schema in txn.created_tables.items():
@@ -238,10 +261,15 @@ class TransactionManager:
                     ts = self.catalog.install(updates)
                 else:
                     ts = self.catalog.current_ts
+                self.metrics.counter("txn_commits_total").inc()
                 return ts
             finally:
                 self.finish(txn)
 
     def vacuum(self) -> int:
         """Free table versions no active snapshot can reach."""
-        return self.catalog.vacuum(self.oldest_active_ts())
+        freed = self.catalog.vacuum(self.oldest_active_ts())
+        self.metrics.counter("storage_versions_vacuumed_total").inc(
+            freed
+        )
+        return freed

@@ -65,20 +65,23 @@ class WriteAheadLog:
 
     # -- writing ---------------------------------------------------------------
 
-    def log_commit(self, txn_id: int, operations: Sequence[tuple]) -> None:
-        """Append a transaction's operations plus its commit marker."""
+    def log_commit(self, txn_id: int, operations: Sequence[tuple]) -> int:
+        """Append a transaction's operations plus its commit marker;
+        returns the number of bytes written (UTF-8 encoded)."""
         lines = []
         for op in operations:
             lines.append(json.dumps(self._encode(txn_id, op)))
         lines.append(json.dumps({"txn": txn_id, "op": "commit"}))
         payload = "\n".join(lines) + "\n"
+        written = len(payload.encode("utf-8"))
         if self._memory is not None:
             self._memory.write(payload)
-            return
+            return written
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(payload)
             handle.flush()
             os.fsync(handle.fileno())
+        return written
 
     @staticmethod
     def _encode(txn_id: int, op: tuple) -> dict:

@@ -91,15 +91,42 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["no_such_experiment"])
 
-    def test_fig1_runs_at_tiny_scale(self, capsys):
+    def test_fig1_runs_at_tiny_scale(self, capsys, tmp_path):
         from repro.bench.__main__ import main
 
-        assert main(["fig1_layers", "--scale", "0.00005"]) == 0
+        assert main(
+            ["fig1_layers", "--scale", "0.00005",
+             "--results-dir", str(tmp_path)]
+        ) == 0
         out = capsys.readouterr().out
         assert "layer 4: in-core operator" in out
 
-    def test_table1_runs(self, capsys):
+    def test_table1_runs(self, capsys, tmp_path):
         from repro.bench.__main__ import main
 
-        assert main(["table1", "--scale", "0.0001"]) == 0
+        assert main(
+            ["table1", "--scale", "0.0001",
+             "--results-dir", str(tmp_path)]
+        ) == 0
         assert "Table 1" in capsys.readouterr().out
+
+    def test_bench_json_embeds_metrics_snapshot(self, capsys, tmp_path):
+        import json
+
+        from repro.bench.__main__ import main
+
+        assert main(
+            ["fig1_layers", "--scale", "0.00005",
+             "--results-dir", str(tmp_path)]
+        ) == 0
+        capsys.readouterr()
+        payload = json.loads(
+            (tmp_path / "BENCH_fig1_layers.json").read_text()
+        )
+        assert payload["experiment"] == "fig1_layers"
+        assert payload["results"]
+        # The experiment's sessions mirror into the global registry,
+        # which the runner snapshots into the result file.
+        counters = payload["metrics"]["counters"]
+        assert counters["txn_commits_total"] > 0
+        assert counters["exec_rows_scanned_total"] > 0

@@ -207,6 +207,63 @@ class TestIterateVsRecursiveEquivalence:
         assert it == rc == 256
 
 
+class TestIterationCounting:
+    """``ExecutionStats.iterations`` counts executed rounds uniformly
+    across ITERATE, recursive CTEs, and iterative analytics."""
+
+    def test_iterate_counts_rounds(self, db):
+        db.execute(
+            "SELECT * FROM ITERATE((SELECT 1 AS x),"
+            " (SELECT x + 1 FROM iterate),"
+            " (SELECT x FROM iterate WHERE x >= 5))"
+        )
+        # 1 -> 2 -> 3 -> 4 -> 5: four step executions.
+        assert db.last_stats.iterations == 4
+
+    def test_iterate_zero_rounds(self, db):
+        db.execute(
+            "SELECT * FROM ITERATE((SELECT 200 AS x),"
+            " (SELECT x + 1 FROM iterate),"
+            " (SELECT x FROM iterate WHERE x >= 100))"
+        )
+        assert db.last_stats.iterations == 0
+
+    def test_recursive_cte_counts_rounds(self, db):
+        db.execute(
+            "WITH RECURSIVE t(n) AS (SELECT 1 UNION ALL "
+            "SELECT n + 1 FROM t WHERE n < 10) SELECT count(*) FROM t"
+        )
+        # Nine producing rounds plus the final empty round.
+        assert db.last_stats.iterations == 10
+
+    def test_counts_survive_iteration_limit(self):
+        small = repro.Database(max_iterations=50)
+        with pytest.raises(IterationLimitError):
+            small.execute(
+                "SELECT * FROM ITERATE((SELECT 1 AS x),"
+                " (SELECT x FROM iterate),"
+                " (SELECT x FROM iterate WHERE x > 99))"
+            )
+        # Per-round counting: the aborted statement's rounds stay
+        # observable in both last_stats and the metrics registry.
+        assert small.last_stats.iterations == 50
+        counters = small.metrics.snapshot()["counters"]
+        assert counters["exec_iterations_total"] == 50
+
+    def test_kmeans_counts_iterations(self, db):
+        db.execute("CREATE TABLE pts (x FLOAT, y FLOAT)")
+        db.insert_rows(
+            "pts", [(0.0, 0.0), (0.2, 0.1), (5.0, 5.0), (5.1, 4.9)]
+        )
+        db.execute("CREATE TABLE seeds (x FLOAT, y FLOAT)")
+        db.insert_rows("seeds", [(1.0, 1.0), (4.0, 4.0)])
+        db.execute(
+            "SELECT * FROM KMEANS((SELECT x, y FROM pts), "
+            "(SELECT x, y FROM seeds), 10)"
+        )
+        assert db.last_stats.iterations >= 1
+
+
 class TestNesting:
     def test_iterate_inside_iterate_step(self, db):
         rows = db.execute(

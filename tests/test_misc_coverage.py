@@ -52,10 +52,13 @@ class TestWindowRegistry:
 
 
 class TestCLIAblations:
-    def test_ablation_lambda_runs(self, capsys):
+    def test_ablation_lambda_runs(self, capsys, tmp_path):
         from repro.bench.__main__ import main
 
-        assert main(["ablation_lambda", "--scale", "0.0002"]) == 0
+        assert main(
+            ["ablation_lambda", "--scale", "0.0002",
+             "--results-dir", str(tmp_path)]
+        ) == 0
         out = capsys.readouterr().out
         assert "black box" in out
 
@@ -66,7 +69,8 @@ class TestCLIAblations:
 
         path = str(tmp_path / "out.json")
         assert main(
-            ["fig1_layers", "--scale", "0.00005", "--json", path]
+            ["fig1_layers", "--scale", "0.00005", "--json", path,
+             "--results-dir", str(tmp_path)]
         ) == 0
         payload = json.loads(open(path, encoding="utf-8").read())
         assert "fig1_layers" in payload
