@@ -3,11 +3,16 @@
 PY := PYTHONPATH=src python
 N ?= 1000
 START ?= 0
+WORKERS ?= 4
 
-.PHONY: test test-all fuzz bench metrics-smoke
+.PHONY: test test-all fuzz fuzz-parallel bench metrics-smoke
 
+# The tier-1 suite runs twice: fully serial and with a 4-worker pool,
+# so every commit proves the serial-equivalence contract of the
+# morsel-driven executor (docs/parallelism.md).
 test: metrics-smoke
-	$(PY) -m pytest -x -q
+	REPRO_WORKERS=1 $(PY) -m pytest -x -q
+	REPRO_WORKERS=4 $(PY) -m pytest -x -q
 
 # Runs a tiny end-to-end workload and validates the Prometheus
 # exposition the engine produces (format, TYPE lines, histogram series).
@@ -19,6 +24,12 @@ test-all:
 
 fuzz:
 	$(PY) -m repro.testing.fuzz --seeds $(N) --start $(START) -v
+
+# Differential fuzzing of the parallel paths: tiny morsels, zero
+# cardinality threshold, $(WORKERS) worker threads vs the SQLite oracle.
+fuzz-parallel:
+	$(PY) -m repro.testing.fuzz --seeds 200 --start $(START) \
+		--workers $(WORKERS) -v
 
 bench:
 	$(PY) -m repro.bench all --scale 0.001

@@ -14,6 +14,11 @@ import numpy as np
 
 from ..errors import AnalyticsError
 
+#: Vertices per SpMV chunk when a worker pool gathers in parallel.
+#: Fixed (worker-independent) so chunk boundaries — and therefore the
+#: per-segment float summation order — never depend on the worker count.
+SPMV_CHUNK_VERTICES = 65_536
+
 
 class CSRGraph:
     """A directed graph in CSR form with dense relabelled vertex ids.
@@ -124,12 +129,34 @@ class CSRGraph:
             in_weights=in_weights,
         )
 
-    def gather_incoming(self, per_source: np.ndarray) -> np.ndarray:
+    def gather_incoming(
+        self, per_source: np.ndarray, pool=None
+    ) -> np.ndarray:
         """For every vertex, the weighted sum over incoming edges of a
         per-source quantity — one vectorised reduceat over the CSR, the
-        "single read per neighbour rank access" inner loop of 6.3."""
+        "single read per neighbour rank access" inner loop of 6.3.
+
+        With a parallel ``pool``, the gather chunks over fixed vertex
+        ranges (each chunk's edge slab is contiguous in CSR order and
+        its output slice disjoint). Chunk boundaries land on segment
+        boundaries, so every per-vertex sum adds the same elements in
+        the same order as the serial reduceat — bit-identical output.
+        """
         if self.n_edges == 0:
             return np.zeros(self.n_vertices, dtype=np.float64)
+        n = self.n_vertices
+        if pool is not None and pool.is_parallel \
+                and n > SPMV_CHUNK_VERTICES:
+            from ..exec.parallel import morsel_ranges
+
+            sums = np.zeros(n, dtype=np.float64)
+            ranges = morsel_ranges(n, SPMV_CHUNK_VERTICES)
+            chunks = pool.map_ordered(
+                lambda rng: self._gather_chunk(per_source, rng), ranges
+            )
+            for (vs, ve), chunk in zip(ranges, chunks):
+                sums[vs:ve] = chunk
+            return sums
         contributions = per_source[self.in_sources] * self.in_weights
         sums = np.zeros(self.n_vertices, dtype=np.float64)
         starts = self.in_offsets[:-1]
@@ -140,3 +167,25 @@ class CSRGraph:
             )
             sums[non_empty] = reduced
         return sums
+
+    def _gather_chunk(
+        self, per_source: np.ndarray, rng: tuple
+    ) -> np.ndarray:
+        """One vertex range's share of :meth:`gather_incoming`."""
+        vs, ve = rng
+        edge_lo = int(self.in_offsets[vs])
+        edge_hi = int(self.in_offsets[ve])
+        out = np.zeros(ve - vs, dtype=np.float64)
+        if edge_hi == edge_lo:
+            return out
+        contributions = (
+            per_source[self.in_sources[edge_lo:edge_hi]]
+            * self.in_weights[edge_lo:edge_hi]
+        )
+        starts = self.in_offsets[vs:ve] - edge_lo
+        non_empty = self.in_offsets[vs:ve] < self.in_offsets[vs + 1:ve + 1]
+        if non_empty.any():
+            out[non_empty] = np.add.reduceat(
+                contributions, starts[non_empty]
+            )
+        return out

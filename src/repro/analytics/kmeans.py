@@ -170,9 +170,18 @@ class KMeansDescriptor(OperatorDescriptor):
                 result = distance_fn(ColumnBatch(columns), eval_ctx)
                 return result.values.astype(np.float64, copy=False)
 
+        pool = getattr(ctx, "pool", None)
+        if pool is not None and not fused_default:
+            from ..exec.parallel import _parallel_safe
+
+            # User lambdas evaluate through the shared EvalContext;
+            # only subquery-/UDF-free bodies may run on workers.
+            if not _parallel_safe(distance.body):
+                pool = None
         rounds: list[dict] = []
         centers_out, assignment, sizes, iters = lloyd_kmeans(
-            matrix, centers, metric, max_iterations, telemetry=rounds
+            matrix, centers, metric, max_iterations, telemetry=rounds,
+            pool=pool,
         )
         ctx.stats.iterations += iters
         ctx.telemetry["kmeans"] = {
@@ -217,6 +226,7 @@ def lloyd_kmeans(
     metric: Callable[[np.ndarray, np.ndarray], np.ndarray],
     max_iterations: int,
     telemetry: Optional[list] = None,
+    pool=None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
     """Core Lloyd iteration shared by the SQL operator and the Python API.
 
@@ -226,6 +236,12 @@ def lloyd_kmeans(
     center, under ``metric``) and ``center_shift`` (largest L2 move of
     any center in the update step) — the convergence series the paper's
     section 8.1 wall-time claims rest on.
+
+    ``pool`` (a :class:`repro.exec.parallel.WorkerPool`) runs the
+    assign-and-partial-sum chunks on worker threads. Chunk boundaries
+    are worker-independent and partials merge in chunk order, so the
+    centers, assignment, and inertia series are bit-identical for any
+    worker count (and to ``pool=None``).
     Returns (centers, assignment, cluster_sizes, iterations_run).
     """
     n = matrix.shape[0]
@@ -239,41 +255,68 @@ def lloyd_kmeans(
     # One cache-sized chunk at a time ("morsel" processing): each chunk
     # plays the role of one worker's share in the paper's design —
     # assign its tuples, accumulate local partial sums, then merge
-    # globally. Data stays hot in cache between the assignment and
-    # update phases of the same chunk.
+    # globally in chunk order.
     chunk_rows = min(UPDATE_CHUNK_ROWS, max(n, 1))
-    distances = np.empty((chunk_rows, k), dtype=np.float64)
+    ranges = [
+        (start, min(start + chunk_rows, n))
+        for start in range(0, n, chunk_rows)
+    ]
+    want_inertia = telemetry is not None
+
+    def assign_chunk(rng: tuple) -> tuple:
+        """One worker's share of a round: assign the chunk's tuples to
+        the (frozen) centers and compute the chunk-local partial sums.
+        Reads the previous round's ``assignment`` slice; the
+        coordinator applies writes only after every chunk returns."""
+        start, stop = rng
+        block = matrix[start:stop]
+        dist_block = np.empty((stop - start, k), dtype=np.float64)
+        for j in range(k):
+            dist_block[:, j] = metric(block, centers[j])
+        local_assign = np.argmin(dist_block, axis=1)
+        local_inertia = 0.0
+        if want_inertia:
+            local_inertia = float(
+                dist_block[
+                    np.arange(stop - start), local_assign
+                ].sum()
+            )
+        local_counts = np.bincount(local_assign, minlength=k)
+        local_sums = np.empty((k, d), dtype=np.float64)
+        for dim in range(d):
+            local_sums[:, dim] = np.bincount(
+                local_assign, weights=block[:, dim], minlength=k
+            )
+        local_changed = bool(
+            (local_assign != assignment[start:stop]).any()
+        )
+        return (
+            local_assign, local_counts, local_sums,
+            local_inertia, local_changed,
+        )
 
     iterations = 0
     for _round in range(max_iterations):
         iterations += 1
+        if pool is not None:
+            chunk_results = pool.map_ordered(assign_chunk, ranges)
+        else:
+            chunk_results = [assign_chunk(rng) for rng in ranges]
         changed = False
         inertia = 0.0
         sums = np.zeros_like(centers)
         counts = np.zeros(k, dtype=np.int64)
-        for start in range(0, n, chunk_rows):
-            stop = min(start + chunk_rows, n)
-            block = matrix[start:stop]
-            dist_block = distances[: stop - start]
-            for j in range(k):
-                dist_block[:, j] = metric(block, centers[j])
-            local_assign = np.argmin(dist_block, axis=1)
-            if telemetry is not None:
-                inertia += float(
-                    dist_block[
-                        np.arange(stop - start), local_assign
-                    ].sum()
-                )
-            if not changed and (
-                local_assign != assignment[start:stop]
-            ).any():
-                changed = True
+        for rng, result in zip(ranges, chunk_results):
+            start, stop = rng
+            (
+                local_assign, local_counts, local_sums,
+                local_inertia, local_changed,
+            ) = result
             assignment[start:stop] = local_assign
-            counts += np.bincount(local_assign, minlength=k)
-            for dim in range(d):
-                sums[:, dim] += np.bincount(
-                    local_assign, weights=block[:, dim], minlength=k
-                )
+            counts += local_counts
+            sums += local_sums
+            inertia += local_inertia
+            changed = changed or local_changed
         non_empty = counts > 0
         previous_centers = centers.copy() if telemetry is not None else None
         centers[non_empty] = (
@@ -334,13 +377,14 @@ def kmeans(
     max_iterations: int = 100,
     metric: Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]] = None,
     telemetry: Optional[list] = None,
+    pool=None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
     """Library-level k-Means over numpy arrays (no SQL involved).
 
     ``metric`` defaults to squared Euclidean distance; ``telemetry``
-    receives one per-iteration convergence dict (see
-    :func:`lloyd_kmeans`). Returns
-    (centers, assignment, sizes, iterations)."""
+    receives one per-iteration convergence dict and ``pool`` an optional
+    :class:`repro.exec.parallel.WorkerPool` (see :func:`lloyd_kmeans`).
+    Returns (centers, assignment, sizes, iterations)."""
     points = np.asarray(points, dtype=np.float64)
     initial_centers = np.asarray(initial_centers, dtype=np.float64)
     if points.ndim != 2 or initial_centers.ndim != 2:
@@ -355,5 +399,5 @@ def kmeans(
             return np.einsum("ij,ij->i", diff, diff)
     return lloyd_kmeans(
         points, initial_centers, metric, max_iterations,
-        telemetry=telemetry,
+        telemetry=telemetry, pool=pool,
     )

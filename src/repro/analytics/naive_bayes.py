@@ -75,11 +75,17 @@ class NaiveBayesModel:
 
 
 def naive_bayes_train(
-    labels: np.ndarray, matrix: np.ndarray, attributes: list[str] | None = None
+    labels: np.ndarray,
+    matrix: np.ndarray,
+    attributes: list[str] | None = None,
+    pool=None,
 ) -> NaiveBayesModel:
     """Library-level training over numpy arrays.
 
-    ``labels`` is 1-D (any hashable dtype); ``matrix`` is (n, d) numeric.
+    ``labels`` is 1-D (any hashable dtype); ``matrix`` is (n, d)
+    numeric. ``pool`` chunks the per-class partial counts/sums across
+    workers (merged in fixed chunk order — see
+    :func:`repro.analytics.stats.grouped_moments`).
     """
     matrix = np.asarray(matrix, dtype=np.float64)
     if matrix.ndim != 2 or len(labels) != matrix.shape[0]:
@@ -89,7 +95,7 @@ def naive_bayes_train(
     classes, codes = np.unique(np.asarray(labels), return_inverse=True)
     k = len(classes)
     n = matrix.shape[0]
-    counts, means, stds = grouped_moments(matrix, codes, k)
+    counts, means, stds = grouped_moments(matrix, codes, k, pool=pool)
     priors = (counts + 1.0) / (n + k)  # PR(c) = (|c|+1)/(|D|+|C|)
     if attributes is None:
         attributes = [f"a{i}" for i in range(matrix.shape[1])]
@@ -167,7 +173,10 @@ class NaiveBayesTrainDescriptor(OperatorDescriptor):
             labels = np.asarray(label_col.to_pylist(), dtype=object)
         else:
             labels = label_col.values
-        model = naive_bayes_train(labels, matrix, attributes=attrs)
+        model = naive_bayes_train(
+            labels, matrix, attributes=attrs,
+            pool=getattr(ctx, "pool", None),
+        )
         ctx.telemetry["naive_bayes"] = {
             "classes": [str(c) for c in model.classes],
             "class_counts": model.counts.tolist(),

@@ -135,7 +135,7 @@ class PageRankDescriptor(OperatorDescriptor):
         residuals: list[float] = []
         ranks, iterations = pagerank_csr(
             graph, damping, epsilon, max_iterations,
-            telemetry=residuals,
+            telemetry=residuals, pool=getattr(ctx, "pool", None),
         )
         ctx.stats.iterations += iterations
         ctx.telemetry["pagerank"] = {
@@ -158,6 +158,7 @@ def pagerank_csr(
     epsilon: float,
     max_iterations: int,
     telemetry: Optional[list] = None,
+    pool=None,
 ) -> tuple[np.ndarray, int]:
     """Iterate PageRank over a CSR index.
 
@@ -166,8 +167,10 @@ def pagerank_csr(
     Dangling vertices redistribute their mass uniformly. Stops when the
     aggregated rank change ``max |r' - r|`` is <= epsilon, or at the
     iteration cap. ``telemetry``, when given, receives the per-round L1
-    residual ``sum |r' - r|`` (the convergence series).
-    Returns (ranks, iterations_run)."""
+    residual ``sum |r' - r|`` (the convergence series). ``pool`` runs
+    the SpMV gather chunked across workers; chunk boundaries align with
+    CSR segments, so ranks and residuals stay bit-identical for any
+    worker count. Returns (ranks, iterations_run)."""
     n = graph.n_vertices
     if n == 0:
         return np.zeros(0, dtype=np.float64), 0
@@ -182,7 +185,9 @@ def pagerank_csr(
         iterations += 1
         per_source = ranks / safe_out
         per_source[dangling] = 0.0
-        new_ranks = base + damping * graph.gather_incoming(per_source)
+        new_ranks = base + damping * graph.gather_incoming(
+            per_source, pool=pool
+        )
         if dangling.any():
             new_ranks += damping * ranks[dangling].sum() / n
         change = np.abs(new_ranks - ranks)

@@ -25,15 +25,11 @@ from ..types import BIGINT, DOUBLE, VARCHAR
 from .registry import OperatorDescriptor
 
 
-def grouped_moments(
+def _moment_partials(
     matrix: np.ndarray, codes: np.ndarray, n_groups: int
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Per-group count, mean, and (population) standard deviation for
-    every column of ``matrix``, from one pass of sums and square sums.
-
-    Returns (counts (g,), means (g, d), stds (g, d)).
-    """
-    n, d = matrix.shape
+    """Per-group count / sum / square-sum of one row range."""
+    d = matrix.shape[1]
     counts = np.bincount(codes, minlength=n_groups).astype(np.float64)
     sums = np.zeros((n_groups, d))
     sumsq = np.zeros((n_groups, d))
@@ -43,6 +39,48 @@ def grouped_moments(
         sumsq[:, j] = np.bincount(
             codes, weights=column * column, minlength=n_groups
         )
+    return counts, sums, sumsq
+
+
+def grouped_moments(
+    matrix: np.ndarray,
+    codes: np.ndarray,
+    n_groups: int,
+    pool=None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-group count, mean, and (population) standard deviation for
+    every column of ``matrix``, from one pass of sums and square sums.
+
+    With a ``pool`` (any :class:`repro.exec.parallel.WorkerPool`,
+    including a serial one), the pass chunks over fixed row ranges —
+    per-class partial counts/sums computed per chunk, folded in chunk
+    order — so results are bit-identical for every worker count.
+    ``pool=None`` keeps the single whole-array pass.
+
+    Returns (counts (g,), means (g, d), stds (g, d)).
+    """
+    n, d = matrix.shape
+    ranges = None
+    if pool is not None:
+        from ..exec.parallel import PARTIAL_CHUNK_ROWS, morsel_ranges
+
+        ranges = morsel_ranges(n, PARTIAL_CHUNK_ROWS)
+    if ranges is not None and len(ranges) > 1:
+        parts = pool.map_ordered(
+            lambda rng: _moment_partials(
+                matrix[rng[0]:rng[1]], codes[rng[0]:rng[1]], n_groups
+            ),
+            ranges,
+        )
+        counts = np.zeros(n_groups, dtype=np.float64)
+        sums = np.zeros((n_groups, d))
+        sumsq = np.zeros((n_groups, d))
+        for part_counts, part_sums, part_sumsq in parts:
+            counts += part_counts
+            sums += part_sums
+            sumsq += part_sumsq
+    else:
+        counts, sums, sumsq = _moment_partials(matrix, codes, n_groups)
     safe = np.where(counts == 0, 1.0, counts)
     means = sums / safe[:, None]
     variances = np.clip(
@@ -185,7 +223,9 @@ class GroupedStatsDescriptor(OperatorDescriptor):
                 )
             matrix_cols.append(col.values.astype(np.float64, copy=False))
         matrix = np.column_stack(matrix_cols)
-        counts, means, stds = grouped_moments(matrix, codes, n_groups)
+        counts, means, stds = grouped_moments(
+            matrix, codes, n_groups, pool=getattr(ctx, "pool", None)
+        )
 
         from ..exec.common import group_representatives
 

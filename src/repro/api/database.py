@@ -19,9 +19,14 @@ import numpy as np
 
 from ..analytics.registry import OperatorRegistry, default_registry
 from ..errors import BindError, CatalogError, ReproError, TransactionError
-from ..exec.physical import ExecutionContext, ExecutionStats
+from ..exec.parallel import WorkerPool, resolve_workers
+from ..exec.physical import (
+    DEFAULT_PARALLEL_THRESHOLD,
+    ExecutionContext,
+    ExecutionStats,
+    materialize,
+)
 from ..exec.planner import build_physical
-from ..exec.physical import materialize
 from ..expr.compiler import truth_mask
 from ..obs.metrics import MetricsRegistry, global_registry
 from ..obs.trace import QueryLogEntry, Span, Tracer
@@ -67,6 +72,13 @@ class Database:
             to shave the wrapper overhead in micro-benchmarks.
         query_log_size: how many statements the query-log ring buffer
             retains (see :meth:`query_log`).
+        workers: worker-thread count for morsel-driven parallel
+            execution. ``None`` reads ``REPRO_WORKERS`` (default 1 —
+            fully serial). Results are bit-identical for every worker
+            count (see ``docs/parallelism.md``).
+        parallel_threshold: minimum base-table cardinality before the
+            planner chooses a parallel pipeline over the serial
+            operators (0 parallelises everything — test battery use).
     """
 
     def __init__(
@@ -77,6 +89,8 @@ class Database:
         max_iterations: int = 10_000,
         profile_operators: bool = True,
         query_log_size: int = 256,
+        workers: Optional[int] = None,
+        parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
     ):
         self.catalog = Catalog()
         #: Session metrics registry; mirrored into
@@ -93,12 +107,30 @@ class Database:
         self.morsel_rows = morsel_rows
         self.max_iterations = max_iterations
         self.profile_operators = profile_operators
+        #: Effective worker count (argument, then REPRO_WORKERS, then 1).
+        self.workers = resolve_workers(workers)
+        self.parallel_threshold = parallel_threshold
+        #: Shared morsel-dispatch pool; threads are created lazily, so a
+        #: serial session never spawns any.
+        self.pool = WorkerPool(self.workers, metrics=self.metrics)
         self._session_txn: Optional[Transaction] = None
         self._tracer = Tracer(log_size=query_log_size)
         #: Stats of the most recent statement (peak live tuples, etc.).
         self.last_stats: ExecutionStats = ExecutionStats()
         if wal is not None:
             wal.replay_into(self.txns)
+
+    def close(self) -> None:
+        """Release session resources (joins the worker pool). The
+        session stays usable afterwards — worker threads respawn on the
+        next parallel statement."""
+        self.pool.shutdown()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # registration
@@ -444,6 +476,8 @@ class Database:
             max_iterations=self.max_iterations,
             tracer=self._tracer,
             metrics=self.metrics,
+            pool=self.pool,
+            parallel_threshold=self.parallel_threshold,
         )
         ctx.profile = self.profile_operators
         return ctx
@@ -470,6 +504,14 @@ class Database:
             )
         if batches:
             self.metrics.counter("exec_batches_total").inc(batches)
+        if stats.parallel_pipelines:
+            self.metrics.counter("exec_parallel_pipelines_total").inc(
+                stats.parallel_pipelines
+            )
+        if stats.morsels_dispatched:
+            self.metrics.counter("exec_morsels_dispatched_total").inc(
+                stats.morsels_dispatched
+            )
         self.metrics.gauge("exec_peak_live_tuples").set(
             stats.peak_live_tuples
         )

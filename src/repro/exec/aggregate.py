@@ -86,7 +86,20 @@ class HashAggregateOp(PhysicalOperator):
                 use_col, use_codes = _deduplicate(
                     arg_col, codes, n_groups
                 )
-            result = kernel.grouped(use_col, use_codes, n_groups)
+            # Partial-aggregate/merge path: chunk boundaries and merge
+            # order are worker-independent, so workers=1 (inline) and
+            # workers=N produce bit-identical results — including
+            # floating-point sums, which always fold in chunk order.
+            result = None
+            pool = self._ctx.pool
+            if not spec.distinct and pool is not None:
+                from .parallel import partial_grouped_aggregate
+
+                result = partial_grouped_aggregate(
+                    spec.func_name, use_col, use_codes, n_groups, pool
+                )
+            if result is None:
+                result = kernel.grouped(use_col, use_codes, n_groups)
             columns[spec.slot] = result
 
         yield ColumnBatch(columns)

@@ -19,7 +19,35 @@ from ..expr.compiler import EvalContext
 from ..plan.logical import LogicalJoin, PlanColumn
 from ..storage.column import Column, ColumnBatch
 from .common import factorize
+from .parallel import _parallel_safe, morsel_ranges
 from .physical import ExecutionContext, PhysicalOperator
+
+
+def _probe_chunk(
+    probe_rows: np.ndarray,
+    left_codes: np.ndarray,
+    sorted_codes: np.ndarray,
+    right_rows: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Probe one chunk of left rows against the sorted build side and
+    expand the matching ``[lo, hi)`` ranges into explicit pair lists."""
+    probe_codes = left_codes[probe_rows]
+    lo = np.searchsorted(sorted_codes, probe_codes, side="left")
+    hi = np.searchsorted(sorted_codes, probe_codes, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        return (
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+        )
+    pair_left = np.repeat(probe_rows, counts)
+    starts = np.repeat(lo, counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(
+        np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+    )
+    pair_right = right_rows[starts + within]
+    return pair_left, pair_right
 
 
 def _null_extended(
@@ -72,6 +100,14 @@ class HashJoinOp(PhysicalOperator):
             if node.residual is not None
             else None
         )
+        # Key evaluation may run on worker threads only when no key
+        # expression carries a subquery or UDF (shared plan cache /
+        # arbitrary Python are not thread-safe).
+        self._keys_parallel_safe = all(
+            _parallel_safe(k)
+            for pair in node.equi_keys
+            for k in pair
+        )
 
     def describe(self) -> str:
         return (
@@ -97,11 +133,30 @@ class HashJoinOp(PhysicalOperator):
             return
 
         # Evaluate key expressions on both sides, then factorize the
-        # stacked columns so codes are comparable across sides.
-        left_key_cols = [fn(left_batch, eval_ctx) for fn in self._left_keys]
-        right_key_cols = [
-            fn(right_batch, eval_ctx) for fn in self._right_keys
-        ]
+        # stacked columns so codes are comparable across sides. The two
+        # sides are independent, so a parallel pool evaluates them as
+        # two build tasks.
+        pool = self._ctx.pool
+        parallel = (
+            pool is not None
+            and pool.is_parallel
+            and self._keys_parallel_safe
+        )
+        if parallel and self._left_keys:
+            left_key_cols, right_key_cols = pool.map_ordered(
+                lambda side: [fn(side[1], eval_ctx) for fn in side[0]],
+                [
+                    (self._left_keys, left_batch),
+                    (self._right_keys, right_batch),
+                ],
+            )
+        else:
+            left_key_cols = [
+                fn(left_batch, eval_ctx) for fn in self._left_keys
+            ]
+            right_key_cols = [
+                fn(right_batch, eval_ctx) for fn in self._right_keys
+            ]
         stacked = [
             Column.concat([lc, rc])
             for lc, rc in zip(left_key_cols, right_key_cols)
@@ -124,25 +179,30 @@ class HashJoinOp(PhysicalOperator):
         sorted_codes = right_codes[right_rows]
 
         probe_rows = np.flatnonzero(~left_null)
-        probe_codes = left_codes[probe_rows]
-        lo = np.searchsorted(sorted_codes, probe_codes, side="left")
-        hi = np.searchsorted(sorted_codes, probe_codes, side="right")
-        counts = hi - lo
-        total = int(counts.sum())
-
-        if total == 0:
-            pair_left = np.zeros(0, dtype=np.int64)
-            pair_right = np.zeros(0, dtype=np.int64)
-        else:
-            # Expand [lo, hi) ranges into explicit pair lists.
-            pair_left = np.repeat(probe_rows, counts)
-            starts = np.repeat(lo, counts)
-            within = np.arange(total, dtype=np.int64) - np.repeat(
-                np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+        if parallel and 0 < len(probe_rows) \
+                and len(probe_rows) >= self._ctx.parallel_threshold:
+            # Probe in parallel over fixed probe-row chunks. Each
+            # chunk's pair lists are integer gathers — exact slices of
+            # what the whole-array probe computes — so concatenating in
+            # chunk order reproduces the serial output bit for bit.
+            ranges = morsel_ranges(
+                len(probe_rows), self._ctx.morsel_rows
             )
-            pair_right = right_rows[starts + within]
+            chunks = pool.map_ordered(
+                lambda rng: _probe_chunk(
+                    probe_rows[rng[0]:rng[1]],
+                    left_codes, sorted_codes, right_rows,
+                ),
+                ranges,
+            )
+            pair_left = np.concatenate([c[0] for c in chunks])
+            pair_right = np.concatenate([c[1] for c in chunks])
+        else:
+            pair_left, pair_right = _probe_chunk(
+                probe_rows, left_codes, sorted_codes, right_rows
+            )
 
-        if self._residual is not None and total > 0:
+        if self._residual is not None and len(pair_left) > 0:
             pair_batch = self._pair_batch(
                 left_batch, right_batch, pair_left, pair_right
             )

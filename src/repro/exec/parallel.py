@@ -1,0 +1,451 @@
+"""Morsel-driven parallel execution (HyPer-style, paper section 3).
+
+The engine's parallel substrate is a shared :class:`WorkerPool` of
+threads (numpy kernels release the GIL, so memory-bound scans,
+aggregations, and the analytics operators genuinely overlap) plus a
+morsel dispatcher: base-table scans are split into fixed-size morsels
+and whole Scan→Filter→Project pipelines run one morsel per task.
+
+Determinism contract — parallel execution is **schedule-independent**:
+
+* morsel boundaries depend only on the table size and ``morsel_rows``,
+  never on the worker count;
+* every dispatch is *ordered* (:meth:`WorkerPool.map_ordered` returns
+  results in submission order), and all merges fold partial states in
+  morsel-index order, so floating-point reductions happen in one fixed
+  order regardless of how many workers ran them;
+* consequently ``workers=1`` and ``workers=N`` produce bit-identical
+  results (the serial-equivalence battery in
+  ``tests/test_parallel_equivalence.py`` enforces this).
+
+The planner consults cardinality (the scanned table's row count at
+build time) and only goes parallel above
+:data:`~repro.exec.physical.DEFAULT_PARALLEL_THRESHOLD` rows; small
+inputs keep the serial fast path.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterator, Optional, Sequence, TypeVar
+
+import numpy as np
+
+from ..expr import bound as b
+from ..expr.aggregates import _segmented_reduce, group_counts, group_sums
+from ..plan import logical as lp
+from ..storage.column import Column, ColumnBatch
+from ..types import BIGINT, BOOLEAN, DOUBLE, TypeKind
+from .physical import ExecutionContext, PhysicalOperator
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable read when ``Database(workers=None)``.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Rows per partial-aggregation chunk. Fixed (worker-independent) so the
+#: merge order — and therefore every floating-point sum — is identical
+#: for any worker count.
+PARTIAL_CHUNK_ROWS = 65_536
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """The effective worker count: an explicit argument wins, then the
+    ``REPRO_WORKERS`` environment variable, then 1 (serial)."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if raw:
+            try:
+                workers = int(raw)
+            except ValueError as exc:
+                raise ValueError(
+                    f"{WORKERS_ENV} must be an integer, got {raw!r}"
+                ) from exc
+        else:
+            workers = 1
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def morsel_ranges(
+    n_rows: int, morsel_rows: int
+) -> list[tuple[int, int]]:
+    """Split ``[0, n_rows)`` into ``[start, stop)`` morsels.
+
+    Boundaries depend only on the inputs (never the worker count); the
+    final morsel absorbs the non-divisible remainder. Empty input
+    yields no ranges."""
+    morsel_rows = max(int(morsel_rows), 1)
+    return [
+        (start, min(start + morsel_rows, n_rows))
+        for start in range(0, n_rows, morsel_rows)
+    ]
+
+
+class WorkerPool:
+    """A shared thread pool dispatching morsels to workers.
+
+    Threads are created lazily on the first parallel dispatch, so a
+    serial session (``workers=1``) never spawns any — every task runs
+    inline on the caller. Each worker thread gets a stable id used to
+    label the per-worker morsel counters
+    (``parallel_morsels_total{worker="<id>"}``); the inline path counts
+    as worker ``"0"``.
+    """
+
+    def __init__(
+        self, workers: Optional[int] = None, metrics=None
+    ):
+        self.workers = resolve_workers(workers)
+        self.metrics = metrics
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+
+    @property
+    def is_parallel(self) -> bool:
+        return self.workers > 1
+
+    @property
+    def worker_id(self) -> int:
+        """The calling thread's worker id (0 on non-pool threads)."""
+        return getattr(self._local, "worker_id", 0)
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-worker",
+                    initializer=self._init_worker,
+                )
+            return self._executor
+
+    def _init_worker(self) -> None:
+        self._local.worker_id = next(self._ids)
+
+    def _run_one(self, fn: Callable[[T], R], item: T) -> R:
+        result = fn(item)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "parallel_morsels_total", worker=str(self.worker_id)
+            ).inc()
+        return result
+
+    def map_ordered(
+        self, fn: Callable[[T], R], items: Sequence[T]
+    ) -> list[R]:
+        """``[fn(item) for item in items]`` with results in submission
+        order — the ordered dispatch every deterministic merge relies
+        on. Runs inline when the pool is serial or there is at most one
+        item."""
+        items = list(items)
+        if not self.is_parallel or len(items) <= 1:
+            return [self._run_one(fn, item) for item in items]
+        executor = self._ensure_executor()
+        futures = [
+            executor.submit(self._run_one, fn, item) for item in items
+        ]
+        return [future.result() for future in futures]
+
+    def shutdown(self) -> None:
+        """Join the worker threads (idempotent; the pool can be reused
+        afterwards — a new executor is created on demand)."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+
+# ---------------------------------------------------------------------------
+# Parallel Scan→Filter→Project pipelines
+# ---------------------------------------------------------------------------
+
+
+def _parallel_safe(expr: b.BoundExpr) -> bool:
+    """Whether an expression may be evaluated concurrently: subqueries
+    (shared physical-plan cache, working tables) and user UDFs
+    (arbitrary Python, unknown thread safety) pin a pipeline to the
+    serial path."""
+    stack: list[b.BoundExpr] = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (b.BoundSubquery, b.BoundUDF)):
+            return False
+        stack.extend(node.children())
+    return True
+
+
+def try_build_parallel_pipeline(
+    plan: lp.LogicalPlan, ctx: ExecutionContext
+) -> Optional["ParallelPipelineOp"]:
+    """The planner's parallel-vs-serial decision for one pipeline.
+
+    Returns a :class:`ParallelPipelineOp` when the plan is a
+    Filter/Project chain rooted at a base-table scan, the session has a
+    parallel pool, every expression is safe to evaluate concurrently,
+    and the scanned table's cardinality clears
+    ``ctx.parallel_threshold``; ``None`` keeps the serial operators.
+    """
+    pool = ctx.pool
+    if pool is None or not pool.is_parallel:
+        return None
+    stages: list[lp.LogicalPlan] = []
+    node = plan
+    while isinstance(node, (lp.LogicalFilter, lp.LogicalProject)):
+        stages.append(node)
+        node = node.child
+    if not stages or not isinstance(node, lp.LogicalScan):
+        return None
+    for stage in stages:
+        exprs = (
+            [stage.predicate]
+            if isinstance(stage, lp.LogicalFilter)
+            else list(stage.exprs)
+        )
+        if not all(_parallel_safe(e) for e in exprs):
+            return None
+    try:
+        estimate = ctx.read_table(node.table_name).row_count
+    except Exception:  # noqa: BLE001 — missing table: let ScanOp raise
+        return None
+    if estimate < ctx.parallel_threshold:
+        return None
+    return ParallelPipelineOp(plan, stages, node, ctx)
+
+
+class ParallelPipelineOp(PhysicalOperator):
+    """One fused Scan→Filter→Project pipeline executed morsel-wise on
+    the worker pool.
+
+    The base table is split into ``ctx.morsel_rows``-sized morsels;
+    each task slices its morsel (column pruning applied at the scan,
+    like :class:`~repro.exec.scan.ScanOp`), then applies the compiled
+    filter masks and projection expressions bottom-up. Output batches
+    are yielded in morsel order, so the result is identical to the
+    serial operator chain for any worker count.
+    """
+
+    def __init__(
+        self,
+        plan: lp.LogicalPlan,
+        stages: list[lp.LogicalPlan],
+        scan: lp.LogicalScan,
+        ctx: ExecutionContext,
+    ):
+        super().__init__(list(plan.output))
+        self._scan = scan
+        self._ctx = ctx
+        # Bottom-up stage programs: ("filter", mask_fn) applies a
+        # predicate; ("project", cols, fns) evaluates expressions.
+        self._program: list[tuple] = []
+        for stage in reversed(stages):
+            if isinstance(stage, lp.LogicalFilter):
+                self._program.append(
+                    ("filter",
+                     ctx.compiler.compile_predicate(stage.predicate))
+                )
+            else:
+                self._program.append(
+                    ("project",
+                     list(stage.output),
+                     [ctx.compiler.compile(e) for e in stage.exprs])
+                )
+
+    def describe(self) -> str:
+        workers = self._ctx.pool.workers if self._ctx.pool else 1
+        return (
+            f"ParallelPipeline({self._scan.table_name}, "
+            f"workers={workers}, stages={len(self._program)})"
+        )
+
+    def _run_morsel(
+        self,
+        columns: dict[str, Column],
+        rng: tuple[int, int],
+        eval_ctx,
+    ) -> ColumnBatch:
+        start, stop = rng
+        batch = ColumnBatch(
+            {
+                slot: col.slice(start, stop)
+                for slot, col in columns.items()
+            }
+        )
+        for step in self._program:
+            if step[0] == "filter":
+                if len(batch) == 0:
+                    continue
+                mask = step[1](batch, eval_ctx)
+                if not mask.all():
+                    batch = batch.filter(mask)
+            else:
+                _tag, out_cols, fns = step
+                batch = ColumnBatch(
+                    {
+                        col.slot: fn(batch, eval_ctx)
+                        for col, fn in zip(out_cols, fns)
+                    }
+                )
+        return batch
+
+    def execute(self, eval_ctx) -> Iterator[ColumnBatch]:
+        ctx = self._ctx
+        data = ctx.read_table(self._scan.table_name)
+        ctx.stats.rows_scanned += data.row_count
+        if data.row_count == 0:
+            yield self.empty_batch()
+            return
+        columns = {
+            col.slot: data.column_by_name(col.name)
+            for col in self._scan.output
+        }
+        ranges = morsel_ranges(data.row_count, ctx.morsel_rows)
+        pool = ctx.pool
+        ctx.stats.parallel_pipelines += 1
+        ctx.stats.morsels_dispatched += len(ranges)
+
+        def task(rng: tuple[int, int]) -> ColumnBatch:
+            return self._run_morsel(columns, rng, eval_ctx)
+
+        if ctx.tracer is not None:
+            with ctx.tracer.span(
+                "parallel_pipeline",
+                table=self._scan.table_name,
+                workers=pool.workers,
+                morsels=len(ranges),
+            ):
+                batches = pool.map_ordered(task, ranges)
+        else:
+            batches = pool.map_ordered(task, ranges)
+        yield from batches
+
+
+# ---------------------------------------------------------------------------
+# Partial aggregation with ordered merge
+# ---------------------------------------------------------------------------
+
+#: Aggregates with a decomposable (partial state + ordered merge) form.
+MERGEABLE_AGGREGATES = frozenset(
+    {
+        "count", "count_star", "sum", "avg", "mean", "min", "max",
+        "bool_and", "bool_or", "every",
+    }
+)
+
+
+def partial_grouped_aggregate(
+    func_name: str,
+    col: Optional[Column],
+    codes: np.ndarray,
+    n_groups: int,
+    pool: WorkerPool,
+    chunk_rows: int = PARTIAL_CHUNK_ROWS,
+) -> Optional[Column]:
+    """Thread-local partial aggregation plus a global ordered merge.
+
+    The input is split into fixed ``chunk_rows`` chunks (independent of
+    the worker count); each chunk computes its partial state on the
+    pool, and partials are folded **in chunk order**, so results are
+    identical for any worker count. Returns ``None`` when the aggregate
+    has no decomposable form (caller falls back to the serial kernel)
+    or when a single chunk suffices (the serial kernel is already that
+    chunk's partial).
+    """
+    name = func_name.lower()
+    if name not in MERGEABLE_AGGREGATES:
+        return None
+    if col is not None and col.sql_type.kind is TypeKind.VARCHAR:
+        return None  # object-dtype extremes keep the per-row path
+    n = len(codes)
+    ranges = morsel_ranges(n, chunk_rows)
+    if len(ranges) <= 1:
+        return None
+
+    if name in ("count", "count_star"):
+        def partial(rng):
+            s, e = rng
+            part = None if col is None else col.slice(s, e)
+            return group_counts(part, codes[s:e], n_groups)
+
+        counts = pool.map_ordered(partial, ranges)
+        total = np.zeros(n_groups, dtype=np.int64)
+        for part in counts:
+            total += part
+        return Column(total, BIGINT)
+
+    if name in ("sum", "avg", "mean"):
+        integral_sum = (
+            name == "sum" and col.sql_type.kind is not TypeKind.DOUBLE
+        )
+
+        def partial(rng):
+            s, e = rng
+            chunk = col.slice(s, e)
+            chunk_codes = codes[s:e]
+            counts = group_counts(chunk, chunk_codes, n_groups)
+            if integral_sum:
+                mask = chunk.validity()
+                values = chunk.values[mask].astype(np.int64)
+                sums, _present = _segmented_reduce(
+                    values, chunk_codes[mask], n_groups, np.add
+                )
+            else:
+                sums = group_sums(chunk, chunk_codes, n_groups)
+            return counts, sums
+
+        parts = pool.map_ordered(partial, ranges)
+        counts = np.zeros(n_groups, dtype=np.int64)
+        sums = np.zeros(
+            n_groups, dtype=np.int64 if integral_sum else np.float64
+        )
+        for part_counts, part_sums in parts:  # fixed reduction order
+            counts += part_counts
+            sums += part_sums
+        valid = counts > 0
+        if name == "sum":
+            return Column(
+                sums, BIGINT if integral_sum else DOUBLE, valid
+            )
+        out = np.zeros(n_groups, dtype=np.float64)
+        out[valid] = sums[valid] / counts[valid]
+        return Column(out, DOUBLE, valid)
+
+    # Extremes (min/max) and boolean folds (segmented ufunc reduce).
+    if name in ("min", "bool_and", "every"):
+        ufunc = np.minimum
+    else:
+        ufunc = np.maximum
+    boolean = name in ("bool_and", "bool_or", "every")
+
+    def partial(rng):
+        s, e = rng
+        chunk = col.slice(s, e)
+        mask = chunk.validity()
+        values = chunk.values[mask]
+        if boolean:
+            values = values.astype(np.int8)
+        return _segmented_reduce(
+            values, codes[s:e][mask], n_groups, ufunc
+        )
+
+    parts = pool.map_ordered(partial, ranges)
+    merged, present = parts[0]
+    merged = merged.copy()
+    present = present.copy()
+    for part_values, part_present in parts[1:]:
+        both = present & part_present
+        merged[both] = ufunc(merged[both], part_values[both])
+        fresh = part_present & ~present
+        merged[fresh] = part_values[fresh]
+        present |= part_present
+    if boolean:
+        return Column(merged.astype(np.bool_), BOOLEAN, present)
+    return Column(merged, col.sql_type, present)

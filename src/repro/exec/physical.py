@@ -11,6 +11,11 @@ from ..plan.logical import LogicalPlan, PlanColumn
 from ..storage.column import Column, ColumnBatch
 from ..storage.table import DEFAULT_MORSEL_ROWS, TableData
 
+#: Minimum base-table cardinality before the planner picks the parallel
+#: pipeline for a Scan→Filter→Project chain. Below this, morsel dispatch
+#: overhead exceeds the work; the serial operators stay.
+DEFAULT_PARALLEL_THRESHOLD = 8_192
+
 
 class ExecutionStats:
     """Counters collected during one statement's execution.
@@ -25,6 +30,8 @@ class ExecutionStats:
         self.iterations = 0
         self.rows_scanned = 0
         self.batches_produced = 0
+        self.parallel_pipelines = 0
+        self.morsels_dispatched = 0
 
     def observe_live_tuples(self, count: int) -> None:
         if count > self.peak_live_tuples:
@@ -134,6 +141,8 @@ class ExecutionContext:
         max_iterations: int = 10_000,
         tracer=None,
         metrics=None,
+        pool=None,
+        parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
     ):
         self.read_table = read_table
         self.analytics = analytics
@@ -158,6 +167,13 @@ class ExecutionContext:
         #: series of analytics operators); surfaced on
         #: :attr:`repro.api.result.QueryResult.telemetry`.
         self.telemetry: dict[str, object] = {}
+        #: Optional :class:`repro.exec.parallel.WorkerPool` shared by
+        #: the session; operators dispatch morsels through it. ``None``
+        #: (or a serial pool) keeps every operator on the caller thread.
+        self.pool = pool
+        #: Minimum scanned cardinality for the planner to choose a
+        #: parallel pipeline over the serial operator chain.
+        self.parallel_threshold = parallel_threshold
 
     def new_eval_context(
         self, params: Optional[dict[str, object]] = None

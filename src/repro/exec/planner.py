@@ -10,6 +10,7 @@ from .cte import RecursiveCTEOp
 from .filter import FilterOp
 from .iterate import IterateOp
 from .join import HashJoinOp, NestedLoopJoinOp
+from .parallel import try_build_parallel_pipeline
 from .physical import (
     ExecutionContext,
     OperatorStats,
@@ -62,9 +63,12 @@ def _build_physical_node(
         return ValuesOp(plan, ctx)
     if isinstance(plan, lp.LogicalWorkingTableRef):
         return WorkingTableOp(plan, ctx)
-    if isinstance(plan, lp.LogicalFilter):
-        return FilterOp(plan, build_physical(plan.child, ctx), ctx)
-    if isinstance(plan, lp.LogicalProject):
+    if isinstance(plan, (lp.LogicalFilter, lp.LogicalProject)):
+        pipeline = try_build_parallel_pipeline(plan, ctx)
+        if pipeline is not None:
+            return pipeline
+        if isinstance(plan, lp.LogicalFilter):
+            return FilterOp(plan, build_physical(plan.child, ctx), ctx)
         return ProjectOp(plan, build_physical(plan.child, ctx), ctx)
     if isinstance(plan, lp.LogicalJoin):
         left = build_physical(plan.left, ctx)

@@ -46,18 +46,25 @@ def format_series(name: str, key: LabelKey) -> str:
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count.
 
-    __slots__ = ("value", "_mirror")
+    Updates take a per-metric lock: morsel workers increment shared
+    counters concurrently, and ``value += amount`` is a read-modify-
+    write that would otherwise lose updates under contention.
+    """
+
+    __slots__ = ("value", "_mirror", "_lock")
 
     def __init__(self, mirror: Optional["Counter"] = None):
         self.value = 0.0
         self._mirror = mirror
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError("counters only go up; use a gauge")
-        self.value += amount
+        with self._lock:
+            self.value += amount
         if self._mirror is not None:
             self._mirror.inc(amount)
 
@@ -65,19 +72,22 @@ class Counter:
 class Gauge:
     """A value that can go up and down (or be set outright)."""
 
-    __slots__ = ("value", "_mirror")
+    __slots__ = ("value", "_mirror", "_lock")
 
     def __init__(self, mirror: Optional["Gauge"] = None):
         self.value = 0.0
         self._mirror = mirror
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
         if self._mirror is not None:
             self._mirror.set(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
         if self._mirror is not None:
             self._mirror.inc(amount)
 
@@ -87,9 +97,11 @@ class Gauge:
 
 class Histogram:
     """Fixed-bucket histogram: cumulative counts are computed at export
-    time; observation is one bisect plus two adds."""
+    time; observation is one bisect plus two adds (under the metric's
+    lock, so concurrent workers never drop an observation or leave
+    ``sum``/``count``/bucket counts mutually inconsistent)."""
 
-    __slots__ = ("buckets", "counts", "sum", "count", "_mirror")
+    __slots__ = ("buckets", "counts", "sum", "count", "_mirror", "_lock")
 
     def __init__(
         self,
@@ -103,11 +115,13 @@ class Histogram:
         self.sum = 0.0
         self.count = 0
         self._mirror = mirror
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.counts[bisect_left(self.buckets, value)] += 1
-        self.sum += value
-        self.count += 1
+        with self._lock:
+            self.counts[bisect_left(self.buckets, value)] += 1
+            self.sum += value
+            self.count += 1
         if self._mirror is not None:
             self._mirror.observe(value)
 

@@ -47,6 +47,14 @@ def main(argv: list[str] | None = None) -> int:
         help="disable IN-subquery generation",
     )
     parser.add_argument(
+        "--workers", type=int, default=1,
+        help=(
+            "worker threads for the repro engine; >1 fuzzes the "
+            "morsel-driven parallel paths (tiny morsels, no "
+            "cardinality threshold) against SQLite (default: 1)"
+        ),
+    )
+    parser.add_argument(
         "-v", "--verbose", action="store_true",
         help="progress line every 50 seeds",
     )
@@ -58,7 +66,7 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     args = parser.parse_args(argv)
-    if args.seeds < 1 or args.queries_per_seed < 1:
+    if args.seeds < 1 or args.queries_per_seed < 1 or args.workers < 1:
         parser.print_usage(sys.stderr)
         return 2
 
@@ -71,6 +79,7 @@ def main(argv: list[str] | None = None) -> int:
             queries_per_seed=args.queries_per_seed,
             minimize=not args.no_minimize,
             allow_subqueries=not args.no_subqueries,
+            workers=args.workers,
         )
         for divergence in divergences:
             n_divergences += 1

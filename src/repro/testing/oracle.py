@@ -134,8 +134,18 @@ def rows_equal(
 # ---------------------------------------------------------------------------
 
 
-def build_repro_db(tables: list[GenTable]) -> Database:
-    db = Database()
+def build_repro_db(
+    tables: list[GenTable], workers: int = 1
+) -> Database:
+    if workers > 1:
+        # Force the parallel paths even on fuzz-sized tables: no
+        # cardinality threshold and tiny morsels, so every generated
+        # query genuinely dispatches multi-morsel pipelines.
+        db = Database(
+            workers=workers, parallel_threshold=0, morsel_rows=32
+        )
+    else:
+        db = Database(workers=1)
     for table in tables:
         db.execute(table.ddl())
         if table.rows:
@@ -217,13 +227,15 @@ class Divergence:
 class DifferentialOracle:
     """Runs generated queries through both engines and compares."""
 
-    def __init__(self, tables: list[GenTable]):
+    def __init__(self, tables: list[GenTable], workers: int = 1):
         self.tables = tables
-        self.db = build_repro_db(tables)
+        self.workers = workers
+        self.db = build_repro_db(tables, workers=workers)
         self.conn = build_sqlite_db(tables)
 
     def close(self) -> None:
         self.conn.close()
+        self.db.close()
 
     def check(self, query: GenQuery) -> Optional[dict]:
         """None when both engines agree; otherwise a dict describing
@@ -377,13 +389,13 @@ def minimize_query(
 
 
 def minimize_data(
-    tables: list[GenTable], query: GenQuery
+    tables: list[GenTable], query: GenQuery, workers: int = 1
 ) -> list[GenTable]:
     """Drop row chunks (halves, then quarters, ...) from each table
     while the divergence persists. Rebuilds both engines per probe."""
 
     def diverges(candidate_tables: list[GenTable]) -> bool:
-        oracle = DifferentialOracle(candidate_tables)
+        oracle = DifferentialOracle(candidate_tables, workers=workers)
         try:
             return oracle.check(query) is not None
         finally:
@@ -424,11 +436,16 @@ def run_seed(
     queries_per_seed: int = 3,
     minimize: bool = True,
     allow_subqueries: bool = True,
+    workers: int = 1,
 ) -> list[Divergence]:
-    """Run one seed's schema + queries; returns found divergences."""
+    """Run one seed's schema + queries; returns found divergences.
+
+    ``workers > 1`` runs the repro side with a parallel pool (zero
+    cardinality threshold, tiny morsels) so the differential corpus
+    exercises the morsel-driven paths against SQLite."""
     generator = QueryGenerator(seed, allow_subqueries=allow_subqueries)
     tables = generator.schema()
-    oracle = DifferentialOracle(tables)
+    oracle = DifferentialOracle(tables, workers=workers)
     divergences = []
     try:
         for index in range(queries_per_seed):
@@ -439,8 +456,10 @@ def run_seed(
             small_tables = tables
             if minimize:
                 query = minimize_query(oracle, query)
-                small_tables = minimize_data(tables, query)
-                probe = DifferentialOracle(small_tables)
+                small_tables = minimize_data(
+                    tables, query, workers=workers
+                )
+                probe = DifferentialOracle(small_tables, workers=workers)
                 try:
                     failure = probe.check(query) or failure
                 finally:
@@ -468,6 +487,7 @@ def run_seeds(
     queries_per_seed: int = 3,
     minimize: bool = True,
     allow_subqueries: bool = True,
+    workers: int = 1,
 ) -> list[Divergence]:
     out = []
     for seed in seeds:
@@ -477,6 +497,7 @@ def run_seeds(
                 queries_per_seed=queries_per_seed,
                 minimize=minimize,
                 allow_subqueries=allow_subqueries,
+                workers=workers,
             )
         )
     return out

@@ -302,3 +302,93 @@ class TestFuzzCounters:
             "fuzz_queries_total"
         ]
         assert after >= before + 1
+
+
+class TestThreadSafety:
+    """Concurrent hammer: morsel workers update shared metrics, so a
+    registry that drops updates under contention would silently corrupt
+    every parallel run's telemetry. Totals must be exact."""
+
+    N_THREADS = 8
+    N_INCREMENTS = 2_000
+
+    def _hammer(self, worker):
+        import threading
+
+        threads = [
+            threading.Thread(target=worker)
+            for _ in range(self.N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_concurrent_counter_increments_are_exact(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("hammer_total")
+
+        def worker():
+            for _ in range(self.N_INCREMENTS):
+                counter.inc()
+
+        self._hammer(worker)
+        assert counter.value == self.N_THREADS * self.N_INCREMENTS
+
+    def test_concurrent_mirrored_counter_is_exact_in_both(self):
+        parent = MetricsRegistry()
+        child = MetricsRegistry(parent=parent)
+        counter = child.counter("hammer_total")
+
+        def worker():
+            for _ in range(self.N_INCREMENTS):
+                counter.inc(2.0)
+
+        self._hammer(worker)
+        expected = 2.0 * self.N_THREADS * self.N_INCREMENTS
+        assert counter.value == expected
+        assert parent.counter("hammer_total").value == expected
+
+    def test_concurrent_gauge_inc_dec_balances(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("hammer_gauge")
+
+        def worker():
+            for _ in range(self.N_INCREMENTS):
+                gauge.inc()
+                gauge.dec()
+
+        self._hammer(worker)
+        assert gauge.value == 0.0
+
+    def test_concurrent_histogram_stays_consistent(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("hammer_seconds")
+
+        def worker():
+            for i in range(self.N_INCREMENTS):
+                hist.observe(1e-5 * (i % 7))
+
+        self._hammer(worker)
+        total = self.N_THREADS * self.N_INCREMENTS
+        assert hist.count == total
+        assert sum(hist.counts) == total
+        per_thread = sum(1e-5 * (i % 7) for i in range(self.N_INCREMENTS))
+        assert hist.sum == pytest.approx(self.N_THREADS * per_thread)
+
+    def test_concurrent_registration_yields_one_family(self):
+        import threading
+
+        reg = MetricsRegistry()
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def worker():
+            barrier.wait()
+            for i in range(200):
+                reg.counter("race_total", worker=str(i % 4)).inc()
+
+        self._hammer(worker)
+        counters = reg.snapshot()["counters"]
+        series = [s for s in counters if s.startswith("race_total")]
+        assert len(series) == 4
+        assert sum(counters[s] for s in series) == self.N_THREADS * 200

@@ -1,0 +1,382 @@
+"""Serial-equivalence battery for morsel-driven parallel execution.
+
+The determinism contract (``docs/parallelism.md``): for any statement
+and any analytics workload, ``workers=1`` and ``workers=N`` produce
+bit-identical results — morsel/chunk boundaries depend only on data
+size, dispatch is ordered, and merges fold partials in chunk order.
+These tests enforce the contract three ways: a differential corpus of
+generated SQL, the three paper workloads (rows *and* convergence
+telemetry), and direct multi-chunk checks of the partial-aggregate,
+k-Means, and SpMV reductions.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analytics.csr import SPMV_CHUNK_VERTICES, CSRGraph
+from repro.analytics.kmeans import kmeans
+from repro.datagen.graphs import generate_social_graph, load_edge_table
+from repro.datagen.vectors import (
+    feature_names,
+    load_centers_table,
+    load_vector_table,
+)
+from repro.errors import ReproError
+from repro.exec.parallel import (
+    WorkerPool,
+    partial_grouped_aggregate,
+    resolve_workers,
+)
+from repro.storage.column import Column
+from repro.testing.generator import QueryGenerator
+from repro.testing.oracle import build_repro_db, normalize_rows
+from repro.types import BIGINT, DOUBLE
+
+#: The parallel session used throughout: 4 workers, no cardinality
+#: threshold, and tiny morsels, so even test-sized tables genuinely
+#: dispatch multi-morsel pipelines.
+PARALLEL_KWARGS = dict(workers=4, parallel_threshold=0, morsel_rows=32)
+
+
+def _run_normalized(db, sql: str, ordered: bool):
+    """("ok", rows) or ("error", exception type name)."""
+    try:
+        return "ok", normalize_rows(db.execute(sql).rows, ordered)
+    except (ReproError, OverflowError, ValueError) as exc:
+        return "error", type(exc).__name__
+
+
+# ---------------------------------------------------------------------------
+# Differential corpus: generated SQL, serial vs parallel
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_generated_queries_identical_across_worker_counts(seed):
+    generator = QueryGenerator(seed)
+    tables = generator.schema()
+    serial = build_repro_db(tables, workers=1)
+    parallel = build_repro_db(tables, workers=4)
+    try:
+        for index in range(3):
+            query = generator.query(tables)
+            sql = query.to_sql()
+            expected = _run_normalized(serial, sql, query.ordered)
+            got = _run_normalized(parallel, sql, query.ordered)
+            assert got == expected, (
+                f"seed={seed} query={index} diverged between "
+                f"workers=1 and workers=4:\n{sql}"
+            )
+    finally:
+        parallel.close()
+        serial.close()
+
+
+# ---------------------------------------------------------------------------
+# The three workloads: rows and convergence telemetry
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def db_pair():
+    serial = repro.Database(workers=1)
+    parallel = repro.Database(**PARALLEL_KWARGS)
+    yield serial, parallel
+    parallel.close()
+    serial.close()
+
+
+def _rows_both(db_pair, loader, sql):
+    serial, parallel = db_pair
+    results = []
+    for db in (serial, parallel):
+        loader(db)
+        results.append(db.execute(sql))
+    return results
+
+
+def test_kmeans_workload_equivalence(db_pair):
+    feats = feature_names(3)
+    sql = (
+        f"SELECT cluster, {', '.join(feats)} FROM KMEANS("
+        f"(SELECT {', '.join(feats)} FROM data), "
+        f"(SELECT {', '.join(feats)} FROM centers), 4) ORDER BY cluster"
+    )
+
+    def loader(db):
+        columns = load_vector_table(db, "data", 900, 3, seed=11)
+        load_centers_table(db, "centers", columns, 5, seed=13)
+
+    serial_res, parallel_res = _rows_both(db_pair, loader, sql)
+    assert normalize_rows(parallel_res.rows, False) == normalize_rows(
+        serial_res.rows, False
+    )
+    s_tel = serial_res.telemetry["kmeans"]
+    p_tel = parallel_res.telemetry["kmeans"]
+    assert p_tel["iterations"] == s_tel["iterations"]
+    assert p_tel["inertia"] == pytest.approx(
+        s_tel["inertia"], abs=1e-9
+    )
+    assert p_tel["center_shift"] == pytest.approx(
+        s_tel["center_shift"], abs=1e-9
+    )
+
+
+def test_pagerank_workload_equivalence(db_pair):
+    sql = (
+        "SELECT vertex, rank FROM PAGERANK("
+        "(SELECT src, dest FROM edges), 0.85, 0.0, 8) ORDER BY vertex"
+    )
+
+    def loader(db):
+        load_edge_table(db, "edges", 150, 1700, seed=17)
+
+    serial_res, parallel_res = _rows_both(db_pair, loader, sql)
+    assert normalize_rows(parallel_res.rows, True) == normalize_rows(
+        serial_res.rows, True
+    )
+    s_tel = serial_res.telemetry["pagerank"]
+    p_tel = parallel_res.telemetry["pagerank"]
+    assert p_tel["iterations"] == s_tel["iterations"]
+    assert p_tel["residual_l1"] == pytest.approx(
+        s_tel["residual_l1"], abs=1e-9
+    )
+
+
+def test_naive_bayes_workload_equivalence(db_pair):
+    feats = feature_names(3)
+    sql = (
+        "SELECT class, attribute, prior, mean, stddev "
+        "FROM NAIVE_BAYES_TRAIN("
+        f"(SELECT label, {', '.join(feats)} FROM train)) "
+        "ORDER BY class, attribute"
+    )
+
+    def loader(db):
+        load_vector_table(db, "train", 700, 3, seed=19, with_label=True)
+
+    serial_res, parallel_res = _rows_both(db_pair, loader, sql)
+    assert normalize_rows(parallel_res.rows, True) == normalize_rows(
+        serial_res.rows, True
+    )
+    s_tel = serial_res.telemetry["naive_bayes"]
+    p_tel = parallel_res.telemetry["naive_bayes"]
+    assert p_tel["classes"] == s_tel["classes"]
+    assert p_tel["class_counts"] == s_tel["class_counts"]
+    assert p_tel["priors"] == pytest.approx(s_tel["priors"], abs=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Planner choice is visible, and bounded by the cardinality estimate
+# ---------------------------------------------------------------------------
+
+
+def test_explain_analyze_shows_parallel_pipeline():
+    with repro.Database(**PARALLEL_KWARGS) as db:
+        db.execute("CREATE TABLE t (a BIGINT, b DOUBLE)")
+        db.load_columns(
+            "t",
+            {
+                "a": np.arange(500, dtype=np.int64),
+                "b": np.linspace(0.0, 1.0, 500),
+            },
+        )
+        analyzed = db.explain_analyze(
+            "SELECT a + 1, b * 2.0 FROM t WHERE a > 100"
+        )
+        node = analyzed.find("ParallelPipeline")
+        assert node is not None
+        assert "workers=4" in node.label
+
+
+def test_serial_session_never_plans_parallel_pipeline():
+    with repro.Database(workers=1, parallel_threshold=0) as db:
+        db.execute("CREATE TABLE t (a BIGINT)")
+        db.load_columns("t", {"a": np.arange(100, dtype=np.int64)})
+        analyzed = db.explain_analyze("SELECT a FROM t WHERE a > 10")
+        assert analyzed.find("ParallelPipeline") is None
+
+
+def test_threshold_keeps_small_tables_serial():
+    with repro.Database(workers=4, parallel_threshold=1_000) as db:
+        db.execute("CREATE TABLE t (a BIGINT)")
+        db.load_columns("t", {"a": np.arange(100, dtype=np.int64)})
+        analyzed = db.explain_analyze("SELECT a FROM t WHERE a > 10")
+        assert analyzed.find("ParallelPipeline") is None
+
+
+def test_parallel_session_emits_morsel_counters():
+    with repro.Database(**PARALLEL_KWARGS) as db:
+        db.execute("CREATE TABLE t (a BIGINT)")
+        db.load_columns("t", {"a": np.arange(400, dtype=np.int64)})
+        db.execute("SELECT a FROM t WHERE a >= 0")
+        counters = db.metrics.snapshot()["counters"]
+        assert counters.get("exec_parallel_pipelines_total", 0) >= 1
+        # 400 rows / 32-row morsels = 13 morsels dispatched.
+        assert counters.get("exec_morsels_dispatched_total", 0) >= 13
+        per_worker = sum(
+            value
+            for series, value in counters.items()
+            if series.startswith("parallel_morsels_total")
+        )
+        assert per_worker >= 13
+
+
+# ---------------------------------------------------------------------------
+# Worker-count plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_repro_workers_env_is_respected(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "3")
+    db = repro.Database()
+    try:
+        assert db.workers == 3
+        assert db.pool.workers == 3
+    finally:
+        db.close()
+
+
+def test_explicit_workers_argument_wins_over_env(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "8")
+    assert resolve_workers(2) == 2
+
+
+def test_invalid_worker_counts_are_rejected(monkeypatch):
+    with pytest.raises(ValueError):
+        resolve_workers(0)
+    monkeypatch.setenv("REPRO_WORKERS", "lots")
+    with pytest.raises(ValueError):
+        resolve_workers(None)
+
+
+# ---------------------------------------------------------------------------
+# Direct multi-chunk reductions (the fixed merge order, exercised)
+# ---------------------------------------------------------------------------
+
+
+def _pools():
+    return WorkerPool(1), WorkerPool(4)
+
+
+def test_partial_aggregate_multi_chunk_is_worker_independent():
+    rng = np.random.default_rng(23)
+    n, n_groups = 10_000, 7
+    codes = rng.integers(0, n_groups, size=n).astype(np.int64)
+    doubles = Column(
+        rng.normal(size=n), DOUBLE, rng.random(n) > 0.1
+    )
+    ints = Column(
+        rng.integers(-50, 50, size=n).astype(np.int64),
+        BIGINT,
+        rng.random(n) > 0.1,
+    )
+    serial_pool, parallel_pool = _pools()
+    try:
+        for func, col in [
+            ("sum", doubles), ("avg", doubles), ("min", doubles),
+            ("max", doubles), ("sum", ints), ("count", ints),
+        ]:
+            expected = partial_grouped_aggregate(
+                func, col, codes, n_groups, serial_pool, chunk_rows=256
+            )
+            got = partial_grouped_aggregate(
+                func, col, codes, n_groups, parallel_pool,
+                chunk_rows=256,
+            )
+            assert expected is not None and got is not None
+            assert np.array_equal(got.values, expected.values), func
+            assert np.array_equal(
+                got.validity(), expected.validity()
+            ), func
+    finally:
+        parallel_pool.shutdown()
+        serial_pool.shutdown()
+
+
+def test_partial_sum_matches_plain_numpy_per_group():
+    rng = np.random.default_rng(29)
+    n, n_groups = 5_000, 4
+    codes = rng.integers(0, n_groups, size=n).astype(np.int64)
+    values = rng.integers(0, 1000, size=n).astype(np.int64)
+    col = Column(values, BIGINT)
+    pool = WorkerPool(4)
+    try:
+        got = partial_grouped_aggregate(
+            "sum", col, codes, n_groups, pool, chunk_rows=128
+        )
+        expected = np.bincount(
+            codes, weights=values, minlength=n_groups
+        ).astype(np.int64)
+        assert np.array_equal(got.values, expected)
+    finally:
+        pool.shutdown()
+
+
+def test_kmeans_multi_chunk_rounds_are_worker_independent():
+    # 140k tuples crosses the fixed 131 072-row update-chunk size, so
+    # every round genuinely merges two partial states per pool.
+    rng = np.random.default_rng(31)
+    points = rng.random((140_000, 2))
+    seeds = points[:4].copy()
+    serial_pool, parallel_pool = _pools()
+    serial_tel, parallel_tel = [], []
+    try:
+        s_centers, s_assign, s_sizes, s_iters = kmeans(
+            points, seeds, max_iterations=3, telemetry=serial_tel,
+            pool=serial_pool,
+        )
+        p_centers, p_assign, p_sizes, p_iters = kmeans(
+            points, seeds, max_iterations=3, telemetry=parallel_tel,
+            pool=parallel_pool,
+        )
+    finally:
+        parallel_pool.shutdown()
+        serial_pool.shutdown()
+    assert p_iters == s_iters
+    assert np.array_equal(p_centers, s_centers)
+    assert np.array_equal(p_assign, s_assign)
+    assert np.array_equal(p_sizes, s_sizes)
+    assert [r["inertia"] for r in parallel_tel] == [
+        r["inertia"] for r in serial_tel
+    ]
+
+
+def test_spmv_multi_chunk_gather_is_bit_identical():
+    # More vertices than one SpMV chunk; chunk edges land on CSR
+    # segment boundaries, so the parallel gather must equal the
+    # whole-array reduceat exactly.
+    n_vertices = SPMV_CHUNK_VERTICES + 4_096
+    src, dst = generate_social_graph(n_vertices, 3 * n_vertices, seed=37)
+    graph = CSRGraph.from_edges(src, dst)
+    per_source = np.random.default_rng(41).random(graph.n_vertices)
+    pool = WorkerPool(4)
+    try:
+        parallel_sums = graph.gather_incoming(per_source, pool=pool)
+    finally:
+        pool.shutdown()
+    serial_sums = graph.gather_incoming(per_source)
+    assert np.array_equal(parallel_sums, serial_sums)
+
+
+def test_large_grouped_sql_aggregate_identical_across_workers():
+    # Past PARTIAL_CHUNK_ROWS the SQL path itself goes multi-chunk;
+    # both sessions fold the same chunks in the same order.
+    rng = np.random.default_rng(43)
+    n = 150_000
+    columns = {
+        "g": rng.integers(0, 11, size=n).astype(np.int64),
+        "x": rng.normal(size=n),
+    }
+    sql = (
+        "SELECT g, COUNT(*), SUM(x), AVG(x), MIN(x), MAX(x) "
+        "FROM big GROUP BY g ORDER BY g"
+    )
+    results = []
+    for kwargs in (dict(workers=1), PARALLEL_KWARGS):
+        with repro.Database(**kwargs) as db:
+            db.execute("CREATE TABLE big (g BIGINT, x DOUBLE)")
+            db.load_columns("big", columns)
+            results.append(db.execute(sql).rows)
+    assert results[0] == results[1]

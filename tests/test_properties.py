@@ -9,6 +9,7 @@ import repro
 from repro.analytics.kmeans import kmeans
 from repro.analytics.pagerank import pagerank
 from repro.exec.common import factorize, factorize_column
+from repro.exec.parallel import morsel_ranges
 from repro.storage.column import Column
 from repro.types import DOUBLE, INTEGER, VARCHAR
 
@@ -286,6 +287,111 @@ class TestWindowProperties:
             # RANGE frame: running sum includes every peer of v.
             expected = sum(x for x in ordered if x <= v)
             assert running == expected
+
+
+class TestMorselPartitioning:
+    """The morsel dispatcher's partitioning invariants, plus SQL-level
+    serial equivalence on the edge cases the partitioner must survive:
+    empty tables, tables smaller than one morsel, NULL runs straddling
+    morsel boundaries, and non-divisible row counts."""
+
+    @given(st.integers(0, 5_000), st.integers(1, 700))
+    @settings(max_examples=60, deadline=None)
+    def test_ranges_tile_the_input_exactly(self, n, morsel):
+        ranges = morsel_ranges(n, morsel)
+        if n == 0:
+            assert ranges == []
+            return
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == n
+        # Adjacent, disjoint, non-empty: boundaries tile [0, n).
+        for (_s, e), (s2, _e2) in zip(ranges, ranges[1:]):
+            assert e == s2
+        # Every morsel but the last is full; the last holds the
+        # non-divisible remainder.
+        for start, stop in ranges[:-1]:
+            assert stop - start == morsel
+        last = ranges[-1][1] - ranges[-1][0]
+        assert 0 < last <= morsel
+        assert len(ranges) == -(-n // morsel)  # ceil division
+
+    @given(st.integers(0, 200), st.integers(1, 64))
+    @settings(max_examples=40, deadline=None)
+    def test_boundaries_independent_of_worker_count(self, n, morsel):
+        # The contract: partitioning is a pure function of (n, morsel);
+        # there is no worker-count input to vary at all. Equal inputs
+        # must give equal (not merely equivalent) boundaries.
+        assert morsel_ranges(n, morsel) == morsel_ranges(n, morsel)
+
+    @staticmethod
+    def _rows_per_worker_count(values, morsel_rows, sql):
+        out = []
+        for workers in (1, 2, 4):
+            db = repro.Database(
+                workers=workers,
+                parallel_threshold=0,
+                morsel_rows=morsel_rows,
+            )
+            try:
+                db.execute("CREATE TABLE t (a INTEGER)")
+                if values:
+                    db.insert_rows("t", [(v,) for v in values])
+                out.append(db.execute(sql).rows)
+            finally:
+                db.close()
+        return out
+
+    @given(st.lists(opt_ints, max_size=50), st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_pipeline_equivalent_for_any_partitioning(
+        self, values, morsel_rows
+    ):
+        # Covers empty tables (empty list), tables smaller than one
+        # morsel, and non-divisible row counts as generated.
+        results = self._rows_per_worker_count(
+            values, morsel_rows,
+            "SELECT a, a + 1 FROM t WHERE a > 0",
+        )
+        assert results[0] == results[1] == results[2]
+
+    @given(
+        st.lists(
+            st.tuples(st.one_of(st.none(), small_ints),
+                      st.integers(1, 9)),
+            max_size=8,
+        ),
+        st.integers(1, 5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_null_runs_straddling_morsel_boundaries(
+        self, runs, morsel_rows
+    ):
+        # Runs of NULLs (and of repeated values) longer than a morsel
+        # force validity masks to be split and re-joined across
+        # boundaries; every worker count must agree bit for bit.
+        values = [v for v, length in runs for _ in range(length)]
+        filtered = self._rows_per_worker_count(
+            values, morsel_rows,
+            "SELECT a FROM t WHERE a IS NOT NULL",
+        )
+        assert filtered[0] == filtered[1] == filtered[2]
+        aggregated = self._rows_per_worker_count(
+            values, morsel_rows,
+            "SELECT count(*), count(a), sum(a), min(a), max(a) FROM t",
+        )
+        assert aggregated[0] == aggregated[1] == aggregated[2]
+
+    def test_empty_table_parallel_pipeline(self):
+        results = self._rows_per_worker_count(
+            [], 4, "SELECT a FROM t WHERE a > 0"
+        )
+        assert results == [[], [], []]
+
+    def test_table_smaller_than_one_morsel(self):
+        results = self._rows_per_worker_count(
+            [5], 1_000, "SELECT a + 1 FROM t"
+        )
+        assert results == [[(6,)], [(6,)], [(6,)]]
 
 
 class TestExpressionRoundTrip:
