@@ -7,12 +7,15 @@ WORKERS ?= 4
 
 .PHONY: test test-all fuzz fuzz-parallel bench metrics-smoke
 
-# The tier-1 suite runs twice: fully serial and with a 4-worker pool,
-# so every commit proves the serial-equivalence contract of the
-# morsel-driven executor (docs/parallelism.md).
+# The tier-1 suite runs three times: fully serial, with a 4-worker
+# pool (the serial-equivalence contract of the morsel-driven executor,
+# docs/parallelism.md), and with the hot-path stack — plan cache,
+# kernel cache, fused pipelines, zone maps — disabled
+# (docs/performance.md), proving the caches never change results.
 test: metrics-smoke
 	REPRO_WORKERS=1 $(PY) -m pytest -x -q
 	REPRO_WORKERS=4 $(PY) -m pytest -x -q
+	REPRO_PLAN_CACHE=0 REPRO_WORKERS=1 $(PY) -m pytest -x -q
 
 # Runs a tiny end-to-end workload and validates the Prometheus
 # exposition the engine produces (format, TYPE lines, histogram series).
@@ -22,14 +25,17 @@ metrics-smoke:
 test-all:
 	$(PY) -m pytest -q -m ""
 
+# --cache-check runs every statement cold, plan-cached, and on a
+# cache-disabled twin; any leg disagreeing is a divergence.
 fuzz:
-	$(PY) -m repro.testing.fuzz --seeds $(N) --start $(START) -v
+	$(PY) -m repro.testing.fuzz --seeds $(N) --start $(START) \
+		--cache-check -v
 
 # Differential fuzzing of the parallel paths: tiny morsels, zero
 # cardinality threshold, $(WORKERS) worker threads vs the SQLite oracle.
 fuzz-parallel:
 	$(PY) -m repro.testing.fuzz --seeds 200 --start $(START) \
-		--workers $(WORKERS) -v
+		--workers $(WORKERS) --cache-check -v
 
 bench:
 	$(PY) -m repro.bench all --scale 0.001

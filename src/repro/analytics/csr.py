@@ -10,6 +10,10 @@ producing output — exactly the structure the paper describes.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
+from typing import Optional
+
 import numpy as np
 
 from ..errors import AnalyticsError
@@ -18,6 +22,38 @@ from ..errors import AnalyticsError
 #: Fixed (worker-independent) so chunk boundaries — and therefore the
 #: per-segment float summation order — never depend on the worker count.
 SPMV_CHUNK_VERTICES = 65_536
+
+#: Cached CSR indexes. Keys embed a TableData.version_token, which is
+#: unique per immutable table version, so DML simply stops the old
+#: entry from being hit and the LRU evicts it. Small capacity: each
+#: entry can hold arrays proportional to the edge count.
+CSR_CACHE_CAPACITY = 8
+
+_CSR_CACHE: "OrderedDict[tuple, CSRGraph]" = OrderedDict()
+_CSR_LOCK = threading.Lock()
+
+
+def csr_cache_lookup(key: tuple) -> Optional["CSRGraph"]:
+    """The cached index for ``key``, refreshing its LRU position."""
+    with _CSR_LOCK:
+        graph = _CSR_CACHE.get(key)
+        if graph is not None:
+            _CSR_CACHE.move_to_end(key)
+        return graph
+
+
+def csr_cache_store(key: tuple, graph: "CSRGraph") -> None:
+    with _CSR_LOCK:
+        _CSR_CACHE[key] = graph
+        _CSR_CACHE.move_to_end(key)
+        while len(_CSR_CACHE) > CSR_CACHE_CAPACITY:
+            _CSR_CACHE.popitem(last=False)
+
+
+def csr_cache_clear() -> None:
+    """Drop every cached index (tests)."""
+    with _CSR_LOCK:
+        _CSR_CACHE.clear()
 
 
 class CSRGraph:

@@ -21,10 +21,12 @@ from typing import Optional
 import numpy as np
 
 from ..errors import AnalyticsError, BindError
+from ..expr import bound as b
+from ..plan import logical as lp
 from ..plan.logical import LogicalTableFunction, PlanColumn
 from ..storage.column import Column, ColumnBatch
 from ..types import BIGINT, DOUBLE
-from .csr import CSRGraph
+from .csr import CSRGraph, csr_cache_lookup, csr_cache_store
 from .registry import OperatorDescriptor
 
 DEFAULT_MAX_ITERATIONS = 100
@@ -100,38 +102,112 @@ class PageRankDescriptor(OperatorDescriptor):
         edges = input_estimates[0] if input_estimates else 1.0
         return max(min(edges * 2.0, edges + 1.0), 1.0)
 
+    @staticmethod
+    def _csr_cache_key(node, ctx) -> Optional[tuple]:
+        """A cache key for the edges input's CSR index, or None when the
+        input is not a plain base-table read (or the weight lambda is
+        value-dependent / unfingerprintable).
+
+        Cacheable shapes: a bare scan, or a projection of unmodified
+        columns over one — exactly the cases where the materialised
+        edge batch is a pure function of one immutable
+        :class:`~repro.storage.table.TableData` version."""
+        plan = node.inputs[0]
+        if isinstance(plan, lp.LogicalProject) and isinstance(
+            plan.child, lp.LogicalScan
+        ):
+            slot_to_name = {c.slot: c.name for c in plan.child.output}
+            names = []
+            for expr in plan.exprs:
+                if not isinstance(expr, b.BoundColumnRef):
+                    return None
+                name = slot_to_name.get(expr.slot)
+                if name is None:
+                    return None
+                names.append(name)
+            table_name = plan.child.table_name
+        elif isinstance(plan, lp.LogicalScan):
+            names = [c.name for c in plan.output]
+            table_name = plan.table_name
+        else:
+            return None
+        weight_key = None
+        weight_lambda = node.lambdas.get("weight")
+        if weight_lambda is not None:
+            from ..expr.compiler import kernel_fingerprint
+
+            body_fp = kernel_fingerprint(weight_lambda.body)
+            if body_fp is None:
+                return None
+            # Cached weights are *values*, so a body reading outer
+            # parameters would pin stale numbers into the graph.
+            stack = [weight_lambda.body]
+            while stack:
+                sub = stack.pop()
+                if isinstance(sub, b.BoundParam):
+                    return None
+                stack.extend(sub.children())
+            weight_key = (tuple(weight_lambda.params), body_fp)
+        try:
+            data = ctx.read_table(table_name)
+        except Exception:  # noqa: BLE001 — e.g. working-table scopes
+            return None
+        return (data.version_token, tuple(names), weight_key)
+
     def run(self, node, inputs, ctx, eval_ctx) -> ColumnBatch:
         (edges_batch,) = inputs
         damping, epsilon, max_iterations = node.params
         names = edges_batch.names()
-        src_col = edges_batch[names[0]]
-        dst_col = edges_batch[names[1]]
-        if src_col.null_count() or dst_col.null_count():
-            raise AnalyticsError("PAGERANK edges must not contain NULLs")
-        src = src_col.values.astype(np.int64, copy=False)
-        dst = dst_col.values.astype(np.int64, copy=False)
 
-        weights = None
-        weight_lambda = node.lambdas.get("weight")
-        if weight_lambda is not None:
-            weight_fn = ctx.compiler.compile(weight_lambda)
-            param = weight_lambda.params[0]
-            attrs = weight_lambda.param_attrs[param]
-            lam_batch = ColumnBatch(
-                {
-                    f"{param}.{attr}": edges_batch[name]
-                    for attr, name in zip(attrs, names)
-                }
-            )
-            weight_col = weight_fn(lam_batch, eval_ctx)
-            weights = weight_col.values.astype(np.float64, copy=False)
-            if weight_col.null_count() or (weights < 0).any():
+        graph = None
+        cache_key = None
+        if getattr(ctx, "hot_path", False):
+            cache_key = self._csr_cache_key(node, ctx)
+            if cache_key is not None:
+                graph = csr_cache_lookup(cache_key)
+                if ctx.metrics is not None:
+                    name = (
+                        "analytics_csr_cache_hits_total"
+                        if graph is not None
+                        else "analytics_csr_cache_misses_total"
+                    )
+                    ctx.metrics.counter(name).inc()
+
+        if graph is None:
+            src_col = edges_batch[names[0]]
+            dst_col = edges_batch[names[1]]
+            if src_col.null_count() or dst_col.null_count():
                 raise AnalyticsError(
-                    "PAGERANK edge weights must be non-negative and "
-                    "non-NULL"
+                    "PAGERANK edges must not contain NULLs"
                 )
+            src = src_col.values.astype(np.int64, copy=False)
+            dst = dst_col.values.astype(np.int64, copy=False)
 
-        graph = CSRGraph.from_edges(src, dst, weights)
+            weights = None
+            weight_lambda = node.lambdas.get("weight")
+            if weight_lambda is not None:
+                weight_fn = ctx.compiler.compile(weight_lambda)
+                param = weight_lambda.params[0]
+                attrs = weight_lambda.param_attrs[param]
+                lam_batch = ColumnBatch(
+                    {
+                        f"{param}.{attr}": edges_batch[name]
+                        for attr, name in zip(attrs, names)
+                    }
+                )
+                weight_col = weight_fn(lam_batch, eval_ctx)
+                weights = weight_col.values.astype(
+                    np.float64, copy=False
+                )
+                if weight_col.null_count() or (weights < 0).any():
+                    raise AnalyticsError(
+                        "PAGERANK edge weights must be non-negative and "
+                        "non-NULL"
+                    )
+
+            graph = CSRGraph.from_edges(src, dst, weights)
+            if cache_key is not None:
+                csr_cache_store(cache_key, graph)
         residuals: list[float] = []
         ranks, iterations = pagerank_csr(
             graph, damping, epsilon, max_iterations,

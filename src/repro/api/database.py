@@ -30,6 +30,13 @@ from ..exec.planner import build_physical
 from ..expr.compiler import truth_mask
 from ..obs.metrics import MetricsRegistry, global_registry
 from ..obs.trace import QueryLogEntry, Span, Tracer
+from ..plan.cache import (
+    CachedPlan,
+    NegativePlan,
+    PlanCache,
+    cache_enabled,
+    sql_fingerprint,
+)
 from ..plan.logical import PlanColumn
 from ..plan.optimizer import Optimizer
 from ..sql import ast
@@ -41,7 +48,12 @@ from ..storage.schema import ColumnSchema, TableSchema
 from ..storage.table import TableData
 from ..txn.manager import Transaction, TransactionManager
 from ..txn.wal import WriteAheadLog
-from ..types import SQLType, coerce_scalar, type_from_name
+from ..types import (
+    SQLType,
+    coerce_scalar,
+    infer_literal_type,
+    type_from_name,
+)
 from ..udf.registry import TableUDFDescriptor, UDFRegistry
 from .result import AnalyzedQuery, QueryResult
 
@@ -79,6 +91,10 @@ class Database:
         parallel_threshold: minimum base-table cardinality before the
             planner chooses a parallel pipeline over the serial
             operators (0 parallelises everything — test battery use).
+        plan_cache: enable the statement/plan cache (and with it the
+            whole hot-path stack: expression-kernel cache, zone-map
+            pruning, CSR cache). ``None`` reads ``REPRO_PLAN_CACHE``
+            (default on); see ``docs/performance.md``.
     """
 
     def __init__(
@@ -91,6 +107,7 @@ class Database:
         query_log_size: int = 256,
         workers: Optional[int] = None,
         parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+        plan_cache: Optional[bool] = None,
     ):
         self.catalog = Catalog()
         #: Session metrics registry; mirrored into
@@ -114,6 +131,13 @@ class Database:
         #: serial session never spawns any.
         self.pool = WorkerPool(self.workers, metrics=self.metrics)
         self._session_txn: Optional[Transaction] = None
+        #: Statement/plan cache (docs/performance.md). ``None`` defers
+        #: the on/off decision to REPRO_PLAN_CACHE at statement time.
+        self._plan_cache_enabled = plan_cache
+        self._plan_cache = PlanCache()
+        #: Bumped by UDF/operator registration: cached plans embed the
+        #: registered callables, so re-registration must invalidate.
+        self._cache_epoch = 0
         self._tracer = Tracer(log_size=query_log_size)
         #: Stats of the most recent statement (peak live tuples, etc.).
         self.last_stats: ExecutionStats = ExecutionStats()
@@ -147,6 +171,7 @@ class Database:
         if isinstance(return_type, str):
             return_type = type_from_name(return_type)
         self.udfs.register_scalar(name, func, return_type, arity)
+        self._cache_epoch += 1
 
     def create_table_function(
         self,
@@ -164,10 +189,12 @@ class Database:
         ]
         udf = self.udfs.register_table(name, func, schema)
         self.analytics.register(TableUDFDescriptor(udf))
+        self._cache_epoch += 1
 
     def register_operator(self, descriptor) -> None:
         """Plug a custom analytics operator into the core (layer 4)."""
         self.analytics.register(descriptor)
+        self._cache_epoch += 1
 
     # ------------------------------------------------------------------
     # transactions
@@ -225,13 +252,15 @@ class Database:
         started = time.perf_counter()
         try:
             with tracer.statement(sql) as stmt:
-                with tracer.span("parse"):
-                    statements = parse_sql(sql, params)
-                if not statements:
-                    raise BindError("empty statement")
-                result = QueryResult.statement(0)
-                for statement in statements:
-                    result = self._execute_statement(statement)
+                result = self._execute_with_plan_cache(sql, params)
+                if result is None:
+                    with tracer.span("parse"):
+                        statements = parse_sql(sql, params)
+                    if not statements:
+                        raise BindError("empty statement")
+                    result = QueryResult.statement(0)
+                    for statement in statements:
+                        result = self._execute_statement(statement)
                 stmt.attributes["rows"] = len(result)
                 return result
         except BaseException:
@@ -252,13 +281,26 @@ class Database:
         self, sql: str, seq_of_params: Iterable[Sequence[object]]
     ) -> int:
         """Run one parameterised statement per parameter tuple inside a
-        single transaction; returns the total affected row count."""
+        single transaction; returns the total affected row count.
+
+        A plain ``INSERT ... VALUES`` of placeholders/literals takes a
+        bulk fast path: the statement is parsed and resolved **once**,
+        every row is coerced against the schema, and a single
+        ``insert_rows`` installs them all. Other statements loop over
+        :meth:`execute`, where the plan cache amortises the per-call
+        parse/bind/optimize instead."""
+        rows = [tuple(params) for params in seq_of_params]
+        if not rows:
+            return 0
+        fast = self._executemany_insert(sql, rows)
+        if fast is not None:
+            return fast
         total = 0
         owned = self._session_txn is None
         if owned:
             self.begin()
         try:
-            for params in seq_of_params:
+            for params in rows:
                 result = self.execute(sql, params)
                 total += max(result.rowcount, 0)
         except BaseException:
@@ -268,6 +310,87 @@ class Database:
         if owned:
             self.commit()
         return total
+
+    def _executemany_insert(
+        self, sql: str, rows: list[tuple]
+    ) -> Optional[int]:
+        """The bulk-INSERT fast path of :meth:`executemany`, or None
+        when the statement doesn't qualify (caller falls back to the
+        per-row loop, which reports any parse/bind error itself)."""
+        try:
+            statements = parse_sql(
+                sql, list(rows[0]), parameterize=True
+            )
+        except ReproError:
+            return None
+        if len(statements) != 1:
+            return None
+        statement = statements[0]
+        if not isinstance(statement, ast.Insert):
+            return None
+        if statement.query is not None or not statement.rows:
+            return None
+        cells = [cell for row in statement.rows for cell in row]
+        if not all(
+            isinstance(cell, (ast.Placeholder, ast.Literal))
+            for cell in cells
+        ):
+            return None
+        n_params = len(rows[0])
+        with self._tracer.statement(sql) as stmt:
+            txn, owned = self._current_txn()
+            try:
+                schema = txn.schema_of(statement.table)
+                target_columns = statement.columns or schema.names()
+                positions = [
+                    schema.index_of(name) for name in target_columns
+                ]
+                width = len(schema)
+                types = [
+                    schema.columns[pos].sql_type for pos in positions
+                ]
+                rows_out = []
+                for params in rows:
+                    if len(params) != n_params:
+                        raise BindError(
+                            f"executemany row has {len(params)} "
+                            f"parameters, expected {n_params}"
+                        )
+                    for template in statement.rows:
+                        if len(template) != len(positions):
+                            raise BindError(
+                                f"INSERT expects {len(positions)} "
+                                f"values, got {len(template)}"
+                            )
+                        full: list[object] = [None] * width
+                        for pos, sql_type, cell in zip(
+                            positions, types, template
+                        ):
+                            value = (
+                                params[cell.index]
+                                if isinstance(cell, ast.Placeholder)
+                                else cell.value
+                            )
+                            full[pos] = (
+                                None
+                                if value is None
+                                else coerce_scalar(value, sql_type)
+                            )
+                        rows_out.append(tuple(full))
+                count = txn.insert_rows(statement.table, rows_out)
+                # Metric parity with the per-row path: each parameter
+                # tuple counts as one executed statement.
+                self.metrics.counter(
+                    "statements_total", kind="Insert"
+                ).inc(len(rows))
+                stmt.attributes["rows"] = count
+                if owned:
+                    txn.commit()
+                return count
+            except BaseException:
+                if owned:
+                    txn.rollback()
+                raise
 
     def explain(self, sql: str) -> str:
         """The optimized logical plan of a SELECT, as text."""
@@ -298,20 +421,39 @@ class Database:
         accumulate their init/step/stop children over all rounds.
         """
         tracer = self._tracer
+        counters_before = self._hot_path_counter_values()
         with tracer.statement(sql) as stmt:
-            with tracer.span("parse"):
-                statements = parse_sql(sql, params)
-            if len(statements) != 1 or not isinstance(
-                statements[0], ast.SelectStatement
-            ):
-                raise BindError(
-                    "explain_analyze supports a single SELECT statement"
-                )
             txn, owned = self._current_txn()
             try:
-                plan = self._plan_select(statements[0], txn)
+                # Get-or-populate the plan cache first, so repeated
+                # explain_analyze of a statement shows the hit counters
+                # moving (and shares plans with execute()).
+                query_params: list = []
+                plan = cached = self._lookup_cached_plan(
+                    sql, params, txn
+                )
+                if cached is not None:
+                    query_params = (
+                        list(params) if params is not None else []
+                    )
+                else:
+                    with tracer.span("parse"):
+                        statements = parse_sql(sql, params)
+                    if len(statements) != 1 or not isinstance(
+                        statements[0], ast.SelectStatement
+                    ):
+                        raise BindError(
+                            "explain_analyze supports a single SELECT "
+                            "statement"
+                        )
+                    plan = self._plan_select(statements[0], txn)
                 ctx = self._make_exec_context(txn)
                 ctx.profile = True
+                if query_params:
+                    ctx.query_params = {
+                        f"?{i}": value
+                        for i, value in enumerate(query_params)
+                    }
                 with tracer.span("plan"):
                     op = build_physical(plan, ctx)
                 started = time.perf_counter()
@@ -331,6 +473,9 @@ class Database:
                 return AnalyzedQuery(
                     result, ctx.profile_roots[0], ctx.profile_roots[1:],
                     total_s,
+                    counters=self._hot_path_counter_delta(
+                        counters_before
+                    ),
                 )
             except BaseException:
                 if owned and txn.status == "active":
@@ -464,8 +609,13 @@ class Database:
             return self._session_txn, False
         return self.txns.begin(), True
 
-    def _make_binder(self, txn: Transaction) -> Binder:
-        return Binder(_TxnCatalogView(txn), self.udfs, self.analytics)
+    def _make_binder(
+        self, txn: Transaction, param_types=None
+    ) -> Binder:
+        return Binder(
+            _TxnCatalogView(txn), self.udfs, self.analytics,
+            param_types=param_types,
+        )
 
     def _make_exec_context(self, txn: Transaction) -> ExecutionContext:
         ctx = ExecutionContext(
@@ -480,6 +630,12 @@ class Database:
             parallel_threshold=self.parallel_threshold,
         )
         ctx.profile = self.profile_operators
+        # One switch for the whole hot-path stack: the session's
+        # plan-cache setting also gates kernel caching, zone-map
+        # pruning, fused pipelines, and the CSR cache.
+        active = self.plan_cache_active()
+        ctx.hot_path = active
+        ctx.compiler.enabled = active
         return ctx
 
     def _flush_exec_metrics(self, ctx: ExecutionContext) -> None:
@@ -512,6 +668,10 @@ class Database:
             self.metrics.counter("exec_morsels_dispatched_total").inc(
                 stats.morsels_dispatched
             )
+        if stats.morsels_pruned:
+            self.metrics.counter("scan_morsels_pruned_total").inc(
+                stats.morsels_pruned
+            )
         self.metrics.gauge("exec_peak_live_tuples").set(
             stats.peak_live_tuples
         )
@@ -524,11 +684,206 @@ class Database:
             row_count_of, self.analytics, enabled=self.optimize_enabled
         )
 
-    def _plan_select(self, statement: ast.SelectStatement, txn):
+    def _plan_select(
+        self, statement: ast.SelectStatement, txn, param_types=None
+    ):
         with self._tracer.span("bind"):
-            plan = self._make_binder(txn).bind_query(statement)
+            plan = self._make_binder(txn, param_types).bind_query(
+                statement
+            )
         with self._tracer.span("optimize"):
             return self._make_optimizer(txn).optimize(plan)
+
+    # -- statement/plan cache ------------------------------------------
+
+    #: Counters of the hot-path stack, surfaced as a per-statement
+    #: delta on :class:`AnalyzedQuery` (docs/performance.md).
+    HOT_PATH_COUNTERS = (
+        "exec_plan_cache_hits_total",
+        "exec_plan_cache_misses_total",
+        "expr_kernel_cache_hits_total",
+        "expr_kernel_cache_misses_total",
+        "scan_morsels_pruned_total",
+        "analytics_csr_cache_hits_total",
+        "analytics_csr_cache_misses_total",
+    )
+
+    def _hot_path_counter_values(self) -> dict:
+        counters = self.metrics.snapshot()["counters"]
+        return {
+            name: counters.get(name, 0.0)
+            for name in self.HOT_PATH_COUNTERS
+        }
+
+    def _hot_path_counter_delta(self, before: dict) -> dict:
+        after = self._hot_path_counter_values()
+        return {
+            name: after[name] - before[name]
+            for name in self.HOT_PATH_COUNTERS
+            if after[name] != before[name]
+        }
+
+    def plan_cache_active(self) -> bool:
+        """Whether the hot-path caches apply to this session right now
+        (constructor override, else the REPRO_PLAN_CACHE switch)."""
+        if self._plan_cache_enabled is not None:
+            return self._plan_cache_enabled
+        return cache_enabled()
+
+    def _plan_cache_epoch(self) -> tuple:
+        return (self.catalog.ddl_version, self._cache_epoch)
+
+    def _execute_with_plan_cache(
+        self, sql: str, params: Optional[Sequence[object]]
+    ) -> Optional[QueryResult]:
+        """Serve ``sql`` through the plan cache; None means "not
+        cacheable — run the ordinary literal-substitution path".
+
+        Only single SELECT statements are cached. Parameter *values*
+        never enter the key — only their SQL types do — so a point query
+        re-executed with fresh parameters reuses the plan. NULL
+        parameters bypass the cache (they bind as NULLTYPE literals with
+        their own comparison folding), as does a session transaction
+        holding uncommitted local DDL (the snapshot disagrees with the
+        committed catalog version the epoch tracks)."""
+        if not self.plan_cache_active():
+            return None
+        values = list(params) if params is not None else []
+        if any(value is None for value in values):
+            return None
+        txn_local = self._session_txn
+        if txn_local is not None and (
+            txn_local.created_tables or txn_local.dropped_tables
+        ):
+            return None
+        fingerprint = sql_fingerprint(sql)
+        if fingerprint is None:
+            return None
+        try:
+            param_types = [infer_literal_type(v) for v in values]
+        except ReproError:
+            return None
+        key = (fingerprint, tuple(t.kind.value for t in param_types))
+        epoch = self._plan_cache_epoch()
+        entry = self._plan_cache.lookup(key, epoch)
+        if isinstance(entry, NegativePlan):
+            return None
+        txn, owned = self._current_txn()
+        try:
+            if isinstance(entry, CachedPlan):
+                self.metrics.counter("exec_plan_cache_hits_total").inc()
+                plan = entry.plan
+            else:
+                self.metrics.counter(
+                    "exec_plan_cache_misses_total"
+                ).inc()
+                plan = self._try_cache_plan(
+                    sql, values, param_types, key, txn
+                )
+                if plan is None:
+                    if owned:
+                        txn.rollback()
+                    return None
+            self.metrics.counter(
+                "statements_total", kind="SelectStatement"
+            ).inc()
+            result = self._execute_plan(plan, txn, query_params=values)
+            if owned:
+                txn.commit()
+            return result
+        except BaseException:
+            if owned and txn.status == "active":
+                txn.rollback()
+            raise
+
+    def _lookup_cached_plan(self, sql, params, txn):
+        """Plan-cache get-or-populate against an already-open
+        transaction (the ``explain_analyze`` entry point); None when the
+        statement is uncacheable or negatively cached. Mirrors the
+        bypass rules of :meth:`_execute_with_plan_cache`."""
+        if not self.plan_cache_active():
+            return None
+        values = list(params) if params is not None else []
+        if any(value is None for value in values):
+            return None
+        txn_local = self._session_txn
+        if txn_local is not None and (
+            txn_local.created_tables or txn_local.dropped_tables
+        ):
+            return None
+        fingerprint = sql_fingerprint(sql)
+        if fingerprint is None:
+            return None
+        try:
+            param_types = [infer_literal_type(v) for v in values]
+        except ReproError:
+            return None
+        key = (fingerprint, tuple(t.kind.value for t in param_types))
+        entry = self._plan_cache.lookup(key, self._plan_cache_epoch())
+        if isinstance(entry, NegativePlan):
+            return None
+        if isinstance(entry, CachedPlan):
+            self.metrics.counter("exec_plan_cache_hits_total").inc()
+            return entry.plan
+        self.metrics.counter("exec_plan_cache_misses_total").inc()
+        return self._try_cache_plan(sql, values, param_types, key, txn)
+
+    def _try_cache_plan(self, sql, values, param_types, key, txn):
+        """Plan ``sql`` in parameterized mode against ``txn`` and cache
+        the result; None (after storing a negative entry) when the
+        statement cannot take the cached path."""
+        epoch = self._plan_cache_epoch()
+        try:
+            with self._tracer.span("parse"):
+                statements = parse_sql(sql, values, parameterize=True)
+        except ReproError:
+            self._plan_cache.store(key, NegativePlan(epoch))
+            return None
+        if len(statements) != 1 or not isinstance(
+            statements[0], ast.SelectStatement
+        ):
+            self._plan_cache.store(key, NegativePlan(epoch))
+            return None
+        try:
+            plan = self._plan_select(
+                statements[0], txn, param_types=param_types
+            )
+        except ReproError:
+            # LIMIT ?, GROUP BY ?, analytics args, ... need values at
+            # bind time; remember that and use the literal path.
+            self._plan_cache.store(key, NegativePlan(epoch))
+            return None
+        self._plan_cache.store(key, CachedPlan(plan, epoch))
+        return plan
+
+    def _execute_plan(
+        self,
+        plan,
+        txn: Transaction,
+        query_params: Optional[Sequence[object]] = None,
+    ) -> QueryResult:
+        """Instantiate and run physical operators for an optimized
+        logical plan (fresh or cached)."""
+        ctx = self._make_exec_context(txn)
+        if query_params:
+            ctx.query_params = {
+                f"?{i}": value for i, value in enumerate(query_params)
+            }
+        with self._tracer.span("plan"):
+            op = build_physical(plan, ctx)
+        try:
+            with self._tracer.span("execute"):
+                batch = materialize(
+                    list(op.execute(ctx.new_eval_context())), plan.output
+                )
+        finally:
+            # Publish even when execution aborts (iteration limit, ...):
+            # rounds already executed stay observable.
+            self.last_stats = ctx.stats
+            self._flush_exec_metrics(ctx)
+        result = QueryResult.from_batch(batch, plan.output)
+        result.telemetry = dict(ctx.telemetry)
+        return result
 
     def _execute_statement(self, statement: ast.Statement) -> QueryResult:
         self.metrics.counter(
@@ -590,22 +945,7 @@ class Database:
         self, statement: ast.SelectStatement, txn: Transaction
     ) -> QueryResult:
         plan = self._plan_select(statement, txn)
-        ctx = self._make_exec_context(txn)
-        with self._tracer.span("plan"):
-            op = build_physical(plan, ctx)
-        try:
-            with self._tracer.span("execute"):
-                batch = materialize(
-                    list(op.execute(ctx.new_eval_context())), plan.output
-                )
-        finally:
-            # Publish even when execution aborts (iteration limit, ...):
-            # rounds already executed stay observable.
-            self.last_stats = ctx.stats
-            self._flush_exec_metrics(ctx)
-        result = QueryResult.from_batch(batch, plan.output)
-        result.telemetry = dict(ctx.telemetry)
-        return result
+        return self._execute_plan(plan, txn)
 
     def _run_create(
         self, statement: ast.CreateTable, txn: Transaction

@@ -132,6 +132,9 @@ class AnalyzedQuery:
     ``root`` is the main plan's :class:`OperatorStats`; ``subplans``
     holds the stats trees of subquery plans built lazily during
     execution (scalar/IN/EXISTS subqueries), in build order.
+    ``counters`` is this statement's delta of the hot-path cache
+    counters — plan cache, expression-kernel cache, zone-map pruning,
+    CSR cache — empty when none moved (docs/performance.md).
     """
 
     def __init__(
@@ -140,11 +143,13 @@ class AnalyzedQuery:
         root: OperatorStats,
         subplans: list[OperatorStats],
         total_s: float,
+        counters: Optional[dict] = None,
     ):
         self.result = result
         self.root = root
         self.subplans = subplans
         self.total_s = total_s
+        self.counters: dict = counters or {}
 
     def operators(self) -> Iterator[OperatorStats]:
         """Every stats node of the main plan and all subplans."""
@@ -177,6 +182,12 @@ class AnalyzedQuery:
         for i, sub in enumerate(self.subplans):
             parts.append(f"subplan {i}:")
             parts.append(sub.format(indent=1))
+        if self.counters:
+            rendered = ", ".join(
+                f"{name}={value:g}"
+                for name, value in sorted(self.counters.items())
+            )
+            parts.append(f"hot path: {rendered}")
         return "\n".join(parts)
 
     def __str__(self) -> str:

@@ -18,6 +18,8 @@ Experiments (paper locations in parentheses):
     ablation_iterate   ITERATE vs recursive CTE memory & time (§5.1/§8.4.1)
     ablation_csr       CSR operator vs relational joins (§6.3/§8.4.2)
     ablation_lambda    compiled lambda vs interpreted UDF metric (§7)
+    statement_cache    hot-path stack on/off on repeated statements
+                       (docs/performance.md)
 
 ``--scale`` scales the paper's data sizes (default 0.001: 1/1000 of the
 1 TB-server workloads, laptop-sized). Runtimes will not match the
@@ -42,6 +44,7 @@ from .figures import (
     run_fig5_nb_dims,
     run_fig5_nb_tuples,
     run_fig5_pagerank,
+    run_statement_cache,
     run_table1,
 )
 
@@ -57,6 +60,7 @@ EXPERIMENTS = {
     "ablation_iterate": run_ablation_iterate,
     "ablation_csr": run_ablation_csr,
     "ablation_lambda": run_ablation_lambda,
+    "statement_cache": run_statement_cache,
 }
 
 

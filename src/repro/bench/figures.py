@@ -356,3 +356,94 @@ def run_ablation_lambda(
         )
     table.print()
     return table
+
+
+# ---------------------------------------------------------------------------
+# Statement cache (docs/performance.md)
+# ---------------------------------------------------------------------------
+
+
+def run_statement_cache(
+    scale: float = 0.001, repeat: int = 1
+) -> SeriesTable:
+    """The hot-path stack on repeated statements: the same database
+    workloads with the statement cache (and with it the kernel cache
+    and zone-map pruning) enabled vs disabled.
+
+    Two regimes from docs/performance.md:
+
+    * **point query** — one parameterized single-row lookup executed
+      in a tight loop, the OLTP-shaped case where per-statement
+      parse/bind/optimize dominates and zone maps skip nearly every
+      morsel;
+    * **ITERATE k-Means** — one large layer-3 statement re-executed
+      round after round, where the cached plan amortises a big
+      compile but execution dominates.
+    """
+    from .. import Database
+    from ..datagen.vectors import (
+        feature_names,
+        load_centers_table,
+        load_vector_table,
+    )
+    from ..workloads import kmeans_iterate_sql
+
+    point_rows = max(_scaled_n(20_000_000, scale), 20_000)
+    point_execs = 300
+    kmeans_n = _scaled_n(KMEANS_DEFAULTS["n"], scale)
+    kmeans_rounds = 8
+    table = SeriesTable(
+        f"Statement cache — repeated statements (point rows="
+        f"{point_rows}, execs={point_execs}; k-Means n={kmeans_n}, "
+        f"rounds={kmeans_rounds})",
+        "workload",
+        ["cache on", "cache off"],
+    )
+    for series, plan_cache in (("cache on", True), ("cache off", False)):
+        # Zone-aligned morsels (zone maps are 4096-row): pruning can
+        # skip whole morsels on the point lookup. Same layout for both
+        # legs — the cache-off engine just never prunes.
+        db = Database(
+            profile_operators=False, plan_cache=plan_cache,
+            morsel_rows=4096,
+        )
+        db.execute(
+            "CREATE TABLE points (id INTEGER, grp VARCHAR, v DOUBLE)"
+        )
+        db.executemany(
+            "INSERT INTO points VALUES (?, ?, ?)",
+            [(i, f"g{i % 31}", i * 0.5) for i in range(point_rows)],
+        )
+        sql = "SELECT grp, v FROM points WHERE id = ?"
+        db.execute(sql, (1,))  # warm both legs identically
+
+        def point_loop():
+            for i in range(point_execs):
+                db.execute(sql, (i * 37 % point_rows,))
+
+        table.record(
+            series, "point query", measure(point_loop, repeat),
+            note=f"{point_execs} executions",
+        )
+        db.close()
+    d, k = 4, KMEANS_DEFAULTS["k"]
+    for series, plan_cache in (("cache on", True), ("cache off", False)):
+        db = Database(profile_operators=False, plan_cache=plan_cache)
+        columns = load_vector_table(db, "data", kmeans_n, d, seed=0)
+        load_centers_table(db, "centers", columns, k, seed=2)
+        sql = kmeans_iterate_sql(
+            "data", "centers", feature_names(d), 3
+        )
+        db.execute(sql)  # warm both legs identically
+
+        def kmeans_loop():
+            for _round in range(kmeans_rounds):
+                db.execute(sql)
+
+        table.record(
+            series, "ITERATE k-Means", measure(kmeans_loop, repeat),
+            note=f"{kmeans_rounds} rounds",
+        )
+        db.close()
+    table.print()
+    return table

@@ -1,0 +1,215 @@
+"""Fused Scan→Filter→Project pipelines.
+
+One program — a bottom-up list of compiled steps — replaces the serial
+FilterOp/ProjectOp operator chain over a base-table scan, so a morsel
+runs predicate + projection in a single pass without crossing operator
+boundaries. The same program representation drives the morsel tasks of
+:class:`repro.exec.parallel.ParallelPipelineOp`; this module is the
+shared home so both executors stay behaviourally identical.
+
+Two optimisations ride on the program form:
+
+* **Column pruning at filter boundaries**: after a filter's mask is
+  evaluated, only the columns later steps (or the final output) still
+  reference are gathered — predicate-only columns are dropped *before*
+  the fancy-index gather, which is where filter time goes.
+* **Zone-map pruning**: morsel ranges provably empty under the leading
+  filter predicates are never sliced at all
+  (:class:`repro.storage.zonemap.ScanPruner`).
+
+Filter steps evaluate **sequentially** (no mask merging): conjunct
+evaluation order is observable through data-dependent errors
+(``a <> 0 AND b / a > 1`` must not divide where ``a = 0``), so fusion
+never reorders or combines predicate evaluations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..plan import logical as lp
+from ..storage.column import ColumnBatch
+from .physical import ExecutionContext, PhysicalOperator
+
+
+def build_pipeline_program(
+    stages: list[lp.LogicalPlan],
+    ctx: ExecutionContext,
+) -> list[tuple]:
+    """Compile a top-down Filter/Project stage chain into a bottom-up
+    step program.
+
+    Steps are ``("filter", mask_fn, keep_slots)`` — ``keep_slots`` is
+    the ordered list of slots later steps still need (None = keep all) —
+    or ``("project", out_cols, fns)``.
+    """
+    bottom_up = list(reversed(stages))
+    # Slots needed *after* each step, computed by a backward pass. The
+    # final step's consumers need exactly the chain's output slots.
+    needed_after: list[Optional[list[str]]] = [None] * len(bottom_up)
+    needed = [col.slot for col in stages[0].output] if stages else []
+    for i in range(len(bottom_up) - 1, -1, -1):
+        stage = bottom_up[i]
+        needed_after[i] = list(needed)
+        if isinstance(stage, lp.LogicalFilter):
+            merged = list(needed)
+            for slot in sorted(stage.predicate.referenced_slots()):
+                if slot not in merged:
+                    merged.append(slot)
+            needed = merged
+        else:
+            refs: list[str] = []
+            for expr in stage.exprs:
+                for slot in sorted(expr.referenced_slots()):
+                    if slot not in refs:
+                        refs.append(slot)
+            needed = refs
+    program: list[tuple] = []
+    for i, stage in enumerate(bottom_up):
+        if isinstance(stage, lp.LogicalFilter):
+            keep = needed_after[i]
+            if not keep:
+                # A batch with zero columns loses its row count (the
+                # length is derived from the columns), so a chain whose
+                # upper stages reference no slots at all must keep the
+                # scan columns as row-count carriers.
+                keep = None
+            program.append(
+                (
+                    "filter",
+                    ctx.compiler.compile_predicate(stage.predicate),
+                    keep,
+                )
+            )
+        else:
+            program.append(
+                (
+                    "project",
+                    list(stage.output),
+                    [ctx.compiler.compile(e) for e in stage.exprs],
+                )
+            )
+    return program
+
+
+def run_program(
+    program: list[tuple], batch: ColumnBatch, eval_ctx
+) -> ColumnBatch:
+    """Apply a pipeline program to one morsel batch."""
+    for step in program:
+        if step[0] == "filter":
+            _tag, mask_fn, keep = step
+            # Mask first (it may read predicate-only columns), then drop
+            # those columns before the gather. The projection also runs
+            # on already-empty batches so every morsel leaves this step
+            # with an identical layout.
+            mask = mask_fn(batch, eval_ctx) if len(batch) else None
+            if keep is not None and len(keep) < len(batch.columns):
+                batch = batch.project(keep)
+            if mask is not None and not mask.all():
+                batch = batch.filter(mask)
+        else:
+            _tag, out_cols, fns = step
+            batch = ColumnBatch(
+                {
+                    col.slot: fn(batch, eval_ctx)
+                    for col, fn in zip(out_cols, fns)
+                }
+            )
+    return batch
+
+
+def pipeline_pruner(
+    scan: lp.LogicalScan, stages: list[lp.LogicalPlan]
+):
+    """A :class:`ScanPruner` over the leading filter stages (the
+    filters applied before any projection changes the slot space), or
+    None when those predicates admit no pruning."""
+    from ..storage.zonemap import ScanPruner
+
+    leading = []
+    for stage in reversed(stages):
+        if isinstance(stage, lp.LogicalFilter):
+            leading.append(stage.predicate)
+        else:
+            break
+    if not leading:
+        return None
+    pruner = ScanPruner(scan.output, leading)
+    return pruner if pruner.active else None
+
+
+def try_build_fused_pipeline(
+    plan: lp.LogicalPlan, ctx: ExecutionContext
+) -> Optional["FusedPipelineOp"]:
+    """The serial analogue of ``try_build_parallel_pipeline``: fuse a
+    Filter/Project chain rooted at a base-table scan into one operator.
+
+    Only taken when the hot-path stack is enabled and the statement is
+    not profiled — profiled plans keep the one-node-per-operator shape
+    that ``explain_analyze`` reports."""
+    if ctx.profile or not ctx.hot_path:
+        return None
+    stages: list[lp.LogicalPlan] = []
+    node = plan
+    while isinstance(node, (lp.LogicalFilter, lp.LogicalProject)):
+        stages.append(node)
+        node = node.child
+    if not stages or not isinstance(node, lp.LogicalScan):
+        return None
+    return FusedPipelineOp(plan, stages, node, ctx)
+
+
+class FusedPipelineOp(PhysicalOperator):
+    """Serial fused Scan→Filter→Project pipeline with zone-map morsel
+    skipping; bit-identical to the unfused operator chain."""
+
+    def __init__(
+        self,
+        plan: lp.LogicalPlan,
+        stages: list[lp.LogicalPlan],
+        scan: lp.LogicalScan,
+        ctx: ExecutionContext,
+    ):
+        super().__init__(list(plan.output))
+        self._scan = scan
+        self._ctx = ctx
+        self._program = build_pipeline_program(stages, ctx)
+        self._pruner = pipeline_pruner(scan, stages)
+
+    def describe(self) -> str:
+        return (
+            f"FusedPipeline({self._scan.table_name}, "
+            f"stages={len(self._program)})"
+        )
+
+    def execute(self, eval_ctx) -> Iterator[ColumnBatch]:
+        from .parallel import morsel_ranges
+
+        ctx = self._ctx
+        data = ctx.read_table(self._scan.table_name)
+        ctx.stats.rows_scanned += data.row_count
+        if data.row_count == 0:
+            yield self.empty_batch()
+            return
+        columns = {
+            col.slot: data.column_by_name(col.name)
+            for col in self._scan.output
+        }
+        ranges = morsel_ranges(data.row_count, ctx.morsel_rows)
+        if self._pruner is not None:
+            ranges, pruned = self._pruner.keep_ranges(
+                data, ranges, eval_ctx.params
+            )
+            ctx.stats.morsels_pruned += pruned
+        if not ranges:
+            yield self.empty_batch()
+            return
+        for start, stop in ranges:
+            batch = ColumnBatch(
+                {
+                    slot: col.slice(start, stop)
+                    for slot, col in columns.items()
+                }
+            )
+            yield run_program(self._program, batch, eval_ctx)

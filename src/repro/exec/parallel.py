@@ -39,6 +39,7 @@ from ..expr.aggregates import _segmented_reduce, group_counts, group_sums
 from ..plan import logical as lp
 from ..storage.column import Column, ColumnBatch
 from ..types import BIGINT, BOOLEAN, DOUBLE, TypeKind
+from .fused import build_pipeline_program, pipeline_pruner, run_program
 from .physical import ExecutionContext, PhysicalOperator
 
 T = TypeVar("T")
@@ -243,21 +244,12 @@ class ParallelPipelineOp(PhysicalOperator):
         super().__init__(list(plan.output))
         self._scan = scan
         self._ctx = ctx
-        # Bottom-up stage programs: ("filter", mask_fn) applies a
-        # predicate; ("project", cols, fns) evaluates expressions.
-        self._program: list[tuple] = []
-        for stage in reversed(stages):
-            if isinstance(stage, lp.LogicalFilter):
-                self._program.append(
-                    ("filter",
-                     ctx.compiler.compile_predicate(stage.predicate))
-                )
-            else:
-                self._program.append(
-                    ("project",
-                     list(stage.output),
-                     [ctx.compiler.compile(e) for e in stage.exprs])
-                )
+        # Bottom-up stage program shared with the serial fused pipeline
+        # (see repro.exec.fused) so both paths stay bit-identical.
+        self._program = build_pipeline_program(stages, ctx)
+        self._pruner = (
+            pipeline_pruner(scan, stages) if ctx.hot_path else None
+        )
 
     def describe(self) -> str:
         workers = self._ctx.pool.workers if self._ctx.pool else 1
@@ -279,22 +271,7 @@ class ParallelPipelineOp(PhysicalOperator):
                 for slot, col in columns.items()
             }
         )
-        for step in self._program:
-            if step[0] == "filter":
-                if len(batch) == 0:
-                    continue
-                mask = step[1](batch, eval_ctx)
-                if not mask.all():
-                    batch = batch.filter(mask)
-            else:
-                _tag, out_cols, fns = step
-                batch = ColumnBatch(
-                    {
-                        col.slot: fn(batch, eval_ctx)
-                        for col, fn in zip(out_cols, fns)
-                    }
-                )
-        return batch
+        return run_program(self._program, batch, eval_ctx)
 
     def execute(self, eval_ctx) -> Iterator[ColumnBatch]:
         ctx = self._ctx
@@ -308,6 +285,14 @@ class ParallelPipelineOp(PhysicalOperator):
             for col in self._scan.output
         }
         ranges = morsel_ranges(data.row_count, ctx.morsel_rows)
+        if self._pruner is not None:
+            ranges, pruned = self._pruner.keep_ranges(
+                data, ranges, eval_ctx.params
+            )
+            ctx.stats.morsels_pruned += pruned
+        if not ranges:
+            yield self.empty_batch()
+            return
         pool = ctx.pool
         ctx.stats.parallel_pipelines += 1
         ctx.stats.morsels_dispatched += len(ranges)

@@ -7,6 +7,7 @@ from typing import Callable, Iterator, Optional
 
 from ..errors import ExecutionError
 from ..expr.compiler import EvalContext, ExpressionCompiler
+from ..plan.cache import cache_enabled
 from ..plan.logical import LogicalPlan, PlanColumn
 from ..storage.column import Column, ColumnBatch
 from ..storage.table import DEFAULT_MORSEL_ROWS, TableData
@@ -32,6 +33,10 @@ class ExecutionStats:
         self.batches_produced = 0
         self.parallel_pipelines = 0
         self.morsels_dispatched = 0
+        #: Morsels skipped via zone maps (serial scans and parallel
+        #: pipelines alike); ``rows_scanned`` still counts the full
+        #: table so scan cardinality semantics stay unchanged.
+        self.morsels_pruned = 0
 
     def observe_live_tuples(self, count: int) -> None:
         if count > self.peak_live_tuples:
@@ -149,7 +154,7 @@ class ExecutionContext:
         self.udfs = udfs
         self.morsel_rows = morsel_rows
         self.max_iterations = max_iterations
-        self.compiler = ExpressionCompiler()
+        self.compiler = ExpressionCompiler(metrics=metrics)
         self.working_tables: dict[str, ColumnBatch] = {}
         self.stats = ExecutionStats()
         self.profile = False
@@ -174,12 +179,30 @@ class ExecutionContext:
         #: Minimum scanned cardinality for the planner to choose a
         #: parallel pipeline over the serial operator chain.
         self.parallel_threshold = parallel_threshold
+        #: Statement parameter values for cached parameterized plans,
+        #: keyed ``?0``, ``?1``, ... — merged into every EvalContext so
+        #: BoundParam slots resolve anywhere in the plan (including
+        #: inside subplans).
+        self.query_params: dict[str, object] = {}
+        #: Prune predicates for scans, keyed ``id(scan_node)`` — set by
+        #: the planner when a filter sits directly on a scan so the scan
+        #: can skip morsels via zone maps.
+        self.scan_prune: dict[int, object] = {}
+        #: Whether the hot-path stack (zone pruning, fused pipelines,
+        #: CSR cache) applies. The session sets it from its plan-cache
+        #: switch; standalone contexts follow REPRO_PLAN_CACHE.
+        self.hot_path = cache_enabled()
 
     def new_eval_context(
         self, params: Optional[dict[str, object]] = None
     ) -> EvalContext:
         """An EvalContext wired to execute subquery plans in this
         context (shared uncorrelated-subquery cache)."""
+        if self.query_params:
+            merged = dict(self.query_params)
+            if params:
+                merged.update(params)
+            params = merged
         ctx = EvalContext(execute_plan=self.run_subplan, params=params)
         return ctx
 

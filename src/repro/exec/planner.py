@@ -8,6 +8,7 @@ from ..storage.column import ColumnBatch
 from .aggregate import DistinctOp, HashAggregateOp
 from .cte import RecursiveCTEOp
 from .filter import FilterOp
+from .fused import try_build_fused_pipeline
 from .iterate import IterateOp
 from .join import HashJoinOp, NestedLoopJoinOp
 from .parallel import try_build_parallel_pipeline
@@ -67,7 +68,15 @@ def _build_physical_node(
         pipeline = try_build_parallel_pipeline(plan, ctx)
         if pipeline is not None:
             return pipeline
+        fused = try_build_fused_pipeline(plan, ctx)
+        if fused is not None:
+            return fused
         if isinstance(plan, lp.LogicalFilter):
+            # Filter directly on a scan: register the predicate so the
+            # ScanOp can consult zone maps and skip provably-empty
+            # morsels (the profiled / non-fused serial path).
+            if isinstance(plan.child, lp.LogicalScan):
+                ctx.scan_prune[id(plan.child)] = plan.predicate
             return FilterOp(plan, build_physical(plan.child, ctx), ctx)
         return ProjectOp(plan, build_physical(plan.child, ctx), ctx)
     if isinstance(plan, lp.LogicalJoin):

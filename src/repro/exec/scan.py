@@ -24,6 +24,14 @@ class ScanOp(PhysicalOperator):
         super().__init__(node.output)
         self._node = node
         self._ctx = ctx
+        self._pruner = None
+        predicate = ctx.scan_prune.get(id(node))
+        if predicate is not None and ctx.hot_path:
+            from ..storage.zonemap import ScanPruner
+
+            pruner = ScanPruner(node.output, [predicate])
+            if pruner.active:
+                self._pruner = pruner
 
     def describe(self) -> str:
         return f"Scan({self._node.table_name})"
@@ -39,8 +47,19 @@ class ScanOp(PhysicalOperator):
             yield self.empty_batch()
             return
         morsel = self._ctx.morsel_rows
-        for start in range(0, data.row_count, morsel):
-            stop = min(start + morsel, data.row_count)
+        ranges = [
+            (start, min(start + morsel, data.row_count))
+            for start in range(0, data.row_count, morsel)
+        ]
+        if self._pruner is not None:
+            ranges, pruned = self._pruner.keep_ranges(
+                data, ranges, eval_ctx.params
+            )
+            self._ctx.stats.morsels_pruned += pruned
+        if not ranges:
+            yield self.empty_batch()
+            return
+        for start, stop in ranges:
             yield ColumnBatch(
                 {
                     slot: col.slice(start, stop)

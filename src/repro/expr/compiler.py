@@ -14,6 +14,8 @@ Three-valued logic: every result :class:`Column` carries a validity mask;
 from __future__ import annotations
 
 import re
+import threading
+from collections import OrderedDict
 from typing import Callable, Optional
 
 import numpy as np
@@ -53,8 +55,13 @@ class EvalContext:
 
     def child(self, params: dict[str, object]) -> "EvalContext":
         """A context for a correlated subquery invocation: fresh params,
-        shared executor and cache."""
-        ctx = EvalContext(self.execute_plan, params)
+        shared executor and cache. Statement-level ``?N`` parameter
+        slots are inherited — the subquery may reference them too."""
+        merged = {
+            k: v for k, v in self.params.items() if k.startswith("?")
+        }
+        merged.update(params)
+        ctx = EvalContext(self.execute_plan, merged)
         ctx.subquery_cache = self.subquery_cache
         return ctx
 
@@ -110,6 +117,98 @@ def _to_dtype(value, dtype: np.dtype):
     return value
 
 
+# ---------------------------------------------------------------------------
+# Compiled-kernel cache
+# ---------------------------------------------------------------------------
+
+#: Whole-expression kernels kept across statements (LRU beyond this).
+KERNEL_CACHE_CAPACITY = 512
+
+_KERNEL_CACHE: "OrderedDict[tuple, Compiled]" = OrderedDict()
+_KERNEL_LOCK = threading.Lock()
+
+
+def kernel_fingerprint(expr: b.BoundExpr) -> Optional[tuple]:
+    """A structural, hashable fingerprint of a bound expression tree.
+
+    Two trees with equal fingerprints compile to interchangeable
+    closures: node types, operators, column slots (whose batch keys are
+    binder-deterministic), literal values *and* their Python types, and
+    SQL result types all participate. Returns None for uncacheable
+    trees: subqueries (their closures key runtime caches on node
+    identity and capture plans) and UDFs/lambdas (arbitrary Python whose
+    identity a structural walk cannot capture).
+    """
+    if isinstance(expr, b.BoundLiteral):
+        return (
+            "lit", type(expr.value).__name__, expr.value,
+            expr.sql_type.kind.value,
+        )
+    if isinstance(expr, b.BoundColumnRef):
+        return ("col", expr.slot, expr.sql_type.kind.value)
+    if isinstance(expr, b.BoundParam):
+        return ("param", expr.slot, expr.sql_type.kind.value)
+    if isinstance(expr, b.BoundUnary):
+        operand = kernel_fingerprint(expr.operand)
+        if operand is None:
+            return None
+        return ("un", expr.op, expr.sql_type.kind.value, operand)
+    if isinstance(expr, b.BoundBinary):
+        left = kernel_fingerprint(expr.left)
+        right = kernel_fingerprint(expr.right)
+        if left is None or right is None:
+            return None
+        return ("bin", expr.op, expr.sql_type.kind.value, left, right)
+    if isinstance(expr, b.BoundFunction):
+        args = tuple(kernel_fingerprint(a) for a in expr.args)
+        if any(a is None for a in args):
+            return None
+        return ("fn", expr.name, expr.sql_type.kind.value) + args
+    if isinstance(expr, b.BoundCast):
+        operand = kernel_fingerprint(expr.operand)
+        if operand is None:
+            return None
+        return (
+            "cast", expr.sql_type.kind.value, expr.sql_type.width,
+            operand,
+        )
+    if isinstance(expr, b.BoundCase):
+        parts: list[object] = ["case", expr.sql_type.kind.value]
+        for when, then in expr.whens:
+            w = kernel_fingerprint(when)
+            t = kernel_fingerprint(then)
+            if w is None or t is None:
+                return None
+            parts.append((w, t))
+        if expr.else_result is not None:
+            e = kernel_fingerprint(expr.else_result)
+            if e is None:
+                return None
+            parts.append(("else", e))
+        return tuple(parts)
+    if isinstance(expr, b.BoundIsNull):
+        operand = kernel_fingerprint(expr.operand)
+        if operand is None:
+            return None
+        return ("isnull", expr.negated, operand)
+    if isinstance(expr, b.BoundInList):
+        operand = kernel_fingerprint(expr.operand)
+        if operand is None:
+            return None
+        items = tuple(kernel_fingerprint(i) for i in expr.items)
+        if any(i is None for i in items):
+            return None
+        return ("inlist", expr.negated, operand) + items
+    if isinstance(expr, b.BoundLike):
+        operand = kernel_fingerprint(expr.operand)
+        pattern = kernel_fingerprint(expr.pattern)
+        if operand is None or pattern is None:
+            return None
+        return ("like", expr.negated, pattern, operand)
+    # BoundSubquery, BoundUDF, BoundLambda, anything unknown.
+    return None
+
+
 _LIKE_CACHE: dict[str, re.Pattern] = {}
 
 
@@ -131,16 +230,76 @@ def _like_regex(pattern: str) -> re.Pattern:
 
 
 class ExpressionCompiler:
-    """Compiles bound expressions to batch-at-a-time closures."""
+    """Compiles bound expressions to batch-at-a-time closures.
+
+    Whole-expression kernels are shared across statements through a
+    process-wide LRU keyed on :func:`kernel_fingerprint`: compiled
+    closures are pure functions of ``(batch, eval_ctx)``, so a repeated
+    predicate or projection skips the tree walk entirely. ``metrics``
+    (optional) receives ``expr_kernel_cache_{hits,misses}_total``.
+    """
+
+    def __init__(self, metrics=None):
+        self.metrics = metrics
+        #: Tri-state kernel-cache switch: None follows REPRO_PLAN_CACHE
+        #: (checked per compile), True/False forces it (session override).
+        self.enabled: Optional[bool] = None
+        self._depth = 0
 
     def compile(self, expr: b.BoundExpr) -> Compiled:
         """Dispatch on node type; returns the evaluation closure."""
+        if self._depth == 0:
+            enabled = self.enabled
+            if enabled is None:
+                from ..plan.cache import cache_enabled
+
+                enabled = cache_enabled()
+            if enabled:
+                return self._compile_cached(expr)
+        return self._dispatch(expr)
+
+    def _compile_cached(self, expr: b.BoundExpr) -> Compiled:
+        # Leaves compile in a few instructions; caching them per literal
+        # value would only churn the LRU (e.g. one INSERT per row floods
+        # it with single-use fingerprints).
+        if isinstance(
+            expr, (b.BoundLiteral, b.BoundColumnRef, b.BoundParam)
+        ):
+            return self._dispatch(expr)
+        fingerprint = kernel_fingerprint(expr)
+        if fingerprint is None:
+            return self._dispatch(expr)
+        with _KERNEL_LOCK:
+            fn = _KERNEL_CACHE.get(fingerprint)
+            if fn is not None:
+                _KERNEL_CACHE.move_to_end(fingerprint)
+        if fn is not None:
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "expr_kernel_cache_hits_total"
+                ).inc()
+            return fn
+        fn = self._dispatch(expr)
+        with _KERNEL_LOCK:
+            _KERNEL_CACHE[fingerprint] = fn
+            _KERNEL_CACHE.move_to_end(fingerprint)
+            while len(_KERNEL_CACHE) > KERNEL_CACHE_CAPACITY:
+                _KERNEL_CACHE.popitem(last=False)
+        if self.metrics is not None:
+            self.metrics.counter("expr_kernel_cache_misses_total").inc()
+        return fn
+
+    def _dispatch(self, expr: b.BoundExpr) -> Compiled:
         method = getattr(self, f"_compile_{type(expr).__name__}", None)
         if method is None:
             raise ExecutionError(
                 f"cannot compile expression node {type(expr).__name__}"
             )
-        return method(expr)
+        self._depth += 1
+        try:
+            return method(expr)
+        finally:
+            self._depth -= 1
 
     def compile_predicate(
         self, expr: b.BoundExpr

@@ -29,6 +29,17 @@ class Literal(Expr):
 
 
 @dataclass
+class Placeholder(Expr):
+    """A ``?`` parameter slot kept symbolic for plan caching.
+
+    Only produced when the parser runs in ``parameterize`` mode; the
+    default path substitutes parameter values as :class:`Literal` during
+    parsing."""
+
+    index: int
+
+
+@dataclass
 class ColumnRef(Expr):
     """A possibly qualified column reference ``[table.]name``."""
 

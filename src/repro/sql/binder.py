@@ -154,10 +154,18 @@ CTEDef = object  # LogicalPlan (inline) or WorkingTableDef
 class Binder:
     """Binds statements; one instance per statement (slot counter state)."""
 
-    def __init__(self, catalog: CatalogReader, udfs=None, analytics=None):
+    def __init__(
+        self,
+        catalog: CatalogReader,
+        udfs=None,
+        analytics=None,
+        param_types=None,
+    ):
         self.catalog = catalog
         self.udfs = udfs  # UDFRegistry or None
         self.analytics = analytics  # OperatorRegistry or None
+        #: SQL types for ast.Placeholder slots (plan-cache mode), by index.
+        self.param_types = param_types
         self._scope_counter = 0
         self._expr_counter = 0
         self._iterate_counter = 0
@@ -1331,6 +1339,16 @@ class Binder:
     ) -> b.BoundExpr:
         if isinstance(expr, ast.Literal):
             return b.BoundLiteral(expr.value, infer_literal_type(expr.value))
+        if isinstance(expr, ast.Placeholder):
+            if self.param_types is None or expr.index >= len(
+                self.param_types
+            ):
+                raise BindError(
+                    "? placeholder outside a parameterized statement"
+                )
+            return b.BoundParam(
+                f"?{expr.index}", self.param_types[expr.index]
+            )
         if isinstance(expr, ast.ColumnRef):
             col, is_outer = scope.resolve(expr.name, expr.table)
             if is_outer:

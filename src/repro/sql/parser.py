@@ -39,11 +39,17 @@ class Parser:
     construction).
     """
 
-    def __init__(self, text: str, params: "Sequence[object] | None" = None):
+    def __init__(
+        self,
+        text: str,
+        params: "Sequence[object] | None" = None,
+        parameterize: bool = False,
+    ):
         self.tokens = tokenize(text)
         self.pos = 0
         self._params = list(params) if params is not None else None
         self._next_param = 0
+        self._parameterize = parameterize
 
     def _take_param(self) -> object:
         if self._params is None:
@@ -757,6 +763,10 @@ class Parser:
             return ast.Literal(False)
         if token.kind is TokenKind.PARAM:
             self._advance()
+            if self._parameterize:
+                index = self._next_param
+                self._take_param()  # keep count validation identical
+                return ast.Placeholder(index)
             return ast.Literal(self._take_param())
         if token.kind is TokenKind.LAMBDA:
             return self._parse_lambda()
@@ -894,11 +904,16 @@ class Parser:
 
 
 def parse_sql(
-    text: str, params: Sequence[object] | None = None
+    text: str,
+    params: Sequence[object] | None = None,
+    parameterize: bool = False,
 ) -> list[ast.Statement]:
     """Parse a SQL script into a list of statements. ``params`` fills
-    ``?`` placeholders positionally (injection-safe)."""
-    parser = Parser(text, params)
+    ``?`` placeholders positionally (injection-safe). With
+    ``parameterize=True`` each placeholder stays a symbolic
+    :class:`ast.Placeholder` (plan-cache mode) while the count checks
+    against ``params`` behave exactly as in the default mode."""
+    parser = Parser(text, params, parameterize=parameterize)
     statements = parser.parse_statements()
     parser.check_params_consumed()
     return statements

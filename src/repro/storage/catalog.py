@@ -21,6 +21,7 @@ class Catalog:
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
         self._commit_ts = 0
+        self._ddl_version = 0
         self._lock = threading.RLock()
 
     # -- timestamps --------------------------------------------------------
@@ -29,6 +30,12 @@ class Catalog:
     def current_ts(self) -> int:
         """The timestamp of the most recent commit."""
         return self._commit_ts
+
+    @property
+    def ddl_version(self) -> int:
+        """Monotonic counter bumped by every CREATE/DROP TABLE; cached
+        plans are valid only for the version they were built under."""
+        return self._ddl_version
 
     def next_commit_ts(self) -> int:
         """Advance and return the global commit timestamp."""
@@ -52,6 +59,7 @@ class Catalog:
             ts = self.next_commit_ts()
             table = Table(key, schema, ts)
             self._tables[key] = table
+            self._ddl_version += 1
             return table
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
@@ -64,6 +72,7 @@ class Catalog:
                     return
                 raise CatalogError(f"no such table: {name!r}")
             table.dropped_ts = self.next_commit_ts()
+            self._ddl_version += 1
 
     # -- lookup --------------------------------------------------------------
 

@@ -31,7 +31,7 @@ class Column:
         sql_type: the SQL type of the column.
     """
 
-    __slots__ = ("values", "valid", "sql_type")
+    __slots__ = ("values", "valid", "sql_type", "_zones")
 
     def __init__(
         self,
@@ -44,6 +44,23 @@ class Column:
         if valid is not None and bool(valid.all()):
             valid = None
         self.valid = valid
+        # Lazily built zone map (None = not built, False = unbuildable).
+        self._zones = None
+
+    def zone_map(self):
+        """Per-zone min/max/null statistics for scan pruning, built on
+        first demand and cached (columns are immutable). None for
+        types without ordered zone statistics (VARCHAR)."""
+        zones = self._zones
+        if zones is None:
+            from .zonemap import build_zone_map
+
+            zones = build_zone_map(self)
+            # Benign race: concurrent builders produce equal maps, and
+            # the slot assignment is atomic.
+            self._zones = zones if zones is not None else False
+            return zones
+        return zones if zones is not False else None
 
     # -- constructors -----------------------------------------------------
 

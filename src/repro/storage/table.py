@@ -13,6 +13,7 @@ consistent snapshot while transactional updates continue — the HyPer
 
 from __future__ import annotations
 
+import itertools
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -25,10 +26,14 @@ from .schema import TableSchema
 DEFAULT_MORSEL_ROWS = 65_536
 
 
+#: Process-wide source of :attr:`TableData.version_token` values.
+_VERSION_TOKENS = itertools.count(1)
+
+
 class TableData:
     """One immutable version of a table's contents."""
 
-    __slots__ = ("schema", "columns", "row_count")
+    __slots__ = ("schema", "columns", "row_count", "version_token")
 
     def __init__(self, schema: TableSchema, columns: Sequence[Column]):
         if len(columns) != len(schema):
@@ -41,6 +46,9 @@ class TableData:
         self.schema = schema
         self.columns = tuple(columns)
         self.row_count = lengths.pop() if lengths else 0
+        #: Unique per version (contents are immutable, so equal tokens
+        #: imply equal contents) — the key derived caches hang off.
+        self.version_token = next(_VERSION_TOKENS)
 
     @classmethod
     def empty(cls, schema: TableSchema) -> "TableData":

@@ -55,6 +55,14 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--cache-check", action="store_true",
+        help=(
+            "run every statement three ways on the repro side — cold, "
+            "plan-cached, and on a cache-disabled twin database — and "
+            "fail on any divergence between the legs"
+        ),
+    )
+    parser.add_argument(
         "-v", "--verbose", action="store_true",
         help="progress line every 50 seeds",
     )
@@ -80,6 +88,7 @@ def main(argv: list[str] | None = None) -> int:
             minimize=not args.no_minimize,
             allow_subqueries=not args.no_subqueries,
             workers=args.workers,
+            cache_check=args.cache_check,
         )
         for divergence in divergences:
             n_divergences += 1

@@ -135,17 +135,28 @@ def rows_equal(
 
 
 def build_repro_db(
-    tables: list[GenTable], workers: int = 1
+    tables: list[GenTable],
+    workers: int = 1,
+    plan_cache: Optional[bool] = None,
 ) -> Database:
+    # profile_operators=False takes the production operator shapes —
+    # notably the serial fused pipeline, which profiled plans bypass —
+    # so the differential corpus covers the hot path.
     if workers > 1:
         # Force the parallel paths even on fuzz-sized tables: no
         # cardinality threshold and tiny morsels, so every generated
         # query genuinely dispatches multi-morsel pipelines.
         db = Database(
-            workers=workers, parallel_threshold=0, morsel_rows=32
+            workers=workers, parallel_threshold=0, morsel_rows=32,
+            profile_operators=False, plan_cache=plan_cache,
         )
     else:
-        db = Database(workers=1)
+        # Tiny morsels here too: multi-morsel fused pipelines and the
+        # all-morsels-pruned path get differential coverage.
+        db = Database(
+            workers=1, morsel_rows=32,
+            profile_operators=False, plan_cache=plan_cache,
+        )
     for table in tables:
         db.execute(table.ddl())
         if table.rows:
@@ -225,17 +236,67 @@ class Divergence:
 
 
 class DifferentialOracle:
-    """Runs generated queries through both engines and compares."""
+    """Runs generated queries through both engines and compares.
 
-    def __init__(self, tables: list[GenTable], workers: int = 1):
+    With ``cache_check`` the repro side runs three legs per statement —
+    cold (populates the plan cache), cached (served from it), and a twin
+    database with the whole hot-path stack disabled — and any
+    disagreement between legs is a ``"cache"`` divergence."""
+
+    def __init__(
+        self,
+        tables: list[GenTable],
+        workers: int = 1,
+        cache_check: bool = False,
+    ):
         self.tables = tables
         self.workers = workers
+        self.cache_check = cache_check
         self.db = build_repro_db(tables, workers=workers)
+        self.db_nocache = (
+            build_repro_db(tables, workers=workers, plan_cache=False)
+            if cache_check
+            else None
+        )
         self.conn = build_sqlite_db(tables)
 
     def close(self) -> None:
         self.conn.close()
         self.db.close()
+        if self.db_nocache is not None:
+            self.db_nocache.close()
+
+    def _check_cache_legs(
+        self, sql: str, ordered: bool, cold_rows: list[tuple]
+    ) -> Optional[dict]:
+        """Compare the cold run's rows against the cached re-run and
+        the cache-disabled twin."""
+        for leg, db in (
+            ("cached", self.db),
+            ("cache-disabled", self.db_nocache),
+        ):
+            try:
+                rows = normalize_rows(db.execute(sql).rows, ordered)
+            except (ReproError, OverflowError, ValueError) as exc:
+                return {
+                    "kind": "cache",
+                    "detail": (
+                        f"{leg} leg raised where the cold run "
+                        f"succeeded: {type(exc).__name__}: {exc}"
+                    ),
+                    "repro_rows": cold_rows,
+                }
+            if not rows_equal(cold_rows, rows, ordered):
+                return {
+                    "kind": "cache",
+                    "detail": (
+                        f"{leg} leg differs from the cold run: "
+                        f"{len(cold_rows)} vs {len(rows)} row(s)"
+                    ),
+                    "repro_rows": cold_rows,
+                    "sqlite_rows": rows,
+                }
+        return None
 
     def check(self, query: GenQuery) -> Optional[dict]:
         """None when both engines agree; otherwise a dict describing
@@ -264,6 +325,12 @@ class DifferentialOracle:
         except sqlite3.Error as exc:
             sqlite_error = f"{type(exc).__name__}: {exc}"
 
+        if repro_error is None and self.db_nocache is not None:
+            cache_failure = self._check_cache_legs(
+                sql, ordered, repro_rows
+            )
+            if cache_failure is not None:
+                return cache_failure
         if repro_error is None and sqlite_error is None:
             if rows_equal(repro_rows, sqlite_rows, ordered):
                 return None
@@ -389,13 +456,18 @@ def minimize_query(
 
 
 def minimize_data(
-    tables: list[GenTable], query: GenQuery, workers: int = 1
+    tables: list[GenTable],
+    query: GenQuery,
+    workers: int = 1,
+    cache_check: bool = False,
 ) -> list[GenTable]:
     """Drop row chunks (halves, then quarters, ...) from each table
     while the divergence persists. Rebuilds both engines per probe."""
 
     def diverges(candidate_tables: list[GenTable]) -> bool:
-        oracle = DifferentialOracle(candidate_tables, workers=workers)
+        oracle = DifferentialOracle(
+            candidate_tables, workers=workers, cache_check=cache_check
+        )
         try:
             return oracle.check(query) is not None
         finally:
@@ -437,15 +509,20 @@ def run_seed(
     minimize: bool = True,
     allow_subqueries: bool = True,
     workers: int = 1,
+    cache_check: bool = False,
 ) -> list[Divergence]:
     """Run one seed's schema + queries; returns found divergences.
 
     ``workers > 1`` runs the repro side with a parallel pool (zero
     cardinality threshold, tiny morsels) so the differential corpus
-    exercises the morsel-driven paths against SQLite."""
+    exercises the morsel-driven paths against SQLite. ``cache_check``
+    additionally compares cold vs plan-cached vs cache-disabled
+    executions of every statement."""
     generator = QueryGenerator(seed, allow_subqueries=allow_subqueries)
     tables = generator.schema()
-    oracle = DifferentialOracle(tables, workers=workers)
+    oracle = DifferentialOracle(
+        tables, workers=workers, cache_check=cache_check
+    )
     divergences = []
     try:
         for index in range(queries_per_seed):
@@ -457,9 +534,13 @@ def run_seed(
             if minimize:
                 query = minimize_query(oracle, query)
                 small_tables = minimize_data(
-                    tables, query, workers=workers
+                    tables, query,
+                    workers=workers, cache_check=cache_check,
                 )
-                probe = DifferentialOracle(small_tables, workers=workers)
+                probe = DifferentialOracle(
+                    small_tables,
+                    workers=workers, cache_check=cache_check,
+                )
                 try:
                     failure = probe.check(query) or failure
                 finally:
@@ -488,6 +569,7 @@ def run_seeds(
     minimize: bool = True,
     allow_subqueries: bool = True,
     workers: int = 1,
+    cache_check: bool = False,
 ) -> list[Divergence]:
     out = []
     for seed in seeds:
@@ -498,6 +580,7 @@ def run_seeds(
                 minimize=minimize,
                 allow_subqueries=allow_subqueries,
                 workers=workers,
+                cache_check=cache_check,
             )
         )
     return out

@@ -1,0 +1,408 @@
+"""Zone-map pruning, fused pipelines, and the CSR cache.
+
+The hot-path contract (docs/performance.md): pruning a morsel or
+reusing a cached CSR index may never change a statement's result —
+every test here runs the same statement against a hot-path-off twin
+(``plan_cache=False`` disables the whole stack) and requires identical
+rows, then asserts the counters actually moved (or stayed put, for the
+cases where pruning must decline).
+"""
+
+import math
+
+import pytest
+
+from repro.api.database import Database
+from repro.analytics.csr import csr_cache_clear
+from repro.errors import ExecutionError
+from repro.storage.zonemap import ZONE_ROWS, ScanPruner, build_zone_map
+
+
+def counter(db, name):
+    return db.metrics.snapshot()["counters"].get(name, 0.0)
+
+
+def pruned(db):
+    return counter(db, "scan_morsels_pruned_total")
+
+
+def make_pair(rows, morsel_rows=ZONE_ROWS, nulls_from=None,
+              nan_from=None, workers=None):
+    """(hot, cold) databases over the same ``t(id, v, name)`` data.
+
+    ``id`` ascends 0..rows-1 so zone min/max ranges are disjoint;
+    ``nulls_from``/``nan_from`` turn every ``v`` from that id on into
+    NULL / NaN (whole trailing zones become all-NULL / all-NaN)."""
+    dbs = []
+    for plan_cache in (True, False):
+        kwargs = dict(
+            morsel_rows=morsel_rows,
+            profile_operators=False,
+            plan_cache=plan_cache,
+        )
+        if workers is not None:
+            kwargs.update(workers=workers, parallel_threshold=0)
+        db = Database(**kwargs)
+        db.execute(
+            "CREATE TABLE t (id INTEGER, name VARCHAR, v DOUBLE)"
+        )
+
+        def value(i):
+            if nulls_from is not None and i >= nulls_from:
+                return None
+            if nan_from is not None and i >= nan_from:
+                return math.nan
+            return i * 0.5
+
+        db.executemany(
+            "INSERT INTO t VALUES (?, ?, ?)",
+            [(i, f"n{i % 5}", value(i)) for i in range(rows)],
+        )
+        dbs.append(db)
+    return dbs[0], dbs[1]
+
+
+def check(hot, cold, sql, params=None):
+    """Identical rows on both engines; returns the hot-path rows."""
+    rows = hot.execute(sql, params).rows
+    assert rows == cold.execute(sql, params).rows
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Serial pruning
+# ---------------------------------------------------------------------------
+
+
+def test_point_query_skips_morsels():
+    hot, cold = make_pair(5 * ZONE_ROWS)
+    assert check(
+        hot, cold, "SELECT v FROM t WHERE id = ?", (7,)
+    ) == [(3.5,)]
+    # id ascends, so four of the five zones cannot contain id = 7.
+    assert pruned(hot) == 4.0
+    assert pruned(cold) == 0.0
+
+
+def test_range_predicates_prune_and_match():
+    hot, cold = make_pair(4 * ZONE_ROWS)
+    n = 4 * ZONE_ROWS
+    cases = [
+        ("SELECT count(*) FROM t WHERE id < ?", (100,), 100),
+        ("SELECT count(*) FROM t WHERE id <= ?", (100,), 101),
+        ("SELECT count(*) FROM t WHERE id > ?", (n - 50,), 49),
+        ("SELECT count(*) FROM t WHERE id >= ?", (n - 50,), 50),
+        ("SELECT count(*) FROM t WHERE ? > id", (3,), 3),
+    ]
+    for sql, params, expected in cases:
+        before = pruned(hot)
+        assert check(hot, cold, sql, params) == [(expected,)]
+        assert pruned(hot) > before
+    assert pruned(cold) == 0.0
+
+
+def test_conjunction_prunes_by_any_conjunct():
+    hot, cold = make_pair(3 * ZONE_ROWS)
+    # The VARCHAR conjunct has no zone map; id does the pruning.
+    before = pruned(hot)
+    rows = check(
+        hot, cold,
+        "SELECT id FROM t WHERE name = 'n1' AND id < 10 ORDER BY id",
+    )
+    assert rows == [(1,), (6,)]
+    assert pruned(hot) > before
+
+
+def test_negated_literal_and_or_do_not_misprune():
+    hot, cold = make_pair(2 * ZONE_ROWS)
+    # OR is one non-prunable conjunct: nothing may be skipped.
+    before = pruned(hot)
+    check(
+        hot, cold,
+        "SELECT count(*) FROM t WHERE id < 5 OR id > ?",
+        (2 * ZONE_ROWS - 3,),
+    )
+    assert pruned(hot) == before
+    # Negated parameter constants resolve through the unary minus.
+    check(hot, cold, "SELECT count(*) FROM t WHERE id < -?", (5,))
+    assert pruned(hot) > before
+
+
+def test_unsafe_predicate_disables_pruning():
+    hot, cold = make_pair(2 * ZONE_ROWS)
+    before = pruned(hot)
+    # Division can raise on data the pruned morsels would never
+    # evaluate, so the whole predicate refuses zone pruning.
+    check(
+        hot, cold,
+        "SELECT count(*) FROM t WHERE id = 3 AND 10 / (id + 1) > 0",
+    )
+    assert pruned(hot) == before
+
+
+# ---------------------------------------------------------------------------
+# NULL / NaN semantics
+# ---------------------------------------------------------------------------
+
+
+def test_is_null_and_is_not_null_pruning():
+    n = 3 * ZONE_ROWS
+    hot, cold = make_pair(n, nulls_from=2 * ZONE_ROWS)
+    before = pruned(hot)
+    assert check(
+        hot, cold, "SELECT count(*) FROM t WHERE v IS NULL"
+    ) == [(ZONE_ROWS,)]
+    assert pruned(hot) == before + 2  # the two fully-valid zones
+    assert check(
+        hot, cold, "SELECT count(*) FROM t WHERE v IS NOT NULL"
+    ) == [(2 * ZONE_ROWS,)]
+    assert pruned(hot) == before + 3  # + the all-NULL zone
+
+
+def test_comparisons_never_match_null_zones():
+    n = 2 * ZONE_ROWS
+    hot, cold = make_pair(n, nulls_from=ZONE_ROWS)
+    before = pruned(hot)
+    # The all-NULL zone has no finite values: prunable for every
+    # comparison, including <>.
+    assert check(
+        hot, cold, "SELECT count(*) FROM t WHERE v >= 0.0"
+    ) == [(ZONE_ROWS,)]
+    assert check(
+        hot, cold, "SELECT count(*) FROM t WHERE v <> 1e9"
+    ) == [(ZONE_ROWS,)]
+    assert pruned(hot) > before
+
+
+def test_nan_rows_satisfy_not_equal():
+    n = 2 * ZONE_ROWS
+    hot, cold = make_pair(n, nan_from=ZONE_ROWS)
+    # NaN <> c is True: the NaN zone must NOT be pruned for <>.
+    assert check(
+        hot, cold, "SELECT count(*) FROM t WHERE v <> 17.0"
+    ) == [(n - 1,)]
+    # ...but NaN = c / NaN < c are False: prunable for = and ranges.
+    before = pruned(hot)
+    assert check(
+        hot, cold, "SELECT count(*) FROM t WHERE v = 17.0"
+    ) == [(1,)]
+    assert check(
+        hot, cold, "SELECT count(*) FROM t WHERE v < 0.0"
+    ) == [(0,)]
+    assert pruned(hot) > before
+
+
+# ---------------------------------------------------------------------------
+# Invalidation under DML
+# ---------------------------------------------------------------------------
+
+
+def test_inserts_are_visible_through_pruned_plans():
+    hot, cold = make_pair(2 * ZONE_ROWS)
+    sql = "SELECT count(*) FROM t WHERE id >= ?"
+    probe = (10 * ZONE_ROWS,)
+    assert check(hot, cold, sql, probe) == [(0,)]
+    for db in (hot, cold):
+        db.execute(
+            "INSERT INTO t VALUES (?, 'x', 1.0)", (10 * ZONE_ROWS,)
+        )
+    # New table version, new zone maps: the row must appear even
+    # though the prior execution pruned this id range away.
+    assert check(hot, cold, sql, probe) == [(1,)]
+    for db in (hot, cold):
+        db.execute("DELETE FROM t WHERE id >= ?", (ZONE_ROWS,))
+    assert check(hot, cold, sql, (0,)) == [(ZONE_ROWS,)]
+
+
+def test_update_rewrites_zone_statistics():
+    hot, cold = make_pair(2 * ZONE_ROWS)
+    sql = "SELECT count(*) FROM t WHERE v > ?"
+    limit = (2.0 * ZONE_ROWS,)
+    assert check(hot, cold, sql, limit) == [(0,)]
+    for db in (hot, cold):
+        db.execute("UPDATE t SET v = v + 100000 WHERE id < 10")
+    assert check(hot, cold, sql, limit) == [(10,)]
+
+
+# ---------------------------------------------------------------------------
+# Parallel pool
+# ---------------------------------------------------------------------------
+
+
+def test_parallel_scan_prunes_and_matches_serial():
+    hot, cold = make_pair(
+        3 * ZONE_ROWS, morsel_rows=1024, workers=4
+    )
+    assert check(
+        hot, cold, "SELECT v FROM t WHERE id = ?", (11,)
+    ) == [(5.5,)]
+    # Zones are 4096 rows: the morsels of the two foreign zones (four
+    # 1024-row morsels each) are pruned; zone 0's morsels are not.
+    assert pruned(hot) == 8.0
+    check(hot, cold, "SELECT count(*) FROM t WHERE id < 100")
+    hot.close()
+    cold.close()
+
+
+# ---------------------------------------------------------------------------
+# Fused pipeline shapes
+# ---------------------------------------------------------------------------
+
+
+def test_constant_projection_over_filter_keeps_rows():
+    # Regression: a projection referencing no columns above a filter
+    # must not drop the filter's survivors (the zero-column batch
+    # loses its row count).
+    hot, cold = make_pair(64, morsel_rows=16, nulls_from=63)
+    rows = check(hot, cold, "SELECT 36 AS c0 FROM t WHERE v IS NULL")
+    assert rows == [(36,)]
+
+
+def test_fused_chain_matches_operator_chain():
+    hot, cold = make_pair(ZONE_ROWS, morsel_rows=256)
+    check(
+        hot, cold,
+        "SELECT v * 2 AS d, id + 1 FROM t "
+        "WHERE id >= ? AND name <> 'n0' ORDER BY id LIMIT 7",
+        (50,),
+    )
+    check(
+        hot, cold,
+        "SELECT count(*) FROM (SELECT id FROM t WHERE v < 8.0) s "
+        "WHERE s.id > 2",
+    )
+
+
+def test_error_ordering_preserved_under_fusion():
+    hot, cold = make_pair(128, morsel_rows=32)
+    # Data-dependent errors must surface identically on both paths
+    # (division is not prune-safe, so no morsel skipping hides them).
+    for db in (hot, cold):
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT count(*) FROM t WHERE v / id > 0.4")
+    # Once the offending row is gone, both engines agree again.
+    for db in (hot, cold):
+        db.execute("DELETE FROM t WHERE id = 0")
+    check(hot, cold, "SELECT count(*) FROM t WHERE v / id > 0.4")
+
+
+# ---------------------------------------------------------------------------
+# CSR cache
+# ---------------------------------------------------------------------------
+
+
+PAGERANK = (
+    "SELECT vertex, rank FROM PAGERANK((SELECT src, dest FROM e), "
+    "0.85, 0.0, 20) ORDER BY vertex"
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_csr_cache():
+    csr_cache_clear()
+    yield
+    csr_cache_clear()
+
+
+def make_graph_db(plan_cache=True):
+    db = Database(profile_operators=False, plan_cache=plan_cache)
+    db.execute("CREATE TABLE e (src INTEGER, dest INTEGER)")
+    db.executemany(
+        "INSERT INTO e VALUES (?, ?)",
+        [(i, (i + 1) % 50) for i in range(50)]
+        + [((i + 1) % 50, i) for i in range(50)],
+    )
+    return db
+
+
+def test_csr_cache_hits_and_dml_invalidation():
+    db = make_graph_db()
+    first = db.execute(PAGERANK).rows
+    assert counter(db, "analytics_csr_cache_misses_total") == 1.0
+    second = db.execute(PAGERANK).rows
+    assert second == first
+    assert counter(db, "analytics_csr_cache_hits_total") == 1.0
+    # DML produces a new table version: the cached CSR must not serve.
+    db.execute("INSERT INTO e VALUES (0, 25)")
+    db.execute("INSERT INTO e VALUES (25, 0)")
+    third = db.execute(PAGERANK).rows
+    assert counter(db, "analytics_csr_cache_misses_total") == 2.0
+    assert third != first
+    # The post-DML result matches a cold engine over the same edges.
+    cold = make_graph_db(plan_cache=False)
+    cold.execute("INSERT INTO e VALUES (0, 25)")
+    cold.execute("INSERT INTO e VALUES (25, 0)")
+    assert cold.execute(PAGERANK).rows == third
+    assert counter(cold, "analytics_csr_cache_hits_total") == 0.0
+    assert counter(cold, "analytics_csr_cache_misses_total") == 0.0
+
+
+def test_csr_cache_weight_lambda_keying():
+    db = Database(profile_operators=False, plan_cache=True)
+    db.execute("CREATE TABLE e (src INTEGER, dest INTEGER, w FLOAT)")
+    db.executemany(
+        "INSERT INTO e VALUES (?, ?, ?)",
+        [(0, 1, 1.0), (0, 2, 10.0), (1, 0, 1.0), (2, 0, 1.0)],
+    )
+    weighted = (
+        "SELECT vertex, rank FROM PAGERANK("
+        "(SELECT src, dest, w FROM e), 0.85, 0.0, 60, "
+        "LAMBDA(edge) edge.w) ORDER BY vertex"
+    )
+    unweighted = (
+        "SELECT vertex, rank FROM PAGERANK("
+        "(SELECT src, dest FROM e), 0.85, 0.0, 60) ORDER BY vertex"
+    )
+    a1 = db.execute(weighted).rows
+    b1 = db.execute(unweighted).rows
+    # Distinct keys (the weight lambda is part of the fingerprint):
+    # both are cold, and neither may serve the other's graph.
+    assert counter(db, "analytics_csr_cache_misses_total") == 2.0
+    assert db.execute(weighted).rows == a1
+    assert db.execute(unweighted).rows == b1
+    assert counter(db, "analytics_csr_cache_hits_total") == 2.0
+    ranks = dict(a1)
+    assert ranks[2] > ranks[1]
+
+
+# ---------------------------------------------------------------------------
+# Unit level
+# ---------------------------------------------------------------------------
+
+
+def test_build_zone_map_statistics():
+    db = Database(profile_operators=False)
+    db.execute("CREATE TABLE z (x DOUBLE)")
+    db.executemany(
+        "INSERT INTO z VALUES (?)",
+        [(float(i),) for i in range(100)] + [(None,)] * 5,
+    )
+    txn = db.txns.begin()
+    try:
+        column = txn.read("z").column_by_name("x")
+        zones = build_zone_map(column, zone_rows=64)
+    finally:
+        txn.rollback()
+    assert zones.n_zones == 2
+    assert zones.mins[0] == 0.0 and zones.maxs[0] == 63.0
+    assert zones.mins[1] == 64.0 and zones.maxs[1] == 99.0
+    assert zones.null_counts.tolist() == [0, 5]
+    assert zones.valid_counts.tolist() == [64, 36]
+
+
+def test_scan_pruner_inactive_without_usable_conjuncts():
+    db = Database(profile_operators=False)
+    db.execute("CREATE TABLE z (x DOUBLE)")
+    db.execute("INSERT INTO z VALUES (1.0)")
+    result = db.execute("SELECT x AS only FROM z WHERE x + x > 0.5")
+    assert result.rows == [(1.0,)]
+    # x + x is no `col <op> const` shape: the pruner stays inactive.
+    pruner = ScanPruner([], [])
+    assert not pruner.active
+    txn = db.txns.begin()
+    try:
+        data = txn.read("z")
+    finally:
+        txn.rollback()
+    ranges = [(0, 1)]
+    assert pruner.keep_ranges(data, ranges) == ([(0, 1)], 0)
