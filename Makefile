@@ -5,7 +5,7 @@ N ?= 1000
 START ?= 0
 WORKERS ?= 4
 
-.PHONY: test test-all fuzz fuzz-parallel bench metrics-smoke
+.PHONY: test test-all fuzz fuzz-parallel bench metrics-smoke chaos
 
 # The tier-1 suite runs three times: fully serial, with a 4-worker
 # pool (the serial-equivalence contract of the morsel-driven executor,
@@ -16,6 +16,15 @@ test: metrics-smoke
 	REPRO_WORKERS=1 $(PY) -m pytest -x -q
 	REPRO_WORKERS=4 $(PY) -m pytest -x -q
 	REPRO_PLAN_CACHE=0 REPRO_WORKERS=1 $(PY) -m pytest -x -q
+	$(MAKE) chaos
+
+# Seeded fault-injection battery (docs/robustness.md): every injected
+# fault must be tolerated or fail typed with statement atomicity
+# (checked against an uninjected twin), then a chaos-armed differential
+# fuzz leg against SQLite.
+chaos:
+	$(PY) -m repro.testing.chaos --seeds 260 --start 1
+	$(PY) -m repro.testing.fuzz --seeds 25 --chaos
 
 # Runs a tiny end-to-end workload and validates the Prometheus
 # exposition the engine produces (format, TYPE lines, histogram series).

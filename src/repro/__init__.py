@@ -31,14 +31,21 @@ from .errors import (
     BindError,
     CatalogError,
     ExecutionError,
+    InjectedFault,
     IterationLimitError,
+    MemoryBudgetExceeded,
     ParseError,
     PlanError,
+    QueryCancelled,
+    QueryTimeout,
     ReproError,
+    ResourceGovernorError,
     SerializationConflict,
     TransactionError,
     UDFError,
+    WorkerCrashError,
 )
+from .governor import CancelToken, QueryContext
 from .types import (
     BIGINT,
     BOOLEAN,
@@ -61,6 +68,14 @@ __all__ = [
     "PlanError",
     "ExecutionError",
     "IterationLimitError",
+    "ResourceGovernorError",
+    "QueryCancelled",
+    "QueryTimeout",
+    "MemoryBudgetExceeded",
+    "InjectedFault",
+    "WorkerCrashError",
+    "CancelToken",
+    "QueryContext",
     "CatalogError",
     "TransactionError",
     "SerializationConflict",

@@ -86,6 +86,18 @@ class CSRGraph:
         self.in_weights = in_weights
 
     @property
+    def nbytes(self) -> int:
+        """Total bytes of the index arrays (governor memory ledger)."""
+        return int(
+            self.vertex_ids.nbytes
+            + self.out_offsets.nbytes
+            + self.out_targets.nbytes
+            + self.in_offsets.nbytes
+            + self.in_sources.nbytes
+            + self.in_weights.nbytes
+        )
+
+    @property
     def n_vertices(self) -> int:
         return len(self.vertex_ids)
 
@@ -123,12 +135,17 @@ class CSRGraph:
         src: np.ndarray,
         dst: np.ndarray,
         weights: np.ndarray | None = None,
+        governor=None,
     ) -> "CSRGraph":
         """Build the index from parallel source/target id arrays.
 
         Ids may be arbitrary integers; they are re-labelled densely. Self
         loops and duplicate edges are kept (multigraph semantics, like
-        summing repeated adjacency entries in the sparse matrix)."""
+        summing repeated adjacency entries in the sparse matrix).
+
+        ``governor`` (a :class:`repro.governor.QueryContext`) is
+        checkpointed between the heavy build steps so a cancel or
+        deadline aborts mid-build, not only once iteration begins."""
         if len(src) != len(dst):
             raise AnalyticsError("edge arrays differ in length")
         m = len(src)
@@ -142,12 +159,16 @@ class CSRGraph:
         src_dense = dense[:m].astype(np.int64)
         dst_dense = dense[m:].astype(np.int64)
         n = len(vertex_ids)
+        if governor is not None:
+            governor.check("csr_relabel")
 
         out_order = np.argsort(src_dense, kind="stable")
         out_targets = dst_dense[out_order]
         out_counts = np.bincount(src_dense, minlength=n)
         out_offsets = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(out_counts, out=out_offsets[1:])
+        if governor is not None:
+            governor.check("csr_out_edges")
 
         in_order = np.argsort(dst_dense, kind="stable")
         in_sources = src_dense[in_order]

@@ -178,11 +178,21 @@ class KMeansDescriptor(OperatorDescriptor):
             # only subquery-/UDF-free bodies may run on workers.
             if not _parallel_safe(distance.body):
                 pool = None
+        governor = getattr(ctx, "governor", None)
+        reserved = 0
+        if governor is not None:
+            reserved = governor.reserve(
+                int(matrix.nbytes) + int(centers.nbytes), "kmeans_matrix"
+            )
         rounds: list[dict] = []
-        centers_out, assignment, sizes, iters = lloyd_kmeans(
-            matrix, centers, metric, max_iterations, telemetry=rounds,
-            pool=pool,
-        )
+        try:
+            centers_out, assignment, sizes, iters = lloyd_kmeans(
+                matrix, centers, metric, max_iterations,
+                telemetry=rounds, pool=pool, governor=governor,
+            )
+        finally:
+            if governor is not None:
+                governor.release(reserved)
         ctx.stats.iterations += iters
         ctx.telemetry["kmeans"] = {
             "iterations": iters,
@@ -227,6 +237,7 @@ def lloyd_kmeans(
     max_iterations: int,
     telemetry: Optional[list] = None,
     pool=None,
+    governor=None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
     """Core Lloyd iteration shared by the SQL operator and the Python API.
 
@@ -297,6 +308,10 @@ def lloyd_kmeans(
 
     iterations = 0
     for _round in range(max_iterations):
+        if governor is not None:
+            # Per-round checkpoint: a cancel or deadline aborts within
+            # one assignment round.
+            governor.check("kmeans_round")
         iterations += 1
         if pool is not None:
             chunk_results = pool.map_ordered(assign_chunk, ranges)

@@ -205,14 +205,26 @@ class PageRankDescriptor(OperatorDescriptor):
                         "non-NULL"
                     )
 
-            graph = CSRGraph.from_edges(src, dst, weights)
+            graph = CSRGraph.from_edges(
+                src, dst, weights,
+                governor=getattr(ctx, "governor", None),
+            )
             if cache_key is not None:
                 csr_cache_store(cache_key, graph)
+        governor = getattr(ctx, "governor", None)
+        reserved = 0
+        if governor is not None:
+            reserved = governor.reserve(graph.nbytes, "pagerank_csr")
         residuals: list[float] = []
-        ranks, iterations = pagerank_csr(
-            graph, damping, epsilon, max_iterations,
-            telemetry=residuals, pool=getattr(ctx, "pool", None),
-        )
+        try:
+            ranks, iterations = pagerank_csr(
+                graph, damping, epsilon, max_iterations,
+                telemetry=residuals, pool=getattr(ctx, "pool", None),
+                governor=governor,
+            )
+        finally:
+            if governor is not None:
+                governor.release(reserved)
         ctx.stats.iterations += iterations
         ctx.telemetry["pagerank"] = {
             "iterations": iterations,
@@ -235,6 +247,7 @@ def pagerank_csr(
     max_iterations: int,
     telemetry: Optional[list] = None,
     pool=None,
+    governor=None,
 ) -> tuple[np.ndarray, int]:
     """Iterate PageRank over a CSR index.
 
@@ -258,6 +271,10 @@ def pagerank_csr(
 
     iterations = 0
     for _round in range(max_iterations):
+        if governor is not None:
+            # Per-round checkpoint: a cancel or deadline aborts within
+            # one SpMV round.
+            governor.check("pagerank_round")
         iterations += 1
         per_source = ranks / safe_out
         per_source[dangling] = 0.0

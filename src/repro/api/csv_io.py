@@ -19,7 +19,6 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..errors import CatalogError
-from ..storage.schema import ColumnSchema, TableSchema
 from ..types import (
     BOOLEAN,
     DOUBLE,
@@ -32,23 +31,39 @@ from ..types import (
 
 
 def _parse_column(
-    raw: list[Optional[str]], sql_type: SQLType
+    raw: list[Optional[str]],
+    sql_type: SQLType,
+    name: str = "?",
+    first_data_row: int = 1,
 ) -> list[object]:
-    """Convert one column of raw strings to Python values."""
+    """Convert one column of raw strings to Python values.
+
+    Un-coercible values raise :class:`~repro.errors.CatalogError` with
+    the offending row/column, never a bare ``ValueError`` — and the
+    caller parses *before* any DDL or insert, so a bad file leaves the
+    database untouched."""
     kind = sql_type.kind
     out: list[object] = [None] * len(raw)
     for i, text in enumerate(raw):
         if text is None or text == "":
             continue
-        if kind in (TypeKind.INTEGER, TypeKind.BIGINT, TypeKind.DATE):
-            out[i] = int(text)
-        elif kind is TypeKind.DOUBLE:
-            out[i] = float(text)
-        elif kind is TypeKind.BOOLEAN:
-            lowered = text.strip().lower()
-            out[i] = lowered in ("true", "t", "1", "yes")
-        else:
-            out[i] = text
+        try:
+            if kind in (
+                TypeKind.INTEGER, TypeKind.BIGINT, TypeKind.DATE
+            ):
+                out[i] = int(text)
+            elif kind is TypeKind.DOUBLE:
+                out[i] = float(text)
+            elif kind is TypeKind.BOOLEAN:
+                lowered = text.strip().lower()
+                out[i] = lowered in ("true", "t", "1", "yes")
+            else:
+                out[i] = text
+        except ValueError as exc:
+            raise CatalogError(
+                f"CSV row {first_data_row + i}, column {name!r}: "
+                f"cannot convert {text!r} to {sql_type}"
+            ) from exc
     return out
 
 
@@ -119,6 +134,7 @@ def load_csv(
         [row[j] for row in body] for j in range(width)
     ]
 
+    ddl = None
     if db.catalog.has_table(table):
         schema = db.table_schema(table)
         if len(schema) != width:
@@ -140,20 +156,21 @@ def load_csv(
             overrides.get(name.lower(), infer_column_type(col))
             for name, col in zip(names, columns_raw)
         ]
-        schema = TableSchema(
-            tuple(
-                ColumnSchema(name, t) for name, t in zip(names, types)
-            )
-        )
         ddl_cols = ", ".join(
             f'"{name}" {t}' for name, t in zip(names, types)
         )
-        db.execute(f"CREATE TABLE {table} ({ddl_cols})")
+        ddl = f"CREATE TABLE {table} ({ddl_cols})"
 
+    # Parse every value BEFORE touching the catalog: a malformed file
+    # must leave no stray table and no partial rows behind.
+    first_data_row = 2 if header else 1
     parsed = [
-        _parse_column(col, t) for col, t in zip(columns_raw, types)
+        _parse_column(col, t, name, first_data_row)
+        for col, t, name in zip(columns_raw, types, names)
     ]
     row_tuples = list(zip(*parsed)) if parsed and parsed[0] else []
+    if ddl is not None:
+        db.execute(ddl)
     return db.insert_rows(table, row_tuples)
 
 

@@ -11,6 +11,7 @@ otherwise each statement autocommits.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Callable, Iterable, Optional, Sequence
@@ -18,7 +19,16 @@ from typing import Callable, Iterable, Optional, Sequence
 import numpy as np
 
 from ..analytics.registry import OperatorRegistry, default_registry
-from ..errors import BindError, CatalogError, ReproError, TransactionError
+from ..errors import (
+    BindError,
+    CatalogError,
+    MemoryBudgetExceeded,
+    QueryCancelled,
+    QueryTimeout,
+    ReproError,
+    ResourceGovernorError,
+    TransactionError,
+)
 from ..exec.parallel import WorkerPool, resolve_workers
 from ..exec.physical import (
     DEFAULT_PARALLEL_THRESHOLD,
@@ -28,6 +38,7 @@ from ..exec.physical import (
 )
 from ..exec.planner import build_physical
 from ..expr.compiler import truth_mask
+from ..governor import QueryContext
 from ..obs.metrics import MetricsRegistry, global_registry
 from ..obs.trace import QueryLogEntry, Span, Tracer
 from ..plan.cache import (
@@ -56,6 +67,18 @@ from ..types import (
 )
 from ..udf.registry import TableUDFDescriptor, UDFRegistry
 from .result import AnalyzedQuery, QueryResult
+
+
+#: Sentinel distinguishing "not passed" from an explicit ``None``
+#: (which disables the session default for that call).
+_UNSET = object()
+
+#: Governor error type -> the session counter it bumps.
+_GOVERNOR_COUNTERS = (
+    (QueryCancelled, "engine_queries_cancelled_total"),
+    (QueryTimeout, "engine_queries_timed_out_total"),
+    (MemoryBudgetExceeded, "engine_queries_oom_aborted_total"),
+)
 
 
 class _TxnCatalogView:
@@ -95,6 +118,17 @@ class Database:
             whole hot-path stack: expression-kernel cache, zone-map
             pruning, CSR cache). ``None`` reads ``REPRO_PLAN_CACHE``
             (default on); see ``docs/performance.md``.
+        timeout_ms: default per-statement deadline; a statement past it
+            aborts with :class:`~repro.errors.QueryTimeout` at its next
+            checkpoint. ``None``/``<= 0`` disables. Per-call overrides
+            on :meth:`execute` et al. win (docs/robustness.md).
+        memory_budget_mb: default per-statement budget over accounted
+            operator memory (materialised numpy state); exceeding it
+            aborts with :class:`~repro.errors.MemoryBudgetExceeded`.
+            ``None``/``<= 0`` disables.
+        chaos: a :class:`repro.testing.chaos.ChaosInjector` for
+            deterministic fault injection; ``None`` reads
+            ``REPRO_CHAOS`` (default off).
     """
 
     def __init__(
@@ -108,6 +142,9 @@ class Database:
         workers: Optional[int] = None,
         parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
         plan_cache: Optional[bool] = None,
+        timeout_ms: Optional[float] = None,
+        memory_budget_mb: Optional[float] = None,
+        chaos=None,
     ):
         self.catalog = Catalog()
         #: Session metrics registry; mirrored into
@@ -127,9 +164,28 @@ class Database:
         #: Effective worker count (argument, then REPRO_WORKERS, then 1).
         self.workers = resolve_workers(workers)
         self.parallel_threshold = parallel_threshold
+        #: Session-default resource budgets (per-call overrides win).
+        self.timeout_ms = timeout_ms
+        self.memory_budget_mb = memory_budget_mb
+        if chaos is None:
+            from ..testing.chaos import ChaosInjector
+
+            chaos = ChaosInjector.from_env()
+        #: Optional chaos injector, consulted by every statement's
+        #: governor and by the worker pool (docs/robustness.md).
+        self.chaos = chaos
+        #: The governor of the statement running on each thread.
+        self._stmt_local = threading.local()
+        #: Governors of all in-flight statements (:meth:`cancel`).
+        self._active_governors: list[QueryContext] = []
+        self._governor_lock = threading.Lock()
+        #: Final governor report of the most recent statement.
+        self.last_governor: Optional[dict] = None
         #: Shared morsel-dispatch pool; threads are created lazily, so a
         #: serial session never spawns any.
-        self.pool = WorkerPool(self.workers, metrics=self.metrics)
+        self.pool = WorkerPool(
+            self.workers, metrics=self.metrics, chaos=self.chaos
+        )
         self._session_txn: Optional[Transaction] = None
         #: Statement/plan cache (docs/performance.md). ``None`` defers
         #: the on/off decision to REPRO_PLAN_CACHE at statement time.
@@ -147,8 +203,22 @@ class Database:
     def close(self) -> None:
         """Release session resources (joins the worker pool). The
         session stays usable afterwards — worker threads respawn on the
-        next parallel statement."""
+        next parallel statement. Idempotent: closing twice is a no-op."""
         self.pool.shutdown()
+
+    def cancel(self) -> int:
+        """Cooperatively cancel every in-flight statement.
+
+        Safe to call from any thread. Each running statement observes
+        the cancellation at its next morsel / iteration-round checkpoint
+        and aborts with :class:`~repro.errors.QueryCancelled` (its
+        transaction rolls back; the session stays usable). Returns the
+        number of statements signalled."""
+        with self._governor_lock:
+            governors = list(self._active_governors)
+        for governor in governors:
+            governor.cancel_token.cancel()
+        return len(governors)
 
     def __enter__(self) -> "Database":
         return self
@@ -239,30 +309,91 @@ class Database:
     # statement execution
     # ------------------------------------------------------------------
 
+    @contextmanager
+    def _governed(self, timeout_ms=_UNSET, memory_budget_mb=_UNSET):
+        """Install a per-statement :class:`QueryContext` on this thread.
+
+        Re-entrant: a statement executed from inside another governed
+        call (``executemany``'s per-row loop) shares the outer governor,
+        so one deadline/budget covers the whole batch. On a governor
+        abort the matching session counter is bumped; the final report
+        always lands in :attr:`last_governor`."""
+        existing = getattr(self._stmt_local, "governor", None)
+        if existing is not None:
+            yield existing
+            return
+        effective_timeout = (
+            self.timeout_ms if timeout_ms is _UNSET else timeout_ms
+        )
+        effective_budget_mb = (
+            self.memory_budget_mb
+            if memory_budget_mb is _UNSET
+            else memory_budget_mb
+        )
+        budget_bytes = (
+            int(effective_budget_mb * 1024 * 1024)
+            if effective_budget_mb is not None and effective_budget_mb > 0
+            else None
+        )
+        governor = QueryContext(
+            timeout_ms=effective_timeout,
+            memory_budget_bytes=budget_bytes,
+            chaos=self.chaos,
+        )
+        self._stmt_local.governor = governor
+        with self._governor_lock:
+            self._active_governors.append(governor)
+        try:
+            yield governor
+        except ResourceGovernorError as exc:
+            for exc_type, counter in _GOVERNOR_COUNTERS:
+                if isinstance(exc, exc_type):
+                    self.metrics.counter(counter).inc()
+                    break
+            raise
+        finally:
+            self._stmt_local.governor = None
+            with self._governor_lock:
+                try:
+                    self._active_governors.remove(governor)
+                except ValueError:
+                    pass
+            self.last_governor = governor.report()
+
     def execute(
-        self, sql: str, params: Optional[Sequence[object]] = None
+        self,
+        sql: str,
+        params: Optional[Sequence[object]] = None,
+        *,
+        timeout_ms=_UNSET,
+        memory_budget_mb=_UNSET,
     ) -> QueryResult:
         """Execute one or more ``;``-separated statements; returns the
         result of the last one.
 
         ``params`` fills ``?`` placeholders positionally; values become
         literals during parsing and are never string-interpolated, so
-        user input cannot inject SQL."""
+        user input cannot inject SQL.
+
+        ``timeout_ms`` / ``memory_budget_mb`` override the session
+        defaults for this call (``None`` or ``<= 0`` disables the
+        corresponding limit)."""
         tracer = self._tracer
         started = time.perf_counter()
         try:
-            with tracer.statement(sql) as stmt:
-                result = self._execute_with_plan_cache(sql, params)
-                if result is None:
-                    with tracer.span("parse"):
-                        statements = parse_sql(sql, params)
-                    if not statements:
-                        raise BindError("empty statement")
-                    result = QueryResult.statement(0)
-                    for statement in statements:
-                        result = self._execute_statement(statement)
-                stmt.attributes["rows"] = len(result)
-                return result
+            with self._governed(timeout_ms, memory_budget_mb):
+                with tracer.statement(sql) as stmt:
+                    result = self._execute_with_plan_cache(sql, params)
+                    if result is None:
+                        with tracer.span("parse"):
+                            statements = parse_sql(sql, params)
+                        if not statements:
+                            raise BindError("empty statement")
+                        result = QueryResult.statement(0)
+                        for statement in statements:
+                            result = self._execute_statement(statement)
+                    stmt.attributes["rows"] = len(result)
+                    return result
         except BaseException:
             self.metrics.counter("statement_errors_total").inc()
             raise
@@ -272,13 +403,26 @@ class Database:
             )
 
     def query(
-        self, sql: str, params: Optional[Sequence[object]] = None
+        self,
+        sql: str,
+        params: Optional[Sequence[object]] = None,
+        *,
+        timeout_ms=_UNSET,
+        memory_budget_mb=_UNSET,
     ) -> QueryResult:
         """Alias of :meth:`execute` for read-style call sites."""
-        return self.execute(sql, params)
+        return self.execute(
+            sql, params,
+            timeout_ms=timeout_ms, memory_budget_mb=memory_budget_mb,
+        )
 
     def executemany(
-        self, sql: str, seq_of_params: Iterable[Sequence[object]]
+        self,
+        sql: str,
+        seq_of_params: Iterable[Sequence[object]],
+        *,
+        timeout_ms=_UNSET,
+        memory_budget_mb=_UNSET,
     ) -> int:
         """Run one parameterised statement per parameter tuple inside a
         single transaction; returns the total affected row count.
@@ -288,28 +432,47 @@ class Database:
         every row is coerced against the schema, and a single
         ``insert_rows`` installs them all. Other statements loop over
         :meth:`execute`, where the plan cache amortises the per-call
-        parse/bind/optimize instead."""
+        parse/bind/optimize instead.
+
+        The batch is atomic even when interrupted mid-way
+        (KeyboardInterrupt, governor abort, injected fault): in
+        autocommit the owned transaction rolls back; inside an explicit
+        session transaction the batch unwinds to a savepoint taken at
+        entry, leaving earlier statements of the transaction intact.
+        One governor covers the whole batch."""
         rows = [tuple(params) for params in seq_of_params]
         if not rows:
             return 0
-        fast = self._executemany_insert(sql, rows)
-        if fast is not None:
-            return fast
-        total = 0
-        owned = self._session_txn is None
-        if owned:
-            self.begin()
-        try:
-            for params in rows:
-                result = self.execute(sql, params)
-                total += max(result.rowcount, 0)
-        except BaseException:
-            if owned and self._session_txn is not None:
-                self.rollback()
-            raise
-        if owned:
-            self.commit()
-        return total
+        with self._governed(timeout_ms, memory_budget_mb):
+            fast = self._executemany_insert(sql, rows)
+            if fast is not None:
+                return fast
+            total = 0
+            owned = self._session_txn is None
+            savepoint = None
+            if owned:
+                self.begin()
+            else:
+                savepoint = self._session_txn.savepoint()
+            try:
+                for params in rows:
+                    result = self.execute(sql, params)
+                    total += max(result.rowcount, 0)
+            except BaseException:
+                if owned:
+                    if self._session_txn is not None:
+                        self.rollback()
+                elif (
+                    self._session_txn is not None
+                    and self._session_txn.status == "active"
+                ):
+                    # Partial batch inside a caller-owned transaction:
+                    # unwind to the entry savepoint, keep the txn open.
+                    self._session_txn.rollback_to(savepoint)
+                raise
+            if owned:
+                self.commit()
+            return total
 
     def _executemany_insert(
         self, sql: str, rows: list[tuple]
@@ -339,6 +502,7 @@ class Database:
         n_params = len(rows[0])
         with self._tracer.statement(sql) as stmt:
             txn, owned = self._current_txn()
+            savepoint = None if owned else txn.savepoint()
             try:
                 schema = txn.schema_of(statement.table)
                 target_columns = statement.columns or schema.names()
@@ -390,6 +554,10 @@ class Database:
             except BaseException:
                 if owned:
                     txn.rollback()
+                elif txn.status == "active":
+                    # Inside a session transaction: discard this batch's
+                    # partial writes, keep earlier statements intact.
+                    txn.rollback_to(savepoint)
                 raise
 
     def explain(self, sql: str) -> str:
@@ -409,7 +577,12 @@ class Database:
                 txn.rollback()
 
     def explain_analyze(
-        self, sql: str, params: Optional[Sequence[object]] = None
+        self,
+        sql: str,
+        params: Optional[Sequence[object]] = None,
+        *,
+        timeout_ms=_UNSET,
+        memory_budget_mb=_UNSET,
     ) -> AnalyzedQuery:
         """Execute a single SELECT with per-operator instrumentation.
 
@@ -417,9 +590,19 @@ class Database:
         count, and inclusive wall time; the returned
         :class:`AnalyzedQuery` carries the result rows plus the stats
         tree (``.root``, ``.operators()``, ``str(...)`` for the
-        rendered form). Iterative operators (ITERATE, recursive CTEs)
-        accumulate their init/step/stop children over all rounds.
+        rendered form) and the statement's final governor report
+        (``.governor``: verdict, checkpoints, peak accounted bytes).
+        Iterative operators (ITERATE, recursive CTEs) accumulate their
+        init/step/stop children over all rounds.
         """
+        with self._governed(timeout_ms, memory_budget_mb) as governor:
+            analyzed = self._explain_analyze_inner(sql, params)
+            analyzed.governor = governor.report()
+            return analyzed
+
+    def _explain_analyze_inner(
+        self, sql: str, params: Optional[Sequence[object]]
+    ) -> AnalyzedQuery:
         tracer = self._tracer
         counters_before = self._hot_path_counter_values()
         with tracer.statement(sql) as stmt:
@@ -628,6 +811,7 @@ class Database:
             metrics=self.metrics,
             pool=self.pool,
             parallel_threshold=self.parallel_threshold,
+            governor=getattr(self._stmt_local, "governor", None),
         )
         ctx.profile = self.profile_operators
         # One switch for the whole hot-path stack: the session's

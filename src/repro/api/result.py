@@ -135,6 +135,9 @@ class AnalyzedQuery:
     ``counters`` is this statement's delta of the hot-path cache
     counters — plan cache, expression-kernel cache, zone-map pruning,
     CSR cache — empty when none moved (docs/performance.md).
+    ``governor`` is the statement's final resource-governor report:
+    verdict, checkpoints passed, elapsed time, peak accounted operator
+    bytes, and the limits in force (docs/robustness.md).
     """
 
     def __init__(
@@ -144,12 +147,14 @@ class AnalyzedQuery:
         subplans: list[OperatorStats],
         total_s: float,
         counters: Optional[dict] = None,
+        governor: Optional[dict] = None,
     ):
         self.result = result
         self.root = root
         self.subplans = subplans
         self.total_s = total_s
         self.counters: dict = counters or {}
+        self.governor: dict = governor or {}
 
     def operators(self) -> Iterator[OperatorStats]:
         """Every stats node of the main plan and all subplans."""
@@ -188,6 +193,21 @@ class AnalyzedQuery:
                 for name, value in sorted(self.counters.items())
             )
             parts.append(f"hot path: {rendered}")
+        if self.governor:
+            gov = self.governor
+            limits = []
+            if gov.get("timeout_ms"):
+                limits.append(f"timeout_ms={gov['timeout_ms']:g}")
+            if gov.get("memory_budget_bytes"):
+                limits.append(
+                    f"budget_bytes={gov['memory_budget_bytes']}"
+                )
+            trailer = f", {', '.join(limits)}" if limits else ""
+            parts.append(
+                f"governor: verdict={gov.get('verdict', 'ok')}, "
+                f"checkpoints={gov.get('checkpoints', 0)}, "
+                f"peak_bytes={gov.get('peak_bytes', 0)}{trailer}"
+            )
         return "\n".join(parts)
 
     def __str__(self) -> str:

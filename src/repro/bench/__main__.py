@@ -20,6 +20,8 @@ Experiments (paper locations in parentheses):
     ablation_lambda    compiled lambda vs interpreted UDF metric (§7)
     statement_cache    hot-path stack on/off on repeated statements
                        (docs/performance.md)
+    governor           cancellation/deadline abort latency vs statement
+                       runtime (docs/robustness.md)
 
 ``--scale`` scales the paper's data sizes (default 0.001: 1/1000 of the
 1 TB-server workloads, laptop-sized). Runtimes will not match the
@@ -44,6 +46,7 @@ from .figures import (
     run_fig5_nb_dims,
     run_fig5_nb_tuples,
     run_fig5_pagerank,
+    run_governor,
     run_statement_cache,
     run_table1,
 )
@@ -61,6 +64,7 @@ EXPERIMENTS = {
     "ablation_csr": run_ablation_csr,
     "ablation_lambda": run_ablation_lambda,
     "statement_cache": run_statement_cache,
+    "governor": run_governor,
 }
 
 

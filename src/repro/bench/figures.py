@@ -447,3 +447,110 @@ def run_statement_cache(
         db.close()
     table.print()
     return table
+
+
+# ---------------------------------------------------------------------------
+# Resource governor (docs/robustness.md)
+# ---------------------------------------------------------------------------
+
+def run_governor(
+    scale: float = 0.001, repeat: int = 1
+) -> SeriesTable:
+    """Cancellation and deadline latency vs statement runtime.
+
+    For each graph size, one non-convergent PAGERANK (epsilon=0, so it
+    runs to the float fixpoint) is measured three ways:
+
+    * **full runtime** — uninterrupted wall clock;
+    * **cancel latency** — ``db.cancel()`` fires from another thread a
+      quarter of the way in; the latency is cancel-signal to typed
+      ``QueryCancelled``, bounded by one checkpoint interval (one SpMV
+      round or one CSR build step), not by statement runtime;
+    * **timeout latency** — a per-call deadline at a quarter of the
+      runtime; the latency is deadline to typed ``QueryTimeout``.
+    """
+    import threading
+    import time as _time
+
+    from .. import Database
+    from ..errors import QueryCancelled, QueryTimeout
+
+    # The paper's LDBC-like graphs run to ~100M edges; scale 0.001
+    # keeps the sweep laptop-sized.
+    sweep = [
+        max(_scaled_n(n, scale), 50_000)
+        for n in (500_000_000, 1_000_000_000, 2_000_000_000)
+    ]
+    table = SeriesTable(
+        "Resource governor — abort latency vs statement runtime "
+        "(PAGERANK, epsilon=0)",
+        "edges",
+        ["full runtime", "cancel latency", "timeout latency"],
+    )
+    sql = (
+        "SELECT * FROM PAGERANK((SELECT src, dst FROM e), "
+        "0.85, 0.0, 1000000)"
+    )
+    for n_edges in sweep:
+        db = Database(profile_operators=False)
+        db.execute("CREATE TABLE e (src INTEGER, dst INTEGER)")
+        rng = np.random.default_rng(7)
+        n_vertices = max(n_edges // 13, 64)
+        db.load_columns("e", {
+            "src": rng.integers(0, n_vertices, size=n_edges),
+            "dst": rng.integers(0, n_vertices, size=n_edges),
+        })
+        label = f"{n_edges:,}"
+
+        full = measure(lambda: db.execute(sql), repeat)
+        table.record(
+            "full runtime", label, full,
+            note=f"{db.last_governor['checkpoints']} checkpoints",
+        )
+
+        cancel_best = float("inf")
+        for _ in range(max(repeat, 1)):
+            outcome = {}
+
+            def run():
+                try:
+                    db.execute(sql)
+                    outcome["error"] = "completed"
+                except QueryCancelled:
+                    outcome["at"] = _time.perf_counter()
+
+            thread = threading.Thread(target=run)
+            thread.start()
+            _time.sleep(full * 0.25)
+            db.cancel()
+            signalled = _time.perf_counter()
+            thread.join()
+            if "at" not in outcome:
+                raise RuntimeError(
+                    f"cancel bench: {outcome.get('error')}"
+                )
+            cancel_best = min(cancel_best, outcome["at"] - signalled)
+        table.record(
+            "cancel latency", label, cancel_best,
+            note="signal to QueryCancelled",
+        )
+
+        timeout_best = float("inf")
+        deadline_ms = full * 0.25 * 1e3
+        for _ in range(max(repeat, 1)):
+            start = _time.perf_counter()
+            try:
+                db.execute(sql, timeout_ms=deadline_ms)
+                raise RuntimeError("timeout bench: completed")
+            except QueryTimeout:
+                observed = _time.perf_counter() - start
+            timeout_best = min(
+                timeout_best, observed - deadline_ms / 1e3
+            )
+        table.record(
+            "timeout latency", label, timeout_best,
+            note=f"deadline {deadline_ms:.0f}ms to QueryTimeout",
+        )
+        db.close()
+    table.print()
+    return table

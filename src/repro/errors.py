@@ -46,6 +46,53 @@ class IterationLimitError(ExecutionError):
     maximum number of iterations (infinite-loop guard, paper section 5.1)."""
 
 
+class ResourceGovernorError(ExecutionError):
+    """Base of the resource-governor error family (docs/robustness.md).
+
+    The engine guarantees *statement atomicity* for these: the statement
+    that exceeded its budget is rolled back (or, inside an explicit
+    transaction, unwound to the statement's savepoint) and the session
+    stays fully usable. ``report`` carries the governor's final state —
+    verdict, checkpoints passed, elapsed time, peak accounted bytes."""
+
+    def __init__(self, message: str, report: dict | None = None):
+        super().__init__(message)
+        self.report: dict = report or {}
+
+
+class QueryCancelled(ResourceGovernorError):
+    """The statement was cancelled cooperatively (``Database.cancel()``
+    from another thread, or a chaos-injected cancel). Raised at the next
+    morsel or iteration-round checkpoint."""
+
+
+class QueryTimeout(ResourceGovernorError):
+    """The statement exceeded its deadline (``timeout_ms``). Raised at
+    the next morsel or iteration-round checkpoint."""
+
+
+class MemoryBudgetExceeded(ResourceGovernorError):
+    """The statement's accounted operator memory (numpy array bytes of
+    materialised state) exceeded its budget (``memory_budget_mb``), or a
+    chaos-injected allocation failure fired."""
+
+
+class InjectedFault(ExecutionError):
+    """A deterministic fault injected by the chaos harness
+    (:mod:`repro.testing.chaos`) at an operator checkpoint. Typed so the
+    chaos oracle can assert that injected failures surface as ordinary
+    engine errors, never as partial state."""
+
+
+class WorkerCrashError(ExecutionError):
+    """A morsel task died on a worker thread (infrastructure failure,
+    not a query error). The worker pool retries such morsels serially on
+    the coordinator thread before failing the query."""
+
+    #: Consulted by :meth:`repro.exec.parallel.WorkerPool.map_ordered`.
+    retry_serial = True
+
+
 class CatalogError(ReproError):
     """Raised for catalog violations: duplicate table, unknown table,
     schema mismatch on insert, dropping a missing object."""

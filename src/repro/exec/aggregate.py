@@ -53,9 +53,20 @@ class HashAggregateOp(PhysicalOperator):
         )
 
     def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
+        governor = self._ctx.governor
         batch = self._child.execute_materialized(eval_ctx)
+        reserved = governor.reserve(batch.nbytes, "hash_aggregate")
+        try:
+            yield from self._aggregate(eval_ctx, batch)
+        finally:
+            governor.release(reserved)
+
+    def _aggregate(
+        self, eval_ctx: EvalContext, batch: ColumnBatch
+    ) -> Iterator[ColumnBatch]:
         node = self._node
         n = len(batch)
+        self._ctx.checkpoint("hash_aggregate")
 
         if node.group_exprs:
             key_cols = [fn(batch, eval_ctx) for fn in self._group_fns]
@@ -130,12 +141,14 @@ class DistinctOp(PhysicalOperator):
     ):
         super().__init__(list(node.output))
         self._child = child
+        self._ctx = ctx
 
     def describe(self) -> str:
         return "Distinct"
 
     def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
         batch = self._child.execute_materialized(eval_ctx)
+        self._ctx.checkpoint("distinct")
         if len(batch) == 0:
             yield batch
             return

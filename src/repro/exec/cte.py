@@ -70,47 +70,58 @@ class RecursiveCTEOp(PhysicalOperator):
         seen_codes: set[int] | None = None
         total_rows = len(current)
         ctx.stats.observe_live_tuples(total_rows)
+        governor = ctx.governor
+        # Appending semantics: every round stays live, so reservations
+        # accumulate (n*i growth is exactly what a memory budget caps).
+        reserved = governor.reserve(current.nbytes, "recursive_cte_init")
 
         tracer = ctx.tracer
         iterations = 0
         max_iterations = min(node.max_iterations, ctx.max_iterations)
-        while len(current) > 0:
-            if iterations >= max_iterations:
-                raise IterationLimitError(
-                    f"recursive CTE {node.key!r} exceeded "
-                    f"{max_iterations} iterations"
-                )
-            iterations += 1
-            # Incremented per round (not once at the end) so the count
-            # survives an iteration-limit abort.
-            ctx.stats.iterations += 1
-            ctx.working_tables[node.key] = self._as_working(
-                current, out_slots
-            )
-            round_span = (
-                tracer.span("iteration", round=iterations)
-                if tracer is not None
-                else nullcontext()
-            )
-            try:
-                with round_span:
-                    step_batch = self._step.execute_materialized(
-                        eval_ctx
+        try:
+            while len(current) > 0:
+                ctx.checkpoint("recursive_cte_round")
+                if iterations >= max_iterations:
+                    raise IterationLimitError(
+                        f"recursive CTE {node.key!r} exceeded "
+                        f"{max_iterations} iterations"
                     )
-            finally:
-                ctx.working_tables.pop(node.key, None)
-            produced = self._relabel(
-                step_batch, self._node.step.output_slots()
-            )
-            if not node.union_all:
-                produced = self._drop_seen(accumulated, produced)
-            if len(produced) == 0:
-                break
-            accumulated.append(produced)
-            total_rows += len(produced)
-            # Appending semantics: every prior round stays live.
-            ctx.stats.observe_live_tuples(total_rows)
-            current = produced
+                iterations += 1
+                # Incremented per round (not once at the end) so the count
+                # survives an iteration-limit abort.
+                ctx.stats.iterations += 1
+                ctx.working_tables[node.key] = self._as_working(
+                    current, out_slots
+                )
+                round_span = (
+                    tracer.span("iteration", round=iterations)
+                    if tracer is not None
+                    else nullcontext()
+                )
+                try:
+                    with round_span:
+                        step_batch = self._step.execute_materialized(
+                            eval_ctx
+                        )
+                finally:
+                    ctx.working_tables.pop(node.key, None)
+                produced = self._relabel(
+                    step_batch, self._node.step.output_slots()
+                )
+                if not node.union_all:
+                    produced = self._drop_seen(accumulated, produced)
+                if len(produced) == 0:
+                    break
+                accumulated.append(produced)
+                total_rows += len(produced)
+                # Appending semantics: every prior round stays live.
+                ctx.stats.observe_live_tuples(total_rows)
+                reserved += governor.reserve(
+                    produced.nbytes, "recursive_cte_round"
+                )
+                current = produced
+        finally:
+            governor.release(reserved)
         self.last_iterations = iterations
 
         yield materialize(accumulated, node.output)

@@ -21,6 +21,7 @@ class FilterOp(PhysicalOperator):
     ):
         super().__init__(list(node.output))
         self._child = child
+        self._ctx = ctx
         self._predicate = ctx.compiler.compile_predicate(node.predicate)
 
     def describe(self) -> str:
@@ -28,6 +29,7 @@ class FilterOp(PhysicalOperator):
 
     def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
         for batch in self._child.execute(eval_ctx):
+            self._ctx.checkpoint("filter")
             if len(batch) == 0:
                 yield batch
                 continue

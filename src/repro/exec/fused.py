@@ -206,6 +206,7 @@ class FusedPipelineOp(PhysicalOperator):
             yield self.empty_batch()
             return
         for start, stop in ranges:
+            ctx.checkpoint("fused_pipeline")
             batch = ColumnBatch(
                 {
                     slot: col.slice(start, stop)

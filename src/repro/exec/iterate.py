@@ -14,6 +14,13 @@ Semantics of ``ITERATE((init), (step), (stop))``:
 Unlike the appending recursive CTE, only the current round (and
 transiently the next one) is live: 2·n tuples instead of n·i. The
 max-iteration guard aborts infinite loops, as the paper requires.
+
+Each round starts with a governor checkpoint
+(:meth:`repro.exec.physical.ExecutionContext.checkpoint`), so a long
+ITERATE can be cancelled or timed out with latency bounded by one
+round; the working relation's bytes are accounted against the
+statement's memory budget, with the reservation *replaced* (not
+accumulated) as rounds replace the relation.
 """
 
 from __future__ import annotations
@@ -53,51 +60,63 @@ class IterateOp(PhysicalOperator):
     def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
         node = self._node
         ctx = self._ctx
+        governor = ctx.governor
 
         init_batch = self._init.execute_materialized(eval_ctx)
         working = self._as_working(
             init_batch, self._node.init.output_slots()
         )
         ctx.stats.observe_live_tuples(2 * len(working))
+        reserved = governor.reserve(working.nbytes, "iterate_init")
 
         tracer = ctx.tracer
         iterations = 0
         max_iterations = min(node.max_iterations, ctx.max_iterations)
-        while True:
-            ctx.working_tables[node.key] = working
-            try:
-                stop_batch = self._stop.execute_materialized(eval_ctx)
-                if self._stop_satisfied(stop_batch):
-                    break
-                if iterations >= max_iterations:
-                    raise IterationLimitError(
-                        f"ITERATE exceeded {max_iterations} iterations "
-                        "without satisfying its stop condition"
+        try:
+            while True:
+                ctx.checkpoint("iterate_round")
+                ctx.working_tables[node.key] = working
+                try:
+                    stop_batch = self._stop.execute_materialized(eval_ctx)
+                    if self._stop_satisfied(stop_batch):
+                        break
+                    if iterations >= max_iterations:
+                        raise IterationLimitError(
+                            f"ITERATE exceeded {max_iterations} iterations "
+                            "without satisfying its stop condition"
+                        )
+                    iterations += 1
+                    # Incremented per round (not once at the end) so the
+                    # count survives an iteration-limit abort.
+                    ctx.stats.iterations += 1
+                    round_span = (
+                        tracer.span("iteration", round=iterations)
+                        if tracer is not None
+                        else nullcontext()
                     )
-                iterations += 1
-                # Incremented per round (not once at the end) so the
-                # count survives an iteration-limit abort.
-                ctx.stats.iterations += 1
-                round_span = (
-                    tracer.span("iteration", round=iterations)
-                    if tracer is not None
-                    else nullcontext()
+                    with round_span:
+                        step_batch = self._step.execute_materialized(
+                            eval_ctx
+                        )
+                finally:
+                    ctx.working_tables.pop(node.key, None)
+                next_working = self._as_working(
+                    step_batch, self._node.step.output_slots()
                 )
-                with round_span:
-                    step_batch = self._step.execute_materialized(
-                        eval_ctx
-                    )
-            finally:
-                ctx.working_tables.pop(node.key, None)
-            next_working = self._as_working(
-                step_batch, self._node.step.output_slots()
-            )
-            # Non-appending: the new round replaces the old; at most the
-            # two of them are live at once.
-            ctx.stats.observe_live_tuples(
-                len(working) + len(next_working)
-            )
-            working = next_working
+                # Non-appending: the new round replaces the old; at most
+                # the two of them are live at once. The reservation is
+                # replaced along with the rows.
+                ctx.stats.observe_live_tuples(
+                    len(working) + len(next_working)
+                )
+                next_reserved = governor.reserve(
+                    next_working.nbytes, "iterate_round"
+                )
+                governor.release(reserved)
+                reserved = next_reserved
+                working = next_working
+        finally:
+            governor.release(reserved)
         self.last_iterations = iterations
 
         yield ColumnBatch(

@@ -116,11 +116,27 @@ class HashJoinOp(PhysicalOperator):
         )
 
     def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
+        governor = self._ctx.governor
         left_batch = self._left.execute_materialized(eval_ctx)
+        governor.reserve(left_batch.nbytes, "hash_join_build")
         right_batch = self._right.execute_materialized(eval_ctx)
+        governor.reserve(right_batch.nbytes, "hash_join_probe")
+        reserved = left_batch.nbytes + right_batch.nbytes
+        try:
+            yield from self._join(eval_ctx, left_batch, right_batch)
+        finally:
+            governor.release(reserved)
+
+    def _join(
+        self,
+        eval_ctx: EvalContext,
+        left_batch: ColumnBatch,
+        right_batch: ColumnBatch,
+    ) -> Iterator[ColumnBatch]:
         n_left = len(left_batch)
         n_right = len(right_batch)
         is_left_join = self._node.kind == "left"
+        self._ctx.checkpoint("hash_join")
 
         if n_left == 0:
             yield self.empty_batch()
@@ -283,6 +299,7 @@ class NestedLoopJoinOp(PhysicalOperator):
         self._node = node
         self._left = left
         self._right = right
+        self._ctx = ctx
         predicate: Optional[BoundExpr] = node.residual
         self._predicate = (
             ctx.compiler.compile_predicate(predicate)
@@ -309,6 +326,7 @@ class NestedLoopJoinOp(PhysicalOperator):
         )
         produced_any = False
         for start in range(0, n_left, chunk_rows):
+            self._ctx.checkpoint("nested_loop_chunk")
             stop = min(start + chunk_rows, n_left)
             chunk = stop - start
             if n_right == 0:

@@ -26,6 +26,7 @@ inputs keep the serial fast path.
 
 from __future__ import annotations
 
+import atexit
 import itertools
 import os
 import threading
@@ -101,14 +102,18 @@ class WorkerPool:
     """
 
     def __init__(
-        self, workers: Optional[int] = None, metrics=None
+        self, workers: Optional[int] = None, metrics=None, chaos=None
     ):
         self.workers = resolve_workers(workers)
         self.metrics = metrics
+        #: Optional :class:`repro.testing.chaos.ChaosInjector` consulted
+        #: before every task (worker-crash injection).
+        self.chaos = chaos
         self._executor: Optional[ThreadPoolExecutor] = None
         self._lock = threading.Lock()
         self._local = threading.local()
         self._ids = itertools.count(1)
+        self._atexit_registered = False
 
     @property
     def is_parallel(self) -> bool:
@@ -127,12 +132,21 @@ class WorkerPool:
                     thread_name_prefix="repro-worker",
                     initializer=self._init_worker,
                 )
+                if not self._atexit_registered:
+                    # Joining live workers at interpreter exit would
+                    # otherwise hang teardown if a session forgot to
+                    # close(); shutdown is idempotent, so a normal
+                    # close() beforehand makes this a no-op.
+                    atexit.register(self.shutdown)
+                    self._atexit_registered = True
             return self._executor
 
     def _init_worker(self) -> None:
         self._local.worker_id = next(self._ids)
 
     def _run_one(self, fn: Callable[[T], R], item: T) -> R:
+        if self.chaos is not None:
+            self.chaos.on_worker_task(self.worker_id)
         result = fn(item)
         if self.metrics is not None:
             self.metrics.counter(
@@ -146,7 +160,15 @@ class WorkerPool:
         """``[fn(item) for item in items]`` with results in submission
         order — the ordered dispatch every deterministic merge relies
         on. Runs inline when the pool is serial or there is at most one
-        item."""
+        item.
+
+        Fault tolerance: a task that dies with a *worker-infrastructure*
+        error (``retry_serial`` on the exception, e.g.
+        :class:`repro.errors.WorkerCrashError`) is retried once, inline
+        on the coordinator thread, before the query fails — so a crashed
+        worker never takes the statement down with it. Query errors
+        (including governor errors) propagate unchanged.
+        """
         items = list(items)
         if not self.is_parallel or len(items) <= 1:
             return [self._run_one(fn, item) for item in items]
@@ -154,7 +176,19 @@ class WorkerPool:
         futures = [
             executor.submit(self._run_one, fn, item) for item in items
         ]
-        return [future.result() for future in futures]
+        results: list[R] = []
+        for future, item in zip(futures, items):
+            try:
+                results.append(future.result())
+            except Exception as exc:  # noqa: BLE001 — typed retry gate
+                if not getattr(exc, "retry_serial", False):
+                    raise
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "parallel_morsel_retries_total"
+                    ).inc()
+                results.append(self._run_one(fn, item))
+        return results
 
     def shutdown(self) -> None:
         """Join the worker threads (idempotent; the pool can be reused
@@ -298,7 +332,13 @@ class ParallelPipelineOp(PhysicalOperator):
         ctx.stats.morsels_dispatched += len(ranges)
 
         def task(rng: tuple[int, int]) -> ColumnBatch:
+            # Runs on a worker thread: the governor's ledger and token
+            # are thread-safe, so each morsel is its own checkpoint and
+            # cancellation latency stays bounded by one morsel.
+            ctx.checkpoint("parallel_morsel")
             return self._run_morsel(columns, rng, eval_ctx)
+
+        ctx.checkpoint("parallel_dispatch")
 
         if ctx.tracer is not None:
             with ctx.tracer.span(

@@ -7,6 +7,7 @@ from typing import Callable, Iterator, Optional
 
 from ..errors import ExecutionError
 from ..expr.compiler import EvalContext, ExpressionCompiler
+from ..governor import QueryContext
 from ..plan.cache import cache_enabled
 from ..plan.logical import LogicalPlan, PlanColumn
 from ..storage.column import Column, ColumnBatch
@@ -148,6 +149,7 @@ class ExecutionContext:
         metrics=None,
         pool=None,
         parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+        governor: Optional[QueryContext] = None,
     ):
         self.read_table = read_table
         self.analytics = analytics
@@ -192,6 +194,16 @@ class ExecutionContext:
         #: CSR cache) applies. The session sets it from its plan-cache
         #: switch; standalone contexts follow REPRO_PLAN_CACHE.
         self.hot_path = cache_enabled()
+        #: The statement's resource governor (deadline / cancel token /
+        #: memory budget). Standalone contexts get an unbounded one so
+        #: operator code can call :meth:`checkpoint` unconditionally.
+        self.governor = governor if governor is not None else QueryContext()
+
+    def checkpoint(self, where: str = "") -> None:
+        """Cooperative governor checkpoint — called by operators at
+        morsel / iteration-round boundaries. Raises the typed governor
+        errors on cancellation, deadline, or injected fault."""
+        self.governor.check(where)
 
     def new_eval_context(
         self, params: Optional[dict[str, object]] = None

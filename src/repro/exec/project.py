@@ -22,6 +22,7 @@ class ProjectOp(PhysicalOperator):
     ):
         super().__init__(node.output)
         self._child = child
+        self._ctx = ctx
         self._fns = [ctx.compiler.compile(e) for e in node.exprs]
 
     def describe(self) -> str:
@@ -29,6 +30,7 @@ class ProjectOp(PhysicalOperator):
 
     def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
         for batch in self._child.execute(eval_ctx):
+            self._ctx.checkpoint("project")
             yield ColumnBatch(
                 {
                     col.slot: fn(batch, eval_ctx)

@@ -60,6 +60,7 @@ class ScanOp(PhysicalOperator):
             yield self.empty_batch()
             return
         for start, stop in ranges:
+            self._ctx.checkpoint("scan")
             yield ColumnBatch(
                 {
                     slot: col.slice(start, stop)

@@ -31,6 +31,7 @@ class SetOpOp(PhysicalOperator):
         self._node = node
         self._left = left
         self._right = right
+        self._ctx = ctx
 
     def describe(self) -> str:
         return f"SetOp({self._node.op})"
@@ -47,6 +48,7 @@ class SetOpOp(PhysicalOperator):
 
     def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
         op = self._node.op
+        self._ctx.checkpoint("setop")
         left_slots = self._node.left.output_slots()
         right_slots = self._node.right.output_slots()
 

@@ -31,23 +31,30 @@ class SortOp(PhysicalOperator):
         super().__init__(list(node.output))
         self._node = node
         self._child = child
+        self._ctx = ctx
         self._key_fns = [ctx.compiler.compile(k.expr) for k in node.keys]
 
     def describe(self) -> str:
         return f"Sort(keys={len(self._node.keys)})"
 
     def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
+        governor = self._ctx.governor
         batch = self._child.execute_materialized(eval_ctx)
-        if len(batch) <= 1:
-            yield batch
-            return
-        order = np.arange(len(batch), dtype=np.int64)
-        for key, fn in zip(
-            reversed(self._node.keys), reversed(self._key_fns)
-        ):
-            col = fn(batch, eval_ctx)
-            order = order[_stable_key_sort(col.take(order), key)]
-        yield batch.take(order)
+        reserved = governor.reserve(batch.nbytes, "sort")
+        try:
+            self._ctx.checkpoint("sort")
+            if len(batch) <= 1:
+                yield batch
+                return
+            order = np.arange(len(batch), dtype=np.int64)
+            for key, fn in zip(
+                reversed(self._node.keys), reversed(self._key_fns)
+            ):
+                col = fn(batch, eval_ctx)
+                order = order[_stable_key_sort(col.take(order), key)]
+            yield batch.take(order)
+        finally:
+            governor.release(reserved)
 
 
 def _stable_key_sort(col: Column, key) -> np.ndarray:

@@ -43,24 +43,32 @@ class TableFunctionOp(PhysicalOperator):
         return f"TableFunction({self._node.name})"
 
     def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
+        governor = self._ctx.governor
         input_batches = [
             op.execute_materialized(eval_ctx) for op in self._inputs
         ]
-        # Inputs are presented to the operator with plain column names.
-        named_inputs = []
-        for op, plan in zip(self._inputs, self._node.inputs):
-            batch = input_batches[len(named_inputs)]
-            named_inputs.append(
-                ColumnBatch(
-                    {
-                        col.name: batch[col.slot]
-                        for col in plan.output
-                    }
+        reserved = sum(b.nbytes for b in input_batches)
+        governor.reserve(reserved, "table_function_inputs")
+        try:
+            self._ctx.checkpoint(f"table_function:{self._node.name}")
+            # Inputs are presented to the operator with plain column
+            # names.
+            named_inputs = []
+            for op, plan in zip(self._inputs, self._node.inputs):
+                batch = input_batches[len(named_inputs)]
+                named_inputs.append(
+                    ColumnBatch(
+                        {
+                            col.name: batch[col.slot]
+                            for col in plan.output
+                        }
+                    )
                 )
+            result = self._descriptor.run(
+                self._node, named_inputs, self._ctx, eval_ctx
             )
-        result = self._descriptor.run(
-            self._node, named_inputs, self._ctx, eval_ctx
-        )
+        finally:
+            governor.release(reserved)
         names = result.names()
         if len(names) != len(self.output):
             raise ExecutionError(

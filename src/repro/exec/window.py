@@ -57,6 +57,7 @@ class WindowOp(PhysicalOperator):
 
     def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
         batch = self._child.execute_materialized(eval_ctx)
+        self._ctx.checkpoint("window")
         columns = dict(batch.columns)
         n = len(batch)
         for spec, (arg_fns, part_fns, key_fns) in zip(

@@ -1,0 +1,190 @@
+"""Per-statement resource governance (docs/robustness.md).
+
+A :class:`QueryContext` travels with one statement through the whole
+execution stack: every operator calls :meth:`QueryContext.check` at
+morsel / iteration-round boundaries (so cancellation latency is bounded
+by one morsel) and :meth:`QueryContext.reserve` when it materialises
+numpy-backed state (pipeline breakers: hash tables, sort buffers, join
+sides, working tables, analytics matrices). Three budgets are enforced:
+
+* a **deadline** (``timeout_ms``) checked against the monotonic clock,
+* a **cooperative cancel token** settable from any thread
+  (:meth:`repro.api.database.Database.cancel`),
+* a **memory budget** (``memory_budget_mb``) over the live accounted
+  bytes of materialised operator state.
+
+Violations raise the typed family in :mod:`repro.errors`
+(:class:`~repro.errors.QueryTimeout`,
+:class:`~repro.errors.QueryCancelled`,
+:class:`~repro.errors.MemoryBudgetExceeded`); each carries the
+governor's final :meth:`report`. The chaos harness
+(:mod:`repro.testing.chaos`) hooks the same two entry points to inject
+deterministic faults.
+
+This module deliberately imports nothing from ``exec``/``api`` so it
+can be used anywhere in the engine without cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from .errors import MemoryBudgetExceeded, QueryCancelled, QueryTimeout
+
+
+class CancelToken:
+    """A thread-safe cooperative cancellation flag.
+
+    ``cancel()`` may be called from any thread; the running statement
+    observes it at its next checkpoint. Tokens are single-use — a new
+    statement gets a new token.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self):
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+
+class QueryContext:
+    """The per-statement governor: deadline, cancel token, memory budget,
+    and the live/peak byte ledger.
+
+    ``check``/``reserve``/``release`` are called from operator code on
+    the coordinator *and* on worker threads (parallel morsels), so the
+    byte ledger is lock-protected. ``verdict`` records how the statement
+    ended: ``"ok"`` (still running or finished), ``"cancelled"``,
+    ``"timeout"``, ``"oom"``, or ``"injected_fault"``.
+    """
+
+    def __init__(
+        self,
+        timeout_ms: Optional[float] = None,
+        memory_budget_bytes: Optional[int] = None,
+        cancel_token: Optional[CancelToken] = None,
+        chaos: Optional[object] = None,
+    ):
+        self.timeout_ms = timeout_ms
+        self.memory_budget_bytes = memory_budget_bytes
+        self.cancel_token = cancel_token or CancelToken()
+        #: Optional :class:`repro.testing.chaos.ChaosInjector`; consulted
+        #: at every checkpoint and reservation.
+        self.chaos = chaos
+        self.started = time.monotonic()
+        self.deadline: Optional[float] = (
+            self.started + timeout_ms / 1e3
+            if timeout_ms is not None and timeout_ms > 0
+            else None
+        )
+        self._lock = threading.Lock()
+        self.live_bytes = 0
+        self.peak_bytes = 0
+        self.checkpoints = 0
+        self.verdict = "ok"
+
+    # -- checkpoints ---------------------------------------------------------
+
+    def check(self, where: str = "") -> None:
+        """A cooperative checkpoint: raises the matching governor error
+        if the statement was cancelled or is past its deadline. Called
+        at every morsel / iteration-round boundary."""
+        with self._lock:
+            self.checkpoints += 1
+        if self.chaos is not None:
+            self.chaos.on_checkpoint(self, where)
+        if self.cancel_token.cancelled:
+            raise self._fail(
+                "cancelled",
+                QueryCancelled(
+                    f"query cancelled at {where or 'checkpoint'} "
+                    f"(checkpoint {self.checkpoints})"
+                ),
+            )
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise self._fail(
+                "timeout",
+                QueryTimeout(
+                    f"query exceeded timeout of {self.timeout_ms:g}ms "
+                    f"at {where or 'checkpoint'}"
+                ),
+            )
+
+    # -- memory ledger -------------------------------------------------------
+
+    def reserve(self, nbytes: int, where: str = "") -> int:
+        """Account ``nbytes`` of materialised operator state; raises
+        :class:`MemoryBudgetExceeded` when the live total passes the
+        budget. Returns ``nbytes`` so call sites can remember what to
+        :meth:`release`."""
+        if self.chaos is not None:
+            self.chaos.on_alloc(self, nbytes, where)
+        with self._lock:
+            self.live_bytes += nbytes
+            if self.live_bytes > self.peak_bytes:
+                self.peak_bytes = self.live_bytes
+            live = self.live_bytes
+        if (
+            self.memory_budget_bytes is not None
+            and live > self.memory_budget_bytes
+        ):
+            raise self._fail(
+                "oom",
+                MemoryBudgetExceeded(
+                    f"operator memory {live} bytes exceeds budget of "
+                    f"{self.memory_budget_bytes} bytes at "
+                    f"{where or 'allocation'}"
+                ),
+            )
+        return nbytes
+
+    def release(self, nbytes: int) -> None:
+        """Return ``nbytes`` previously :meth:`reserve`-d to the budget."""
+        with self._lock:
+            self.live_bytes -= nbytes
+            if self.live_bytes < 0:
+                self.live_bytes = 0
+
+    # -- outcome -------------------------------------------------------------
+
+    def _fail(self, verdict: str, exc: Exception) -> Exception:
+        """Stamp the verdict and attach the report to ``exc``; returns
+        the exception for the caller to raise."""
+        self.verdict = verdict
+        report = self.report()
+        if hasattr(exc, "report"):
+            exc.report = report
+        exc.governor = report
+        return exc
+
+    def report(self) -> dict:
+        """The governor's state as a plain dict (rendered by
+        ``explain_analyze`` and attached to governor errors)."""
+        with self._lock:
+            live = self.live_bytes
+            peak = self.peak_bytes
+            checkpoints = self.checkpoints
+        return {
+            "verdict": self.verdict,
+            "checkpoints": checkpoints,
+            "elapsed_ms": (time.monotonic() - self.started) * 1e3,
+            "peak_bytes": peak,
+            "live_bytes": live,
+            "timeout_ms": self.timeout_ms,
+            "memory_budget_bytes": self.memory_budget_bytes,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryContext(verdict={self.verdict!r}, "
+            f"checkpoints={self.checkpoints}, "
+            f"peak_bytes={self.peak_bytes})"
+        )

@@ -112,6 +112,15 @@ class Column:
             f"Column({self.sql_type}, n={len(self)}, nulls={nulls})"
         )
 
+    @property
+    def nbytes(self) -> int:
+        """Accounted size in bytes (values plus validity mask), as seen
+        by the resource governor's memory ledger."""
+        total = int(self.values.nbytes)
+        if self.valid is not None:
+            total += int(self.valid.nbytes)
+        return total
+
     def null_count(self) -> int:
         """Number of NULL slots in the column."""
         if self.valid is None:
@@ -251,6 +260,11 @@ class ColumnBatch:
 
     def names(self) -> list[str]:
         return list(self.columns)
+
+    @property
+    def nbytes(self) -> int:
+        """Accounted size in bytes of all columns (governor ledger)."""
+        return sum(c.nbytes for c in self.columns.values())
 
     def take(self, indices: np.ndarray) -> "ColumnBatch":
         return ColumnBatch(

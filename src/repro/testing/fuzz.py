@@ -63,6 +63,14 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--chaos", action="store_true",
+        help=(
+            "arm a seeded fault injector on the repro side per seed; "
+            "injected aborts are tolerated but every later query must "
+            "still agree with SQLite (statement atomicity)"
+        ),
+    )
+    parser.add_argument(
         "-v", "--verbose", action="store_true",
         help="progress line every 50 seeds",
     )
@@ -89,6 +97,7 @@ def main(argv: list[str] | None = None) -> int:
             allow_subqueries=not args.no_subqueries,
             workers=args.workers,
             cache_check=args.cache_check,
+            chaos=args.chaos,
         )
         for divergence in divergences:
             n_divergences += 1

@@ -23,7 +23,7 @@ from typing import Iterable, Optional
 import numpy as np
 
 from ..api.database import Database
-from ..errors import ReproError
+from ..errors import InjectedFault, ReproError, ResourceGovernorError
 from ..obs.metrics import global_registry
 from .generator import (
     BOOLEAN,
@@ -138,6 +138,7 @@ def build_repro_db(
     tables: list[GenTable],
     workers: int = 1,
     plan_cache: Optional[bool] = None,
+    chaos=None,
 ) -> Database:
     # profile_operators=False takes the production operator shapes —
     # notably the serial fused pipeline, which profiled plans bypass —
@@ -149,6 +150,7 @@ def build_repro_db(
         db = Database(
             workers=workers, parallel_threshold=0, morsel_rows=32,
             profile_operators=False, plan_cache=plan_cache,
+            chaos=chaos,
         )
     else:
         # Tiny morsels here too: multi-morsel fused pipelines and the
@@ -156,6 +158,7 @@ def build_repro_db(
         db = Database(
             workers=1, morsel_rows=32,
             profile_operators=False, plan_cache=plan_cache,
+            chaos=chaos,
         )
     for table in tables:
         db.execute(table.ddl())
@@ -241,18 +244,29 @@ class DifferentialOracle:
     With ``cache_check`` the repro side runs three legs per statement —
     cold (populates the plan cache), cached (served from it), and a twin
     database with the whole hot-path stack disabled — and any
-    disagreement between legs is a ``"cache"`` divergence."""
+    disagreement between legs is a ``"cache"`` divergence.
+
+    ``chaos_injector`` arms a seeded fault injector on the repro side
+    *after* data population; statements aborted by the injected fault
+    (the typed governor family) are not divergences — the oracle then
+    checks that later statements still agree with SQLite, i.e. the
+    fault left no partial state behind."""
 
     def __init__(
         self,
         tables: list[GenTable],
         workers: int = 1,
         cache_check: bool = False,
+        chaos_injector=None,
     ):
         self.tables = tables
         self.workers = workers
         self.cache_check = cache_check
-        self.db = build_repro_db(tables, workers=workers)
+        self.db = build_repro_db(
+            tables, workers=workers, chaos=chaos_injector
+        )
+        if chaos_injector is not None:
+            chaos_injector.arm()
         self.db_nocache = (
             build_repro_db(tables, workers=workers, plan_cache=False)
             if cache_check
@@ -277,6 +291,12 @@ class DifferentialOracle:
         ):
             try:
                 rows = normalize_rows(db.execute(sql).rows, ordered)
+            except (ResourceGovernorError, InjectedFault):
+                # Chaos fault in a cache leg: abort, not a divergence.
+                global_registry().counter(
+                    "fuzz_chaos_faults_total"
+                ).inc()
+                return None
             except (ReproError, OverflowError, ValueError) as exc:
                 return {
                     "kind": "cache",
@@ -316,6 +336,11 @@ class DifferentialOracle:
             metrics.counter("fuzz_rows_compared_total").inc(
                 len(repro_rows)
             )
+        except (ResourceGovernorError, InjectedFault):
+            # A chaos-injected abort is not a semantic divergence; the
+            # statement rolled back and later queries re-check state.
+            metrics.counter("fuzz_chaos_faults_total").inc()
+            return None
         except (ReproError, OverflowError, ValueError) as exc:
             repro_error = f"{type(exc).__name__}: {exc}"
         try:
@@ -510,6 +535,7 @@ def run_seed(
     allow_subqueries: bool = True,
     workers: int = 1,
     cache_check: bool = False,
+    chaos: bool = False,
 ) -> list[Divergence]:
     """Run one seed's schema + queries; returns found divergences.
 
@@ -517,11 +543,19 @@ def run_seed(
     cardinality threshold, tiny morsels) so the differential corpus
     exercises the morsel-driven paths against SQLite. ``cache_check``
     additionally compares cold vs plan-cached vs cache-disabled
-    executions of every statement."""
+    executions of every statement. ``chaos`` arms a seeded fault
+    injector on the repro side: the injected abort itself is tolerated,
+    but every query after it must still agree with SQLite."""
     generator = QueryGenerator(seed, allow_subqueries=allow_subqueries)
     tables = generator.schema()
+    chaos_injector = None
+    if chaos:
+        from .chaos import ChaosInjector
+
+        chaos_injector = ChaosInjector.from_seed(seed)
     oracle = DifferentialOracle(
-        tables, workers=workers, cache_check=cache_check
+        tables, workers=workers, cache_check=cache_check,
+        chaos_injector=chaos_injector,
     )
     divergences = []
     try:
@@ -570,6 +604,7 @@ def run_seeds(
     allow_subqueries: bool = True,
     workers: int = 1,
     cache_check: bool = False,
+    chaos: bool = False,
 ) -> list[Divergence]:
     out = []
     for seed in seeds:
@@ -581,6 +616,7 @@ def run_seeds(
                 allow_subqueries=allow_subqueries,
                 workers=workers,
                 cache_check=cache_check,
+                chaos=chaos,
             )
         )
     return out

@@ -122,6 +122,35 @@ class Transaction:
         ).inc(len(materialised))
         return len(materialised)
 
+    # -- savepoints --------------------------------------------------------------
+
+    def savepoint(self) -> tuple:
+        """A snapshot of this transaction's buffered state.
+
+        Write-set entries are immutable :class:`TableData` versions, so a
+        shallow copy of the dicts is a complete snapshot; the log is
+        append-only, so its length suffices."""
+        self._check_active()
+        return (
+            dict(self.write_set),
+            dict(self.created_tables),
+            set(self.dropped_tables),
+            len(self._log),
+        )
+
+    def rollback_to(self, sp: tuple) -> None:
+        """Restore buffered state to a :meth:`savepoint`, discarding any
+        writes staged after it. The transaction stays active."""
+        self._check_active()
+        write_set, created, dropped, log_len = sp
+        self.write_set.clear()
+        self.write_set.update(write_set)
+        self.created_tables.clear()
+        self.created_tables.update(created)
+        self.dropped_tables.clear()
+        self.dropped_tables.update(dropped)
+        del self._log[log_len:]
+
     # -- lifecycle ----------------------------------------------------------------
 
     def commit(self) -> int:

@@ -106,6 +106,62 @@ class TestLoadCSV:
             db.load_csv("ghost", csv_file, create=False)
 
 
+class TestLoadErrorPaths:
+    """Malformed input must raise typed errors and leave the target
+    table untouched (same row count AND same version token)."""
+
+    @staticmethod
+    def _version_token(db, table):
+        txn = db.txns.begin()
+        try:
+            return txn.read(table).version_token
+        finally:
+            txn.rollback()
+
+    @pytest.fixture
+    def seeded(self, db):
+        db.execute("CREATE TABLE t (a INTEGER, b VARCHAR)")
+        db.insert_rows("t", [(1, "x"), (2, "y")])
+        return db
+
+    def test_uncoercible_value_is_typed_error(self, seeded, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n3,z\nnope,w\n", encoding="utf-8")
+        before_tok = self._version_token(seeded, "t")
+        with pytest.raises(CatalogError, match="row 3, column 'a'"):
+            seeded.load_csv("t", str(path))
+        assert seeded.row_count("t") == 2
+        assert self._version_token(seeded, "t") == before_tok
+
+    def test_wrong_arity_leaves_table_untouched(self, seeded, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n3,z\n4\n", encoding="utf-8")
+        before_tok = self._version_token(seeded, "t")
+        with pytest.raises(CatalogError, match="fields"):
+            seeded.load_csv("t", str(path))
+        assert seeded.row_count("t") == 2
+        assert self._version_token(seeded, "t") == before_tok
+
+    def test_no_stray_table_on_bad_create_load(self, db, tmp_path):
+        # Values are parsed BEFORE the CREATE TABLE DDL runs, so a
+        # malformed file cannot leave an empty husk behind.
+        path = tmp_path / "bad.csv"
+        path.write_text("a\n1\nnope\n", encoding="utf-8")
+        with pytest.raises(CatalogError, match="cannot convert"):
+            db.load_csv("fresh", str(path), column_types={"a": "INTEGER"})
+        assert "fresh" not in db.table_names()
+
+    def test_typed_not_bare_valueerror(self, seeded, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\noops,z\n", encoding="utf-8")
+        try:
+            seeded.load_csv("t", str(path))
+        except CatalogError:
+            pass
+        else:  # pragma: no cover - the load must fail
+            pytest.fail("expected CatalogError")
+
+
 class TestExportCSV:
     def test_roundtrip(self, db, csv_file, tmp_path):
         db.load_csv("people", csv_file)
