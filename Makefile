@@ -5,18 +5,30 @@ N ?= 1000
 START ?= 0
 WORKERS ?= 4
 
-.PHONY: test test-all fuzz fuzz-parallel bench metrics-smoke chaos
+.PHONY: test test-all fuzz fuzz-parallel bench metrics-smoke chaos battery
 
 # The tier-1 suite runs three times: fully serial, with a 4-worker
 # pool (the serial-equivalence contract of the morsel-driven executor,
 # docs/parallelism.md), and with the hot-path stack — plan cache,
 # kernel cache, fused pipelines, zone maps — disabled
 # (docs/performance.md), proving the caches never change results.
+# The third leg also forces raw storage so cache-off and encoding-off
+# are covered together; the battery leg then cross-checks the TPC-H
+# query shapes plus an encoded-vs-raw fuzz sweep (docs/storage.md).
 test: metrics-smoke
 	REPRO_WORKERS=1 $(PY) -m pytest -x -q
 	REPRO_WORKERS=4 $(PY) -m pytest -x -q
-	REPRO_PLAN_CACHE=0 REPRO_WORKERS=1 $(PY) -m pytest -x -q
+	REPRO_PLAN_CACHE=0 REPRO_ENCODING=raw REPRO_WORKERS=1 $(PY) -m pytest -x -q
+	$(MAKE) battery
 	$(MAKE) chaos
+
+# TPC-H-shaped SQL battery (tests/sql_battery/) under raw and encoded
+# storage, serial and 4 workers, vs the SQLite oracle — plus a
+# string-heavy encoded-vs-raw differential fuzz sweep.
+battery:
+	$(PY) -m pytest -x -q -m battery
+	$(PY) -m repro.testing.fuzz --seeds 50 --encoding-check \
+		--schema strings
 
 # Seeded fault-injection battery (docs/robustness.md): every injected
 # fault must be tolerated or fail typed with statement atomicity

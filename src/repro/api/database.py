@@ -55,6 +55,11 @@ from ..sql.binder import Binder
 from ..sql.parser import parse_sql
 from ..storage.catalog import Catalog
 from ..storage.column import Column, ColumnBatch
+from ..storage.encoding import (
+    column_encoding_of,
+    column_raw_nbytes,
+    resolve_encoding,
+)
 from ..storage.schema import ColumnSchema, TableSchema
 from ..storage.table import TableData
 from ..txn.manager import Transaction, TransactionManager
@@ -129,6 +134,12 @@ class Database:
         chaos: a :class:`repro.testing.chaos.ChaosInjector` for
             deterministic fault injection; ``None`` reads
             ``REPRO_CHAOS`` (default off).
+        encoding: column-encoding policy for committed table versions —
+            ``auto`` (per-column selection: dictionary for strings,
+            RLE/frame-of-reference for integers), ``dict``/``for``/
+            ``rle`` (force one family), or ``raw``. ``None`` reads
+            ``REPRO_ENCODING`` (default ``auto``); see
+            ``docs/storage.md``.
     """
 
     def __init__(
@@ -145,6 +156,7 @@ class Database:
         timeout_ms: Optional[float] = None,
         memory_budget_mb: Optional[float] = None,
         chaos=None,
+        encoding: Optional[str] = None,
     ):
         self.catalog = Catalog()
         #: Session metrics registry; mirrored into
@@ -152,8 +164,12 @@ class Database:
         #: many sessions (bench sweeps, the fuzzer) see aggregates.
         self.metrics = MetricsRegistry(parent=global_registry())
         wal = WriteAheadLog(wal_path) if wal_path is not None else None
+        #: Effective column-encoding policy (argument, then
+        #: REPRO_ENCODING, then "auto").
+        self.encoding = resolve_encoding(encoding)
         self.txns = TransactionManager(
-            self.catalog, wal, metrics=self.metrics
+            self.catalog, wal, metrics=self.metrics,
+            encoding=self.encoding,
         )
         self.udfs = UDFRegistry()
         self.analytics: OperatorRegistry = default_registry()
@@ -706,6 +722,43 @@ class Database:
         finally:
             if owned:
                 txn.rollback()
+
+    def storage_stats(self) -> dict:
+        """Per-table storage footprint of the latest committed
+        versions: encoded bytes actually held vs the bytes a raw
+        columnar layout would spend (VARCHAR accounted as an 8-byte
+        slot plus the string payload per row), and each column's
+        physical layout. Also refreshes the ``storage_bytes_raw`` /
+        ``storage_bytes_encoded`` gauges, so the footprint win is
+        visible next to the engine's other metrics."""
+        ts = self.catalog.current_ts
+        tables = {}
+        raw_total = encoded_total = 0
+        for name in self.catalog.table_names(ts):
+            data = self.catalog.data(name, ts)
+            raw = sum(column_raw_nbytes(c) for c in data.columns)
+            encoded = sum(c.nbytes for c in data.columns)
+            tables[name] = {
+                "rows": data.row_count,
+                "raw_bytes": raw,
+                "encoded_bytes": encoded,
+                "columns": {
+                    schema_col.name: column_encoding_of(col)
+                    for schema_col, col in zip(
+                        data.schema, data.columns
+                    )
+                },
+            }
+            raw_total += raw
+            encoded_total += encoded
+        self.metrics.gauge("storage_bytes_raw").set(raw_total)
+        self.metrics.gauge("storage_bytes_encoded").set(encoded_total)
+        return {
+            "encoding": self.encoding,
+            "raw_bytes": raw_total,
+            "encoded_bytes": encoded_total,
+            "tables": tables,
+        }
 
     def load_csv(
         self,

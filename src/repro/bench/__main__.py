@@ -22,6 +22,8 @@ Experiments (paper locations in parentheses):
                        (docs/performance.md)
     governor           cancellation/deadline abort latency vs statement
                        runtime (docs/robustness.md)
+    encoding           encoded vs raw storage: footprint and
+                       predicate-on-codes scans (docs/storage.md)
 
 ``--scale`` scales the paper's data sizes (default 0.001: 1/1000 of the
 1 TB-server workloads, laptop-sized). Runtimes will not match the
@@ -45,6 +47,7 @@ from .figures import (
     run_fig4_tuples,
     run_fig5_nb_dims,
     run_fig5_nb_tuples,
+    run_encoding,
     run_fig5_pagerank,
     run_governor,
     run_statement_cache,
@@ -65,6 +68,7 @@ EXPERIMENTS = {
     "ablation_lambda": run_ablation_lambda,
     "statement_cache": run_statement_cache,
     "governor": run_governor,
+    "encoding": run_encoding,
 }
 
 

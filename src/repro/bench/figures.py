@@ -554,3 +554,96 @@ def run_governor(
         db.close()
     table.print()
     return table
+
+
+# ---------------------------------------------------------------------------
+# Encoded columnar storage (docs/storage.md)
+# ---------------------------------------------------------------------------
+
+def run_encoding(
+    scale: float = 0.001, repeat: int = 1
+) -> SeriesTable:
+    """Encoded vs raw storage on a string-heavy shipments table:
+    resident footprint plus repeated scans whose predicates the
+    encoded leg evaluates directly on codes (dictionary equality,
+    dictionary IN-list, frame-of-reference date range) without
+    decoding.
+
+    The ``footprint`` row records bytes, not seconds: the raw series
+    reports what a pointer-free raw layout spends
+    (``storage_bytes_raw``), the encoded series the bytes actually
+    resident under the auto policy (``storage_bytes_encoded``).
+    """
+    from .. import Database
+
+    n_rows = max(_scaled_n(50_000_000, scale), 50_000)
+    execs = 40
+    rng = np.random.default_rng(7)
+    status_pool = np.array(
+        ["cancelled", "delivered", "pending", "returned", "shipped"],
+        dtype=object,
+    )
+    mode_pool = np.array(
+        ["air freight", "ocean liner", "rail cargo", "road haulage"],
+        dtype=object,
+    )
+    columns = {
+        "id": np.arange(n_rows, dtype=np.int32),
+        "status": status_pool[rng.integers(0, len(status_pool), n_rows)],
+        "mode": mode_pool[rng.integers(0, len(mode_pool), n_rows)],
+        "qty": rng.integers(1, 50, n_rows).astype(np.int32),
+        "day": (8035 + rng.integers(0, 2500, n_rows)).astype(np.int32),
+    }
+    table = SeriesTable(
+        f"Encoded columnar storage — footprint and predicate-on-codes "
+        f"scans (n={n_rows}, execs={execs})",
+        "measure",
+        ["raw", "encoded"],
+    )
+    queries = [
+        (
+            "equality scan",
+            "SELECT count(*) FROM shipments WHERE status = 'shipped'",
+        ),
+        (
+            "IN scan",
+            "SELECT count(*) FROM shipments "
+            "WHERE mode IN ('air freight', 'ocean liner')",
+        ),
+        (
+            "range scan",
+            "SELECT count(*) FROM shipments WHERE day < 9000",
+        ),
+    ]
+    for series, encoding in (("raw", "raw"), ("encoded", "auto")):
+        db = Database(
+            profile_operators=False, morsel_rows=4096,
+            encoding=encoding,
+        )
+        db.execute(
+            "CREATE TABLE shipments (id INTEGER, status VARCHAR, "
+            "mode VARCHAR, qty INTEGER, day INTEGER)"
+        )
+        db.load_columns("shipments", columns)
+        stats = db.storage_stats()["tables"]["shipments"]
+        footprint = (
+            stats["raw_bytes"] if series == "raw"
+            else stats["encoded_bytes"]
+        )
+        table.record(
+            series, "footprint", float(footprint), note="bytes",
+        )
+        for x, sql in queries:
+            db.execute(sql)  # warm plan and kernel caches on both legs
+
+            def scan_loop():
+                for _ in range(execs):
+                    db.execute(sql)
+
+            table.record(
+                series, x, measure(scan_loop, repeat),
+                note=f"{execs} executions",
+            )
+        db.close()
+    table.print()
+    return table

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..errors import ExecutionError, UDFError
 from ..storage.column import Column, ColumnBatch
+from ..storage.encoding import DictionaryColumn, EncodedColumn
 from ..types import (
     BOOLEAN,
     DOUBLE,
@@ -33,6 +34,16 @@ from . import bound as b
 
 #: A compiled expression: evaluates one batch to one column.
 Compiled = Callable[[ColumnBatch, "EvalContext"], Column]
+
+
+def _decode_skipped(rows: int) -> None:
+    """Count rows whose predicate was evaluated on codes/offsets/runs
+    instead of decoded values. Kernel closures are shared process-wide
+    (the kernel cache outlives sessions), so this reports to the global
+    registry rather than a captured session registry."""
+    from ..obs.metrics import global_registry
+
+    global_registry().counter("scan_decode_skipped_total").inc(rows)
 
 
 class EvalContext:
@@ -108,6 +119,27 @@ def _scalar_constant(expr: b.BoundExpr):
             return int(inner)
         return None
     return None
+
+
+def _string_const_source(expr: b.BoundExpr):
+    """A resolver spec for a constant string comparison side:
+    ``("lit", s)`` or ``("param", slot)``; None otherwise. Parameters
+    resolve per batch (correlated values change per outer row)."""
+    if isinstance(expr, b.BoundLiteral) and isinstance(
+        expr.value, str
+    ):
+        return ("lit", expr.value)
+    if isinstance(expr, b.BoundParam) and expr.sql_type.kind in (
+        TypeKind.VARCHAR, TypeKind.NULL
+    ):
+        return ("param", expr.slot)
+    return None
+
+
+def _resolve_string_const(source, ctx: "EvalContext"):
+    if source[0] == "lit":
+        return source[1]
+    return ctx.params.get(source[1])
 
 
 def _to_dtype(value, dtype: np.dtype):
@@ -527,17 +559,76 @@ class ExpressionCompiler:
         left_const = None if is_string else _scalar_constant(expr.left)
         right_const = None if is_string else _scalar_constant(expr.right)
 
+        # Predicate-on-codes: when one side is a constant, an encoded
+        # column on the other side compares without decoding —
+        # dictionary codes for strings, offsets/runs for integers.
+        # ``(compiled column side, effective op, string source)``; the
+        # numeric consts reuse left_const/right_const.
+        _FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
+                 "=": "=", "<>": "<>", "!=": "!="}
+        if is_string:
+            rsrc = _string_const_source(expr.right)
+            lsrc = _string_const_source(expr.left)
+            if rsrc is not None:
+                fast_str = (True, op, rsrc)
+            elif lsrc is not None:
+                fast_str = (False, _FLIP[op], lsrc)
+            else:
+                fast_str = None
+        else:
+            fast_str = None
+
         def run(batch: ColumnBatch, ctx: EvalContext) -> Column:
+            if fast_str is not None:
+                col_on_left, eff_op, src = fast_str
+                ccol = (left if col_on_left else right)(batch, ctx)
+                if isinstance(ccol, DictionaryColumn):
+                    const = _resolve_string_const(src, ctx)
+                    if isinstance(const, str):
+                        out = ccol.compare_const(eff_op, const)
+                        _decode_skipped(len(ccol))
+                        return Column(out, BOOLEAN, ccol.valid)
+                    # Bound-but-NULL parameter: the comparison is
+                    # unknown everywhere, still without decoding.
+                    if (
+                        const is None
+                        and src[0] == "param"
+                        and src[1] in ctx.params
+                    ):
+                        n = len(batch)
+                        return Column(
+                            np.zeros(n, dtype=np.bool_), BOOLEAN,
+                            np.zeros(n, dtype=np.bool_),
+                        )
             if left_const is not None:
                 lval, lvalid = left_const, None
+                if right_const is None:
+                    rcol = right(batch, ctx)
+                    if isinstance(rcol, EncodedColumn) and not (
+                        isinstance(rcol, DictionaryColumn)
+                    ):
+                        out = rcol.compare_const(
+                            _FLIP[op], left_const
+                        )
+                        _decode_skipped(len(rcol))
+                        return Column(out, BOOLEAN, rcol.valid)
+                    rval, rvalid = rcol.values, rcol.valid
+                else:
+                    rval, rvalid = right_const, None
             else:
                 lcol = left(batch, ctx)
+                if right_const is not None and isinstance(
+                    lcol, EncodedColumn
+                ) and not isinstance(lcol, DictionaryColumn):
+                    out = lcol.compare_const(op, right_const)
+                    _decode_skipped(len(lcol))
+                    return Column(out, BOOLEAN, lcol.valid)
                 lval, lvalid = lcol.values, lcol.valid
-            if right_const is not None:
-                rval, rvalid = right_const, None
-            else:
-                rcol = right(batch, ctx)
-                rval, rvalid = rcol.values, rcol.valid
+                if right_const is not None:
+                    rval, rvalid = right_const, None
+                else:
+                    rcol = right(batch, ctx)
+                    rval, rvalid = rcol.values, rcol.valid
             validity = _and_validity(lvalid, rvalid)
             if is_string:
                 # Object-dtype comparisons go through Python operators but
@@ -718,6 +809,9 @@ class ExpressionCompiler:
 
         def run(batch: ColumnBatch, ctx: EvalContext) -> Column:
             col = operand(batch, ctx)
+            if isinstance(col, EncodedColumn):
+                # Already decode-free (validity only) — count it.
+                _decode_skipped(len(col))
             is_null = ~col.validity()
             values = ~is_null if negated else is_null
             return Column(values, BOOLEAN)
@@ -728,9 +822,30 @@ class ExpressionCompiler:
         operand = self.compile(expr.operand)
         items = [self.compile(item) for item in expr.items]
         negated = expr.negated
+        # Dictionary fast path: every IN item a constant string means
+        # membership is a set test over codes, no decode.
+        item_sources = None
+        if expr.operand.sql_type.kind is TypeKind.VARCHAR:
+            sources = [
+                _string_const_source(item) for item in expr.items
+            ]
+            if all(s is not None for s in sources):
+                item_sources = sources
 
         def run(batch: ColumnBatch, ctx: EvalContext) -> Column:
             col = operand(batch, ctx)
+            if item_sources is not None and isinstance(
+                col, DictionaryColumn
+            ):
+                consts = [
+                    _resolve_string_const(s, ctx)
+                    for s in item_sources
+                ]
+                if all(isinstance(c, str) for c in consts):
+                    matched = col.isin_const(consts)
+                    _decode_skipped(len(col))
+                    values = ~matched if negated else matched
+                    return Column(values, BOOLEAN, col.valid)
             n = len(col)
             matched = np.zeros(n, dtype=np.bool_)
             any_null_item = np.zeros(n, dtype=np.bool_)

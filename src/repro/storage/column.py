@@ -130,7 +130,9 @@ class Column:
     def validity(self) -> np.ndarray:
         """A materialised validity mask (always an array, never None)."""
         if self.valid is None:
-            return np.ones(len(self.values), dtype=np.bool_)
+            # len(self), not len(self.values): encoded subclasses know
+            # their length without decoding (see storage/encoding.py).
+            return np.ones(len(self), dtype=np.bool_)
         return self.valid
 
     def value_at(self, i: int) -> object:

@@ -82,7 +82,7 @@ def build_zone_map(
     ordered zone statistics (VARCHAR) or the column is empty."""
     if column.sql_type.kind is TypeKind.VARCHAR:
         return None
-    n = len(column.values)
+    n = len(column)
     if n == 0:
         return None
     values = np.asarray(column.values)
@@ -169,6 +169,10 @@ def _const_source(expr: b.BoundExpr):
             return ("lit", value)
         if isinstance(value, bool):
             return ("lit", int(value))
+        if isinstance(value, str):
+            # String constants prune only against dictionary-encoded
+            # columns (translated to code space in keep_ranges).
+            return ("lit", value)
         return None
     if isinstance(expr, b.BoundParam):
         # Statement parameters (?N) and correlated outer values alike:
@@ -190,7 +194,7 @@ def _resolve_const(source, params: dict):
         value = params.get(source[1])
         if isinstance(value, bool):
             return int(value)
-        if isinstance(value, (int, float)):
+        if isinstance(value, (int, float, str)):
             return value
         return None
     inner = _resolve_const(source[1], params)
@@ -217,7 +221,9 @@ class _Conjunct:
         if self.op == "isnotnull":
             return zones.valid_counts == 0
         const = _resolve_const(self.const_source, params)
-        if const is None:
+        if not isinstance(const, (int, float)):
+            # None, or a string constant that was not translated to
+            # code space (raw VARCHAR columns have no zone map).
             return none
         no_finite = zones.finite_counts == 0
         mins, maxs = zones.mins, zones.maxs
@@ -237,6 +243,42 @@ class _Conjunct:
         if self.op == ">=":
             return no_finite | (maxs < const)
         return none
+
+
+def _prunable_for_column(
+    conjunct: _Conjunct, column, zones: ZoneMap, params: dict
+) -> Optional[np.ndarray]:
+    """The conjunct's prunable-zone mask against a concrete column,
+    translating string constants to dictionary code space when the
+    column is dictionary-encoded (its zone map is over codes)."""
+    from .encoding import DictionaryColumn
+
+    if conjunct.op in ("isnull", "isnotnull") or not isinstance(
+        column, DictionaryColumn
+    ):
+        return conjunct.prunable_zones(zones, params)
+    const = _resolve_const(conjunct.const_source, params)
+    if not isinstance(const, str):
+        # NULL / unbound parameter: the comparison is never true, but
+        # stay conservative and just skip this conjunct.
+        return None
+    idx, present = column.code_bound(const)
+    op = conjunct.op
+    if op == "=" and not present:
+        # No row can equal an absent dictionary entry: every zone
+        # prunes (scan output is provably empty).
+        return np.ones(zones.n_zones, dtype=np.bool_)
+    if op in ("<>", "!=") and not present:
+        # Every valid row differs: only all-NULL zones prune.
+        return zones.valid_counts == 0
+    # The sorted dictionary makes code order equal value order; the
+    # insertion index bounds absent constants exactly.
+    if op == "<=" and not present:
+        op = "<"
+    elif op == ">" and not present:
+        op = ">="
+    translated = _Conjunct(conjunct.column_name, op, ("lit", idx))
+    return translated.prunable_zones(zones, params)
 
 
 class ScanPruner:
@@ -315,7 +357,9 @@ class ScanPruner:
             zones = column.zone_map()
             if zones is None or zones.n_rows != data.row_count:
                 continue
-            mask = conjunct.prunable_zones(zones, params)
+            mask = _prunable_for_column(conjunct, column, zones, params)
+            if mask is None:
+                continue
             prunable = mask if prunable is None else (prunable | mask)
         if prunable is None or not prunable.any():
             return list(ranges), 0

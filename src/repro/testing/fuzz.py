@@ -71,6 +71,23 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--encoding-check", action="store_true",
+        help=(
+            "run every statement on encoded-storage and raw-storage "
+            "twin databases and fail if they disagree on rows or "
+            "errors (exercises dictionary/RLE/FOR columns and the "
+            "predicate-on-codes paths)"
+        ),
+    )
+    parser.add_argument(
+        "--schema", choices=["default", "strings"], default="default",
+        help=(
+            "schema profile; 'strings' generates string-heavy, "
+            "low-cardinality tables that stress dictionary encoding "
+            "(default: default)"
+        ),
+    )
+    parser.add_argument(
         "-v", "--verbose", action="store_true",
         help="progress line every 50 seeds",
     )
@@ -98,6 +115,8 @@ def main(argv: list[str] | None = None) -> int:
             workers=args.workers,
             cache_check=args.cache_check,
             chaos=args.chaos,
+            encoding_check=args.encoding_check,
+            schema_profile=args.schema,
         )
         for divergence in divergences:
             n_divergences += 1

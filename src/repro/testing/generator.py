@@ -212,26 +212,45 @@ class QueryGenerator:
     The same seed always yields the same schema and query sequence.
     """
 
-    def __init__(self, seed: int, allow_subqueries: bool = True):
+    def __init__(
+        self,
+        seed: int,
+        allow_subqueries: bool = True,
+        schema_profile: str = "default",
+    ):
+        if schema_profile not in ("default", "strings"):
+            raise ValueError(
+                f"unknown schema profile {schema_profile!r}; "
+                "expected 'default' or 'strings'"
+            )
         self.seed = seed
         self.rng = random.Random(seed)
         self.allow_subqueries = allow_subqueries
+        #: ``"strings"`` skews schemas toward wide, low-cardinality
+        #: VARCHAR columns — the shape dictionary encoding targets.
+        self.schema_profile = schema_profile
         self._alias_counter = 0
 
     # -- schema / data -----------------------------------------------------
 
     def schema(self) -> list[GenTable]:
         rng = self.rng
+        strings = self.schema_profile == "strings"
+        if strings:
+            type_pool = [VARCHAR] * 4 + [INTEGER, BOOLEAN]
+        else:
+            type_pool = [INTEGER, INTEGER, FLOAT, VARCHAR, BOOLEAN]
         tables = []
         for t in range(rng.randint(2, 3)):
             columns = [GenColumn("k", INTEGER)]
-            n_extra = rng.randint(2, 4)
+            n_extra = rng.randint(3, 5) if strings else rng.randint(2, 4)
             for c in range(n_extra):
-                sql_type = rng.choice(
-                    [INTEGER, INTEGER, FLOAT, VARCHAR, BOOLEAN]
-                )
+                sql_type = rng.choice(type_pool)
                 columns.append(GenColumn(f"c{c}", sql_type))
-            n_rows = rng.choice([0] + [rng.randint(1, 60)] * 9)
+            if strings:
+                n_rows = rng.choice([0] + [rng.randint(20, 120)] * 9)
+            else:
+                n_rows = rng.choice([0] + [rng.randint(1, 60)] * 9)
             rows = [
                 tuple(self._cell(col) for col in columns)
                 for _ in range(n_rows)
@@ -248,6 +267,10 @@ class QueryGenerator:
         if col.sql_type == FLOAT:
             return round(rng.uniform(-50.0, 50.0), 2)
         if col.sql_type == VARCHAR:
+            if self.schema_profile == "strings":
+                # Low cardinality on purpose: repeated words make the
+                # dictionary path dominant and its codes dense.
+                return rng.choice(_WORDS[:5])
             word = rng.choice(_WORDS)
             if rng.random() < 0.3:
                 word += str(rng.randint(0, 9))

@@ -139,6 +139,7 @@ def build_repro_db(
     workers: int = 1,
     plan_cache: Optional[bool] = None,
     chaos=None,
+    encoding: Optional[str] = None,
 ) -> Database:
     # profile_operators=False takes the production operator shapes —
     # notably the serial fused pipeline, which profiled plans bypass —
@@ -150,7 +151,7 @@ def build_repro_db(
         db = Database(
             workers=workers, parallel_threshold=0, morsel_rows=32,
             profile_operators=False, plan_cache=plan_cache,
-            chaos=chaos,
+            chaos=chaos, encoding=encoding,
         )
     else:
         # Tiny morsels here too: multi-morsel fused pipelines and the
@@ -158,7 +159,7 @@ def build_repro_db(
         db = Database(
             workers=1, morsel_rows=32,
             profile_operators=False, plan_cache=plan_cache,
-            chaos=chaos,
+            chaos=chaos, encoding=encoding,
         )
     for table in tables:
         db.execute(table.ddl())
@@ -250,7 +251,13 @@ class DifferentialOracle:
     *after* data population; statements aborted by the injected fault
     (the typed governor family) are not divergences — the oracle then
     checks that later statements still agree with SQLite, i.e. the
-    fault left no partial state behind."""
+    fault left no partial state behind.
+
+    With ``encoding_check`` the repro side additionally runs every
+    statement on two storage twins — one forced to encoded columns
+    (dictionary/RLE/FOR), one forced raw — and any disagreement between
+    them is an ``"encoding"`` divergence, shrunk to a minimal
+    reproducer exactly like an engine bug."""
 
     def __init__(
         self,
@@ -258,18 +265,28 @@ class DifferentialOracle:
         workers: int = 1,
         cache_check: bool = False,
         chaos_injector=None,
+        encoding_check: bool = False,
     ):
         self.tables = tables
         self.workers = workers
         self.cache_check = cache_check
+        self.encoding_check = encoding_check
+        # With the encoding twin active the primary runs forced-auto so
+        # the comparison is encoded-vs-raw regardless of REPRO_ENCODING.
         self.db = build_repro_db(
-            tables, workers=workers, chaos=chaos_injector
+            tables, workers=workers, chaos=chaos_injector,
+            encoding="auto" if encoding_check else None,
         )
         if chaos_injector is not None:
             chaos_injector.arm()
         self.db_nocache = (
             build_repro_db(tables, workers=workers, plan_cache=False)
             if cache_check
+            else None
+        )
+        self.db_raw = (
+            build_repro_db(tables, workers=workers, encoding="raw")
+            if encoding_check
             else None
         )
         self.conn = build_sqlite_db(tables)
@@ -279,6 +296,8 @@ class DifferentialOracle:
         self.db.close()
         if self.db_nocache is not None:
             self.db_nocache.close()
+        if self.db_raw is not None:
+            self.db_raw.close()
 
     def _check_cache_legs(
         self, sql: str, ordered: bool, cold_rows: list[tuple]
@@ -316,6 +335,39 @@ class DifferentialOracle:
                     "repro_rows": cold_rows,
                     "sqlite_rows": rows,
                 }
+        return None
+
+    def _check_encoding_leg(
+        self, sql: str, ordered: bool, cold_rows: list[tuple]
+    ) -> Optional[dict]:
+        """Compare the (encoded) primary's rows against the raw-storage
+        twin: encoding must change footprint, never results."""
+        try:
+            rows = normalize_rows(
+                self.db_raw.execute(sql).rows, ordered
+            )
+        except (ResourceGovernorError, InjectedFault):
+            global_registry().counter("fuzz_chaos_faults_total").inc()
+            return None
+        except (ReproError, OverflowError, ValueError) as exc:
+            return {
+                "kind": "encoding",
+                "detail": (
+                    f"raw-storage twin raised where the encoded run "
+                    f"succeeded: {type(exc).__name__}: {exc}"
+                ),
+                "repro_rows": cold_rows,
+            }
+        if not rows_equal(cold_rows, rows, ordered):
+            return {
+                "kind": "encoding",
+                "detail": (
+                    f"encoded and raw storage disagree: "
+                    f"{len(cold_rows)} vs {len(rows)} row(s)"
+                ),
+                "repro_rows": cold_rows,
+                "sqlite_rows": rows,
+            }
         return None
 
     def check(self, query: GenQuery) -> Optional[dict]:
@@ -356,6 +408,12 @@ class DifferentialOracle:
             )
             if cache_failure is not None:
                 return cache_failure
+        if repro_error is None and self.db_raw is not None:
+            encoding_failure = self._check_encoding_leg(
+                sql, ordered, repro_rows
+            )
+            if encoding_failure is not None:
+                return encoding_failure
         if repro_error is None and sqlite_error is None:
             if rows_equal(repro_rows, sqlite_rows, ordered):
                 return None
@@ -485,13 +543,15 @@ def minimize_data(
     query: GenQuery,
     workers: int = 1,
     cache_check: bool = False,
+    encoding_check: bool = False,
 ) -> list[GenTable]:
     """Drop row chunks (halves, then quarters, ...) from each table
     while the divergence persists. Rebuilds both engines per probe."""
 
     def diverges(candidate_tables: list[GenTable]) -> bool:
         oracle = DifferentialOracle(
-            candidate_tables, workers=workers, cache_check=cache_check
+            candidate_tables, workers=workers, cache_check=cache_check,
+            encoding_check=encoding_check,
         )
         try:
             return oracle.check(query) is not None
@@ -536,6 +596,8 @@ def run_seed(
     workers: int = 1,
     cache_check: bool = False,
     chaos: bool = False,
+    encoding_check: bool = False,
+    schema_profile: str = "default",
 ) -> list[Divergence]:
     """Run one seed's schema + queries; returns found divergences.
 
@@ -545,8 +607,14 @@ def run_seed(
     additionally compares cold vs plan-cached vs cache-disabled
     executions of every statement. ``chaos`` arms a seeded fault
     injector on the repro side: the injected abort itself is tolerated,
-    but every query after it must still agree with SQLite."""
-    generator = QueryGenerator(seed, allow_subqueries=allow_subqueries)
+    but every query after it must still agree with SQLite.
+    ``encoding_check`` runs every statement on encoded-vs-raw storage
+    twins; ``schema_profile="strings"`` generates the string-heavy,
+    low-cardinality schemas that stress dictionary encoding."""
+    generator = QueryGenerator(
+        seed, allow_subqueries=allow_subqueries,
+        schema_profile=schema_profile,
+    )
     tables = generator.schema()
     chaos_injector = None
     if chaos:
@@ -555,7 +623,7 @@ def run_seed(
         chaos_injector = ChaosInjector.from_seed(seed)
     oracle = DifferentialOracle(
         tables, workers=workers, cache_check=cache_check,
-        chaos_injector=chaos_injector,
+        chaos_injector=chaos_injector, encoding_check=encoding_check,
     )
     divergences = []
     try:
@@ -570,10 +638,12 @@ def run_seed(
                 small_tables = minimize_data(
                     tables, query,
                     workers=workers, cache_check=cache_check,
+                    encoding_check=encoding_check,
                 )
                 probe = DifferentialOracle(
                     small_tables,
                     workers=workers, cache_check=cache_check,
+                    encoding_check=encoding_check,
                 )
                 try:
                     failure = probe.check(query) or failure
@@ -605,6 +675,8 @@ def run_seeds(
     workers: int = 1,
     cache_check: bool = False,
     chaos: bool = False,
+    encoding_check: bool = False,
+    schema_profile: str = "default",
 ) -> list[Divergence]:
     out = []
     for seed in seeds:
@@ -617,6 +689,8 @@ def run_seeds(
                 workers=workers,
                 cache_check=cache_check,
                 chaos=chaos,
+                encoding_check=encoding_check,
+                schema_profile=schema_profile,
             )
         )
     return out

@@ -1,0 +1,259 @@
+"""Deterministic TPC-H-shaped dataset for the SQL battery.
+
+A miniature decision-support schema — region, nation, supplier, part,
+customer, orders, lineitem — whose column shapes mirror TPC-H closely
+enough that the classic query patterns (multi-way joins over the key
+chain, group-by with CASE aggregates, date-range filters, correlated
+subqueries) all make sense, while staying small enough to cross-check
+row-for-row against SQLite in a tier-1 test run.
+
+Everything is a pure function of ``(scale, seed)`` via one
+:class:`random.Random`, so the battery's expectations never drift.
+The data stays inside the differential dialect (see generator.py):
+strings are lowercase ASCII, dates are integer day numbers, floats are
+rounded to two decimals, and integers stay far inside int32.
+
+The low-cardinality flag/status/mode/segment columns are exactly the
+shape the dictionary encoder targets, so the same dataset doubles as
+the footprint benchmark workload.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .generator import FLOAT, INTEGER, VARCHAR, GenColumn, GenTable
+
+#: TPC-H's date domain, as day numbers (1992-01-01..1998-12-01 is
+#: roughly day 8035..10561 since 1970-01-01; exact anchors don't
+#: matter, only that queries and data agree on the window).
+DATE_LO = 8035
+DATE_HI = 10561
+
+_REGIONS = ["africa", "america", "asia", "europe", "middle east"]
+
+#: (nation name, region key) — 25 nations, 5 per region.
+_NATIONS = [
+    ("algeria", 0), ("ethiopia", 0), ("kenya", 0),
+    ("morocco", 0), ("mozambique", 0),
+    ("argentina", 1), ("brazil", 1), ("canada", 1),
+    ("peru", 1), ("united states", 1),
+    ("china", 2), ("india", 2), ("indonesia", 2),
+    ("japan", 2), ("vietnam", 2),
+    ("france", 3), ("germany", 3), ("romania", 3),
+    ("russia", 3), ("united kingdom", 3),
+    ("egypt", 4), ("iran", 4), ("iraq", 4),
+    ("jordan", 4), ("saudi arabia", 4),
+]
+
+_SEGMENTS = [
+    "automobile", "building", "furniture", "household", "machinery",
+]
+_PRIORITIES = [
+    "1-urgent", "2-high", "3-medium", "4-not specified", "5-low",
+]
+_SHIPMODES = ["air", "fob", "mail", "rail", "reg air", "ship", "truck"]
+_SHIPINSTRUCT = [
+    "collect cod", "deliver in person", "none", "take back return",
+]
+_CONTAINERS = [
+    "jumbo box", "lg case", "med bag", "sm pack", "wrap jar",
+]
+_BRANDS = [f"brand#{i}{j}" for i in (1, 2, 3, 4, 5) for j in (1, 3, 5)]
+_TYPE_PREFIX = ["economy", "large", "medium", "promo", "small", "standard"]
+_TYPE_MID = ["anodized", "brushed", "burnished", "plated", "polished"]
+_TYPE_SUFFIX = ["brass", "copper", "nickel", "steel", "tin"]
+_ORDER_STATUS = ["f", "o", "p"]
+
+
+def generate(scale: float = 1.0, seed: int = 7) -> list[GenTable]:
+    """The seven-table dataset at ``scale`` (1.0 ≈ 300 orders, ~1200
+    lineitems). Returns :class:`GenTable` objects ready for the
+    differential harness (``build_repro_db`` / ``build_sqlite_db``)."""
+    rng = random.Random(seed * 1_000_003 + round(scale * 1000))
+
+    n_supplier = max(4, round(40 * scale))
+    n_part = max(8, round(80 * scale))
+    n_customer = max(6, round(60 * scale))
+    n_orders = max(20, round(300 * scale))
+
+    region = GenTable(
+        "region",
+        [GenColumn("r_regionkey", INTEGER), GenColumn("r_name", VARCHAR)],
+        [(i, name) for i, name in enumerate(_REGIONS)],
+    )
+
+    nation = GenTable(
+        "nation",
+        [
+            GenColumn("n_nationkey", INTEGER),
+            GenColumn("n_name", VARCHAR),
+            GenColumn("n_regionkey", INTEGER),
+        ],
+        [
+            (i, name, regionkey)
+            for i, (name, regionkey) in enumerate(_NATIONS)
+        ],
+    )
+
+    supplier = GenTable(
+        "supplier",
+        [
+            GenColumn("s_suppkey", INTEGER),
+            GenColumn("s_name", VARCHAR),
+            GenColumn("s_nationkey", INTEGER),
+            GenColumn("s_acctbal", FLOAT),
+        ],
+        [
+            (
+                k,
+                f"supplier#{k:06d}",
+                rng.randrange(len(_NATIONS)),
+                round(rng.uniform(-999.99, 9999.99), 2),
+            )
+            for k in range(1, n_supplier + 1)
+        ],
+    )
+
+    part_rows = []
+    for k in range(1, n_part + 1):
+        p_type = (
+            f"{rng.choice(_TYPE_PREFIX)} {rng.choice(_TYPE_MID)} "
+            f"{rng.choice(_TYPE_SUFFIX)}"
+        )
+        part_rows.append(
+            (
+                k,
+                f"part#{k:06d}",
+                f"manufacturer#{rng.randint(1, 5)}",
+                rng.choice(_BRANDS),
+                p_type,
+                rng.randint(1, 50),
+                rng.choice(_CONTAINERS),
+                round(900.0 + k + rng.uniform(0.0, 100.0), 2),
+            )
+        )
+    part = GenTable(
+        "part",
+        [
+            GenColumn("p_partkey", INTEGER),
+            GenColumn("p_name", VARCHAR),
+            GenColumn("p_mfgr", VARCHAR),
+            GenColumn("p_brand", VARCHAR),
+            GenColumn("p_type", VARCHAR),
+            GenColumn("p_size", INTEGER),
+            GenColumn("p_container", VARCHAR),
+            GenColumn("p_retailprice", FLOAT),
+        ],
+        part_rows,
+    )
+
+    customer = GenTable(
+        "customer",
+        [
+            GenColumn("c_custkey", INTEGER),
+            GenColumn("c_name", VARCHAR),
+            GenColumn("c_nationkey", INTEGER),
+            GenColumn("c_acctbal", FLOAT),
+            GenColumn("c_mktsegment", VARCHAR),
+        ],
+        [
+            (
+                k,
+                f"customer#{k:06d}",
+                rng.randrange(len(_NATIONS)),
+                round(rng.uniform(-999.99, 9999.99), 2),
+                rng.choice(_SEGMENTS),
+            )
+            for k in range(1, n_customer + 1)
+        ],
+    )
+
+    orders_rows = []
+    lineitem_rows = []
+    for orderkey in range(1, n_orders + 1):
+        orderdate = rng.randint(DATE_LO, DATE_HI - 151)
+        status = rng.choice(_ORDER_STATUS)
+        n_lines = rng.randint(1, 7)
+        total = 0.0
+        for linenumber in range(1, n_lines + 1):
+            partkey = rng.randint(1, n_part)
+            quantity = rng.randint(1, 50)
+            retail = part_rows[partkey - 1][7]
+            extendedprice = round(quantity * retail, 2)
+            discount = round(rng.randint(0, 10) / 100.0, 2)
+            tax = round(rng.randint(0, 8) / 100.0, 2)
+            shipdate = orderdate + rng.randint(1, 121)
+            commitdate = orderdate + rng.randint(30, 90)
+            receiptdate = shipdate + rng.randint(1, 30)
+            returnflag = (
+                rng.choice(["a", "r"]) if receiptdate <= 9400 else "n"
+            )
+            linestatus = "f" if shipdate <= 9400 else "o"
+            total += extendedprice
+            lineitem_rows.append(
+                (
+                    orderkey,
+                    partkey,
+                    rng.randint(1, n_supplier),
+                    linenumber,
+                    quantity,
+                    extendedprice,
+                    discount,
+                    tax,
+                    returnflag,
+                    linestatus,
+                    shipdate,
+                    commitdate,
+                    receiptdate,
+                    rng.choice(_SHIPMODES),
+                    rng.choice(_SHIPINSTRUCT),
+                )
+            )
+        orders_rows.append(
+            (
+                orderkey,
+                rng.randint(1, n_customer),
+                status,
+                round(total, 2),
+                orderdate,
+                rng.choice(_PRIORITIES),
+            )
+        )
+
+    orders = GenTable(
+        "orders",
+        [
+            GenColumn("o_orderkey", INTEGER),
+            GenColumn("o_custkey", INTEGER),
+            GenColumn("o_orderstatus", VARCHAR),
+            GenColumn("o_totalprice", FLOAT),
+            GenColumn("o_orderdate", INTEGER),
+            GenColumn("o_orderpriority", VARCHAR),
+        ],
+        orders_rows,
+    )
+
+    lineitem = GenTable(
+        "lineitem",
+        [
+            GenColumn("l_orderkey", INTEGER),
+            GenColumn("l_partkey", INTEGER),
+            GenColumn("l_suppkey", INTEGER),
+            GenColumn("l_linenumber", INTEGER),
+            GenColumn("l_quantity", INTEGER),
+            GenColumn("l_extendedprice", FLOAT),
+            GenColumn("l_discount", FLOAT),
+            GenColumn("l_tax", FLOAT),
+            GenColumn("l_returnflag", VARCHAR),
+            GenColumn("l_linestatus", VARCHAR),
+            GenColumn("l_shipdate", INTEGER),
+            GenColumn("l_commitdate", INTEGER),
+            GenColumn("l_receiptdate", INTEGER),
+            GenColumn("l_shipmode", VARCHAR),
+            GenColumn("l_shipinstruct", VARCHAR),
+        ],
+        lineitem_rows,
+    )
+
+    return [region, nation, supplier, part, customer, orders, lineitem]

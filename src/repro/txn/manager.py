@@ -20,6 +20,7 @@ from typing import Iterable, Sequence
 from ..errors import CatalogError, SerializationConflict, TransactionError
 from ..obs.metrics import MetricsRegistry
 from ..storage.catalog import Catalog
+from ..storage.encoding import encode_table_data
 from ..storage.schema import TableSchema
 from ..storage.table import TableData
 from .wal import WriteAheadLog
@@ -102,12 +103,21 @@ class Transaction:
     def write(self, name: str, data: TableData) -> None:
         """Stage a full new version of ``name`` (the engine computes the
         new version from the visible one; this installs it in the write
-        set)."""
+        set).
+
+        This is the one choke point every mutation funnels through
+        (INSERT/UPDATE/DELETE/CTAS/bulk load/WAL replay), so the
+        session's column-encoding policy is applied here: the staged
+        version is re-encoded before it can be read back or committed.
+        Rollback needs no special handling — versions are immutable and
+        an aborted transaction simply drops its staged ones."""
         self._check_active()
         key = name.lower()
         if not self.table_exists(key):
             raise CatalogError(f"no such table: {name!r}")
-        self.write_set[key] = data
+        self.write_set[key] = encode_table_data(
+            data, self._manager.encoding
+        )
 
     def insert_rows(
         self, name: str, rows: Iterable[Sequence[object]]
@@ -197,9 +207,15 @@ class TransactionManager:
         catalog: Catalog,
         wal: WriteAheadLog | None = None,
         metrics: MetricsRegistry | None = None,
+        encoding: str = "raw",
     ):
         self.catalog = catalog
         self.wal = wal
+        #: Column-encoding policy applied to every staged table version
+        #: (see :mod:`repro.storage.encoding`). A standalone manager
+        #: defaults to raw storage; :class:`~repro.api.database.Database`
+        #: passes its resolved session policy.
+        self.encoding = encoding
         #: Session metrics; a standalone manager gets its own registry.
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._lock = threading.RLock()

@@ -1,0 +1,12 @@
+-- Q17-shaped small-quantity revenue: correlated scalar subquery —
+-- each lineitem compares against half the average quantity of its
+-- own part; one output row.
+SELECT sum(l.l_extendedprice) / 7.0 AS avg_yearly
+FROM lineitem l
+JOIN part p ON p.p_partkey = l.l_partkey
+WHERE p.p_brand = 'brand#23'
+  AND l.l_quantity < (
+    SELECT 0.5 * avg(l2.l_quantity)
+    FROM lineitem l2
+    WHERE l2.l_partkey = l.l_partkey
+  )

@@ -1,0 +1,12 @@
+-- Q20-shaped supplier screen: correlated EXISTS probing the big
+-- table with a dictionary equality on ship mode, counted per nation.
+-- compare: ordered
+SELECT n.n_name, count(*) AS suppliers
+FROM supplier s
+JOIN nation n ON s.s_nationkey = n.n_nationkey
+WHERE EXISTS (
+  SELECT 1 FROM lineitem l
+  WHERE l.l_suppkey = s.s_suppkey AND l.l_shipmode = 'truck'
+)
+GROUP BY n.n_name
+ORDER BY 1 ASC NULLS LAST

@@ -1,0 +1,161 @@
+"""Regression tests: zone maps and encoding stats across DML.
+
+Table versions are immutable, so "invalidation" means each committed
+version carries its own encoded columns and lazily-built zone maps —
+a new version after UPDATE/DELETE must rebuild both from its own
+data, while snapshots pinned on older versions keep seeing the old
+statistics. These tests pin that contract, plus that every bulk
+ingestion path (INSERT, insert_rows, load_columns, load_csv, CTAS)
+lands in encoded storage under an encoding policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.storage.encoding import (
+    DictionaryColumn,
+    column_encoding_of,
+    decode_column,
+)
+
+
+def _column(db: Database, table: str, name: str):
+    data = db.catalog.data(table, db.catalog.current_ts)
+    for field, col in zip(data.schema, data.columns):
+        if field.name == name:
+            return col
+    raise AssertionError(f"no column {name!r}")
+
+
+def _zone_minmax(column):
+    zones = column.zone_map()
+    assert zones is not None
+    return zones.mins.tolist(), zones.maxs.tolist()
+
+
+@pytest.fixture
+def db():
+    database = Database(encoding="auto")
+    yield database
+    database.close()
+
+
+def test_zone_map_rebuilds_after_update(db):
+    db.execute("CREATE TABLE t (v INTEGER)")
+    db.insert_rows("t", [(i % 100,) for i in range(5000)])
+    before_col = _column(db, "t", "v")
+    mins, maxs = _zone_minmax(before_col)
+    assert max(maxs) == 99
+
+    db.execute("UPDATE t SET v = v + 1000 WHERE v >= 50")
+    after_col = _column(db, "t", "v")
+    assert after_col is not before_col
+    mins2, maxs2 = _zone_minmax(after_col)
+    assert max(maxs2) == 1099
+    # The old version's cached zone map is untouched (immutability).
+    assert _zone_minmax(before_col) == (mins, maxs)
+    # And the new map agrees with a recompute over decoded values.
+    reference = decode_column(after_col).zone_map()
+    np.testing.assert_array_equal(
+        after_col.zone_map().mins, reference.mins
+    )
+    np.testing.assert_array_equal(
+        after_col.zone_map().maxs, reference.maxs
+    )
+
+
+def test_zone_map_rebuilds_after_delete(db):
+    db.execute("CREATE TABLE t (v INTEGER)")
+    db.insert_rows("t", [(i,) for i in range(5000)])
+    db.execute("DELETE FROM t WHERE v >= 100")
+    column = _column(db, "t", "v")
+    zones = column.zone_map()
+    assert zones.n_rows == 100
+    assert int(zones.maxs.max()) == 99
+
+
+def test_encoding_stats_track_dml(db):
+    db.execute("CREATE TABLE t (s VARCHAR)")
+    db.insert_rows("t", [("x" * 30,), ("y" * 30,)] * 500)
+    stats = db.storage_stats()
+    table = stats["tables"]["t"]
+    assert table["columns"]["s"] == "dict"
+    assert table["encoded_bytes"] < table["raw_bytes"]
+
+    db.execute("DELETE FROM t WHERE s LIKE 'x%'")
+    after = db.storage_stats()["tables"]["t"]
+    assert after["rows"] == 500
+    assert after["raw_bytes"] < table["raw_bytes"]
+    assert after["encoded_bytes"] < table["encoded_bytes"]
+
+
+def test_snapshot_keeps_old_encoded_version(db):
+    db.execute("CREATE TABLE t (s VARCHAR)")
+    db.insert_rows("t", [("old",)] * 50)
+    # Pin a snapshot, then commit an UPDATE from an autocommit
+    # statement: the reader must keep the pre-update encoded version
+    # with its pre-update dictionary.
+    reader = db.txns.begin()
+    try:
+        db.execute("UPDATE t SET s = 'new'")
+        old_column = reader.read("t").columns[0]
+        assert isinstance(old_column, DictionaryColumn)
+        assert list(old_column.dictionary) == ["old"]
+        assert old_column.to_pylist() == ["old"] * 50
+    finally:
+        reader.rollback()
+    new_column = _column(db, "t", "s")
+    assert isinstance(new_column, DictionaryColumn)
+    assert list(new_column.dictionary) == ["new"]
+
+
+def test_ingestion_paths_produce_encoded_storage(db, tmp_path):
+    db.execute("CREATE TABLE t (s VARCHAR, v INTEGER)")
+    db.insert_rows("t", [("ab", i % 4) for i in range(64)])
+    assert column_encoding_of(_column(db, "t", "s")) == "dict"
+
+    db.load_columns(
+        "t",
+        {
+            "s": np.array(["cd"] * 64, dtype=object),
+            "v": np.arange(64, dtype=np.int32),
+        },
+    )
+    assert column_encoding_of(_column(db, "t", "s")) == "dict"
+    assert len(_column(db, "t", "s")) == 128
+
+    db.execute("CREATE TABLE u AS SELECT s, v FROM t WHERE v < 2")
+    assert column_encoding_of(_column(db, "u", "s")) == "dict"
+
+    csv = tmp_path / "rows.csv"
+    csv.write_text(
+        "s,v\n" + "\n".join(f"ef,{i % 3}" for i in range(64)) + "\n"
+    )
+    db.load_csv("w", str(csv))
+    assert column_encoding_of(_column(db, "w", "s")) == "dict"
+
+
+def test_forced_raw_policy_keeps_raw_storage():
+    raw = Database(encoding="raw")
+    try:
+        raw.execute("CREATE TABLE t (s VARCHAR)")
+        raw.insert_rows("t", [("aa",)] * 64)
+        assert column_encoding_of(_column(raw, "t", "s")) == "raw"
+        stats = raw.storage_stats()
+        assert stats["encoding"] == "raw"
+    finally:
+        raw.close()
+
+
+def test_update_to_high_cardinality_degrades_encoding(db):
+    # Auto policy backs off when distinct count crosses the threshold:
+    # after the UPDATE every row is unique, so a dictionary would be
+    # pure overhead and the committed version must store raw values.
+    db.execute("CREATE TABLE t (s VARCHAR, k INTEGER)")
+    db.insert_rows("t", [("dup", i) for i in range(256)])
+    assert column_encoding_of(_column(db, "t", "s")) == "dict"
+    db.execute("UPDATE t SET s = s || CAST(k AS VARCHAR)")
+    assert column_encoding_of(_column(db, "t", "s")) == "raw"
