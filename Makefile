@@ -5,7 +5,7 @@ N ?= 1000
 START ?= 0
 WORKERS ?= 4
 
-.PHONY: test test-all fuzz fuzz-parallel bench metrics-smoke chaos battery
+.PHONY: test test-all fuzz fuzz-parallel bench obs-smoke metrics-smoke chaos battery
 
 # The tier-1 suite runs three times: fully serial, with a 4-worker
 # pool (the serial-equivalence contract of the morsel-driven executor,
@@ -15,7 +15,7 @@ WORKERS ?= 4
 # The third leg also forces raw storage so cache-off and encoding-off
 # are covered together; the battery leg then cross-checks the TPC-H
 # query shapes plus an encoded-vs-raw fuzz sweep (docs/storage.md).
-test: metrics-smoke
+test: obs-smoke
 	REPRO_WORKERS=1 $(PY) -m pytest -x -q
 	REPRO_WORKERS=4 $(PY) -m pytest -x -q
 	REPRO_PLAN_CACHE=0 REPRO_ENCODING=raw REPRO_WORKERS=1 $(PY) -m pytest -x -q
@@ -38,10 +38,17 @@ chaos:
 	$(PY) -m repro.testing.chaos --seeds 260 --start 1
 	$(PY) -m repro.testing.fuzz --seeds 25 --chaos
 
-# Runs a tiny end-to-end workload and validates the Prometheus
-# exposition the engine produces (format, TYPE lines, histogram series).
-metrics-smoke:
+# Observability smoke battery: runs a tiny end-to-end workload,
+# validates the Prometheus exposition (format, TYPE lines, histogram
+# and quantile-summary series), round-trips a Chrome-trace export
+# through json.loads plus a schema check, checks the query history
+# store recorded the workload, and forces a statement timeout to
+# verify the flight recorder dumps a loadable bundle.
+obs-smoke:
 	$(PY) -m repro.obs.export --check
+
+# Back-compat alias (pre-flight-recorder name).
+metrics-smoke: obs-smoke
 
 test-all:
 	$(PY) -m pytest -q -m ""

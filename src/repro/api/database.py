@@ -22,6 +22,7 @@ from ..analytics.registry import OperatorRegistry, default_registry
 from ..errors import (
     BindError,
     CatalogError,
+    InjectedFault,
     MemoryBudgetExceeded,
     QueryCancelled,
     QueryTimeout,
@@ -39,8 +40,17 @@ from ..exec.physical import (
 from ..exec.planner import build_physical
 from ..expr.compiler import truth_mask
 from ..governor import QueryContext
+from ..obs.flight import FlightRecorder
+from ..obs.history import (
+    QueryHistory,
+    operator_observations,
+    record_from_span,
+    resolve_history_path,
+    resolve_slow_ms,
+)
 from ..obs.metrics import MetricsRegistry, global_registry
 from ..obs.trace import QueryLogEntry, Span, Tracer
+from ..plan.cardinality import CardinalityEstimator
 from ..plan.cache import (
     CachedPlan,
     NegativePlan,
@@ -140,6 +150,18 @@ class Database:
             ``rle`` (force one family), or ``raw``. ``None`` reads
             ``REPRO_ENCODING`` (default ``auto``); see
             ``docs/storage.md``.
+        history: JSONL spill path for the query history store; every
+            finished statement appends one JSON document. ``None``
+            reads ``REPRO_HISTORY`` (default: memory-only — the
+            in-memory store is always on regardless). See
+            :attr:`history` and ``docs/observability.md``.
+        slow_ms: slow-query threshold in milliseconds — statements at
+            or past it are flagged and land in ``db.history.slow()``.
+            ``None`` reads ``REPRO_SLOW_MS`` (default off).
+        flight_dir: directory for flight-recorder diagnostic bundles
+            (dumped when a statement dies on a governor abort, an
+            injected fault, or a survived worker crash). ``None`` reads
+            ``REPRO_FLIGHTREC`` (default ``results/flightrec``).
     """
 
     def __init__(
@@ -157,6 +179,9 @@ class Database:
         memory_budget_mb: Optional[float] = None,
         chaos=None,
         encoding: Optional[str] = None,
+        history: Optional[str] = None,
+        slow_ms: Optional[float] = None,
+        flight_dir: Optional[str] = None,
     ):
         self.catalog = Catalog()
         #: Session metrics registry; mirrored into
@@ -197,10 +222,13 @@ class Database:
         self._governor_lock = threading.Lock()
         #: Final governor report of the most recent statement.
         self.last_governor: Optional[dict] = None
+        self._tracer = Tracer(log_size=query_log_size)
         #: Shared morsel-dispatch pool; threads are created lazily, so a
-        #: serial session never spawns any.
+        #: serial session never spawns any. The tracer rides along so
+        #: worker-side morsel spans stitch under the owning statement.
         self.pool = WorkerPool(
-            self.workers, metrics=self.metrics, chaos=self.chaos
+            self.workers, metrics=self.metrics, chaos=self.chaos,
+            tracer=self._tracer,
         )
         self._session_txn: Optional[Transaction] = None
         #: Statement/plan cache (docs/performance.md). ``None`` defers
@@ -210,11 +238,54 @@ class Database:
         #: Bumped by UDF/operator registration: cached plans embed the
         #: registered callables, so re-registration must invalidate.
         self._cache_epoch = 0
-        self._tracer = Tracer(log_size=query_log_size)
+        #: Always-on per-statement history store: recent records
+        #: (``db.history(n)``), the per-fingerprint plan-feedback index
+        #: (``db.history.by_fingerprint(fp)``), and the slow-query log
+        #: (``db.history.slow()``). See docs/observability.md.
+        self.history = QueryHistory(
+            spill_path=resolve_history_path(history),
+            slow_ms=resolve_slow_ms(slow_ms),
+            metrics=self.metrics,
+        )
+        #: Flight recorder: a self-contained diagnostic bundle is
+        #: dumped whenever a statement dies on a governor abort or an
+        #: injected fault, and whenever a worker crash is survived.
+        self.flight = FlightRecorder(
+            tracer=self._tracer,
+            history=self.history,
+            metrics=self.metrics,
+            config=self._session_config(),
+            directory=flight_dir,
+        )
+        self.pool.on_worker_crash = self._on_worker_crash
         #: Stats of the most recent statement (peak live tuples, etc.).
         self.last_stats: ExecutionStats = ExecutionStats()
         if wal is not None:
             wal.replay_into(self.txns)
+
+    def _session_config(self) -> dict:
+        """The session settings a flight-recorder bundle embeds."""
+        return {
+            "workers": self.workers,
+            "encoding": self.encoding,
+            "timeout_ms": self.timeout_ms,
+            "memory_budget_mb": self.memory_budget_mb,
+            "plan_cache": self.plan_cache_active(),
+            "morsel_rows": self.morsel_rows,
+            "parallel_threshold": self.parallel_threshold,
+            "profile_operators": self.profile_operators,
+        }
+
+    def _on_worker_crash(self, exc: Exception) -> None:
+        """A worker crash was survived by serial retry: the statement
+        will succeed, so this dump is the only evidence it happened."""
+        governor = getattr(self._stmt_local, "governor", None)
+        self.flight.dump(
+            "worker_crash",
+            error=exc,
+            governor=governor.report() if governor is not None else None,
+            trace=self._tracer.current_root(),
+        )
 
     def close(self) -> None:
         """Release session resources (joins the worker pool). The
@@ -396,9 +467,15 @@ class Database:
         corresponding limit)."""
         tracer = self._tracer
         started = time.perf_counter()
+        started_at = time.time()
+        self._stmt_local.record_info = {}
+        governor: Optional[QueryContext] = None
+        error: Optional[BaseException] = None
         try:
-            with self._governed(timeout_ms, memory_budget_mb):
+            with self._governed(timeout_ms, memory_budget_mb) as gov:
+                governor = gov
                 with tracer.statement(sql) as stmt:
+                    self._record_info()["span"] = stmt
                     result = self._execute_with_plan_cache(sql, params)
                     if result is None:
                         with tracer.span("parse"):
@@ -410,13 +487,15 @@ class Database:
                             result = self._execute_statement(statement)
                     stmt.attributes["rows"] = len(result)
                     return result
-        except BaseException:
+        except BaseException as exc:
+            error = exc
             self.metrics.counter("statement_errors_total").inc()
             raise
         finally:
             self.metrics.histogram("statement_seconds").observe(
                 time.perf_counter() - started
             )
+            self._finish_statement(sql, started_at, governor, error)
 
     def query(
         self,
@@ -516,7 +595,25 @@ class Database:
         ):
             return None
         n_params = len(rows[0])
+        started_at = time.time()
+        self._stmt_local.record_info = {}
+        governor = getattr(self._stmt_local, "governor", None)
+        error: Optional[BaseException] = None
+        try:
+            return self._executemany_insert_traced(
+                sql, rows, statement, n_params
+            )
+        except BaseException as exc:
+            error = exc
+            raise
+        finally:
+            self._finish_statement(sql, started_at, governor, error)
+
+    def _executemany_insert_traced(
+        self, sql, rows, statement, n_params
+    ) -> int:
         with self._tracer.statement(sql) as stmt:
+            self._record_info()["span"] = stmt
             txn, owned = self._current_txn()
             savepoint = None if owned else txn.savepoint()
             try:
@@ -611,10 +708,21 @@ class Database:
         Iterative operators (ITERATE, recursive CTEs) accumulate their
         init/step/stop children over all rounds.
         """
-        with self._governed(timeout_ms, memory_budget_mb) as governor:
-            analyzed = self._explain_analyze_inner(sql, params)
-            analyzed.governor = governor.report()
-            return analyzed
+        started_at = time.time()
+        self._stmt_local.record_info = {}
+        governor: Optional[QueryContext] = None
+        error: Optional[BaseException] = None
+        try:
+            with self._governed(timeout_ms, memory_budget_mb) as gov:
+                governor = gov
+                analyzed = self._explain_analyze_inner(sql, params)
+                analyzed.governor = governor.report()
+                return analyzed
+        except BaseException as exc:
+            error = exc
+            raise
+        finally:
+            self._finish_statement(sql, started_at, governor, error)
 
     def _explain_analyze_inner(
         self, sql: str, params: Optional[Sequence[object]]
@@ -622,6 +730,7 @@ class Database:
         tracer = self._tracer
         counters_before = self._hot_path_counter_values()
         with tracer.statement(sql) as stmt:
+            self._record_info()["span"] = stmt
             txn, owned = self._current_txn()
             try:
                 # Get-or-populate the plan cache first, so repeated
@@ -663,6 +772,7 @@ class Database:
                     )
                 total_s = time.perf_counter() - started
                 self.last_stats = ctx.stats
+                self._record_info()["profile_roots"] = ctx.profile_roots
                 self._flush_exec_metrics(ctx)
                 result = QueryResult.from_batch(batch, plan.output)
                 result.telemetry = dict(ctx.telemetry)
@@ -685,6 +795,13 @@ class Database:
     # observability
     # ------------------------------------------------------------------
 
+    @property
+    def tracer(self) -> Tracer:
+        """The session tracer (exporters read its recent root spans —
+        :func:`repro.obs.timeline.export_chrome_trace` renders them as
+        a Chrome-trace / Perfetto timeline)."""
+        return self._tracer
+
     def last_trace(self) -> Optional[Span]:
         """The span tree of the most recent completed statement: a
         ``statement`` root whose children are the lifecycle phases
@@ -698,6 +815,85 @@ class Database:
         total and per-phase timings, row count, and the error message
         for statements that failed."""
         return self._tracer.log(n)
+
+    def _record_info(self) -> dict:
+        """This thread's per-statement recording scratch (statement
+        span, plan-cache hit flag, profiled operator trees). Thread
+        local so concurrent sessions sharing one Database never mix
+        their records up."""
+        info = getattr(self._stmt_local, "record_info", None)
+        if info is None:
+            info = self._stmt_local.record_info = {}
+        return info
+
+    def _finish_statement(
+        self,
+        sql: str,
+        started_at: float,
+        governor: Optional[QueryContext],
+        error: Optional[BaseException],
+    ) -> None:
+        """History + flight recording after one statement finishes
+        (success and abort alike). Must never raise — a recording bug
+        must not turn a finished statement into a failed one."""
+        info = getattr(self._stmt_local, "record_info", None) or {}
+        self._stmt_local.record_info = None
+        span = info.get("span")
+        if span is None:
+            return
+        fingerprint = sql_fingerprint(sql)
+        # Capture governor scalars now (the context is frozen once the
+        # statement ends) and defer record assembly to the first reader
+        # — the always-on cost per statement is just this bookkeeping.
+        gov = (
+            {
+                "verdict": governor.verdict,
+                "checkpoints": governor.checkpoints,
+                "peak_bytes": governor.peak_bytes,
+            }
+            if governor is not None
+            else None
+        )
+        profile_roots = info.get("profile_roots") or ()
+        cache_hit = bool(info.get("cache_hit"))
+        workers = self.workers
+        encoding = self.encoding
+
+        def build():
+            return record_from_span(
+                span,
+                fingerprint=fingerprint,
+                started_at=started_at,
+                governor=gov,
+                operators=operator_observations(profile_roots),
+                cache_hit=cache_hit,
+                workers=workers,
+                encoding=encoding,
+            )
+
+        try:
+            self.history.record_deferred(
+                build, fingerprint=fingerprint,
+                duration_s=span.duration_s,
+            )
+        except Exception:  # noqa: BLE001 — see docstring
+            self.metrics.counter("history_record_errors_total").inc()
+        if error is not None and isinstance(
+            error, (ResourceGovernorError, InjectedFault)
+        ):
+            report = governor.report() if governor is not None else None
+            reason = (report or {}).get("verdict") or "error"
+            if reason == "ok":
+                # An operator-level injected fault bypasses the
+                # governor's verdict stamping.
+                reason = (
+                    "injected_fault"
+                    if isinstance(error, InjectedFault)
+                    else "governor"
+                )
+            self.flight.dump(
+                reason, error=error, governor=report, trace=span
+            )
 
     def table_names(self) -> list[str]:
         txn, owned = self._current_txn()
@@ -867,6 +1063,13 @@ class Database:
             governor=getattr(self._stmt_local, "governor", None),
         )
         ctx.profile = self.profile_operators
+        if ctx.profile:
+            # Stamp the optimizer's cardinality estimate onto every
+            # profiled operator so explain_analyze and the history
+            # store can report estimated vs observed rows (q-error).
+            ctx.estimator = CardinalityEstimator(
+                lambda name: txn.read(name).row_count, self.analytics
+            )
         # One switch for the whole hot-path stack: the session's
         # plan-cache setting also gates kernel caching, zone-map
         # pruning, fused pipelines, and the CSR cache.
@@ -1009,6 +1212,7 @@ class Database:
         try:
             if isinstance(entry, CachedPlan):
                 self.metrics.counter("exec_plan_cache_hits_total").inc()
+                self._record_info()["cache_hit"] = True
                 plan = entry.plan
             else:
                 self.metrics.counter(
@@ -1061,6 +1265,7 @@ class Database:
             return None
         if isinstance(entry, CachedPlan):
             self.metrics.counter("exec_plan_cache_hits_total").inc()
+            self._record_info()["cache_hit"] = True
             return entry.plan
         self.metrics.counter("exec_plan_cache_misses_total").inc()
         return self._try_cache_plan(sql, values, param_types, key, txn)
@@ -1117,6 +1322,7 @@ class Database:
             # Publish even when execution aborts (iteration limit, ...):
             # rounds already executed stay observable.
             self.last_stats = ctx.stats
+            self._record_info()["profile_roots"] = ctx.profile_roots
             self._flush_exec_metrics(ctx)
         result = QueryResult.from_batch(batch, plan.output)
         result.telemetry = dict(ctx.telemetry)

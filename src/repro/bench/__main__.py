@@ -24,6 +24,8 @@ Experiments (paper locations in parentheses):
                        runtime (docs/robustness.md)
     encoding           encoded vs raw storage: footprint and
                        predicate-on-codes scans (docs/storage.md)
+    observability      always-on tracing/history/profiling overhead
+                       (docs/observability.md)
 
 ``--scale`` scales the paper's data sizes (default 0.001: 1/1000 of the
 1 TB-server workloads, laptop-sized). Runtimes will not match the
@@ -50,6 +52,7 @@ from .figures import (
     run_encoding,
     run_fig5_pagerank,
     run_governor,
+    run_observability,
     run_statement_cache,
     run_table1,
 )
@@ -69,6 +72,7 @@ EXPERIMENTS = {
     "statement_cache": run_statement_cache,
     "governor": run_governor,
     "encoding": run_encoding,
+    "observability": run_observability,
 }
 
 

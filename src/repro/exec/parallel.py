@@ -102,13 +102,28 @@ class WorkerPool:
     """
 
     def __init__(
-        self, workers: Optional[int] = None, metrics=None, chaos=None
+        self,
+        workers: Optional[int] = None,
+        metrics=None,
+        chaos=None,
+        tracer=None,
     ):
         self.workers = resolve_workers(workers)
         self.metrics = metrics
         #: Optional :class:`repro.testing.chaos.ChaosInjector` consulted
         #: before every task (worker-crash injection).
         self.chaos = chaos
+        #: Optional :class:`repro.obs.trace.Tracer`. When set, every
+        #: parallel dispatch captures the coordinator's current span and
+        #: attaches one child span per task from the worker that ran it,
+        #: so worker activity stitches under the owning statement.
+        self.tracer = tracer
+        #: Optional callback invoked with the exception whenever a task
+        #: dies with a ``retry_serial`` error and is retried inline —
+        #: the survived crash would otherwise be invisible to the
+        #: session (the statement succeeds). The flight recorder hooks
+        #: this to dump a diagnostic bundle.
+        self.on_worker_crash: Optional[Callable[[Exception], None]] = None
         self._executor: Optional[ThreadPoolExecutor] = None
         self._lock = threading.Lock()
         self._local = threading.local()
@@ -155,26 +170,49 @@ class WorkerPool:
         return result
 
     def map_ordered(
-        self, fn: Callable[[T], R], items: Sequence[T]
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        label: str = "task",
     ) -> list[R]:
         """``[fn(item) for item in items]`` with results in submission
         order — the ordered dispatch every deterministic merge relies
         on. Runs inline when the pool is serial or there is at most one
         item.
 
+        Trace propagation: with a tracer attached, the coordinator's
+        innermost open span is captured *before* dispatch and each task
+        runs inside an attached child span named ``label`` (with its
+        submission ``index``), opened on whichever worker thread ran it.
+        Worker spans therefore appear exactly once under the owning
+        statement's tree regardless of scheduling; the inline/serial
+        path nests naturally and adds no extra spans.
+
         Fault tolerance: a task that dies with a *worker-infrastructure*
         error (``retry_serial`` on the exception, e.g.
         :class:`repro.errors.WorkerCrashError`) is retried once, inline
         on the coordinator thread, before the query fails — so a crashed
-        worker never takes the statement down with it. Query errors
-        (including governor errors) propagate unchanged.
+        worker never takes the statement down with it. The crashed
+        attempt keeps its (errored) span and ``on_worker_crash`` fires,
+        because the statement will otherwise succeed and hide the crash.
+        Query errors (including governor errors) propagate unchanged.
         """
         items = list(items)
         if not self.is_parallel or len(items) <= 1:
             return [self._run_one(fn, item) for item in items]
         executor = self._ensure_executor()
+        tracer = self.tracer
+        parent = tracer.current() if tracer is not None else None
+
+        def run_task(item: T, index: int) -> R:
+            if parent is None:
+                return self._run_one(fn, item)
+            with tracer.attached_span(parent, label, index=index):
+                return self._run_one(fn, item)
+
         futures = [
-            executor.submit(self._run_one, fn, item) for item in items
+            executor.submit(run_task, item, i)
+            for i, item in enumerate(items)
         ]
         results: list[R] = []
         for future, item in zip(futures, items):
@@ -187,6 +225,11 @@ class WorkerPool:
                     self.metrics.counter(
                         "parallel_morsel_retries_total"
                     ).inc()
+                if self.on_worker_crash is not None:
+                    try:
+                        self.on_worker_crash(exc)
+                    except Exception:  # noqa: BLE001 — diagnostics only
+                        pass
                 results.append(self._run_one(fn, item))
         return results
 
@@ -347,9 +390,9 @@ class ParallelPipelineOp(PhysicalOperator):
                 workers=pool.workers,
                 morsels=len(ranges),
             ):
-                batches = pool.map_ordered(task, ranges)
+                batches = pool.map_ordered(task, ranges, label="morsel")
         else:
-            batches = pool.map_ordered(task, ranges)
+            batches = pool.map_ordered(task, ranges, label="morsel")
         yield from batches
 
 
@@ -400,7 +443,7 @@ def partial_grouped_aggregate(
             part = None if col is None else col.slice(s, e)
             return group_counts(part, codes[s:e], n_groups)
 
-        counts = pool.map_ordered(partial, ranges)
+        counts = pool.map_ordered(partial, ranges, label="partial_aggregate")
         total = np.zeros(n_groups, dtype=np.int64)
         for part in counts:
             total += part
@@ -426,7 +469,7 @@ def partial_grouped_aggregate(
                 sums = group_sums(chunk, chunk_codes, n_groups)
             return counts, sums
 
-        parts = pool.map_ordered(partial, ranges)
+        parts = pool.map_ordered(partial, ranges, label="partial_aggregate")
         counts = np.zeros(n_groups, dtype=np.int64)
         sums = np.zeros(
             n_groups, dtype=np.int64 if integral_sum else np.float64
@@ -461,7 +504,7 @@ def partial_grouped_aggregate(
             values, codes[s:e][mask], n_groups, ufunc
         )
 
-    parts = pool.map_ordered(partial, ranges)
+    parts = pool.map_ordered(partial, ranges, label="partial_aggregate")
     merged, present = parts[0]
     merged = merged.copy()
     present = present.copy()

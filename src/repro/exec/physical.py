@@ -62,6 +62,11 @@ class OperatorStats:
         self.batches_out = 0
         self.rows_out = 0
         self.elapsed_s = 0.0
+        #: The optimizer's cardinality estimate for this operator's
+        #: logical node (None when no estimator was available). Paired
+        #: with the observed ``rows_out`` this is the estimation-error
+        #: signal the history store persists per plan fingerprint.
+        self.estimated_rows: Optional[float] = None
 
     @property
     def rows_in(self) -> int:
@@ -92,6 +97,18 @@ class OperatorStats:
         return None
 
     @property
+    def q_error(self) -> Optional[float]:
+        """The q-error of the cardinality estimate: ``max(est/obs,
+        obs/est)`` with both sides floored at one row (the standard
+        symmetric metric — 1.0 is a perfect estimate). None when no
+        estimate was recorded."""
+        if self.estimated_rows is None:
+            return None
+        est = max(float(self.estimated_rows), 1.0)
+        obs = max(float(self.rows_out), 1.0)
+        return max(est / obs, obs / est)
+
+    @property
     def operator_class(self) -> str:
         """The label without its argument decoration — ``Scan(t)`` and
         ``Scan(u)`` both report as class ``Scan`` (metrics grouping)."""
@@ -106,9 +123,15 @@ class OperatorStats:
 
     def format(self, indent: int = 0) -> str:
         pad = "  " * indent
+        estimate = ""
+        if self.estimated_rows is not None:
+            estimate = (
+                f" est={self.estimated_rows:.0f} q={self.q_error:.2f}"
+            )
         line = (
             f"{pad}{self.label}  "
-            f"(rows_in={self.rows_in} rows_out={self.rows_out} "
+            f"(rows_in={self.rows_in} rows_out={self.rows_out}"
+            f"{estimate} "
             f"batches={self.batches_out} calls={self.calls} "
             f"time={self.elapsed_s * 1e3:.3f}ms "
             f"self={self.self_s * 1e3:.3f}ms)"
@@ -198,6 +221,12 @@ class ExecutionContext:
         #: memory budget). Standalone contexts get an unbounded one so
         #: operator code can call :meth:`checkpoint` unconditionally.
         self.governor = governor if governor is not None else QueryContext()
+        #: Optional :class:`repro.plan.cardinality.CardinalityEstimator`.
+        #: When profiling, the planner stamps each operator's estimated
+        #: cardinality onto its :class:`OperatorStats` node, giving
+        #: estimated-vs-observed rows (and q-error) per operator in
+        #: ``explain_analyze`` and the query history store.
+        self.estimator = None
 
     def checkpoint(self, where: str = "") -> None:
         """Cooperative governor checkpoint — called by operators at

@@ -48,6 +48,11 @@ def build_physical(
     finally:
         ctx._profile_stack.pop()
     stats = OperatorStats(op.describe(), children)
+    if ctx.estimator is not None:
+        try:
+            stats.estimated_rows = ctx.estimator.estimate(plan)
+        except Exception:  # noqa: BLE001 — estimates are best-effort
+            stats.estimated_rows = None
     if ctx._profile_stack:
         ctx._profile_stack[-1].append(stats)
     else:

@@ -1,19 +1,28 @@
-"""Metric exporters: Prometheus text exposition and JSON dump.
+"""Metric exporters: Prometheus text exposition, JSON dump, timelines.
 
 Library use::
 
     from repro.obs.export import to_prometheus, to_json
     print(to_prometheus(db.metrics))
 
+Histograms export both the standard ``_bucket``/``_sum``/``_count``
+series and a companion ``<name>_summary`` gauge family carrying p50 /
+p95 / p99 estimates (``{quantile="0.5"}`` ...), so dashboards get
+latency percentiles without server-side ``histogram_quantile``.
+
 CLI (runs a tiny built-in workload, then exports its session metrics)::
 
     python -m repro.obs.export                    # Prometheus text
     python -m repro.obs.export --format json      # JSON dump
-    python -m repro.obs.export --check            # validate exposition
+    python -m repro.obs.export --chrome-trace t.json  # Perfetto timeline
+    python -m repro.obs.export --check            # observability smoke
 
-``--check`` is the ``make metrics-smoke`` entry point: it drives the
-workload, renders the exposition, and verifies every line parses with
-no duplicate series — exit 0 on success, 1 on a malformed exposition.
+``--check`` is the ``make obs-smoke`` entry point: it drives the
+workload, validates the Prometheus exposition (every line parses, one
+TYPE per family, no duplicate series), round-trips a Chrome-trace
+export through ``json.loads`` plus a schema check, and forces a query
+timeout to verify the flight recorder dumps a loadable bundle — exit 0
+on success, 1 on any failure.
 """
 
 from __future__ import annotations
@@ -48,11 +57,21 @@ def _bucket_label(upper: float) -> str:
     return "+Inf" if upper == math.inf else _format_value(upper)
 
 
+#: Percentiles exported as the ``<name>_summary`` companion family.
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
+
+
 def to_prometheus(registry: MetricsRegistry) -> str:
-    """Render the registry in the Prometheus text exposition format."""
+    """Render the registry in the Prometheus text exposition format.
+
+    Each histogram family additionally exports a ``<name>_summary``
+    gauge family with interpolated p50/p95/p99 estimates per series —
+    a separate family (not extra samples of the histogram) so the
+    exposition stays valid under the one-TYPE-per-family rule."""
     lines: list[str] = []
     for name, kind, children in registry.families():
         lines.append(f"# TYPE {name} {kind}")
+        summary_lines: list[str] = []
         for key, metric in sorted(children.items()):
             if kind in ("counter", "gauge"):
                 lines.append(
@@ -76,6 +95,19 @@ def to_prometheus(registry: MetricsRegistry) -> str:
             lines.append(
                 f"{format_series(name + '_count', key)} {metric.count}"
             )
+            for q in SUMMARY_QUANTILES:
+                value = metric.quantile(q)
+                if value is None:
+                    continue
+                q_key = key + (("quantile", _format_value(q)),)
+                q_key = tuple(sorted(q_key))
+                summary_lines.append(
+                    f"{format_series(name + '_summary', q_key)} "
+                    f"{_format_value(value)}"
+                )
+        if summary_lines:
+            lines.append(f"# TYPE {name}_summary gauge")
+            lines.extend(summary_lines)
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -179,6 +211,104 @@ def run_tiny_workload():
     return db
 
 
+def _check_chrome_trace(db) -> list[str]:
+    """Round-trip a Chrome-trace export of the workload's spans through
+    ``json.loads`` plus the schema check."""
+    from .timeline import export_chrome_trace, validate_chrome_trace
+
+    text = export_chrome_trace(db.tracer)
+    try:
+        document = json.loads(text)
+    except ValueError as exc:
+        return [f"chrome trace is not valid JSON: {exc}"]
+    problems = validate_chrome_trace(document)
+    events = document.get("traceEvents", [])
+    if not any(
+        e.get("ph") == "X" and e.get("name") == "statement"
+        for e in events
+    ):
+        problems.append("chrome trace has no statement span events")
+    return problems
+
+
+def _check_flight_recorder() -> list[str]:
+    """Force a query timeout in a throwaway session and verify the
+    flight recorder dumped a loadable bundle for it."""
+    import os
+    import tempfile
+
+    from ..api.database import Database
+    from ..errors import QueryTimeout
+    from .flight import load_bundle
+
+    with tempfile.TemporaryDirectory() as tmp:
+        db = Database(timeout_ms=0.01, flight_dir=tmp)
+        timed_out = False
+        try:
+            db.execute(
+                "SELECT * FROM ITERATE((SELECT 1 AS n),"
+                " (SELECT n + 1 FROM iterate),"
+                " (SELECT n FROM iterate WHERE n >= 1000000))"
+            )
+        except QueryTimeout:
+            timed_out = True
+        if not timed_out:
+            return ["forced timeout did not raise QueryTimeout"]
+        bundles = [
+            os.path.join(tmp, name)
+            for name in os.listdir(tmp)
+            if name.endswith(".json")
+        ]
+        if not bundles:
+            return ["forced timeout produced no flight-recorder bundle"]
+        try:
+            bundle = load_bundle(bundles[-1])
+        except (OSError, ValueError) as exc:
+            return [f"flight-recorder bundle not loadable: {exc}"]
+        if bundle.get("reason") != "timeout":
+            return [
+                f"bundle reason is {bundle.get('reason')!r}, "
+                "expected 'timeout'"
+            ]
+        if not (bundle.get("governor") or {}).get("verdict") == "timeout":
+            return ["bundle governor verdict is not 'timeout'"]
+        if not db.history() or db.history()[-1].verdict != "timeout":
+            return ["history did not record the timed-out statement"]
+    return []
+
+
+def run_check() -> int:
+    """The ``make obs-smoke`` battery: Prometheus exposition, Chrome
+    trace round trip, history store, flight recorder."""
+    db = run_tiny_workload()
+    text = to_prometheus(db.metrics)
+    problems = validate_exposition(text)
+    if not any("_summary" in line for line in text.splitlines()):
+        problems.append("exposition has no quantile summary series")
+    problems.extend(_check_chrome_trace(db))
+    if not db.history():
+        problems.append("history store recorded no statements")
+    problems.extend(_check_flight_recorder())
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(
+            f"FAIL: {len(problems)} problem(s)", file=sys.stderr
+        )
+        return 1
+    n_series = sum(
+        1 for line in text.splitlines()
+        if line and not line.startswith("#")
+    )
+    print(
+        f"observability smoke OK: {n_series} series, "
+        f"{len(db.query_log(100))} statements traced, "
+        f"{len(db.history(100))} history records, "
+        "chrome trace + flight bundle round-trip clean"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.export",
@@ -191,36 +321,38 @@ def main(argv: list[str] | None = None) -> int:
         help="output format (default: prometheus)",
     )
     parser.add_argument(
+        "--chrome-trace", metavar="PATH", default=None,
+        help=(
+            "write the workload's span trees as a Chrome-trace / "
+            "Perfetto JSON timeline to PATH ('-' for stdout) instead "
+            "of exporting metrics"
+        ),
+    )
+    parser.add_argument(
         "--check", action="store_true",
         help=(
-            "validate that the Prometheus exposition parses (line "
-            "format, one TYPE per family, no duplicate series); exit "
-            "1 on problems instead of printing the exposition"
+            "run the observability smoke battery (exposition parse, "
+            "chrome-trace round trip, history store, flight-recorder "
+            "bundle from a forced timeout); exit 1 on problems"
         ),
     )
     args = parser.parse_args(argv)
 
-    db = run_tiny_workload()
     if args.check:
-        text = to_prometheus(db.metrics)
-        problems = validate_exposition(text)
-        if problems:
-            for problem in problems:
-                print(problem, file=sys.stderr)
-            print(
-                f"FAIL: {len(problems)} problem(s) in "
-                f"{len(text.splitlines())} exposition lines",
-                file=sys.stderr,
-            )
-            return 1
-        n_series = sum(
-            1 for line in text.splitlines()
-            if line and not line.startswith("#")
+        return run_check()
+    db = run_tiny_workload()
+    if args.chrome_trace is not None:
+        from .timeline import export_chrome_trace
+
+        path = (
+            None if args.chrome_trace == "-" else args.chrome_trace
         )
-        print(
-            f"metrics exposition OK: {n_series} series, "
-            f"{len(db.query_log(100))} statements traced"
-        )
+        text = export_chrome_trace(db.tracer, path)
+        if path is None:
+            sys.stdout.write(text)
+        else:
+            events = len(json.loads(text).get("traceEvents", []))
+            print(f"wrote {events} trace events to {path}")
         return 0
     if args.format == "json":
         print(to_json(db.metrics))

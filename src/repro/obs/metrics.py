@@ -133,6 +133,34 @@ class Histogram:
             out.append(running)
         return out
 
+    def quantile(self, q: float) -> Optional[float]:
+        """The estimated ``q``-quantile (``0 <= q <= 1``) by linear
+        interpolation inside the containing bucket — the same estimate
+        ``histogram_quantile`` computes server-side in Prometheus.
+        Observations in the +Inf bucket clamp to the highest finite
+        bound. None while the histogram is empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            counts = list(self.counts)
+            total = self.count
+        if total == 0:
+            return None
+        rank = q * total
+        running = 0
+        for i, count in enumerate(counts):
+            if count == 0:
+                continue
+            if running + count >= rank:
+                if i >= len(self.buckets):
+                    return self.buckets[-1]
+                lower = self.buckets[i - 1] if i > 0 else 0.0
+                upper = self.buckets[i]
+                fraction = (rank - running) / count
+                return lower + (upper - lower) * max(fraction, 0.0)
+            running += count
+        return self.buckets[-1]
+
 
 class _Family:
     """One metric name: its kind plus one child per label set."""

@@ -1,0 +1,157 @@
+"""Chrome-trace (Perfetto) export of span trees.
+
+Converts the tracer's recent root spans into the Chrome trace event
+format — the ``{"traceEvents": [...]}`` JSON that ``chrome://tracing``
+and https://ui.perfetto.dev load directly. Every span becomes one
+complete-duration event (``ph: "X"``) with microsecond timestamps; the
+span's ``tid`` (captured at open on whichever thread ran it) lays
+coordinator phases and pool-worker morsel spans out on separate tracks,
+so a parallel statement renders as the coordinator's parse → bind →
+optimize → plan → execute lanes with worker morsels fanned out below.
+
+The exporter is pure: it reads completed spans only, so it can run at
+any time without perturbing execution. Surface it with::
+
+    python -m repro.obs.export --chrome-trace trace.json
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Optional
+
+from .trace import Span
+
+#: Process id used for all events (single-process engine).
+TRACE_PID = 1
+
+
+def _span_events(
+    span: Span, origin_s: float, events: list[dict]
+) -> None:
+    start_us = (span.start_s - origin_s) * 1e6
+    args = {
+        key: value
+        for key, value in span.attributes.items()
+        if isinstance(value, (str, int, float, bool)) or value is None
+    }
+    if span.error:
+        args["error"] = span.error
+    events.append(
+        {
+            "name": span.name,
+            "ph": "X",
+            "ts": round(start_us, 3),
+            "dur": round(span.duration_s * 1e6, 3),
+            "pid": TRACE_PID,
+            "tid": span.tid or 0,
+            "cat": "span",
+            "args": args,
+        }
+    )
+    for child in span.children:
+        _span_events(child, origin_s, events)
+
+
+def spans_to_chrome_trace(
+    roots: Iterable[Span], process_name: str = "repro"
+) -> dict:
+    """Convert completed root spans to one Chrome trace document.
+
+    Timestamps are rebased so the earliest span starts at 0 µs
+    (``perf_counter`` origins are arbitrary). Thread tracks get
+    human-readable metadata names: the coordinator (the thread that
+    opened each root) is labelled, workers keep their OS idents.
+    """
+    roots = [r for r in roots if r.end_s is not None]
+    events: list[dict] = []
+    if not roots:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+    origin_s = min(r.start_s for r in roots)
+    coordinator_tids = {r.tid for r in roots}
+    for root in roots:
+        _span_events(root, origin_s, events)
+    seen_tids = {e["tid"] for e in events}
+    meta: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for tid in sorted(seen_tids):
+        label = (
+            f"coordinator-{tid}"
+            if tid in coordinator_tids
+            else f"worker-{tid}"
+        )
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "args": {"name": label},
+            }
+        )
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+    }
+
+
+def chrome_trace_json(
+    roots: Iterable[Span], process_name: str = "repro"
+) -> str:
+    """The trace document serialised to JSON text."""
+    return json.dumps(
+        spans_to_chrome_trace(roots, process_name), indent=1
+    )
+
+
+def validate_chrome_trace(document: dict) -> list[str]:
+    """Structural check of an exported document; returns problems
+    (empty = well-formed). Used by ``make obs-smoke``."""
+    problems: list[str] = []
+    if not isinstance(document, dict):
+        return ["document is not a JSON object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("X", "M"):
+            problems.append(f"event {i}: unexpected ph {ph!r}")
+            continue
+        if "pid" not in event or "tid" not in event:
+            problems.append(f"event {i}: missing pid/tid")
+        if ph == "X":
+            ts = event.get("ts")
+            dur = event.get("dur")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"event {i}: bad ts {ts!r}")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i}: bad dur {dur!r}")
+            if not event.get("name"):
+                problems.append(f"event {i}: missing name")
+    return problems
+
+
+def export_chrome_trace(
+    tracer,
+    path: Optional[str] = None,
+    n: int = 32,
+    process_name: str = "repro",
+) -> str:
+    """Export the tracer's recent statements; writes ``path`` when
+    given and returns the JSON text either way."""
+    text = chrome_trace_json(tracer.recent_roots(n), process_name)
+    if path:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    return text

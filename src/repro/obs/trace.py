@@ -25,7 +25,13 @@ from typing import Iterator, Optional
 
 @dataclass
 class Span:
-    """One timed region; ``children`` mirrors nesting order."""
+    """One timed region; ``children`` mirrors nesting order.
+
+    ``tid`` is the OS thread identifier the span ran on — the
+    coordinator for lifecycle phases, a pool worker for morsel and
+    partial-aggregate spans — so timeline exporters
+    (:mod:`repro.obs.timeline`) can lay spans out per thread.
+    """
 
     name: str
     attributes: dict = field(default_factory=dict)
@@ -33,6 +39,7 @@ class Span:
     end_s: Optional[float] = None
     children: list["Span"] = field(default_factory=list)
     error: Optional[str] = None
+    tid: int = 0
 
     @property
     def duration_s(self) -> float:
@@ -55,6 +62,42 @@ class Span:
 
     def find_all(self, name: str) -> list["Span"]:
         return [s for s in self.walk() if s.name == name]
+
+    def to_dict(self) -> dict:
+        """A JSON-safe tree (attribute values stringified when they are
+        not plain scalars) — the form flight-recorder bundles store."""
+        safe_attrs = {}
+        for key, value in self.attributes.items():
+            if isinstance(value, (str, int, float, bool)) or value is None:
+                safe_attrs[key] = value
+            else:
+                safe_attrs[key] = repr(value)
+        return {
+            "name": self.name,
+            "attributes": safe_attrs,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "tid": self.tid,
+            "error": self.error,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        """Rebuild a span tree from :meth:`to_dict` output (bundle
+        rendering; timings come back, thread identity is preserved)."""
+        span = cls(
+            name=payload.get("name", "?"),
+            attributes=dict(payload.get("attributes", {})),
+            start_s=float(payload.get("start_s", 0.0)),
+            tid=int(payload.get("tid", 0)),
+            error=payload.get("error"),
+        )
+        span.end_s = span.start_s + float(payload.get("duration_s", 0.0))
+        span.children = [
+            cls.from_dict(child) for child in payload.get("children", [])
+        ]
+        return span
 
     def format(self, indent: int = 0) -> str:
         pad = "  " * indent
@@ -121,10 +164,15 @@ class Tracer:
     one :class:`~repro.api.database.Database` trace independently;
     ``last_root`` and the ring buffer are shared (last writer wins)."""
 
-    def __init__(self, log_size: int = 256):
+    def __init__(self, log_size: int = 256, root_ring_size: int = 32):
         self._local = threading.local()
         self.last_root: Optional[Span] = None
         self._log: deque[QueryLogEntry] = deque(maxlen=log_size)
+        #: Recent completed root spans (full trees), oldest first — the
+        #: flight recorder's ring and the timeline exporter's source.
+        self._roots: deque[Span] = deque(maxlen=root_ring_size)
+        #: Guards cross-thread child attachment (worker spans).
+        self._attach_lock = threading.Lock()
 
     @property
     def _stack(self) -> list[Span]:
@@ -133,10 +181,24 @@ class Tracer:
             stack = self._local.stack = []
         return stack
 
+    def current(self) -> Optional[Span]:
+        """The innermost open span on *this* thread (None between
+        statements). The worker pool captures this on the coordinator
+        to parent the spans its tasks open on worker threads."""
+        stack = self._stack
+        return stack[-1] if stack else None
+
+    def current_root(self) -> Optional[Span]:
+        """The root of the statement currently open on *this* thread
+        (None between statements) — the flight recorder snapshots this
+        when a worker crash is survived mid-statement."""
+        stack = self._stack
+        return stack[0] if stack else None
+
     # -- spans -------------------------------------------------------------
 
     def _open(self, name: str, attributes: dict) -> Span:
-        span = Span(name, attributes)
+        span = Span(name, attributes, tid=threading.get_ident())
         stack = self._stack
         if stack:
             stack[-1].children.append(span)
@@ -151,6 +213,7 @@ class Tracer:
         assert popped is span, "span close order violated"
         if not stack:
             self.last_root = span
+            self._roots.append(span)
 
     @contextmanager
     def span(self, name: str, **attributes):
@@ -180,6 +243,31 @@ class Tracer:
             self._close(span)
             self._log.append(QueryLogEntry.from_span(span, started_at))
 
+    @contextmanager
+    def attached_span(self, parent: Span, name: str, **attributes):
+        """A span timed on the *calling* thread but attached under
+        ``parent`` (a span owned by another thread).
+
+        This is the trace-context propagation primitive: the worker
+        pool captures the coordinator's :meth:`current` span before
+        dispatch and opens one attached span per task, so parallel
+        morsel and partial-aggregate work stitches under the owning
+        statement's tree. The child is appended only on close (under a
+        lock), so concurrent readers never see a half-built span and
+        every task appears exactly once."""
+        span = Span(name, attributes, tid=threading.get_ident())
+        span.start_s = time.perf_counter()
+        try:
+            yield span
+        except BaseException as exc:
+            if span.error is None:
+                span.error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            span.end_s = time.perf_counter()
+            with self._attach_lock:
+                parent.children.append(span)
+
     # -- the query log -----------------------------------------------------
 
     def log(self, n: int = 20) -> list[QueryLogEntry]:
@@ -188,3 +276,11 @@ class Tracer:
             return []
         entries = list(self._log)
         return entries[-n:]
+
+    def recent_roots(self, n: int = 32) -> list[Span]:
+        """The most recent ``n`` completed root spans (full trees),
+        oldest first."""
+        if n <= 0:
+            return []
+        roots = list(self._roots)
+        return roots[-n:]

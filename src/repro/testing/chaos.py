@@ -275,11 +275,15 @@ def _populate(db) -> None:
     )
 
 
-def _build_pair(seed: int, injector: "ChaosInjector"):
+def _build_pair(
+    seed: int, injector: "ChaosInjector", flight_dir: Optional[str] = None
+):
     """(subject, twin) databases with identical data; the subject
     carries the (still disarmed) injector. Worker-crash seeds force a
     parallel pool; other kinds draw the worker count from the seed so
-    the battery covers serial and parallel dispatch."""
+    the battery covers serial and parallel dispatch. ``flight_dir``
+    points both sessions' flight recorders at a scratch directory so
+    the oracle can assert every injected abort leaves a bundle."""
     from ..api.database import Database
 
     rng = random.Random(seed ^ 0x9E3779B9)
@@ -292,6 +296,7 @@ def _build_pair(seed: int, injector: "ChaosInjector"):
         parallel_threshold=0 if workers > 1 else None,
         morsel_rows=64,
         profile_operators=False,
+        flight_dir=flight_dir,
     )
     config = {k: v for k, v in config.items() if v is not None}
     subject = Database(chaos=injector, **config)
@@ -301,17 +306,36 @@ def _build_pair(seed: int, injector: "ChaosInjector"):
     return subject, twin, rng
 
 
+def _check_flight_bundle(subject, bundles_seen: int, what: str) -> list[str]:
+    """Assert the subject's flight recorder wrote one more loadable
+    bundle than ``bundles_seen`` — part of the engine's failure
+    contract: every injected abort must leave a post-mortem behind."""
+    from ..obs.flight import load_bundle
+
+    if subject.flight.bundles_written <= bundles_seen:
+        return [f"no flight-recorder bundle for {what}"]
+    try:
+        load_bundle(subject.flight.last_bundle_path)
+    except (OSError, ValueError) as exc:
+        return [f"flight bundle for {what} not loadable: {exc}"]
+    return []
+
+
 def run_chaos_seed(seed: int) -> dict:
     """Run one seeded injection and its oracle.
 
     Returns a dict with ``seed``, ``kind``, ``nth``, ``fired`` and a
     (hopefully empty) ``failures`` list of oracle violations."""
+    import tempfile
+
     from .oracle import normalize_rows, rows_equal
 
     injector = ChaosInjector.from_seed(seed)
-    subject, twin, rng = _build_pair(seed, injector)
+    flight_tmp = tempfile.TemporaryDirectory(prefix="repro-chaos-flight-")
+    subject, twin, rng = _build_pair(seed, injector, flight_tmp.name)
     failures: list[str] = []
     faults: list[str] = []
+    bundles_seen = 0
     try:
         injector.arm()
         for sql, ordered in _battery(rng):
@@ -320,8 +344,16 @@ def run_chaos_seed(seed: int) -> dict:
                     subject.execute(sql).rows, ordered
                 )
             except (ResourceGovernorError, InjectedFault) as exc:
-                # Typed governor family: the expected way to die.
+                # Typed governor family: the expected way to die. The
+                # flight recorder must have dumped a loadable bundle.
                 faults.append(f"{type(exc).__name__}: {sql[:60]}")
+                failures.extend(
+                    _check_flight_bundle(
+                        subject, bundles_seen,
+                        f"{type(exc).__name__} on {sql[:60]!r}",
+                    )
+                )
+                bundles_seen = subject.flight.bundles_written
                 continue
             except Exception as exc:  # noqa: BLE001 — oracle verdict
                 failures.append(
@@ -337,6 +369,14 @@ def run_chaos_seed(seed: int) -> dict:
                     f"{len(subject_rows)} vs {len(twin_rows)} row(s)"
                 )
         injector.armed = False
+        if injector.fired and injector.kind == "worker_crash":
+            # The statement *succeeded* (serial retry), so the dump on
+            # the survived crash is the only evidence it happened.
+            failures.extend(
+                _check_flight_bundle(
+                    subject, 0, "survived worker crash"
+                )
+            )
 
         # -- post-fault oracle: subject must answer like the twin ----
         if subject._session_txn is not None:
@@ -370,6 +410,7 @@ def run_chaos_seed(seed: int) -> dict:
     finally:
         subject.close()
         twin.close()
+        flight_tmp.cleanup()
     return {
         "seed": seed,
         "kind": injector.kind,

@@ -256,10 +256,61 @@ class TestExport:
         dup = "# TYPE a counter\na 1\na 2"
         assert any("duplicate series" in p for p in validate_exposition(dup))
 
+    def test_summary_quantiles_golden_output(self):
+        # Deterministic histogram: 10 observations per bucket, so the
+        # whole exposition — including the interpolated p50/p95/p99
+        # summary family — is byte-exact.
+        reg = MetricsRegistry()
+        hist = reg.histogram("latency_seconds", buckets=(1.0, 2.0, 4.0))
+        for value in [0.5] * 10 + [1.5] * 10 + [3.0] * 10:
+            hist.observe(value)
+        reg.counter("requests_total", route="q").inc(7)
+        golden = (
+            '# TYPE latency_seconds histogram\n'
+            'latency_seconds_bucket{le="1"} 10\n'
+            'latency_seconds_bucket{le="2"} 20\n'
+            'latency_seconds_bucket{le="4"} 30\n'
+            'latency_seconds_bucket{le="+Inf"} 30\n'
+            'latency_seconds_sum 50\n'
+            'latency_seconds_count 30\n'
+            '# TYPE latency_seconds_summary gauge\n'
+            'latency_seconds_summary{quantile="0.5"} 1.5\n'
+            'latency_seconds_summary{quantile="0.95"} 3.7\n'
+            'latency_seconds_summary{quantile="0.99"} 3.94\n'
+            '# TYPE requests_total counter\n'
+            'requests_total{route="q"} 7\n'
+        )
+        text = to_prometheus(reg)
+        assert text == golden
+        assert validate_exposition(text) == []
+
+    def test_quantile_interpolation_and_clamp(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h", buckets=(1.0, 2.0))
+        assert hist.quantile(0.5) is None
+        for value in (0.5, 0.5, 1.5, 1.5):
+            hist.observe(value)
+        assert hist.quantile(0.0) == 0.0
+        assert hist.quantile(0.5) == pytest.approx(1.0)
+        assert hist.quantile(1.0) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+        # +Inf-bucket observations clamp to the highest finite bound.
+        overflow = reg.histogram("o", buckets=(1.0, 2.0))
+        overflow.observe(50.0)
+        assert overflow.quantile(0.99) == 2.0
+
+    def test_session_statement_summary_exported(self):
+        db = self._workload_db()
+        text = to_prometheus(db.metrics)
+        assert "# TYPE statement_seconds_summary gauge" in text
+        for q in ("0.5", "0.95", "0.99"):
+            assert f'quantile="{q}"' in text
+
     def test_cli_check_passes(self, capsys):
         assert export_main(["--check"]) == 0
         out = capsys.readouterr().out
-        assert "metrics exposition OK" in out
+        assert "observability smoke OK" in out
 
     def test_cli_json_format(self, capsys):
         assert export_main(["--format", "json"]) == 0

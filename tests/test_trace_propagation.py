@@ -1,0 +1,118 @@
+"""Trace propagation across the worker pool (ISSUE 7 satellite).
+
+With ``workers=4``, morsel and partial-aggregate spans executed on pool
+threads must stitch under the *owning statement's* span tree — each
+exactly once, carrying the worker thread's tid — while results stay
+bit-identical to a serial session.
+"""
+
+import threading
+
+import repro
+
+
+def _make_db(workers):
+    db = repro.Database(
+        workers=workers, parallel_threshold=0, morsel_rows=64
+    )
+    db.execute("CREATE TABLE t (v INTEGER, g INTEGER)")
+    db.insert_rows("t", [(i, i % 7) for i in range(1000)])
+    return db
+
+
+class TestMorselSpanPropagation:
+    def test_worker_spans_attach_exactly_once(self):
+        db = _make_db(workers=4)
+        db.execute("SELECT v FROM t WHERE v >= 0")
+        trace = db.last_trace()
+        assert trace.name == "statement"
+        pipeline = trace.find("parallel_pipeline")
+        assert pipeline is not None, trace.format()
+        morsels = trace.find_all("morsel")
+        # 1000 rows / 64 per morsel = 16 morsels, each exactly once.
+        assert len(morsels) == 16
+        indices = sorted(s.attributes["index"] for s in morsels)
+        assert indices == list(range(16))
+        # Every morsel span hangs off the pipeline span of *this*
+        # statement, not some global orphan list.
+        assert all(m in pipeline.walk() for m in morsels)
+
+    def test_morsel_spans_carry_worker_tids(self):
+        db = _make_db(workers=4)
+        db.execute("SELECT v FROM t WHERE v >= 0")
+        trace = db.last_trace()
+        morsels = trace.find_all("morsel")
+        tids = {s.tid for s in morsels}
+        # Pool threads ran them — none on the coordinator...
+        assert threading.get_ident() not in tids
+        # ...and with 16 morsels over 4 workers, work actually spread.
+        assert len(tids) > 1
+        # The statement root itself stays on the coordinator.
+        assert trace.tid == threading.get_ident()
+        # Spans are closed (timed) before attachment.
+        assert all(s.end_s is not None for s in morsels)
+
+    def test_partial_aggregate_spans_attach(self):
+        # Partial aggregation chunks at a fixed 65 536 rows — load
+        # enough for three chunks so the pool actually dispatches.
+        import numpy as np
+
+        n = 200_000
+        db = repro.Database(workers=4, parallel_threshold=0)
+        db.execute("CREATE TABLE big (v INTEGER, g INTEGER)")
+        db.load_columns(
+            "big",
+            {
+                "v": np.arange(n, dtype=np.int64),
+                "g": np.arange(n, dtype=np.int64) % 7,
+            },
+        )
+        db.execute("SELECT g, sum(v) FROM big GROUP BY g")
+        trace = db.last_trace()
+        partials = trace.find_all("partial_aggregate")
+        assert partials, trace.format()
+        indices = sorted(s.attributes["index"] for s in partials)
+        assert indices == list(range(len(partials)))
+
+    def test_serial_session_has_no_attached_spans(self):
+        db = _make_db(workers=1)
+        db.execute("SELECT v FROM t WHERE v >= 0")
+        assert db.last_trace().find_all("morsel") == []
+
+    def test_results_bit_identical_across_worker_counts(self):
+        serial = _make_db(workers=1)
+        parallel = _make_db(workers=4)
+        for sql in (
+            "SELECT v FROM t WHERE v % 3 = 1",
+            "SELECT g, sum(v), count(*) FROM t GROUP BY g",
+            "SELECT sum(v) FROM t WHERE v > 500",
+        ):
+            assert (
+                serial.execute(sql).rows == parallel.execute(sql).rows
+            ), sql
+
+    def test_consecutive_statements_do_not_cross_stitch(self):
+        db = _make_db(workers=4)
+        db.execute("SELECT v FROM t WHERE v >= 0")
+        first = db.last_trace()
+        db.execute("SELECT v FROM t WHERE v < 100")
+        second = db.last_trace()
+        assert first is not second
+        assert len(first.find_all("morsel")) == 16
+        # The second statement's morsels landed on *its* tree only:
+        # 100 matching rows still scan all 16 morsels.
+        assert len(second.find_all("morsel")) == 16
+
+    def test_history_and_timeline_see_worker_spans(self):
+        db = _make_db(workers=4)
+        db.execute("SELECT v FROM t WHERE v >= 0")
+        # The Chrome-trace export lays worker spans out per thread.
+        from repro.obs.timeline import spans_to_chrome_trace
+
+        doc = spans_to_chrome_trace([db.last_trace()])
+        morsel_events = [
+            e for e in doc["traceEvents"]
+            if e.get("ph") == "X" and e["name"] == "morsel"
+        ]
+        assert len(morsel_events) == 16
+        assert len({e["tid"] for e in morsel_events}) > 1
