@@ -5,7 +5,7 @@ N ?= 1000
 START ?= 0
 WORKERS ?= 4
 
-.PHONY: test test-all fuzz fuzz-parallel bench obs-smoke metrics-smoke chaos battery
+.PHONY: test test-all fuzz fuzz-parallel bench obs-smoke metrics-smoke chaos battery server-smoke
 
 # The tier-1 suite runs three times: fully serial, with a 4-worker
 # pool (the serial-equivalence contract of the morsel-driven executor,
@@ -21,6 +21,7 @@ test: obs-smoke
 	REPRO_PLAN_CACHE=0 REPRO_ENCODING=raw REPRO_WORKERS=1 $(PY) -m pytest -x -q
 	$(MAKE) battery
 	$(MAKE) chaos
+	$(MAKE) server-smoke
 
 # TPC-H-shaped SQL battery (tests/sql_battery/) under raw and encoded
 # storage, serial and 4 workers, vs the SQLite oracle — plus a
@@ -37,6 +38,15 @@ battery:
 chaos:
 	$(PY) -m repro.testing.chaos --seeds 260 --start 1
 	$(PY) -m repro.testing.fuzz --seeds 25 --chaos
+
+# Multi-session server battery (docs/server.md): a live server on an
+# ephemeral port, 8 concurrent client sessions of mixed DML / query /
+# analytics checked against a serial twin, a forced typed
+# ADMISSION_REJECTED under a wedged executor, an HTTP /metrics scrape,
+# and clean shutdown — all under a hard watchdog (exit 2 on overrun,
+# so a hung server can never hang CI).
+server-smoke:
+	$(PY) -m repro.server.smoke
 
 # Observability smoke battery: runs a tiny end-to-end workload,
 # validates the Prometheus exposition (format, TYPE lines, histogram

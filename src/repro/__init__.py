@@ -27,6 +27,7 @@ Quickstart::
 from .api.database import Database, connect
 from .api.result import QueryResult
 from .errors import (
+    AdmissionRejected,
     AnalyticsError,
     BindError,
     CatalogError,
@@ -36,6 +37,7 @@ from .errors import (
     MemoryBudgetExceeded,
     ParseError,
     PlanError,
+    ProtocolError,
     QueryCancelled,
     QueryTimeout,
     ReproError,
@@ -81,6 +83,8 @@ __all__ = [
     "SerializationConflict",
     "UDFError",
     "AnalyticsError",
+    "AdmissionRejected",
+    "ProtocolError",
     "SQLType",
     "BOOLEAN",
     "INTEGER",

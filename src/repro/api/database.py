@@ -230,7 +230,9 @@ class Database:
             self.workers, metrics=self.metrics, chaos=self.chaos,
             tracer=self._tracer,
         )
-        self._session_txn: Optional[Transaction] = None
+        #: Backing slot of the ``_session_txn`` property for embedded
+        #: (scope-less) use; server sessions carry their own slot.
+        self._default_txn: Optional[Transaction] = None
         #: Statement/plan cache (docs/performance.md). ``None`` defers
         #: the on/off decision to REPRO_PLAN_CACHE at statement time.
         self._plan_cache_enabled = plan_cache
@@ -262,6 +264,59 @@ class Database:
         self.last_stats: ExecutionStats = ExecutionStats()
         if wal is not None:
             wal.replay_into(self.txns)
+
+    # ------------------------------------------------------------------
+    # session-transaction routing
+    # ------------------------------------------------------------------
+    #
+    # Embedded use keeps one transaction slot per Database. A server
+    # multiplexing many client sessions over one shared Database routes
+    # the slot through a per-thread *scope* instead (``txn_scope``), so
+    # each session owns its transaction and BEGIN/COMMIT/ROLLBACK from
+    # concurrent sessions never collide (docs/server.md).
+
+    @property
+    def _session_txn(self) -> Optional[Transaction]:
+        scope = getattr(self._stmt_local, "txn_scope", None)
+        if scope is not None:
+            return scope.txn
+        return self._default_txn
+
+    @_session_txn.setter
+    def _session_txn(self, value: Optional[Transaction]) -> None:
+        scope = getattr(self._stmt_local, "txn_scope", None)
+        if scope is not None:
+            scope.txn = value
+        else:
+            self._default_txn = value
+
+    @contextmanager
+    def txn_scope(self, scope):
+        """Route this thread's session-transaction state into ``scope``
+        (any object with a mutable ``txn`` attribute) for the duration.
+
+        While active, ``begin``/``commit``/``rollback`` and statement
+        execution on this thread read and write ``scope.txn`` instead of
+        the Database's own slot, giving every server session its own
+        transaction over one shared engine. Scopes nest (the previous
+        scope is restored on exit) and are thread-local, so concurrent
+        sessions never observe each other's transaction."""
+        prev = getattr(self._stmt_local, "txn_scope", None)
+        self._stmt_local.txn_scope = scope
+        try:
+            yield scope
+        finally:
+            self._stmt_local.txn_scope = prev
+
+    def stage_statement_phase(self, name: str, seconds: float) -> None:
+        """Attach an extra phase timing to the *next* statement record
+        on this thread (merged into ``QueryRecord.phases``). The server
+        uses this to surface admission-queue wait next to the engine's
+        own parse/bind/optimize/plan/execute phases."""
+        staged = getattr(self._stmt_local, "staged_phases", None)
+        if staged is None:
+            staged = self._stmt_local.staged_phases = {}
+        staged[name] = staged.get(name, 0.0) + float(seconds)
 
     def _session_config(self) -> dict:
         """The session settings a flight-recorder bundle embeds."""
@@ -397,14 +452,23 @@ class Database:
     # ------------------------------------------------------------------
 
     @contextmanager
-    def _governed(self, timeout_ms=_UNSET, memory_budget_mb=_UNSET):
+    def _governed(
+        self, timeout_ms=_UNSET, memory_budget_mb=_UNSET,
+        cancel_token=None,
+    ):
         """Install a per-statement :class:`QueryContext` on this thread.
 
         Re-entrant: a statement executed from inside another governed
         call (``executemany``'s per-row loop) shares the outer governor,
         so one deadline/budget covers the whole batch. On a governor
         abort the matching session counter is bumped; the final report
-        always lands in :attr:`last_governor`."""
+        always lands in :attr:`last_governor`.
+
+        ``cancel_token`` lets a caller hand in a pre-made
+        :class:`~repro.governor.CancelToken` targeting *this call only*
+        — the server uses one per request so cancelling one session
+        never touches another's statement; :meth:`cancel` still reaches
+        every in-flight governor."""
         existing = getattr(self._stmt_local, "governor", None)
         if existing is not None:
             yield existing
@@ -425,6 +489,7 @@ class Database:
         governor = QueryContext(
             timeout_ms=effective_timeout,
             memory_budget_bytes=budget_bytes,
+            cancel_token=cancel_token,
             chaos=self.chaos,
         )
         self._stmt_local.governor = governor
@@ -454,6 +519,7 @@ class Database:
         *,
         timeout_ms=_UNSET,
         memory_budget_mb=_UNSET,
+        cancel_token=None,
     ) -> QueryResult:
         """Execute one or more ``;``-separated statements; returns the
         result of the last one.
@@ -464,7 +530,8 @@ class Database:
 
         ``timeout_ms`` / ``memory_budget_mb`` override the session
         defaults for this call (``None`` or ``<= 0`` disables the
-        corresponding limit)."""
+        corresponding limit). ``cancel_token`` installs a caller-owned
+        :class:`~repro.governor.CancelToken` scoped to this call."""
         tracer = self._tracer
         started = time.perf_counter()
         started_at = time.time()
@@ -472,7 +539,9 @@ class Database:
         governor: Optional[QueryContext] = None
         error: Optional[BaseException] = None
         try:
-            with self._governed(timeout_ms, memory_budget_mb) as gov:
+            with self._governed(
+                timeout_ms, memory_budget_mb, cancel_token
+            ) as gov:
                 governor = gov
                 with tracer.statement(sql) as stmt:
                     self._record_info()["span"] = stmt
@@ -504,11 +573,13 @@ class Database:
         *,
         timeout_ms=_UNSET,
         memory_budget_mb=_UNSET,
+        cancel_token=None,
     ) -> QueryResult:
         """Alias of :meth:`execute` for read-style call sites."""
         return self.execute(
             sql, params,
             timeout_ms=timeout_ms, memory_budget_mb=memory_budget_mb,
+            cancel_token=cancel_token,
         )
 
     def executemany(
@@ -838,6 +909,10 @@ class Database:
         must not turn a finished statement into a failed one."""
         info = getattr(self._stmt_local, "record_info", None) or {}
         self._stmt_local.record_info = None
+        staged_phases = getattr(
+            self._stmt_local, "staged_phases", None
+        )
+        self._stmt_local.staged_phases = None
         span = info.get("span")
         if span is None:
             return
@@ -869,6 +944,7 @@ class Database:
                 cache_hit=cache_hit,
                 workers=workers,
                 encoding=encoding,
+                extra_phases=staged_phases,
             )
 
         try:

@@ -93,6 +93,19 @@ class WorkerCrashError(ExecutionError):
     retry_serial = True
 
 
+class AdmissionRejected(ReproError):
+    """The server's bounded admission queue was full: the request was
+    rejected *before* any work happened (backpressure, never blocking).
+    Surfaces over the wire as an ``ADMISSION_REJECTED`` error frame;
+    clients should back off and retry (docs/server.md)."""
+
+
+class ProtocolError(ReproError):
+    """A wire-protocol violation on the server connection: malformed or
+    oversized frame, unknown operation, or a message sent out of order
+    (e.g. ``query`` before ``connect``). See docs/server.md."""
+
+
 class CatalogError(ReproError):
     """Raised for catalog violations: duplicate table, unknown table,
     schema mismatch on insert, dropping a missing object."""

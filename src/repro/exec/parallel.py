@@ -235,9 +235,15 @@ class WorkerPool:
 
     def shutdown(self) -> None:
         """Join the worker threads (idempotent; the pool can be reused
-        afterwards — a new executor is created on demand)."""
+        afterwards — a new executor is created on demand). Also drops
+        the pool's atexit hook so processes that open and close many
+        sessions (server fleets, bench sweeps) never accumulate stale
+        interpreter-exit callbacks."""
         with self._lock:
             executor, self._executor = self._executor, None
+            if self._atexit_registered:
+                atexit.unregister(self.shutdown)
+                self._atexit_registered = False
         if executor is not None:
             executor.shutdown(wait=True)
 

@@ -473,12 +473,18 @@ def record_from_span(
     cache_hit: bool = False,
     workers: int = 1,
     encoding: str = "auto",
+    extra_phases: Optional[dict] = None,
 ) -> QueryRecord:
     """Assemble a :class:`QueryRecord` from a completed ``statement``
-    span plus the statement's governor report and profiled operators."""
+    span plus the statement's governor report and profiled operators.
+
+    ``extra_phases`` merges caller-supplied timings (e.g. the server's
+    admission-queue wait) into the span-derived phase map."""
     phases: dict[str, float] = {}
     for child in span.children:
         phases[child.name] = phases.get(child.name, 0.0) + child.duration_s
+    for name, seconds in (extra_phases or {}).items():
+        phases[name] = phases.get(name, 0.0) + float(seconds)
     governor = governor or {}
     return QueryRecord(
         sql=span.attributes.get("sql", ""),

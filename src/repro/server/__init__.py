@@ -1,0 +1,42 @@
+"""repro.server — a multi-session database server over one engine.
+
+The embedded :class:`~repro.api.database.Database` is a single-process
+session; this package turns it into a *serving* stack (docs/server.md):
+
+* :mod:`repro.server.protocol` — a length-prefixed JSON wire protocol
+  (``connect`` / ``query`` / ``cancel`` / ``close`` / ``metrics``) with
+  typed error frames mapped from the engine's exception family;
+* :mod:`repro.server.session` — per-session state: its own transaction
+  over the shared snapshot-isolation substrate, per-tenant governor
+  budgets, and a per-request cancel token;
+* :mod:`repro.server.server` — the threaded socket server: one reader
+  thread per connection, a bounded admission queue with backpressure
+  feeding a fixed executor pool, and an HTTP ``GET /metrics`` endpoint
+  on the same port reusing the Prometheus exporter;
+* :mod:`repro.server.client` — a blocking client speaking the protocol
+  and re-raising typed engine errors.
+
+Run one from the command line::
+
+    python -m repro.server --port 7474
+
+and smoke-test the whole stack (``make server-smoke``)::
+
+    python -m repro.server.smoke
+"""
+
+from .client import Client, RemoteResult, ServerError
+from .protocol import PROTOCOL_VERSION, encode_frame, read_frame
+from .server import Server, ServerConfig, TenantBudget
+
+__all__ = [
+    "Client",
+    "RemoteResult",
+    "ServerError",
+    "Server",
+    "ServerConfig",
+    "TenantBudget",
+    "PROTOCOL_VERSION",
+    "encode_frame",
+    "read_frame",
+]

@@ -1,0 +1,117 @@
+"""``python -m repro.server`` — run a standalone server.
+
+Binds, prints the listening address (and the /metrics URL), and serves
+until interrupted. Engine knobs that matter for serving — workers,
+encoding, WAL path, default governor budgets — are exposed as flags;
+everything else keeps the embedded defaults.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+
+from ..api.database import Database
+from .server import Server
+from .session import TenantBudget
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Serve one repro database to many sessions.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=7474,
+        help="0 picks an ephemeral port (printed on startup)",
+    )
+    parser.add_argument("--max-sessions", type=int, default=64)
+    parser.add_argument(
+        "--queue-depth", type=int, default=32,
+        help="statements waiting beyond the executors before "
+        "ADMISSION_REJECTED backpressure",
+    )
+    parser.add_argument("--executors", type=int, default=4)
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="engine worker-pool size (None = engine default)",
+    )
+    parser.add_argument("--wal", default=None, help="WAL path (durability)")
+    parser.add_argument(
+        "--encoding", default=None,
+        help="column encoding mode (e.g. 'auto')",
+    )
+    parser.add_argument(
+        "--timeout-ms", type=float, default=None,
+        help="default per-statement timeout for every tenant",
+    )
+    parser.add_argument(
+        "--memory-budget-mb", type=float, default=None,
+        help="default per-statement memory budget for every tenant",
+    )
+    parser.add_argument(
+        "--tenant", action="append", default=[], metavar="NAME:MS:MB",
+        help="tenant budget, e.g. 'analytics:5000:256' "
+        "(blank field = unlimited); repeatable",
+    )
+    return parser
+
+
+def parse_tenant(spec: str) -> TenantBudget:
+    parts = spec.split(":")
+    name = parts[0]
+    if not name:
+        raise SystemExit(f"--tenant {spec!r}: empty tenant name")
+
+    def _num(i: int) -> float | None:
+        if len(parts) <= i or not parts[i]:
+            return None
+        return float(parts[i])
+
+    return TenantBudget(name, timeout_ms=_num(1), memory_budget_mb=_num(2))
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    tenants = {}
+    if args.timeout_ms is not None or args.memory_budget_mb is not None:
+        tenants["default"] = TenantBudget(
+            "default",
+            timeout_ms=args.timeout_ms,
+            memory_budget_mb=args.memory_budget_mb,
+        )
+    for spec in args.tenant:
+        budget = parse_tenant(spec)
+        tenants[budget.name] = budget
+    db = Database(
+        wal_path=args.wal,
+        workers=args.workers,
+        encoding=args.encoding,
+    )
+    server = Server(
+        db,
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        queue_depth=args.queue_depth,
+        executors=args.executors,
+        tenants=tenants,
+    )
+    server.start()
+    host, port = server.address
+    print(f"repro server listening on {host}:{port}", flush=True)
+    print(f"metrics: http://{host}:{port}/metrics", flush=True)
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        server.stop()
+        db.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,255 @@
+"""A blocking client for the repro wire protocol.
+
+One :class:`Client` is one server session: it connects on
+construction, speaks request/response frames over a single socket, and
+re-raises server-side failures as the *same* typed exceptions the
+embedded engine raises (``QueryTimeout`` stays ``QueryTimeout`` across
+the wire, with ``.wire_code`` recording the frame's error code).
+
+Cancellation is out-of-band by design — the session's connection is
+blocked waiting for its query response — so :meth:`cancel` opens a
+short second connection and sends ``{"op": "cancel", "session": ...}``
+from there (typically from another thread).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Iterator, Optional, Sequence
+
+from ..errors import ReproError
+from .protocol import (
+    MAX_FRAME_BYTES,
+    encode_frame,
+    raise_for_error,
+    read_frame,
+)
+
+
+class ServerError(ReproError):
+    """A connection-level failure talking to the server (refused,
+    dropped mid-response, unexpected frame) — distinct from the typed
+    engine errors, which re-raise as themselves."""
+
+
+class RemoteResult:
+    """The client-side view of one statement's result frame: the same
+    rows/columns/types/rowcount surface as the embedded
+    :class:`~repro.api.result.QueryResult`, with rows as tuples."""
+
+    __slots__ = ("columns", "rows", "types", "rowcount", "in_txn")
+
+    def __init__(self, payload: dict):
+        self.columns: list[str] = list(payload.get("columns") or [])
+        self.rows: list[tuple] = [
+            tuple(row) for row in payload.get("rows") or []
+        ]
+        self.types: list[str] = list(payload.get("types") or [])
+        self.rowcount: int = int(payload.get("rowcount") or 0)
+        self.in_txn: bool = bool(payload.get("in_txn"))
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def first(self) -> Optional[tuple]:
+        return self.rows[0] if self.rows else None
+
+    def scalar(self) -> Any:
+        row = self.first()
+        return row[0] if row else None
+
+    def __repr__(self) -> str:
+        return (
+            f"RemoteResult(columns={self.columns!r}, "
+            f"rows={len(self.rows)}, rowcount={self.rowcount})"
+        )
+
+
+class Client:
+    """A blocking session over one server connection.
+
+    Usage::
+
+        with Client("127.0.0.1", 7474, tenant="analytics") as c:
+            c.execute("CREATE TABLE t (x INTEGER)")
+            c.execute("INSERT INTO t VALUES (1), (2)")
+            total = c.query("SELECT SUM(x) FROM t").scalar()
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7474,
+        tenant: Optional[str] = None,
+        connect_timeout: float = 10.0,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.max_frame_bytes = max_frame_bytes
+        self._lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+        self._fh = None
+        self.session_id: Optional[str] = None
+        self.protocol: Optional[str] = None
+        try:
+            self._sock = socket.create_connection(
+                (host, self.port), timeout=connect_timeout
+            )
+        except OSError as exc:
+            raise ServerError(
+                f"cannot connect to {host}:{self.port}: {exc}"
+            ) from exc
+        self._sock.settimeout(None)
+        self._fh = self._sock.makefile("rwb")
+        request: dict = {"op": "connect"}
+        if tenant is not None:
+            request["tenant"] = tenant
+        hello = self._roundtrip(request)
+        self.session_id = hello["session"]
+        self.protocol = hello.get("protocol")
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _roundtrip(self, request: dict) -> dict:
+        with self._lock:
+            fh = self._fh
+            if fh is None:
+                raise ServerError("client is closed")
+            try:
+                fh.write(encode_frame(request))
+                fh.flush()
+                response = read_frame(fh, self.max_frame_bytes)
+            except (OSError, ValueError) as exc:
+                raise ServerError(
+                    f"connection to {self.host}:{self.port} lost: {exc}"
+                ) from exc
+        if response is None:
+            raise ServerError(
+                "server closed the connection mid-request"
+            )
+        raise_for_error(response)
+        return response
+
+    # -- statements --------------------------------------------------------
+
+    def query(
+        self,
+        sql: str,
+        params: Optional[Sequence] = None,
+        *,
+        timeout_ms: Optional[float] = None,
+        memory_budget_mb: Optional[float] = None,
+    ) -> RemoteResult:
+        """Run one statement and return its result. Blocks until the
+        server responds (or raises the typed engine error)."""
+        request: dict = {"op": "query", "sql": sql}
+        if params is not None:
+            request["params"] = list(params)
+        if timeout_ms is not None:
+            request["timeout_ms"] = timeout_ms
+        if memory_budget_mb is not None:
+            request["memory_budget_mb"] = memory_budget_mb
+        return RemoteResult(self._roundtrip(request))
+
+    #: DML/DDL reads the same path; the alias mirrors the embedded API.
+    execute = query
+
+    def begin(self) -> RemoteResult:
+        return self.execute("BEGIN")
+
+    def commit(self) -> RemoteResult:
+        return self.execute("COMMIT")
+
+    def rollback(self) -> RemoteResult:
+        return self.execute("ROLLBACK")
+
+    # -- out-of-band ops ---------------------------------------------------
+
+    def cancel(self) -> bool:
+        """Cancel this session's in-flight statement from a *second*
+        connection (the primary one is blocked on the response). True
+        when the server signalled an active statement."""
+        if self.session_id is None:
+            return False
+        try:
+            with socket.create_connection(
+                (self.host, self.port), timeout=10.0
+            ) as sock:
+                fh = sock.makefile("rwb")
+                fh.write(
+                    encode_frame(
+                        {"op": "cancel", "session": self.session_id}
+                    )
+                )
+                fh.flush()
+                response = read_frame(fh, self.max_frame_bytes)
+        except OSError as exc:
+            raise ServerError(f"cancel connection failed: {exc}") from exc
+        if response is None:
+            raise ServerError("server dropped the cancel connection")
+        raise_for_error(response)
+        return bool(response.get("cancelled"))
+
+    def ping(self) -> bool:
+        return bool(self._roundtrip({"op": "ping"}).get("pong"))
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition, over the protocol (the HTTP
+        ``GET /metrics`` path serves the same text)."""
+        return str(self._roundtrip({"op": "metrics"}).get("metrics", ""))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Send ``close`` (best-effort) and drop the connection; the
+        server rolls back any transaction left open. Idempotent."""
+        with self._lock:
+            fh, self._fh = self._fh, None
+            sock, self._sock = self._sock, None
+        if fh is not None:
+            try:
+                fh.write(encode_frame({"op": "close"}))
+                fh.flush()
+                read_frame(fh, self.max_frame_bytes)
+            except (OSError, ValueError, ReproError):
+                pass
+            try:
+                fh.close()
+            except (OSError, ValueError):
+                pass
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def abandon(self) -> None:
+        """Drop the socket *without* the close handshake — simulates a
+        client crash; the server must roll back for us (tested)."""
+        with self._lock:
+            fh, self._fh = self._fh, None
+            sock, self._sock = self._sock, None
+        for closeable in (fh, sock):
+            if closeable is not None:
+                try:
+                    closeable.close()
+                except (OSError, ValueError):
+                    pass
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._sock is None else "open"
+        return (
+            f"Client({self.host}:{self.port}, "
+            f"session={self.session_id!r}, {state})"
+        )

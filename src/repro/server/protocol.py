@@ -1,0 +1,291 @@
+"""The wire protocol: length-prefixed JSON frames with typed errors.
+
+Every message — request or response — is one *frame*:
+
+* a 4-byte big-endian unsigned length prefix,
+* followed by exactly that many bytes of UTF-8 JSON encoding one
+  object, serialized canonically (sorted keys, no whitespace).
+
+Canonical serialization makes frames byte-stable, so the golden tests
+in ``tests/test_server.py`` can assert exact bytes and the protocol
+cannot drift silently. Frames larger than :data:`MAX_FRAME_BYTES` are
+rejected with a ``FRAME_TOO_LARGE`` error frame; bytes that do not
+decode to a JSON object are rejected with ``MALFORMED_FRAME``.
+
+Requests carry an ``op`` field::
+
+    {"op": "connect", "tenant": "analytics"}
+    {"op": "query", "sql": "SELECT 1", "params": [],
+     "timeout_ms": 500.0, "memory_budget_mb": 64.0}
+    {"op": "cancel", "session": "s-1"}
+    {"op": "metrics"}
+    {"op": "ping"}
+    {"op": "close"}
+
+Responses are ``{"ok": true, ...}`` on success, or a typed error frame
+on failure::
+
+    {"ok": false, "error": {"code": "QUERY_TIMEOUT",
+                            "type": "QueryTimeout",
+                            "message": "..."}}
+
+Error ``code`` values map 1:1 from the engine's exception family
+(:mod:`repro.errors`); :func:`error_code_of` maps an exception to its
+code and :data:`CODE_TO_ERROR` maps a code back to the exception class
+the client re-raises. Governor errors additionally carry the governor's
+final report under ``error.governor``.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import BinaryIO, Optional, Union
+
+from ..errors import (
+    AdmissionRejected,
+    AnalyticsError,
+    BindError,
+    CatalogError,
+    ExecutionError,
+    InjectedFault,
+    IterationLimitError,
+    MemoryBudgetExceeded,
+    ParseError,
+    PlanError,
+    ProtocolError,
+    QueryCancelled,
+    QueryTimeout,
+    ReproError,
+    ResourceGovernorError,
+    SerializationConflict,
+    TransactionError,
+    UDFError,
+    WorkerCrashError,
+)
+
+#: Bumped on incompatible wire changes; echoed in the connect response.
+PROTOCOL_VERSION = "repro-wire-1"
+
+#: Hard ceiling on one frame's payload (requests *and* responses).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: The length prefix: 4-byte big-endian unsigned.
+_PREFIX = struct.Struct(">I")
+
+#: Exception class -> wire error code, most specific first (the first
+#: ``isinstance`` match wins, so subclasses precede their bases).
+_ERROR_CODES: tuple[tuple[type, str], ...] = (
+    (QueryTimeout, "QUERY_TIMEOUT"),
+    (QueryCancelled, "QUERY_CANCELLED"),
+    (MemoryBudgetExceeded, "MEMORY_BUDGET_EXCEEDED"),
+    (ResourceGovernorError, "RESOURCE_GOVERNOR"),
+    (InjectedFault, "INJECTED_FAULT"),
+    (IterationLimitError, "ITERATION_LIMIT"),
+    (WorkerCrashError, "WORKER_CRASH"),
+    (AnalyticsError, "ANALYTICS_ERROR"),
+    (ExecutionError, "EXECUTION_ERROR"),
+    (SerializationConflict, "SERIALIZATION_CONFLICT"),
+    (TransactionError, "TRANSACTION_ERROR"),
+    (ParseError, "PARSE_ERROR"),
+    (BindError, "BIND_ERROR"),
+    (PlanError, "PLAN_ERROR"),
+    (CatalogError, "CATALOG_ERROR"),
+    (UDFError, "UDF_ERROR"),
+    (AdmissionRejected, "ADMISSION_REJECTED"),
+    (ProtocolError, "PROTOCOL_ERROR"),
+    (ReproError, "ENGINE_ERROR"),
+)
+
+#: Wire error code -> the exception class a client re-raises. Protocol-
+#: level codes share :class:`ProtocolError`; unknown codes fall back to
+#: :class:`ReproError` so old clients survive new server codes.
+CODE_TO_ERROR: dict[str, type] = {
+    code: exc_type for exc_type, code in _ERROR_CODES
+}
+CODE_TO_ERROR.update(
+    {
+        "MALFORMED_FRAME": ProtocolError,
+        "FRAME_TOO_LARGE": ProtocolError,
+        "SESSION_LIMIT": AdmissionRejected,
+        "INTERNAL_ERROR": ReproError,
+    }
+)
+
+
+def error_code_of(exc: BaseException) -> str:
+    """The wire code for an exception (``INTERNAL_ERROR`` for anything
+    outside the engine's typed family)."""
+    for exc_type, code in _ERROR_CODES:
+        if isinstance(exc, exc_type):
+            return code
+    return "INTERNAL_ERROR"
+
+
+def error_payload(
+    exc: Optional[BaseException] = None,
+    code: Optional[str] = None,
+    message: Optional[str] = None,
+) -> dict:
+    """A typed error frame. Pass an exception (code and message are
+    derived, governor reports ride along) or an explicit code+message
+    for protocol-level failures that have no exception yet."""
+    if exc is not None:
+        code = code or error_code_of(exc)
+        message = message if message is not None else str(exc)
+        error: dict = {
+            "code": code,
+            "type": type(exc).__name__,
+            "message": message,
+        }
+        report = getattr(exc, "report", None)
+        if isinstance(exc, ResourceGovernorError) and report:
+            error["governor"] = _json_safe(report)
+    else:
+        error = {
+            "code": code or "INTERNAL_ERROR",
+            "type": CODE_TO_ERROR.get(
+                code or "INTERNAL_ERROR", ReproError
+            ).__name__,
+            "message": message or "",
+        }
+    return {"error": error, "ok": False}
+
+
+def raise_for_error(payload: dict) -> None:
+    """Re-raise the typed engine error carried by an error frame (the
+    client side of :func:`error_payload`); no-op on success frames."""
+    if payload.get("ok", False):
+        return
+    error = payload.get("error") or {}
+    code = error.get("code", "INTERNAL_ERROR")
+    exc_type = CODE_TO_ERROR.get(code, ReproError)
+    message = error.get("message", "server error")
+    if issubclass(exc_type, ResourceGovernorError):
+        exc = exc_type(message, report=error.get("governor"))
+    elif exc_type is ParseError:
+        exc = ParseError(message)
+    else:
+        exc = exc_type(message)
+    exc.wire_code = code
+    raise exc
+
+
+# ---------------------------------------------------------------------------
+# framing
+# ---------------------------------------------------------------------------
+
+
+def dump_payload(payload: dict) -> bytes:
+    """Canonical JSON bytes of one message (sorted keys, compact
+    separators) — the byte-stable form golden tests pin down."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def encode_frame(payload: dict) -> bytes:
+    """One wire frame: length prefix + canonical JSON payload."""
+    body = dump_payload(payload)
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _PREFIX.pack(len(body)) + body
+
+
+def decode_payload(body: bytes) -> dict:
+    """Parse one frame body; raises :class:`ProtocolError` when the
+    bytes are not a JSON object."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed frame: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    return payload
+
+
+def read_exact(stream: BinaryIO, n: int) -> Optional[bytes]:
+    """Read exactly ``n`` bytes from a socket file; None on clean EOF
+    at a frame boundary, :class:`ProtocolError` on a torn frame."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            if remaining == n:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({n - remaining}/{n} "
+                f"bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(
+    stream: BinaryIO, max_bytes: int = MAX_FRAME_BYTES
+) -> Optional[dict]:
+    """Read one frame; None on clean EOF. Raises
+    :class:`ProtocolError` on an oversized or malformed frame."""
+    prefix = read_exact(stream, _PREFIX.size)
+    if prefix is None:
+        return None
+    (length,) = _PREFIX.unpack(prefix)
+    if length > max_bytes:
+        raise ProtocolError(
+            f"incoming frame of {length} bytes exceeds the "
+            f"{max_bytes}-byte limit"
+        )
+    body = read_exact(stream, length)
+    if body is None:
+        raise ProtocolError("connection closed before frame body")
+    return decode_payload(body)
+
+
+# ---------------------------------------------------------------------------
+# result serialization
+# ---------------------------------------------------------------------------
+
+
+def _json_safe(value):
+    """Recursively coerce numpy scalars and other non-JSON types to
+    plain Python values (strings as a last resort)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    # numpy scalars expose item(); anything else is stringified.
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return _json_safe(item())
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
+def result_payload(result) -> dict:
+    """The success frame for one executed statement: column names and
+    type names, row tuples as JSON arrays, and the DML rowcount.
+
+    Non-finite floats (NaN, ±Inf) are emitted as bare JSON literals —
+    both ends of this protocol are Python's ``json`` module, which
+    round-trips them."""
+    return {
+        "columns": list(result.columns),
+        "ok": True,
+        "rowcount": result.rowcount,
+        "rows": [
+            [_json_safe(v) for v in row] for row in result.rows
+        ],
+        "types": [str(t) for t in result.types],
+    }

@@ -1,0 +1,523 @@
+"""The multi-session server: wire protocol, sessions, typed errors.
+
+The golden tests pin exact frame *bytes* — canonical JSON behind a
+4-byte big-endian length prefix — so any wire change is a deliberate,
+visible diff here, not silent drift. The live-server tests run a real
+socket server on an ephemeral port (docs/server.md).
+"""
+
+import io
+import socket
+import threading
+
+import pytest
+
+from repro.api.database import Database
+from repro.errors import (
+    AdmissionRejected,
+    BindError,
+    CatalogError,
+    MemoryBudgetExceeded,
+    ParseError,
+    ProtocolError,
+    QueryTimeout,
+    ReproError,
+)
+from repro.server import Client, Server
+from repro.server.client import ServerError
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    decode_payload,
+    dump_payload,
+    encode_frame,
+    error_code_of,
+    error_payload,
+    raise_for_error,
+    read_frame,
+    result_payload,
+)
+from repro.server.session import TenantBudget, clamp_budget
+from repro.testing.chaos import ChaosInjector
+
+pytestmark = pytest.mark.server
+
+
+@pytest.fixture
+def server():
+    srv = Server(executors=2, queue_depth=8, max_sessions=8)
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+def connect(server, **kwargs) -> Client:
+    host, port = server.address
+    return Client(host, port, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# golden frames: the wire format, byte for byte
+# ---------------------------------------------------------------------------
+
+
+class TestGoldenFrames:
+    def test_connect_request(self):
+        assert encode_frame({"op": "connect"}) == (
+            b'\x00\x00\x00\x10{"op":"connect"}'
+        )
+
+    def test_query_request(self):
+        assert encode_frame({"op": "query", "sql": "SELECT 1"}) == (
+            b'\x00\x00\x00\x1f{"op":"query","sql":"SELECT 1"}'
+        )
+
+    def test_key_order_is_canonical(self):
+        # Same payload, any insertion order -> identical bytes.
+        assert encode_frame({"sql": "SELECT 1", "op": "query"}) == (
+            encode_frame({"op": "query", "sql": "SELECT 1"})
+        )
+
+    def test_query_timeout_error_frame(self):
+        frame = encode_frame(
+            error_payload(QueryTimeout("query timed out after 50.0ms"))
+        )
+        assert frame == (
+            b'\x00\x00\x00l{"error":{"code":"QUERY_TIMEOUT",'
+            b'"message":"query timed out after 50.0ms",'
+            b'"type":"QueryTimeout"},"ok":false}'
+        )
+
+    def test_memory_budget_error_frame(self):
+        frame = encode_frame(
+            error_payload(
+                MemoryBudgetExceeded("memory budget of 1.0 MB exceeded")
+            )
+        )
+        assert frame == (
+            b'\x00\x00\x00\x81{"error":{"code":"MEMORY_BUDGET_EXCEEDED",'
+            b'"message":"memory budget of 1.0 MB exceeded",'
+            b'"type":"MemoryBudgetExceeded"},"ok":false}'
+        )
+
+    def test_admission_rejected_error_frame(self):
+        frame = encode_frame(
+            error_payload(
+                code="ADMISSION_REJECTED",
+                message="admission queue full",
+            )
+        )
+        assert frame == (
+            b'\x00\x00\x00n{"error":{"code":"ADMISSION_REJECTED",'
+            b'"message":"admission queue full",'
+            b'"type":"AdmissionRejected"},"ok":false}'
+        )
+
+    def test_malformed_frame_error_frame(self):
+        frame = encode_frame(
+            error_payload(
+                code="MALFORMED_FRAME",
+                message="malformed frame: bad json",
+            )
+        )
+        assert frame == (
+            b'\x00\x00\x00l{"error":{"code":"MALFORMED_FRAME",'
+            b'"message":"malformed frame: bad json",'
+            b'"type":"ProtocolError"},"ok":false}'
+        )
+
+    def test_frames_round_trip(self):
+        payload = {"op": "query", "params": [1, "a", None], "sql": "x"}
+        stream = io.BytesIO(encode_frame(payload))
+        assert read_frame(stream) == payload
+        assert stream.read() == b""  # nothing trailing
+
+
+class TestFraming:
+    def test_read_frame_clean_eof(self):
+        assert read_frame(io.BytesIO(b"")) is None
+
+    def test_torn_prefix_raises(self):
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            read_frame(io.BytesIO(b"\x00\x00"))
+
+    def test_torn_body_raises(self):
+        # body partially present -> torn mid-frame
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            read_frame(io.BytesIO(b"\x00\x00\x00\x10{"))
+        # prefix only, body never arrives
+        with pytest.raises(ProtocolError, match="before frame body"):
+            read_frame(io.BytesIO(b"\x00\x00\x00\x10"))
+
+    def test_oversized_frame_rejected_without_reading_body(self):
+        huge = (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+        with pytest.raises(ProtocolError, match="exceeds"):
+            read_frame(io.BytesIO(huge))
+
+    def test_encode_oversized_payload_rejected(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_payload(b"[1,2,3]")
+
+    def test_non_json_payload_rejected(self):
+        with pytest.raises(ProtocolError, match="malformed"):
+            decode_payload(b"\xff\xfe not json")
+
+    def test_dump_payload_is_compact_and_sorted(self):
+        assert dump_payload({"b": 1, "a": 2}) == b'{"a":2,"b":1}'
+
+
+# ---------------------------------------------------------------------------
+# error code mapping, both directions
+# ---------------------------------------------------------------------------
+
+
+class TestErrorMapping:
+    @pytest.mark.parametrize(
+        "exc,code",
+        [
+            (QueryTimeout("t"), "QUERY_TIMEOUT"),
+            (MemoryBudgetExceeded("m"), "MEMORY_BUDGET_EXCEEDED"),
+            (AdmissionRejected("a"), "ADMISSION_REJECTED"),
+            (ParseError("p"), "PARSE_ERROR"),
+            (CatalogError("c"), "CATALOG_ERROR"),
+            (ProtocolError("w"), "PROTOCOL_ERROR"),
+            (ReproError("e"), "ENGINE_ERROR"),
+            (ValueError("v"), "INTERNAL_ERROR"),
+        ],
+    )
+    def test_code_of(self, exc, code):
+        assert error_code_of(exc) == code
+
+    def test_raise_for_error_reraises_same_type(self):
+        payload = error_payload(QueryTimeout("took too long"))
+        with pytest.raises(QueryTimeout, match="took too long") as info:
+            raise_for_error(payload)
+        assert info.value.wire_code == "QUERY_TIMEOUT"
+
+    def test_raise_for_error_passes_success(self):
+        raise_for_error({"ok": True, "rows": []})  # no raise
+
+    def test_governor_report_rides_along(self):
+        exc = QueryTimeout("slow", report={"verdict": "timeout"})
+        payload = error_payload(exc)
+        assert payload["error"]["governor"] == {"verdict": "timeout"}
+        with pytest.raises(QueryTimeout) as info:
+            raise_for_error(payload)
+        assert info.value.report == {"verdict": "timeout"}
+
+    def test_unknown_code_falls_back_to_repro_error(self):
+        payload = {
+            "error": {"code": "CODE_FROM_THE_FUTURE", "message": "x"},
+            "ok": False,
+        }
+        with pytest.raises(ReproError):
+            raise_for_error(payload)
+
+
+# ---------------------------------------------------------------------------
+# result serialization
+# ---------------------------------------------------------------------------
+
+
+class TestResultPayload:
+    def test_rows_types_rowcount(self):
+        with Database() as db:
+            result = db.execute(
+                "SELECT 1 AS a, 'x' AS b, 2.5 AS c"
+            )
+            payload = result_payload(result)
+        assert payload["ok"] is True
+        assert payload["columns"] == ["a", "b", "c"]
+        assert payload["rows"] == [[1, "x", 2.5]]
+        assert len(payload["types"]) == 3
+        assert all(isinstance(t, str) for t in payload["types"])
+
+    def test_numpy_scalars_become_plain_json(self):
+        with Database() as db:
+            db.execute("CREATE TABLE t (x INTEGER)")
+            db.execute("INSERT INTO t VALUES (1), (2)")
+            payload = result_payload(db.execute("SELECT sum(x) FROM t"))
+        (value,) = payload["rows"][0]
+        assert type(value) is int and value == 3
+        dump_payload(payload)  # JSON-serializable end to end
+
+
+# ---------------------------------------------------------------------------
+# budgets
+# ---------------------------------------------------------------------------
+
+
+class TestBudgetClamping:
+    @pytest.mark.parametrize(
+        "requested,cap,expected",
+        [
+            (None, None, None),
+            (100.0, None, 100.0),
+            (None, 50.0, 50.0),
+            (100.0, 50.0, 50.0),   # request cannot widen the cap
+            (25.0, 50.0, 25.0),    # request may tighten it
+            (0, 50.0, 50.0),       # 0 = "no preference", cap applies
+            (100.0, 0, 100.0),     # cap 0 = unlimited tenant
+        ],
+    )
+    def test_clamp(self, requested, cap, expected):
+        assert clamp_budget(requested, cap) == expected
+
+
+# ---------------------------------------------------------------------------
+# live server: ops, typed errors over the wire, cancel
+# ---------------------------------------------------------------------------
+
+
+class TestLiveServer:
+    def test_connect_query_close(self, server):
+        with connect(server) as client:
+            assert client.protocol == "repro-wire-1"
+            assert client.session_id == "s-1"
+            result = client.query("SELECT 1 + 1")
+            assert result.scalar() == 2
+            assert client.ping()
+        assert server.session_count() == 0
+
+    def test_dml_and_params(self, server):
+        with connect(server) as client:
+            client.execute("CREATE TABLE t (x INTEGER, s TEXT)")
+            r = client.execute(
+                "INSERT INTO t VALUES (?, ?), (?, ?)",
+                [1, "a", 2, "b"],
+            )
+            assert r.rowcount == 2
+            rows = client.query("SELECT * FROM t ORDER BY x").rows
+            assert rows == [(1, "a"), (2, "b")]
+
+    def test_typed_errors_cross_the_wire(self, server):
+        with connect(server) as client:
+            with pytest.raises(ParseError):
+                client.query("SELEC nope")
+            with pytest.raises(BindError):
+                client.query("SELECT * FROM missing_table")
+            # the session survives its own errors
+            assert client.query("SELECT 7").scalar() == 7
+
+    def test_timeout_budget_over_the_wire(self, server):
+        with connect(server) as client:
+            with pytest.raises(QueryTimeout) as info:
+                client.query(
+                    "SELECT * FROM ITERATE((SELECT 1 AS x),"
+                    " (SELECT x + 1 FROM iterate),"
+                    " (SELECT x FROM iterate WHERE x < 0))",
+                    timeout_ms=50,
+                )
+            assert info.value.wire_code == "QUERY_TIMEOUT"
+
+    def test_tenant_cap_clamps_request(self):
+        srv = Server(
+            executors=2,
+            tenants={"capped": TenantBudget("capped", timeout_ms=40.0)},
+        ).start()
+        try:
+            host, port = srv.address
+            with Client(host, port, tenant="capped") as client:
+                with pytest.raises(QueryTimeout):
+                    # asks for 60s; the tenant cap must win
+                    client.query(
+                        "SELECT * FROM ITERATE((SELECT 1 AS x),"
+                        " (SELECT x + 1 FROM iterate),"
+                        " (SELECT x FROM iterate WHERE x < 0))",
+                        timeout_ms=60_000,
+                    )
+        finally:
+            srv.stop()
+
+    def test_cancel_in_flight_statement(self):
+        # A private server whose iteration ceiling is high enough that
+        # the ITERATE below genuinely runs until cancelled.
+        db = Database(max_iterations=50_000_000)
+        srv = Server(db, executors=2).start()
+        try:
+            host, port = srv.address
+            with Client(host, port) as client:
+                done: dict = {}
+
+                def run() -> None:
+                    try:
+                        client.query(
+                            "SELECT * FROM ITERATE((SELECT 1 AS x),"
+                            " (SELECT x + 1 FROM iterate),"
+                            " (SELECT x FROM iterate WHERE x < 0))",
+                            timeout_ms=60_000,
+                        )
+                        done["outcome"] = "completed"
+                    except ReproError as exc:
+                        done["outcome"] = exc
+                thread = threading.Thread(target=run)
+                thread.start()
+                # spin until the statement is actually in flight
+                for _ in range(200):
+                    if client.cancel():
+                        break
+                    thread.join(timeout=0.05)
+                thread.join(timeout=15.0)
+                assert not thread.is_alive()
+                outcome = done["outcome"]
+                assert isinstance(outcome, ReproError), outcome
+                assert outcome.wire_code == "QUERY_CANCELLED"
+                # ... and the session is still usable afterwards
+                assert client.query("SELECT 5").scalar() == 5
+        finally:
+            srv.stop()
+            db.close()
+
+    def test_chaos_fault_surfaces_as_typed_frame(self):
+        db = Database(chaos=ChaosInjector("operator_raise", 1))
+        db.execute("CREATE TABLE c (x INTEGER)")
+        db.execute("INSERT INTO c VALUES (1), (2), (3)")
+        db.chaos.arm()
+        srv = Server(db, executors=1).start()
+        try:
+            host, port = srv.address
+            with Client(host, port) as client:
+                with pytest.raises(ReproError) as info:
+                    client.query("SELECT sum(x) FROM c")
+                assert info.value.wire_code == "INJECTED_FAULT"
+                # fire-once: the session recovers immediately
+                assert client.query("SELECT sum(x) FROM c").scalar() == 6
+        finally:
+            srv.stop()
+            db.close()
+
+    def test_malformed_frame_gets_typed_error_then_close(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port)) as sock:
+            fh = sock.makefile("rwb")
+            body = b"this is not json"
+            fh.write(len(body).to_bytes(4, "big") + body)
+            fh.flush()
+            response = read_frame(fh)
+            assert response["ok"] is False
+            assert response["error"]["code"] == "MALFORMED_FRAME"
+            # framing is unrecoverable: the server hangs up
+            assert fh.read(1) == b""
+
+    def test_oversized_frame_gets_typed_error(self):
+        srv = Server(max_frame_bytes=1024).start()
+        try:
+            host, port = srv.address
+            with socket.create_connection((host, port)) as sock:
+                fh = sock.makefile("rwb")
+                fh.write((4096).to_bytes(4, "big"))
+                fh.flush()
+                response = read_frame(fh)
+                assert response["error"]["code"] == "FRAME_TOO_LARGE"
+        finally:
+            srv.stop()
+
+    def test_query_before_connect_is_protocol_error(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port)) as sock:
+            fh = sock.makefile("rwb")
+            fh.write(encode_frame({"op": "query", "sql": "SELECT 1"}))
+            fh.flush()
+            response = read_frame(fh)
+            assert response["error"]["code"] == "PROTOCOL_ERROR"
+
+    def test_session_limit(self):
+        srv = Server(max_sessions=1).start()
+        try:
+            host, port = srv.address
+            first = Client(host, port)
+            try:
+                with pytest.raises(AdmissionRejected) as info:
+                    Client(host, port)
+                assert info.value.wire_code == "SESSION_LIMIT"
+                # slots free up when sessions close
+                first.close()
+                with Client(host, port) as again:
+                    assert again.query("SELECT 1").scalar() == 1
+            finally:
+                first.close()
+        finally:
+            srv.stop()
+
+    def test_http_metrics_on_protocol_port(self, server):
+        with connect(server) as client:
+            client.query("SELECT 1")
+        host, port = server.address
+        with socket.create_connection((host, port)) as sock:
+            sock.sendall(b"GET /metrics HTTP/1.0\r\n\r\n")
+            data = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+        head, _, body = data.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.0 200 OK")
+        text = body.decode()
+        assert "server_sessions_active" in text
+        assert "server_requests_total" in text
+        assert 'status="ok"' in text
+
+    def test_metrics_op_matches_http(self, server):
+        with connect(server) as client:
+            client.query("SELECT 1")
+            text = client.metrics_text()
+        assert "server_admission_queued_total" in text
+
+    def test_queue_wait_lands_in_history_phases(self, server):
+        with connect(server) as client:
+            client.query("SELECT 42")
+        (record,) = server.db.history.recent(1)
+        assert "queue" in record.phases
+        assert record.phases["queue"] >= 0.0
+        assert "execute" in record.phases  # engine phases still there
+
+    def test_client_connection_refused(self):
+        with pytest.raises(ServerError, match="cannot connect"):
+            Client("127.0.0.1", 1, connect_timeout=0.5)
+
+
+class TestAdmissionControl:
+    def test_queue_full_rejects_typed_and_fast(self):
+        db = Database()
+        entered, release = threading.Event(), threading.Event()
+
+        def block(x):
+            entered.set()
+            release.wait(30.0)
+            return x
+
+        db.create_function("test_block", block, "INTEGER", arity=1)
+        srv = Server(db, executors=1, queue_depth=0).start()
+        try:
+            host, port = srv.address
+            wedge = Client(host, port)
+            other = Client(host, port)
+            try:
+                thread = threading.Thread(
+                    target=lambda: wedge.query("SELECT test_block(1)")
+                )
+                thread.start()
+                assert entered.wait(10.0)
+                with pytest.raises(AdmissionRejected) as info:
+                    other.query("SELECT 1")
+                assert info.value.wire_code == "ADMISSION_REJECTED"
+                release.set()
+                thread.join(timeout=10.0)
+                # both sessions usable after the wedge clears
+                assert other.query("SELECT 2").scalar() == 2
+                assert wedge.query("SELECT 3").scalar() == 3
+                rejected = srv.metrics.counter(
+                    "server_admission_rejected_total"
+                )
+                assert rejected.value >= 1
+            finally:
+                release.set()
+                wedge.close()
+                other.close()
+        finally:
+            srv.stop()
+            db.close()

@@ -1,0 +1,434 @@
+"""Concurrency correctness of the multi-session server.
+
+The oracle throughout is the *serial twin*: every concurrent workload
+here is serializable by construction (private per-session tables plus
+shared read-only tables), so a fresh embedded database replaying the
+same scripts one session at a time must land on the identical final
+state — rows, aggregates, everything (docs/server.md).
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.api.database import Database
+from repro.errors import ReproError, SerializationConflict
+from repro.obs.flight import load_bundle
+from repro.server import Client, Server
+from repro.server.protocol import encode_frame, read_frame
+from repro.testing.chaos import ChaosInjector
+
+pytestmark = pytest.mark.server
+
+N_CLIENTS = 6
+ROWS = 120
+
+
+def client_script(i: int) -> list[str]:
+    """Session ``i``'s statements: private-table DML (including an
+    explicit transaction and a rolled-back one) plus shared reads."""
+    rows = ", ".join(f"({k}, {(k * 13 + i) % 97})" for k in range(ROWS))
+    return [
+        f"CREATE TABLE priv_{i} (k INTEGER, v INTEGER)",
+        f"INSERT INTO priv_{i} VALUES {rows}",
+        "BEGIN",
+        f"UPDATE priv_{i} SET v = v + 500 WHERE k % 3 = {i % 3}",
+        f"DELETE FROM priv_{i} WHERE k >= {ROWS - 20}",
+        "COMMIT",
+        "BEGIN",
+        f"UPDATE priv_{i} SET v = 0",
+        "ROLLBACK",  # must not stick
+        f"SELECT count(*), sum(v), min(v), max(v) FROM priv_{i}",
+        "SELECT count(*), sum(w) FROM shared_ref",
+        f"SELECT count(*) FROM priv_{i} WHERE v > 250",
+    ]
+
+
+def seed_shared(db: Database) -> None:
+    db.execute("CREATE TABLE shared_ref (f INTEGER, w INTEGER)")
+    rows = ", ".join(f"({j}, {(j * 31) % 211})" for j in range(300))
+    db.execute(f"INSERT INTO shared_ref VALUES {rows}")
+
+
+def run_script(client: Client, script) -> list:
+    """Row sets of every row-returning statement, in order."""
+    results = []
+    for sql in script:
+        result = client.execute(sql)
+        if result.rows:
+            results.append(result.rows)
+    return results
+
+
+def final_state(db: Database, table: str) -> list[tuple]:
+    return db.execute(f"SELECT * FROM {table} ORDER BY k, v").rows
+
+
+@pytest.fixture
+def server():
+    db = Database()
+    seed_shared(db)
+    srv = Server(db, executors=4, queue_depth=64, max_sessions=16)
+    srv.start()
+    yield srv
+    srv.stop()
+    db.close()
+
+
+def connect(server, **kwargs) -> Client:
+    host, port = server.address
+    return Client(host, port, **kwargs)
+
+
+class TestConcurrentSessionsVsSerialTwin:
+    def test_final_state_equals_serial_twin(self, server):
+        outcomes: dict = {}
+
+        def work(i: int) -> None:
+            try:
+                with connect(server) as client:
+                    outcomes[i] = run_script(client, client_script(i))
+            except Exception as exc:  # noqa: BLE001
+                outcomes[i] = exc
+
+        threads = [
+            threading.Thread(target=work, args=(i,))
+            for i in range(N_CLIENTS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        errors = {
+            i: v for i, v in outcomes.items() if isinstance(v, Exception)
+        }
+        assert not errors, f"sessions failed: {errors}"
+        assert len(outcomes) == N_CLIENTS
+
+        with Database() as twin:
+            seed_shared(twin)
+            for i in range(N_CLIENTS):
+                twin_results = []
+                for sql in client_script(i):
+                    result = twin.execute(sql)
+                    if result.rows:
+                        twin_results.append(result.rows)
+                assert outcomes[i] == twin_results, (
+                    f"session {i}: remote results diverge from twin"
+                )
+            for i in range(N_CLIENTS):
+                assert final_state(
+                    server.db, f"priv_{i}"
+                ) == final_state(twin, f"priv_{i}"), (
+                    f"table priv_{i} diverges from serial twin"
+                )
+
+
+class TestSnapshotIsolationAcrossSessions:
+    def test_uncommitted_writes_invisible_to_other_sessions(self, server):
+        with connect(server) as a, connect(server) as b:
+            a.execute("CREATE TABLE iso (x INTEGER)")
+            a.execute("INSERT INTO iso VALUES (1)")
+            a.begin()
+            a.execute("INSERT INTO iso VALUES (2)")
+            # A reads its own write; B's snapshot predates it.
+            assert a.query("SELECT count(*) FROM iso").scalar() == 2
+            assert b.query("SELECT count(*) FROM iso").scalar() == 1
+            a.commit()
+            assert b.query("SELECT count(*) FROM iso").scalar() == 2
+
+    def test_open_transaction_pins_readers_snapshot(self, server):
+        with connect(server) as a, connect(server) as b:
+            a.execute("CREATE TABLE pin (x INTEGER)")
+            a.execute("INSERT INTO pin VALUES (1)")
+            b.begin()
+            assert b.query("SELECT count(*) FROM pin").scalar() == 1
+            a.execute("INSERT INTO pin VALUES (2)")
+            # B's transaction still reads the snapshot it began with,
+            # even though A's insert committed after it.
+            assert b.query("SELECT count(*) FROM pin").scalar() == 1
+            b.commit()
+            assert b.query("SELECT count(*) FROM pin").scalar() == 2
+
+    def test_first_committer_wins_over_the_wire(self, server):
+        with connect(server) as a, connect(server) as b:
+            a.execute("CREATE TABLE fcw (x INTEGER)")
+            a.begin()
+            b.begin()
+            a.execute("INSERT INTO fcw VALUES (1)")
+            b.execute("INSERT INTO fcw VALUES (2)")
+            a.commit()
+            with pytest.raises(SerializationConflict) as info:
+                b.commit()
+            assert info.value.wire_code == "SERIALIZATION_CONFLICT"
+            # the loser's write is gone; the winner's persisted
+            rows = a.query("SELECT x FROM fcw").rows
+            assert rows == [(1,)]
+            # B's session survives the conflict
+            assert b.query("SELECT 1").scalar() == 1
+
+
+class TestRollbackOnDisconnect:
+    def test_abandoned_connection_rolls_back(self, server):
+        a = connect(server)
+        b = connect(server)
+        try:
+            a.execute("CREATE TABLE aband (x INTEGER)")
+            a.execute("INSERT INTO aband VALUES (1)")
+            a.begin()
+            a.execute("INSERT INTO aband VALUES (2), (3)")
+            assert a.query("SELECT count(*) FROM aband").scalar() == 3
+            a.abandon()  # socket drop, no close handshake
+            deadline = time.time() + 10.0
+            while server.session_count() > 1 and time.time() < deadline:
+                time.sleep(0.02)
+            assert server.session_count() == 1
+            # the uncommitted rows never became visible
+            assert b.query("SELECT count(*) FROM aband").scalar() == 1
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_close_inside_txn_rolls_back(self, server):
+        a = connect(server)
+        a.execute("CREATE TABLE cls (x INTEGER)")
+        a.begin()
+        a.execute("INSERT INTO cls VALUES (1)")
+        a.close()
+        with connect(server) as b:
+            assert b.query("SELECT count(*) FROM cls").scalar() == 0
+
+
+class TestChaosUnderConcurrency:
+    """Seeded fault injection through the server path: one statement
+    across >= 3 concurrent sessions dies with a typed governor error, a
+    flight-recorder bundle is written for the abort, the surviving
+    sessions stay usable, and no partial state leaks anywhere."""
+
+    @pytest.mark.parametrize(
+        "kind,nth",
+        [("operator_raise", 3), ("cancel", 5), ("alloc_fail", 2)],
+    )
+    def test_injected_abort_is_atomic_and_isolated(
+        self, tmp_path, kind, nth
+    ):
+        db = Database(
+            chaos=ChaosInjector(kind, nth), flight_dir=str(tmp_path)
+        )
+        seed_shared(db)
+        srv = Server(db, executors=3, queue_depth=32, max_sessions=8)
+        srv.start()
+        host, port = srv.address
+        try:
+            db.chaos.arm()
+            outcomes: dict = {}
+
+            def work(i: int) -> None:
+                ok, failed = [], []
+                try:
+                    with Client(host, port) as client:
+                        for idx, sql in enumerate(client_script(i)):
+                            try:
+                                result = client.execute(sql)
+                                ok.append(
+                                    (idx, result.rows or None)
+                                )
+                            except ReproError as exc:
+                                failed.append(
+                                    (idx, getattr(exc, "wire_code", ""))
+                                )
+                        # the session survives its injected abort
+                        assert client.query("SELECT 1").scalar() == 1
+                    outcomes[i] = (ok, failed)
+                except Exception as exc:  # noqa: BLE001
+                    outcomes[i] = exc
+
+            threads = [
+                threading.Thread(target=work, args=(i,))
+                for i in range(3)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60.0)
+            crashes = {
+                i: v
+                for i, v in outcomes.items()
+                if isinstance(v, Exception)
+            }
+            assert not crashes, f"sessions crashed: {crashes}"
+            assert len(outcomes) == 3
+
+            # fire-once: exactly one statement across all sessions died,
+            # with the wire code matching the injected kind.
+            assert db.chaos.fired
+            all_failed = [
+                f for _, failed in outcomes.values() for f in failed
+            ]
+            assert len(all_failed) == 1, all_failed
+            (_, wire_code) = all_failed[0]
+            expected = {
+                "operator_raise": "INJECTED_FAULT",
+                "cancel": "QUERY_CANCELLED",
+                "alloc_fail": "MEMORY_BUDGET_EXCEEDED",
+            }[kind]
+            assert wire_code == expected
+
+            # one flight bundle per injected abort, loadable from disk
+            assert db.flight.bundles_written == 1
+            bundle = load_bundle(db.flight.last_bundle_path)
+            assert bundle["error"]["type"] in (
+                "InjectedFault",
+                "QueryCancelled",
+                "MemoryBudgetExceeded",
+            )
+
+            # no cross-session partial state: replay each session's
+            # *successful* statements serially; states must match.
+            # (client_script statements are per-statement independent
+            # only outside BEGIN/COMMIT blocks, so replay the whole
+            # script and skip exactly the statements that failed --
+            # inside an aborted txn the engine already rolled the
+            # statement back, keeping the rest of the txn coherent.)
+            with Database() as twin:
+                seed_shared(twin)
+                for i in range(3):
+                    ok, failed = outcomes[i]
+                    failed_idx = {idx for idx, _ in failed}
+                    for idx, sql in enumerate(client_script(i)):
+                        if idx in failed_idx:
+                            continue
+                        twin.execute(sql)
+                    assert final_state(
+                        db, f"priv_{i}"
+                    ) == final_state(twin, f"priv_{i}"), (
+                        f"session {i}: post-chaos state diverges"
+                    )
+        finally:
+            srv.stop()
+            db.close()
+
+
+class TestTwoServersSideBySide:
+    """Regression for embedded-mode process-global assumptions: two
+    independent servers (own databases, own worker pools, own admission
+    queues) must coexist in one process without cross-talk."""
+
+    def test_independent_servers_do_not_interfere(self):
+        db1, db2 = Database(), Database()
+        srv1 = Server(db1, executors=2).start()
+        srv2 = Server(db2, executors=2).start()
+        try:
+            h1, p1 = srv1.address
+            h2, p2 = srv2.address
+            assert p1 != p2
+            with Client(h1, p1) as c1, Client(h2, p2) as c2:
+                c1.execute("CREATE TABLE only_one (x INTEGER)")
+                c1.execute("INSERT INTO only_one VALUES (1)")
+                # the other server's catalog never sees it
+                from repro.errors import BindError
+
+                with pytest.raises(BindError):
+                    c2.query("SELECT * FROM only_one")
+                c2.execute("CREATE TABLE only_two (y INTEGER)")
+                c2.execute("INSERT INTO only_two VALUES (7), (8)")
+                assert c1.query(
+                    "SELECT count(*) FROM only_one"
+                ).scalar() == 1
+                assert c2.query(
+                    "SELECT sum(y) FROM only_two"
+                ).scalar() == 15
+            # sessions and metrics are per-server
+            assert srv1.session_count() == 0
+            assert srv2.session_count() == 0
+        finally:
+            srv1.stop()
+            srv2.stop()
+            db1.close()
+            db2.close()
+
+    def test_stopping_one_server_leaves_the_other_serving(self):
+        db1, db2 = Database(), Database()
+        srv1 = Server(db1, executors=2).start()
+        srv2 = Server(db2, executors=2).start()
+        try:
+            h2, p2 = srv2.address
+            c2 = Client(h2, p2)
+            srv1.stop()
+            db1.close()
+            # a worker pool shut down via server 1's teardown must not
+            # have unhooked or crashed server 2's engine
+            assert c2.query("SELECT 2 + 2").scalar() == 4
+            c2.close()
+        finally:
+            srv1.stop()
+            srv2.stop()
+            db2.close()
+
+    def test_restart_cycle_same_process(self):
+        # exercises atexit/worker-pool hygiene across many lifecycles
+        for _ in range(3):
+            srv = Server(executors=1).start()
+            host, port = srv.address
+            with Client(host, port) as client:
+                assert client.query("SELECT 1").scalar() == 1
+            srv.stop()
+
+
+class TestAdmissionUnderLoad:
+    def test_no_hangs_when_queue_overflows(self):
+        """Hammer a tiny admission queue from many threads: every
+        request must resolve (success or typed rejection), promptly."""
+        srv = Server(executors=2, queue_depth=2, max_sessions=24).start()
+        host, port = srv.address
+        results: list = []
+        lock = threading.Lock()
+
+        def work() -> None:
+            try:
+                with Client(host, port) as client:
+                    for _ in range(5):
+                        try:
+                            value = client.query(
+                                "SELECT 21 * 2"
+                            ).scalar()
+                            with lock:
+                                results.append(("ok", value))
+                        except ReproError as exc:
+                            with lock:
+                                results.append(
+                                    (
+                                        "rejected",
+                                        getattr(exc, "wire_code", ""),
+                                    )
+                                )
+            except Exception as exc:  # noqa: BLE001
+                with lock:
+                    results.append(("crash", repr(exc)))
+
+        try:
+            threads = [
+                threading.Thread(target=work) for _ in range(12)
+            ]
+            t0 = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60.0)
+            elapsed = time.perf_counter() - t0
+            assert all(not t.is_alive() for t in threads), "hang"
+            assert elapsed < 30.0
+            assert len(results) == 12 * 5
+            crashes = [r for r in results if r[0] == "crash"]
+            assert not crashes, crashes
+            oks = [r for r in results if r[0] == "ok"]
+            assert all(value == 42 for _, value in oks)
+            for status, code in results:
+                if status == "rejected":
+                    assert code in (
+                        "ADMISSION_REJECTED", "SESSION_LIMIT",
+                    )
+        finally:
+            srv.stop()
