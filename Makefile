@@ -5,7 +5,7 @@ N ?= 1000
 START ?= 0
 WORKERS ?= 4
 
-.PHONY: test test-all fuzz fuzz-parallel bench obs-smoke metrics-smoke chaos battery server-smoke
+.PHONY: test test-all fuzz fuzz-parallel bench bench-topn obs-smoke metrics-smoke chaos battery server-smoke
 
 # The tier-1 suite runs three times: fully serial, with a 4-worker
 # pool (the serial-equivalence contract of the morsel-driven executor,
@@ -22,6 +22,7 @@ test: obs-smoke
 	$(MAKE) battery
 	$(MAKE) chaos
 	$(MAKE) server-smoke
+	$(PY) -m repro.bench.topn --smoke
 
 # TPC-H-shaped SQL battery (tests/sql_battery/) under raw and encoded
 # storage, serial and 4 workers, vs the SQLite oracle — plus a
@@ -77,3 +78,10 @@ fuzz-parallel:
 
 bench:
 	$(PY) -m repro.bench all --scale 0.001
+
+# Adaptive-optimization benchmark (docs/performance.md): fused top-N
+# vs full sort at 1M rows, and cardinality feedback vs static plans on
+# TPC-H-shaped joins. Writes results/BENCH_topn.json and
+# results/TOPN.md.
+bench-topn:
+	$(PY) -m repro.bench.topn

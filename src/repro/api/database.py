@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Callable, Iterable, Optional, Sequence
 
@@ -50,7 +51,10 @@ from ..obs.history import (
 )
 from ..obs.metrics import MetricsRegistry, global_registry
 from ..obs.trace import QueryLogEntry, Span, Tracer
+from ..exec.sort import resolve_topn
 from ..plan.cardinality import CardinalityEstimator
+from ..plan.feedback import CardinalityFeedback, resolve_feedback
+from ..plan.stats import TableStatistics
 from ..plan.cache import (
     CachedPlan,
     NegativePlan,
@@ -59,7 +63,7 @@ from ..plan.cache import (
     sql_fingerprint,
 )
 from ..plan.logical import PlanColumn
-from ..plan.optimizer import Optimizer
+from ..plan.optimizer import Optimizer, explain_with_estimates
 from ..sql import ast
 from ..sql.binder import Binder
 from ..sql.parser import parse_sql
@@ -182,6 +186,8 @@ class Database:
         history: Optional[str] = None,
         slow_ms: Optional[float] = None,
         flight_dir: Optional[str] = None,
+        topn: Optional[bool] = None,
+        feedback: Optional[bool] = None,
     ):
         self.catalog = Catalog()
         #: Session metrics registry; mirrored into
@@ -239,7 +245,19 @@ class Database:
         self._plan_cache = PlanCache()
         #: Bumped by UDF/operator registration: cached plans embed the
         #: registered callables, so re-registration must invalidate.
+        #: Also bumped by cardinality feedback when observed rows would
+        #: flip a cached plan's join build side (docs/performance.md).
         self._cache_epoch = 0
+        #: Sort+Limit -> top-N fusion switch (argument, then
+        #: REPRO_TOPN, then on).
+        self.topn_enabled = resolve_topn(topn)
+        #: Feedback-driven re-optimization switch (argument, then
+        #: REPRO_FEEDBACK, then on). Only effective while operator
+        #: profiling is on — feedback is fed by profiled observations.
+        self.feedback_enabled = resolve_feedback(feedback)
+        #: Version-keyed table statistics shared across statements
+        #: (dictionary NDV, min/max, null fractions — plan/stats.py).
+        self._stats_cache: "OrderedDict" = OrderedDict()
         #: Always-on per-statement history store: recent records
         #: (``db.history(n)``), the per-fingerprint plan-feedback index
         #: (``db.history.by_fingerprint(fp)``), and the slow-query log
@@ -248,6 +266,11 @@ class Database:
             spill_path=resolve_history_path(history),
             slow_ms=resolve_slow_ms(slow_ms),
             metrics=self.metrics,
+        )
+        #: Per-fingerprint observed-cardinality overrides derived from
+        #: the history store (plan/feedback.py).
+        self._feedback = CardinalityFeedback(
+            self.history, metrics=self.metrics
         )
         #: Flight recorder: a self-contained diagnostic bundle is
         #: dumped whenever a statement dies on a governor abort or an
@@ -745,17 +768,28 @@ class Database:
                 raise
 
     def explain(self, sql: str) -> str:
-        """The optimized logical plan of a SELECT, as text."""
+        """The optimized logical plan of a SELECT, as text.
+
+        Each node carries its estimated row count and the estimate's
+        provenance: ``static`` (hard-wired selectivities), ``stats``
+        (table statistics: dictionary NDV, zone-map min/max, null
+        counts), or ``feedback`` (observed cardinalities from earlier
+        executions of the same statement fingerprint).
+        """
         statement = parse_sql(sql)
         if len(statement) != 1 or not isinstance(
             statement[0], ast.SelectStatement
         ):
             raise BindError("EXPLAIN supports a single SELECT statement")
+        fingerprint = sql_fingerprint(sql)
         txn, owned = self._current_txn()
         try:
             with self._tracer.statement(sql):
-                plan = self._plan_select(statement[0], txn)
-            return plan.explain()
+                plan = self._plan_select(
+                    statement[0], txn, fingerprint=fingerprint
+                )
+            estimator = self._make_estimator(txn, fingerprint)
+            return explain_with_estimates(plan, estimator)
         finally:
             if owned:
                 txn.rollback()
@@ -825,8 +859,13 @@ class Database:
                             "explain_analyze supports a single SELECT "
                             "statement"
                         )
-                    plan = self._plan_select(statements[0], txn)
-                ctx = self._make_exec_context(txn)
+                    plan = self._plan_select(
+                        statements[0], txn,
+                        fingerprint=sql_fingerprint(sql),
+                    )
+                ctx = self._make_exec_context(
+                    txn, fingerprint=sql_fingerprint(sql)
+                )
                 ctx.profile = True
                 if query_params:
                     ctx.query_params = {
@@ -1125,7 +1164,9 @@ class Database:
             param_types=param_types,
         )
 
-    def _make_exec_context(self, txn: Transaction) -> ExecutionContext:
+    def _make_exec_context(
+        self, txn: Transaction, fingerprint: Optional[str] = None
+    ) -> ExecutionContext:
         ctx = ExecutionContext(
             read_table=txn.read,
             analytics=self.analytics,
@@ -1139,13 +1180,13 @@ class Database:
             governor=getattr(self._stmt_local, "governor", None),
         )
         ctx.profile = self.profile_operators
+        ctx.topn = self.topn_enabled
         if ctx.profile:
-            # Stamp the optimizer's cardinality estimate onto every
+            # Stamp the optimizer's cardinality estimate — and its
+            # provenance (static / stats / feedback) — onto every
             # profiled operator so explain_analyze and the history
             # store can report estimated vs observed rows (q-error).
-            ctx.estimator = CardinalityEstimator(
-                lambda name: txn.read(name).row_count, self.analytics
-            )
+            ctx.estimator = self._make_estimator(txn, fingerprint)
         # One switch for the whole hot-path stack: the session's
         # plan-cache setting also gates kernel caching, zone-map
         # pruning, fused pipelines, and the CSR cache.
@@ -1192,23 +1233,57 @@ class Database:
             stats.peak_live_tuples
         )
 
-    def _make_optimizer(self, txn: Transaction) -> Optimizer:
+    def _feedback_overrides(
+        self, fingerprint: Optional[str]
+    ) -> Optional[dict]:
+        """Observed-cardinality overrides for ``fingerprint``; None when
+        feedback is off, the fingerprint is unknown, or profiling (the
+        observation source) is disabled."""
+        if (
+            not self.feedback_enabled
+            or not self.profile_operators
+            or not fingerprint
+        ):
+            return None
+        overrides = self._feedback.overrides_for(fingerprint)
+        return overrides or None
+
+    def _make_estimator(
+        self, txn: Transaction, fingerprint: Optional[str] = None
+    ) -> CardinalityEstimator:
+        return CardinalityEstimator(
+            lambda name: txn.read(name).row_count,
+            self.analytics,
+            stats=TableStatistics(txn.read, self._stats_cache),
+            feedback=self._feedback_overrides(fingerprint),
+            metrics=self.metrics,
+        )
+
+    def _make_optimizer(
+        self, txn: Transaction, fingerprint: Optional[str] = None
+    ) -> Optimizer:
         def row_count_of(name: str) -> int:
             return txn.read(name).row_count
 
         return Optimizer(
-            row_count_of, self.analytics, enabled=self.optimize_enabled
+            row_count_of,
+            self.analytics,
+            enabled=self.optimize_enabled,
+            stats=TableStatistics(txn.read, self._stats_cache),
+            feedback=self._feedback_overrides(fingerprint),
+            metrics=self.metrics,
         )
 
     def _plan_select(
-        self, statement: ast.SelectStatement, txn, param_types=None
+        self, statement: ast.SelectStatement, txn, param_types=None,
+        fingerprint: Optional[str] = None,
     ):
         with self._tracer.span("bind"):
             plan = self._make_binder(txn, param_types).bind_query(
                 statement
             )
         with self._tracer.span("optimize"):
-            return self._make_optimizer(txn).optimize(plan)
+            return self._make_optimizer(txn, fingerprint).optimize(plan)
 
     # -- statement/plan cache ------------------------------------------
 
@@ -1286,6 +1361,13 @@ class Database:
             return None
         txn, owned = self._current_txn()
         try:
+            if isinstance(entry, CachedPlan) and self._feedback_stale(
+                fingerprint, entry.plan, txn
+            ):
+                # Observed cardinalities flipped a plan choice: the
+                # epoch bump above retired the stale entry; re-plan now
+                # under the feedback estimates instead of reusing it.
+                entry = None
             if isinstance(entry, CachedPlan):
                 self.metrics.counter("exec_plan_cache_hits_total").inc()
                 self._record_info()["cache_hit"] = True
@@ -1295,7 +1377,8 @@ class Database:
                     "exec_plan_cache_misses_total"
                 ).inc()
                 plan = self._try_cache_plan(
-                    sql, values, param_types, key, txn
+                    sql, values, param_types, key, txn,
+                    fingerprint=fingerprint,
                 )
                 if plan is None:
                     if owned:
@@ -1304,7 +1387,9 @@ class Database:
             self.metrics.counter(
                 "statements_total", kind="SelectStatement"
             ).inc()
-            result = self._execute_plan(plan, txn, query_params=values)
+            result = self._execute_plan(
+                plan, txn, query_params=values, fingerprint=fingerprint
+            )
             if owned:
                 txn.commit()
             return result
@@ -1339,14 +1424,51 @@ class Database:
         entry = self._plan_cache.lookup(key, self._plan_cache_epoch())
         if isinstance(entry, NegativePlan):
             return None
+        if isinstance(entry, CachedPlan) and self._feedback_stale(
+            fingerprint, entry.plan, txn
+        ):
+            entry = None
         if isinstance(entry, CachedPlan):
             self.metrics.counter("exec_plan_cache_hits_total").inc()
             self._record_info()["cache_hit"] = True
             return entry.plan
         self.metrics.counter("exec_plan_cache_misses_total").inc()
-        return self._try_cache_plan(sql, values, param_types, key, txn)
+        return self._try_cache_plan(
+            sql, values, param_types, key, txn, fingerprint=fingerprint
+        )
 
-    def _try_cache_plan(self, sql, values, param_types, key, txn):
+    def _feedback_stale(
+        self, fingerprint: str, plan, txn: Transaction
+    ) -> bool:
+        """Whether observed cardinalities would flip a join build side
+        the cached ``plan`` committed to. When they would, the plan
+        cache epoch is bumped (retiring every entry of the old epoch)
+        so the statement re-optimizes under feedback estimates. A
+        freshly re-optimized plan is a fixpoint of the build-side rule,
+        so at most one bump happens per feedback change — repeated
+        executions settle back onto cache hits (the no-thrash
+        property)."""
+        overrides = self._feedback_overrides(fingerprint)
+        if not overrides:
+            return False
+        estimator = CardinalityEstimator(
+            lambda name: txn.read(name).row_count,
+            self.analytics,
+            stats=TableStatistics(txn.read, self._stats_cache),
+            feedback=overrides,
+            metrics=self.metrics,
+        )
+        if not self._feedback.wants_replan(fingerprint, plan, estimator):
+            return False
+        self._cache_epoch += 1
+        self.metrics.counter(
+            "plan_cache_feedback_invalidations_total"
+        ).inc()
+        return True
+
+    def _try_cache_plan(
+        self, sql, values, param_types, key, txn, fingerprint=None
+    ):
         """Plan ``sql`` in parameterized mode against ``txn`` and cache
         the result; None (after storing a negative entry) when the
         statement cannot take the cached path."""
@@ -1364,7 +1486,8 @@ class Database:
             return None
         try:
             plan = self._plan_select(
-                statements[0], txn, param_types=param_types
+                statements[0], txn, param_types=param_types,
+                fingerprint=fingerprint,
             )
         except ReproError:
             # LIMIT ?, GROUP BY ?, analytics args, ... need values at
@@ -1379,10 +1502,11 @@ class Database:
         plan,
         txn: Transaction,
         query_params: Optional[Sequence[object]] = None,
+        fingerprint: Optional[str] = None,
     ) -> QueryResult:
         """Instantiate and run physical operators for an optimized
         logical plan (fresh or cached)."""
-        ctx = self._make_exec_context(txn)
+        ctx = self._make_exec_context(txn, fingerprint=fingerprint)
         if query_params:
             ctx.query_params = {
                 f"?{i}": value for i, value in enumerate(query_params)
@@ -1424,7 +1548,9 @@ class Database:
                 result = self._run_select(statement, txn)
             elif isinstance(statement, ast.Explain):
                 plan = self._plan_select(statement.query, txn)
-                lines = plan.explain().splitlines()
+                lines = explain_with_estimates(
+                    plan, self._make_estimator(txn)
+                ).splitlines()
                 result = QueryResult(
                     columns=["plan"],
                     types=[type_from_name("VARCHAR")],

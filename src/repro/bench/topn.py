@@ -1,0 +1,389 @@
+"""Adaptive-optimization benchmark: bounded top-N sort and
+cardinality feedback.
+
+Usage::
+
+    python -m repro.bench.topn            # full run, writes results/
+    python -m repro.bench.topn --smoke    # CI-sized correctness pass
+
+Two experiments:
+
+``topn``
+    ``SELECT ... ORDER BY v LIMIT k`` for k in {1, 10, 100, 1000} at
+    1M rows, fused top-N vs the full-sort-then-limit pipeline. The two
+    legs must return identical rows; the fused leg sorts only the
+    candidate set (argpartition + stable sort of ~k rows) instead of
+    all n.
+
+``feedback``
+    Two TPC-H-shaped joins whose filter — a conjunction of four
+    ~97%-selective predicates on noisy DOUBLE columns — defeats both
+    the static selectivity guesses and the table statistics, executed
+    repeatedly on a feedback-enabled database vs a feedback-disabled
+    twin. After the first execution the feedback database re-optimizes
+    from observed cardinalities (build side flips to the truly-smaller
+    dimension table, unlocking the small-build raw-key join path); the
+    static twin keeps the misestimated plan.
+
+The full run writes ``results/BENCH_topn.json`` and
+``results/TOPN.md``. ``--smoke`` shrinks the data (no files written)
+and exits non-zero if the legs disagree on any row — it is wired into
+``make test``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+import numpy as np
+
+from ..api.database import Database
+from .runner import SeriesTable, measure
+
+
+# ---------------------------------------------------------------------------
+# Experiment 1: top-N vs full sort
+# ---------------------------------------------------------------------------
+
+
+def _build_sort_db(n_rows: int, topn: bool) -> Database:
+    rng = np.random.default_rng(42)
+    db = Database(topn=topn, profile_operators=False)
+    db.execute(
+        "CREATE TABLE events (id INTEGER, v DOUBLE, grp INTEGER)"
+    )
+    db.load_columns(
+        "events",
+        {
+            "id": np.arange(n_rows, dtype=np.int64),
+            "v": rng.random(n_rows),
+            "grp": (np.arange(n_rows, dtype=np.int64) * 7919) % 1000,
+        },
+    )
+    return db
+
+
+def run_topn(
+    n_rows: int, ks: list[int], repeat: int
+) -> tuple[SeriesTable, dict]:
+    table = SeriesTable(
+        title=f"Top-N vs full sort ({n_rows:,} rows)",
+        xlabel="k (LIMIT)",
+        series_names=["full_sort", "topn", "speedup"],
+        units={"speedup": ""},
+    )
+    fused = _build_sort_db(n_rows, topn=True)
+    full = _build_sort_db(n_rows, topn=False)
+    speedups = {}
+    try:
+        for k in ks:
+            sql = (
+                f"SELECT id, v FROM events ORDER BY v, id LIMIT {k}"
+            )
+            rows_fused = fused.execute(sql).rows
+            rows_full = full.execute(sql).rows
+            if rows_fused != rows_full:
+                raise AssertionError(
+                    f"top-N and full sort disagree at k={k}"
+                )
+            t_full = measure(lambda: full.execute(sql), repeat)
+            t_fused = measure(lambda: fused.execute(sql), repeat)
+            table.record("full_sort", k, t_full)
+            table.record("topn", k, t_fused)
+            speedup = t_full / t_fused if t_fused > 0 else float("inf")
+            table.record("speedup", k, round(speedup, 2), note="x")
+            speedups[k] = speedup
+    finally:
+        fused.close()
+        full.close()
+    return table, speedups
+
+
+# ---------------------------------------------------------------------------
+# Experiment 2: feedback vs static plans on TPC-H-shaped joins
+# ---------------------------------------------------------------------------
+
+
+def _build_tpch_db(scale_rows: int, feedback: bool) -> Database:
+    """Lineitem/part/supplier-shaped tables where a conjunction of
+    four ~97%-selective predicates compounds the static equality guess
+    (10% each) into a ruinous underestimate: ``0.1^4`` of the fact
+    table instead of ~89%. The flags are noisy DOUBLE columns, so the
+    statistics provider has no NDV for them either — only observed
+    cardinalities can fix the estimate. The misestimate makes the
+    optimizer build the hash join on the "tiny" filtered fact side
+    (actually ~89% of it), which forecloses the small-build raw-key
+    join path; feedback flips the build side to the genuinely small
+    dimension table."""
+    rng = np.random.default_rng(7)
+    db = Database(feedback=feedback, plan_cache=True)
+    n_items = scale_rows
+    # Dimension sizes clamp to the key space so smoke-scale runs stay
+    # valid; at the full 1M scale these are 200 parts / 500 suppliers.
+    n_parts = min(200, max(4, n_items // 50))
+    supp_space = max(4, n_items // 50)
+    n_suppliers = min(500, max(2, supp_space // 4))
+
+    def flag() -> np.ndarray:
+        return np.where(
+            rng.random(n_items) < 0.97,
+            1.0,
+            rng.random(n_items) + 2.0,
+        )
+
+    db.execute(
+        "CREATE TABLE lineitem (l_partkey INTEGER, l_suppkey INTEGER, "
+        "l_qty DOUBLE, f1 DOUBLE, f2 DOUBLE, f3 DOUBLE, f4 DOUBLE)"
+    )
+    db.load_columns(
+        "lineitem",
+        {
+            "l_partkey": rng.integers(0, n_items, n_items),
+            "l_suppkey": rng.integers(0, supp_space, n_items),
+            "l_qty": rng.random(n_items) * 50.0,
+            "f1": flag(),
+            "f2": flag(),
+            "f3": flag(),
+            "f4": flag(),
+        },
+    )
+    db.execute("CREATE TABLE part (p_partkey INTEGER)")
+    db.load_columns(
+        "part",
+        {
+            "p_partkey": rng.choice(
+                n_items, size=n_parts, replace=False
+            ).astype(np.int64),
+        },
+    )
+    db.execute("CREATE TABLE supplier (s_suppkey INTEGER)")
+    db.load_columns(
+        "supplier",
+        {
+            "s_suppkey": rng.choice(
+                supp_space, size=n_suppliers, replace=False
+            ).astype(np.int64),
+        },
+    )
+    return db
+
+
+_FLAGS = "f1 = 1.0 AND f2 = 1.0 AND f3 = 1.0 AND f4 = 1.0"
+
+
+def _feedback_queries() -> list[tuple[str, str]]:
+    return [
+        (
+            "lineitem-part",
+            "SELECT count(*), sum(l_qty) FROM lineitem "
+            "JOIN part ON l_partkey = p_partkey "
+            f"WHERE {_FLAGS}",
+        ),
+        (
+            "lineitem-supplier",
+            "SELECT count(*), sum(l_qty) FROM lineitem "
+            "JOIN supplier ON l_suppkey = s_suppkey "
+            f"WHERE {_FLAGS}",
+        ),
+    ]
+
+
+def _rows_close(a: list, b: list) -> bool:
+    """Exact equality except for floats, which a plan change may
+    legitimately perturb in the last ulp: a different build side emits
+    join rows in a different order, so ``sum`` over DOUBLE accumulates
+    with different rounding."""
+    if len(a) != len(b):
+        return False
+    for row_a, row_b in zip(a, b):
+        if len(row_a) != len(row_b):
+            return False
+        for x, y in zip(row_a, row_b):
+            if isinstance(x, float) and isinstance(y, float):
+                if not np.isclose(x, y, rtol=1e-9, atol=0.0):
+                    return False
+            elif x != y:
+                return False
+    return True
+
+
+def run_feedback(
+    scale_rows: int, execs: int, repeat: int
+) -> tuple[SeriesTable, dict]:
+    table = SeriesTable(
+        title=(
+            f"Feedback vs static plans "
+            f"({scale_rows:,} lineitem rows, {execs} executions)"
+        ),
+        xlabel="join",
+        series_names=["static", "feedback", "speedup"],
+        units={"speedup": ""},
+    )
+    adaptive = _build_tpch_db(scale_rows, feedback=True)
+    static = _build_tpch_db(scale_rows, feedback=False)
+    speedups = {}
+    try:
+        for name, sql in _feedback_queries():
+            rows_static = static.execute(sql).rows
+            # Warm-up: the first two executions let the feedback
+            # database observe cardinalities, bump the plan-cache
+            # epoch once, and settle on the re-optimized plan.
+            for _ in range(2):
+                rows_adaptive = adaptive.execute(sql).rows
+            if not _rows_close(rows_adaptive, rows_static):
+                raise AssertionError(
+                    f"feedback changed results on {name}"
+                )
+
+            def run_many(db, sql=sql):
+                for _ in range(execs):
+                    db.execute(sql)
+
+            t_static = measure(lambda: run_many(static), repeat)
+            t_adaptive = measure(lambda: run_many(adaptive), repeat)
+            table.record("static", name, t_static)
+            table.record("feedback", name, t_adaptive)
+            speedup = (
+                t_static / t_adaptive if t_adaptive > 0
+                else float("inf")
+            )
+            table.record("speedup", name, round(speedup, 2), note="x")
+            speedups[name] = speedup
+    finally:
+        adaptive.close()
+        static.close()
+    return table, speedups
+
+
+# ---------------------------------------------------------------------------
+# Reporting
+# ---------------------------------------------------------------------------
+
+
+def _write_results(
+    topn_table: SeriesTable,
+    topn_speedups: dict,
+    fb_table: SeriesTable,
+    fb_speedups: dict,
+    directory: str = "results",
+) -> None:
+    os.makedirs(directory, exist_ok=True)
+    payload = {
+        "experiment": "topn",
+        "topn": topn_table.to_dict(),
+        "feedback": fb_table.to_dict(),
+        "topn_speedups": {
+            str(k): round(v, 2) for k, v in topn_speedups.items()
+        },
+        "feedback_speedups": {
+            k: round(v, 2) for k, v in fb_speedups.items()
+        },
+    }
+    path = os.path.join(directory, "BENCH_topn.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    md = [
+        "# Adaptive optimization: top-N sort and cardinality feedback",
+        "",
+        "Produced by `make bench-topn` "
+        "(`python -m repro.bench.topn`).",
+        "",
+        "## Bounded top-N vs full sort",
+        "",
+        "`ORDER BY v, id LIMIT k`: the fused operator partitions out "
+        "the k smallest keys (`np.argpartition`) and stably sorts only "
+        "the candidate set, instead of sorting all rows and discarding "
+        "all but k. Both legs return bit-identical rows.",
+        "",
+        "```",
+        topn_table.format(),
+        "```",
+        "",
+        "## Feedback vs static plans",
+        "",
+        "The filter `f1 = 1.0 AND f2 = 1.0 AND f3 = 1.0 AND f4 = 1.0` "
+        "matches ~89% of lineitem, but each equality on a noisy DOUBLE "
+        "column is opaque to the static selectivity constants (10% "
+        "guess each, compounding to 0.01%) and to the statistics "
+        "provider (raw DOUBLE, no dictionary NDV). The static plan "
+        "therefore believes the filtered fact side is tiny and builds "
+        "its hash table there — paying a joint factorization of both "
+        "inputs. After one execution the feedback path observes the "
+        "true cardinality, bumps the plan-cache epoch once, and "
+        "re-optimizes with the build side on the genuinely small "
+        "dimension table, which also unlocks the small-build raw-key "
+        "join path (no factorization of the million-row probe side). "
+        "Results stay identical.",
+        "",
+        "```",
+        fb_table.format(),
+        "```",
+        "",
+        "See the \"Adaptive optimization\" section in "
+        "docs/performance.md for the machinery.",
+        "",
+    ]
+    with open(
+        os.path.join(directory, "TOPN.md"), "w", encoding="utf-8"
+    ) as handle:
+        handle.write("\n".join(md))
+    print(f"wrote {path} and {os.path.join(directory, 'TOPN.md')}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.topn",
+        description=(
+            "Benchmark bounded top-N sort and cardinality feedback."
+        ),
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=(
+            "CI-sized run: small data, correctness checked, no "
+            "result files written"
+        ),
+    )
+    parser.add_argument(
+        "--rows", type=int, default=1_000_000,
+        help="rows in the top-N table (default: 1,000,000)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3,
+        help="best-of repetitions per measurement (default: 3)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        topn_table, topn_speedups = run_topn(
+            20_000, ks=[1, 10, 100], repeat=1
+        )
+        fb_table, _ = run_feedback(4_000, execs=2, repeat=1)
+        topn_table.print()
+        fb_table.print()
+        print("topn smoke OK")
+        return 0
+
+    topn_table, topn_speedups = run_topn(
+        args.rows, ks=[1, 10, 100, 1000], repeat=args.repeat
+    )
+    topn_table.print()
+    fb_table, fb_speedups = run_feedback(
+        args.rows, execs=3, repeat=args.repeat
+    )
+    fb_table.print()
+    _write_results(topn_table, topn_speedups, fb_table, fb_speedups)
+    if topn_speedups.get(10, 0.0) < 5.0:
+        print(
+            f"WARNING: top-N speedup at k=10 is "
+            f"{topn_speedups.get(10, 0.0):.1f}x (< 5x target)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

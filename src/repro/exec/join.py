@@ -18,9 +18,55 @@ from ..expr.bound import BoundExpr
 from ..expr.compiler import EvalContext
 from ..plan.logical import LogicalJoin, PlanColumn
 from ..storage.column import Column, ColumnBatch
+from ..types import TypeKind
 from .common import factorize
 from .parallel import _parallel_safe, morsel_ranges
 from .physical import ExecutionContext, PhysicalOperator
+
+#: Build (right) sides at or below this row count take the raw
+#: integer-key path: binary-searching a few thousand sorted raw keys
+#: is far cheaper than jointly factorizing both sides, whose
+#: ``np.unique`` sort of the large probe side dominates the join.
+SMALL_BUILD_ROWS = 4096
+
+_INT_KEY_KINDS = (TypeKind.INTEGER, TypeKind.BIGINT)
+
+
+def _raw_small_build_keys(
+    left_key_cols: list[Column],
+    right_key_cols: list[Column],
+    n_right: int,
+) -> Optional[tuple[np.ndarray, np.ndarray]]:
+    """Raw int64 key arrays for the small-build fast path, or None.
+
+    Applies to single-column integer equi-keys when the build (right)
+    side is small. Bit-identical to the factorized path: ``np.unique``
+    assigns codes in value order, so sorting and range-matching raw
+    values produces exactly the same pairs in exactly the same order —
+    while skipping the joint factorization whose sort of the large
+    probe side dominates small-build joins. NULL slots are excluded by
+    the caller's validity masks, so sentinel backing values at invalid
+    positions are never compared.
+    """
+    if len(left_key_cols) != 1 or n_right > SMALL_BUILD_ROWS:
+        return None
+    lcol, rcol = left_key_cols[0], right_key_cols[0]
+    if (
+        lcol.sql_type.kind not in _INT_KEY_KINDS
+        or rcol.sql_type.kind not in _INT_KEY_KINDS
+    ):
+        return None
+    lvals = np.asarray(lcol.values)
+    rvals = np.asarray(rcol.values)
+    if not (
+        np.issubdtype(lvals.dtype, np.integer)
+        and np.issubdtype(rvals.dtype, np.integer)
+    ):
+        return None
+    return (
+        lvals.astype(np.int64, copy=False),
+        rvals.astype(np.int64, copy=False),
+    )
 
 
 def _probe_chunk(
@@ -173,13 +219,19 @@ class HashJoinOp(PhysicalOperator):
             right_key_cols = [
                 fn(right_batch, eval_ctx) for fn in self._right_keys
             ]
-        stacked = [
-            Column.concat([lc, rc])
-            for lc, rc in zip(left_key_cols, right_key_cols)
-        ]
-        codes, _count = factorize(stacked)
-        left_codes = codes[:n_left].copy()
-        right_codes = codes[n_left:].copy()
+        raw_keys = _raw_small_build_keys(
+            left_key_cols, right_key_cols, n_right
+        )
+        if raw_keys is not None:
+            left_codes, right_codes = raw_keys
+        else:
+            stacked = [
+                Column.concat([lc, rc])
+                for lc, rc in zip(left_key_cols, right_key_cols)
+            ]
+            codes, _count = factorize(stacked)
+            left_codes = codes[:n_left].copy()
+            right_codes = codes[n_left:].copy()
 
         # NULL keys never match.
         left_null = np.zeros(n_left, dtype=np.bool_)

@@ -297,9 +297,18 @@ def try_build_parallel_pipeline(
         if not all(_parallel_safe(e) for e in exprs):
             return None
     try:
-        estimate = ctx.read_table(node.table_name).row_count
+        estimate = float(ctx.read_table(node.table_name).row_count)
     except Exception:  # noqa: BLE001 — missing table: let ScanOp raise
         return None
+    if ctx.estimator is not None and ctx.estimator.has_feedback:
+        # Feedback-informed threshold: when history has observed this
+        # scan producing far fewer rows than the table holds (zone maps
+        # pruning most morsels), the dispatch overhead isn't worth it —
+        # trust the observed cardinality over the raw table size.
+        try:
+            estimate = min(estimate, ctx.estimator.estimate(node))
+        except Exception:  # noqa: BLE001 — estimates are best-effort
+            pass
     if estimate < ctx.parallel_threshold:
         return None
     return ParallelPipelineOp(plan, stages, node, ctx)

@@ -67,6 +67,15 @@ class OperatorStats:
         #: with the observed ``rows_out`` this is the estimation-error
         #: signal the history store persists per plan fingerprint.
         self.estimated_rows: Optional[float] = None
+        #: Provenance of ``estimated_rows``: ``static`` (heuristic
+        #: constants), ``stats`` (table statistics contributed), or
+        #: ``feedback`` (observed cardinality override from history).
+        self.estimate_source: Optional[str] = None
+        #: Structural feedback key of the logical node this operator was
+        #: built from (swap-invariant: class + sorted base tables +
+        #: occurrence index). The history store records observations
+        #: under it so re-optimization can match them back to plan nodes.
+        self.node_key: Optional[str] = None
 
     @property
     def rows_in(self) -> int:
@@ -125,8 +134,14 @@ class OperatorStats:
         pad = "  " * indent
         estimate = ""
         if self.estimated_rows is not None:
+            source = (
+                f" src={self.estimate_source}"
+                if self.estimate_source
+                else ""
+            )
             estimate = (
                 f" est={self.estimated_rows:.0f} q={self.q_error:.2f}"
+                f"{source}"
             )
         line = (
             f"{pad}{self.label}  "
@@ -227,6 +242,21 @@ class ExecutionContext:
         #: estimated-vs-observed rows (and q-error) per operator in
         #: ``explain_analyze`` and the query history store.
         self.estimator = None
+        #: Whether the planner may fuse adjacent Sort+Limit nodes into a
+        #: :class:`repro.exec.sort.TopNSortOp`. The session sets it from
+        #: its ``topn`` switch (REPRO_TOPN); standalone contexts fuse.
+        self.topn = True
+        #: Occurrence counters for structural feedback node keys, keyed
+        #: by base key — deterministic for a given plan shape, so the
+        #: keys recorded by one execution match the next build.
+        self._node_key_counts: dict[str, int] = {}
+
+    def next_node_key(self, base: str) -> str:
+        """Allocate the next occurrence-disambiguated feedback key for
+        ``base`` (e.g. ``Join[orders,people]`` -> ``...#0``, ``...#1``)."""
+        n = self._node_key_counts.get(base, 0)
+        self._node_key_counts[base] = n + 1
+        return f"{base}#{n}"
 
     def checkpoint(self, where: str = "") -> None:
         """Cooperative governor checkpoint — called by operators at

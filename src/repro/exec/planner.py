@@ -19,10 +19,11 @@ from .physical import (
     ProfiledOperator,
     materialize,
 )
+from ..plan.feedback import feedback_key_base
 from .project import ProjectOp
 from .scan import ScanOp, ValuesOp, WorkingTableOp
 from .setops import SetOpOp
-from .sort import LimitOp, SortOp
+from .sort import LimitOp, SortOp, TopNSortOp
 from .table_function import TableFunctionOp
 from .window import WindowOp
 
@@ -48,11 +49,16 @@ def build_physical(
     finally:
         ctx._profile_stack.pop()
     stats = OperatorStats(op.describe(), children)
+    stats.node_key = ctx.next_node_key(feedback_key_base(plan))
     if ctx.estimator is not None:
         try:
-            stats.estimated_rows = ctx.estimator.estimate(plan)
+            (
+                stats.estimated_rows,
+                stats.estimate_source,
+            ) = ctx.estimator.estimate_with_source(plan)
         except Exception:  # noqa: BLE001 — estimates are best-effort
             stats.estimated_rows = None
+            stats.estimate_source = None
     if ctx._profile_stack:
         ctx._profile_stack[-1].append(stats)
     else:
@@ -95,6 +101,20 @@ def _build_physical_node(
     if isinstance(plan, lp.LogicalSort):
         return SortOp(plan, build_physical(plan.child, ctx), ctx)
     if isinstance(plan, lp.LogicalLimit):
+        child = plan.child
+        if (
+            ctx.topn
+            and plan.limit is not None
+            and isinstance(child, lp.LogicalSort)
+            and child.keys
+        ):
+            # Fuse ORDER BY + LIMIT into a bounded top-N sort: only the
+            # offset+limit candidate rows are fully sorted.
+            if ctx.metrics is not None:
+                ctx.metrics.counter("sort_topn_used_total").inc()
+            return TopNSortOp(
+                child, plan, build_physical(child.child, ctx), ctx
+            )
         return LimitOp(plan, build_physical(plan.child, ctx), ctx)
     if isinstance(plan, lp.LogicalWindow):
         return WindowOp(plan, build_physical(plan.child, ctx), ctx)

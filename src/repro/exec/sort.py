@@ -2,15 +2,30 @@
 
 from __future__ import annotations
 
-from typing import Iterator
+import os
+from typing import Iterator, Optional
 
 import numpy as np
 
 from ..expr.compiler import EvalContext
 from ..plan.logical import LogicalLimit, LogicalSort
 from ..storage.column import Column, ColumnBatch
+from ..storage.encoding import DictionaryColumn
 from ..types import TypeKind
 from .physical import ExecutionContext, PhysicalOperator
+
+#: Session switch for the Sort+Limit -> TopNSort fusion.
+TOPN_ENV = "REPRO_TOPN"
+
+
+def resolve_topn(flag: Optional[bool] = None) -> bool:
+    """Resolve the top-N fusion switch: explicit flag, else env, else on."""
+    if flag is not None:
+        return bool(flag)
+    raw = os.environ.get(TOPN_ENV, "").strip().lower()
+    if raw in ("0", "off", "false", "no"):
+        return False
+    return True
 
 
 class SortOp(PhysicalOperator):
@@ -83,6 +98,129 @@ def _stable_key_sort(col: Column, key) -> np.ndarray:
     return np.argsort(values, kind="stable")
 
 
+def _encode_primary_key(col: Column, key) -> np.ndarray:
+    """Encode one sort key as an ascending float64 rank vector.
+
+    Smaller rank == earlier in the requested order; exactly mirrors the
+    sentinel scheme of :func:`_stable_key_sort` (NULLs as +/-inf, NaN
+    sorting after +inf in both directions, descending via negation) so
+    a partition on the ranks selects the same prefix a full stable sort
+    would.
+    """
+    n = len(col)
+    validity = col.validity()
+    nulls_last = key.nulls_last
+    if nulls_last is None:
+        nulls_last = not key.descending
+
+    if col.sql_type.kind is TypeKind.VARCHAR:
+        enc = np.zeros(n, dtype=np.float64)
+        if isinstance(col, DictionaryColumn):
+            # Sorted dictionary: codes are already order-faithful ranks.
+            enc[:] = col.codes.astype(np.float64)
+        else:
+            live = np.flatnonzero(validity)
+            if len(live):
+                # np.unique sorts with the same __lt__ Python's sorted()
+                # uses, so the dense ranks reproduce lexicographic order.
+                _, inverse = np.unique(
+                    col.values[live], return_inverse=True
+                )
+                enc[live] = inverse.astype(np.float64)
+        if key.descending:
+            enc = -enc
+    else:
+        enc = col.values.astype(np.float64, copy=True)
+        if key.descending:
+            enc = -enc
+    enc[~validity] = np.inf if nulls_last else -np.inf
+    return enc
+
+
+class TopNSortOp(PhysicalOperator):
+    """Fused ORDER BY + LIMIT: sort only the rows that can make the cut.
+
+    ``np.argpartition`` on the most-significant key's rank selects the
+    k = offset+limit smallest rows plus *every* row tied with the k-th
+    boundary value (ties must survive so secondary keys and stability
+    can break them exactly as a full sort would); the candidate set —
+    kept in ascending original-row order to preserve stability — then
+    runs the same repeated-stable-argsort loop as :class:`SortOp` and is
+    sliced to ``[offset : offset+limit]``. Bit-identical to
+    Sort -> Limit by construction; degrades to a full sort when
+    k >= n or when the boundary value ties the whole input.
+    """
+
+    def __init__(
+        self,
+        sort_node: LogicalSort,
+        limit_node: LogicalLimit,
+        child: PhysicalOperator,
+        ctx: ExecutionContext,
+    ):
+        super().__init__(list(sort_node.output))
+        self._node = sort_node
+        self._child = child
+        self._ctx = ctx
+        self._key_fns = [
+            ctx.compiler.compile(k.expr) for k in sort_node.keys
+        ]
+        self._limit = int(limit_node.limit)
+        self._offset = limit_node.offset or 0
+
+    def describe(self) -> str:
+        return (
+            f"TopNSort(keys={len(self._node.keys)}, "
+            f"limit={self._limit}, offset={self._offset})"
+        )
+
+    def execute(self, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
+        k = self._limit + self._offset
+        if self._limit <= 0 or k <= 0:
+            yield self.empty_batch()
+            return
+        governor = self._ctx.governor
+        batch = self._child.execute_materialized(eval_ctx)
+        reserved = governor.reserve(batch.nbytes, "sort")
+        try:
+            self._ctx.checkpoint("sort")
+            n = len(batch)
+            if n == 0:
+                yield batch
+                return
+            if k < n:
+                primary = self._key_fns[0](batch, eval_ctx)
+                enc = _encode_primary_key(primary, self._node.keys[0])
+                boundary = enc[np.argpartition(enc, k - 1)[k - 1]]
+                if np.isnan(boundary):
+                    # The k-th row is NaN: every non-NaN row precedes it
+                    # and all NaNs tie — nothing can be discarded.
+                    candidates = np.arange(n, dtype=np.int64)
+                else:
+                    # Strict winners plus ALL boundary ties (NaNs compare
+                    # False and drop out: they sort after +inf).
+                    candidates = np.flatnonzero(enc <= boundary).astype(
+                        np.int64
+                    )
+                sub = batch.take(candidates)
+            else:
+                sub = batch
+            order = np.arange(len(sub), dtype=np.int64)
+            if len(sub) > 1:
+                for key, fn in zip(
+                    reversed(self._node.keys), reversed(self._key_fns)
+                ):
+                    col = fn(sub, eval_ctx)
+                    order = order[_stable_key_sort(col.take(order), key)]
+            picked = order[self._offset:k]
+            if len(picked) == 0:
+                yield self.empty_batch()
+            else:
+                yield sub.take(picked)
+        finally:
+            governor.release(reserved)
+
+
 class LimitOp(PhysicalOperator):
     """Streams through at most ``limit`` rows after skipping ``offset``."""
 
@@ -104,20 +242,32 @@ class LimitOp(PhysicalOperator):
         to_skip = self._offset
         remaining = self._limit
         produced = False
-        for batch in self._child.execute(eval_ctx):
-            if to_skip:
-                if len(batch) <= to_skip:
-                    to_skip -= len(batch)
-                    continue
-                batch = batch.slice(to_skip, len(batch))
-                to_skip = 0
-            if remaining is not None:
-                if remaining <= 0:
+        if remaining is not None and remaining <= 0:
+            yield self.empty_batch()
+            return
+        source = self._child.execute(eval_ctx)
+        try:
+            for batch in source:
+                if to_skip:
+                    if len(batch) <= to_skip:
+                        to_skip -= len(batch)
+                        continue
+                    batch = batch.slice(to_skip, len(batch))
+                    to_skip = 0
+                if remaining is not None:
+                    if len(batch) > remaining:
+                        batch = batch.slice(0, remaining)
+                    remaining -= len(batch)
+                produced = True
+                yield batch
+                # Early exit: once offset+limit rows are out, stop
+                # pulling child batches so pushed-down limits actually
+                # truncate upstream work.
+                if remaining is not None and remaining <= 0:
                     break
-                if len(batch) > remaining:
-                    batch = batch.slice(0, remaining)
-                remaining -= len(batch)
-            produced = True
-            yield batch
+        finally:
+            close = getattr(source, "close", None)
+            if close is not None:
+                close()
         if not produced:
             yield self.empty_batch()

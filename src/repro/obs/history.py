@@ -187,14 +187,19 @@ def operator_observations(stats_roots) -> list[dict]:
                 est = estimated if estimated > 1.0 else 1.0
                 obs = node.rows_out if node.rows_out > 1 else 1.0
                 q_error = est / obs if est > obs else obs / est
-            out.append(
-                {
-                    "op": node.label,
-                    "estimated_rows": estimated,
-                    "observed_rows": node.rows_out,
-                    "q_error": q_error,
-                }
-            )
+            observation = {
+                "op": node.label,
+                "estimated_rows": estimated,
+                "observed_rows": node.rows_out,
+                "q_error": q_error,
+            }
+            node_key = getattr(node, "node_key", None)
+            if node_key is not None:
+                observation["key"] = node_key
+            source = getattr(node, "estimate_source", None)
+            if source is not None:
+                observation["source"] = source
+            out.append(observation)
     return out
 
 
@@ -270,6 +275,11 @@ class QueryHistory:
         self._lock = threading.Lock()
         self._ring: deque[QueryRecord] = deque(maxlen=self.capacity)
         self._by_fp: "OrderedDict[str, deque[QueryRecord]]" = OrderedDict()
+        #: Monotone executions-recorded counter per fingerprint (the
+        #: deques are bounded, so their length saturates); evicted
+        #: alongside ``_by_fp``. The cardinality-feedback cache uses it
+        #: as a cheap "anything new?" staleness probe.
+        self._fp_counts: dict[str, int] = {}
         self._slow: deque[QueryRecord] = deque(maxlen=self.capacity)
         self._spill_lock = threading.Lock()
         self._spill_error: Optional[str] = None
@@ -326,9 +336,13 @@ class QueryHistory:
                     bucket = deque(maxlen=self.per_fingerprint)
                     self._by_fp[fingerprint] = bucket
                 bucket.append(item)
+                self._fp_counts[fingerprint] = (
+                    self._fp_counts.get(fingerprint, 0) + 1
+                )
                 self._by_fp.move_to_end(fingerprint)
                 while len(self._by_fp) > self.max_fingerprints:
-                    self._by_fp.popitem(last=False)
+                    evicted, _ = self._by_fp.popitem(last=False)
+                    self._fp_counts.pop(evicted, None)
             if slow:
                 self._slow.append(item)
         if self._records_counter is not None:
@@ -391,6 +405,13 @@ class QueryHistory:
         with self._lock:
             return list(self._by_fp)
 
+    def execution_count(self, fingerprint: str) -> int:
+        """How many executions have ever been recorded for this
+        fingerprint (0 for unknown/evicted). O(1) and lock-cheap —
+        safe to call on the plan-cache hit path."""
+        with self._lock:
+            return self._fp_counts.get(fingerprint, 0)
+
     def observed_cardinalities(self, fingerprint: str) -> dict:
         """Aggregated plan feedback for one fingerprint: per-operator
         label -> ``{"mean_rows", "last_rows", "estimated_rows",
@@ -434,6 +455,34 @@ class QueryHistory:
             }
         return out
 
+    def observed_node_cardinalities(self, fingerprint: str) -> dict:
+        """Like :meth:`observed_cardinalities` but keyed by the
+        structural plan-node key (``Join[a,b]#0``) recorded with each
+        observation — the key :mod:`repro.plan.feedback` matches back
+        to logical plan nodes across re-optimizations. Observations
+        without a node key (pre-upgrade records) are skipped."""
+        totals: dict[str, dict] = {}
+        for record in self.by_fingerprint(fingerprint):
+            for op in record.operators:
+                key = op.get("key")
+                if key is None:
+                    continue
+                slot = totals.setdefault(
+                    key, {"rows_sum": 0.0, "executions": 0,
+                          "last_rows": 0},
+                )
+                slot["executions"] += 1
+                slot["rows_sum"] += float(op.get("observed_rows", 0))
+                slot["last_rows"] = op.get("observed_rows", 0)
+        return {
+            key: {
+                "mean_rows": slot["rows_sum"] / slot["executions"],
+                "last_rows": slot["last_rows"],
+                "executions": slot["executions"],
+            }
+            for key, slot in totals.items()
+        }
+
     def tail_dicts(self, n: int = 20) -> list[dict]:
         """The most recent ``n`` records as JSON-safe dicts (flight
         recorder bundles embed this)."""
@@ -443,6 +492,7 @@ class QueryHistory:
         with self._lock:
             self._ring.clear()
             self._by_fp.clear()
+            self._fp_counts.clear()
             self._slow.clear()
 
     def __len__(self) -> int:

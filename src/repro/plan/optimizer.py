@@ -10,8 +10,29 @@ from .rules import (
     choose_join_sides,
     fold_constants,
     prune_columns,
+    push_down_limits,
     push_down_predicates,
 )
+
+
+def explain_with_estimates(
+    plan: lp.LogicalPlan,
+    estimator: CardinalityEstimator,
+    indent: int = 0,
+) -> str:
+    """Render a plan like :meth:`LogicalPlan.explain`, annotating each
+    node with its estimated row count and the estimate's provenance
+    (``static`` | ``stats`` | ``feedback``)."""
+    pad = "  " * indent
+    try:
+        rows, source = estimator.estimate_with_source(plan)
+        note = f"  [est={rows:.0f} src={source}]"
+    except Exception:  # noqa: BLE001 — estimates are best-effort
+        note = ""
+    lines = [f"{pad}{plan.describe()}{note}"]
+    for child in plan.children():
+        lines.append(explain_with_estimates(child, estimator, indent + 1))
+    return "\n".join(lines)
 
 
 class Optimizer:
@@ -20,9 +41,13 @@ class Optimizer:
     1. constant folding (cheapens later selectivity decisions),
     2. predicate pushdown (the classical rule, bounded by the paper's
        section 5.2 restriction at analytics operators),
-    3. column pruning (after pushdown so pushed predicates' columns are
+    3. limit pushdown (after predicates so a limit never slides past a
+       filter that still needs to move),
+    4. column pruning (after pushdown so pushed predicates' columns are
        accounted for),
-    4. join build-side selection using cardinality estimates.
+    5. join build-side selection using cardinality estimates — which
+       may come from table statistics and observed-cardinality feedback
+       (see :mod:`repro.plan.cardinality`).
 
     Pass ``enabled=False`` (or construct with no stats) to execute the
     binder's plan untouched — used by the ablation benchmarks.
@@ -33,26 +58,51 @@ class Optimizer:
         row_count_of: Optional[Callable[[str], int]] = None,
         analytics=None,
         enabled: bool = True,
+        stats=None,
+        feedback: Optional[dict[str, float]] = None,
+        metrics=None,
     ):
         self.enabled = enabled
+        self._metrics = metrics
         self._estimator = CardinalityEstimator(
             row_count_of if row_count_of is not None else (lambda name: 1000),
             analytics,
+            stats=stats,
+            feedback=feedback,
+            metrics=metrics,
         )
+
+    @property
+    def estimator(self) -> CardinalityEstimator:
+        return self._estimator
 
     def optimize(self, plan: lp.LogicalPlan) -> lp.LogicalPlan:
         if not self.enabled:
             return plan
         plan = fold_constants(plan)
         plan = push_down_predicates(plan)
+        plan = push_down_limits(plan, self._count_limit_pushdown)
         plan = prune_columns(plan)
         plan = choose_join_sides(plan, self._estimator)
         plan = self._recurse_into_nested(plan)
+        if self._metrics is not None and self._estimator.has_feedback:
+            self._metrics.counter(
+                "optimizer_feedback_applied_total"
+            ).inc()
         return plan
+
+    def _count_limit_pushdown(self) -> None:
+        if self._metrics is not None:
+            self._metrics.counter("limit_pushdown_total").inc()
 
     def estimate(self, plan: lp.LogicalPlan) -> float:
         """Estimated output rows (exposed for EXPLAIN and tests)."""
         return self._estimator.estimate(plan)
+
+    def explain(self, plan: lp.LogicalPlan) -> str:
+        """The plan tree annotated with per-node estimates and their
+        provenance (``static`` | ``stats`` | ``feedback``)."""
+        return explain_with_estimates(plan, self._estimator)
 
     def _recurse_into_nested(self, plan: lp.LogicalPlan) -> lp.LogicalPlan:
         """Optimize the nested plans of iterative and analytical

@@ -414,6 +414,105 @@ def choose_join_sides(
 
 
 # ---------------------------------------------------------------------------
+# limit pushdown
+# ---------------------------------------------------------------------------
+
+
+def push_down_limits(plan: lp.LogicalPlan, on_push=None) -> lp.LogicalPlan:
+    """Sink LIMIT toward the data where row-preservation allows it.
+
+    * ``Limit(Project(x))`` relocates below the projection (1:1
+      operator) — ``Project(Limit(x))`` — which also creates the
+      Sort+Limit adjacency the planner fuses into a top-N sort when the
+      projection sat between ORDER BY and LIMIT;
+    * ``Limit k OFFSET o`` above a **left outer** join copies
+      ``Limit k+o`` onto the streaming (left / probe) side: every
+      probe row produces at least one output row, so ``k+o`` probe rows
+      bound the output. The outer limit stays for exactness;
+    * ``Limit k OFFSET o`` above **UNION ALL** copies ``Limit k+o``
+      into both branches (bag concatenation; the outer limit trims).
+
+    Filters, aggregates, distinct, inner joins, and the ordered set
+    operations are not row-preserving, so the limit stops above them.
+    ``on_push`` is called once per applied rewrite (metrics hook).
+    """
+    plan = plan.replace_children(
+        [push_down_limits(c, on_push) for c in plan.children()]
+    )
+    if not isinstance(plan, lp.LogicalLimit) or plan.limit is None:
+        return plan
+    child = plan.child
+    cap = plan.limit + (plan.offset or 0)
+
+    if isinstance(child, lp.LogicalProject):
+        if on_push is not None:
+            on_push()
+        inner = push_down_limits(
+            lp.LogicalLimit(child.child, plan.limit, plan.offset or 0),
+            on_push,
+        )
+        return lp.LogicalProject(inner, child.exprs, child.output)
+
+    if (
+        isinstance(child, lp.LogicalJoin)
+        and child.kind == "left"
+        and not _has_limit_cap(child.left, cap)
+    ):
+        if on_push is not None:
+            on_push()
+        capped = push_down_limits(
+            lp.LogicalLimit(child.left, cap, 0), on_push
+        )
+        return lp.LogicalLimit(
+            lp.LogicalJoin(
+                child.kind,
+                capped,
+                child.right,
+                child.equi_keys,
+                child.residual,
+                child.output,
+            ),
+            plan.limit,
+            plan.offset,
+        )
+
+    if (
+        isinstance(child, lp.LogicalSetOp)
+        and child.op == "union_all"
+        and not (
+            _has_limit_cap(child.left, cap)
+            and _has_limit_cap(child.right, cap)
+        )
+    ):
+        if on_push is not None:
+            on_push()
+        left = push_down_limits(
+            lp.LogicalLimit(child.left, cap, 0), on_push
+        )
+        right = push_down_limits(
+            lp.LogicalLimit(child.right, cap, 0), on_push
+        )
+        return lp.LogicalLimit(
+            lp.LogicalSetOp(child.op, left, right, child.output),
+            plan.limit,
+            plan.offset,
+        )
+    return plan
+
+
+def _has_limit_cap(plan: lp.LogicalPlan, cap: int) -> bool:
+    """True when ``plan`` is already limited to ``cap`` rows or fewer —
+    the idempotence guard that keeps re-optimization (plan-cache epoch
+    bumps re-run the rules) from stacking redundant limits."""
+    return (
+        isinstance(plan, lp.LogicalLimit)
+        and plan.limit is not None
+        and plan.offset == 0
+        and plan.limit <= cap
+    )
+
+
+# ---------------------------------------------------------------------------
 # constant folding
 # ---------------------------------------------------------------------------
 

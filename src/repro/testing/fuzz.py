@@ -80,6 +80,14 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--topn-check", action="store_true",
+        help=(
+            "run every statement on a twin database with top-N sort "
+            "fusion disabled (full sort + limit) and fail if the "
+            "ordered output is not bit-identical, ties included"
+        ),
+    )
+    parser.add_argument(
         "--schema", choices=["default", "strings"], default="default",
         help=(
             "schema profile; 'strings' generates string-heavy, "
@@ -116,6 +124,7 @@ def main(argv: list[str] | None = None) -> int:
             cache_check=args.cache_check,
             chaos=args.chaos,
             encoding_check=args.encoding_check,
+            topn_check=args.topn_check,
             schema_profile=args.schema,
         )
         for divergence in divergences:

@@ -140,6 +140,7 @@ def build_repro_db(
     plan_cache: Optional[bool] = None,
     chaos=None,
     encoding: Optional[str] = None,
+    topn: Optional[bool] = None,
 ) -> Database:
     # profile_operators=False takes the production operator shapes —
     # notably the serial fused pipeline, which profiled plans bypass —
@@ -151,7 +152,7 @@ def build_repro_db(
         db = Database(
             workers=workers, parallel_threshold=0, morsel_rows=32,
             profile_operators=False, plan_cache=plan_cache,
-            chaos=chaos, encoding=encoding,
+            chaos=chaos, encoding=encoding, topn=topn,
         )
     else:
         # Tiny morsels here too: multi-morsel fused pipelines and the
@@ -159,7 +160,7 @@ def build_repro_db(
         db = Database(
             workers=1, morsel_rows=32,
             profile_operators=False, plan_cache=plan_cache,
-            chaos=chaos, encoding=encoding,
+            chaos=chaos, encoding=encoding, topn=topn,
         )
     for table in tables:
         db.execute(table.ddl())
@@ -257,7 +258,13 @@ class DifferentialOracle:
     statement on two storage twins — one forced to encoded columns
     (dictionary/RLE/FOR), one forced raw — and any disagreement between
     them is an ``"encoding"`` divergence, shrunk to a minimal
-    reproducer exactly like an engine bug."""
+    reproducer exactly like an engine bug.
+
+    With ``topn_check`` the repro side runs every statement on a twin
+    with top-N sort fusion disabled (every ORDER BY + LIMIT takes the
+    full-sort-then-limit path), and any disagreement — ties included,
+    since the bounded sort is required to be bit-identical — is a
+    ``"topn"`` divergence."""
 
     def __init__(
         self,
@@ -266,11 +273,13 @@ class DifferentialOracle:
         cache_check: bool = False,
         chaos_injector=None,
         encoding_check: bool = False,
+        topn_check: bool = False,
     ):
         self.tables = tables
         self.workers = workers
         self.cache_check = cache_check
         self.encoding_check = encoding_check
+        self.topn_check = topn_check
         # With the encoding twin active the primary runs forced-auto so
         # the comparison is encoded-vs-raw regardless of REPRO_ENCODING.
         self.db = build_repro_db(
@@ -289,6 +298,11 @@ class DifferentialOracle:
             if encoding_check
             else None
         )
+        self.db_fullsort = (
+            build_repro_db(tables, workers=workers, topn=False)
+            if topn_check
+            else None
+        )
         self.conn = build_sqlite_db(tables)
 
     def close(self) -> None:
@@ -298,6 +312,8 @@ class DifferentialOracle:
             self.db_nocache.close()
         if self.db_raw is not None:
             self.db_raw.close()
+        if self.db_fullsort is not None:
+            self.db_fullsort.close()
 
     def _check_cache_legs(
         self, sql: str, ordered: bool, cold_rows: list[tuple]
@@ -370,6 +386,41 @@ class DifferentialOracle:
             }
         return None
 
+    def _check_topn_leg(
+        self, sql: str, ordered: bool, cold_rows: list[tuple]
+    ) -> Optional[dict]:
+        """Compare the primary (top-N fusion enabled) against the
+        full-sort twin. Ordered queries compare positionally, so a
+        top-N that resolves ties differently from the stable full sort
+        is caught as a divergence."""
+        try:
+            rows = normalize_rows(
+                self.db_fullsort.execute(sql).rows, ordered
+            )
+        except (ResourceGovernorError, InjectedFault):
+            global_registry().counter("fuzz_chaos_faults_total").inc()
+            return None
+        except (ReproError, OverflowError, ValueError) as exc:
+            return {
+                "kind": "topn",
+                "detail": (
+                    f"full-sort twin raised where the top-N run "
+                    f"succeeded: {type(exc).__name__}: {exc}"
+                ),
+                "repro_rows": cold_rows,
+            }
+        if not rows_equal(cold_rows, rows, ordered):
+            return {
+                "kind": "topn",
+                "detail": (
+                    f"top-N and full-sort disagree: "
+                    f"{len(cold_rows)} vs {len(rows)} row(s)"
+                ),
+                "repro_rows": cold_rows,
+                "sqlite_rows": rows,
+            }
+        return None
+
     def check(self, query: GenQuery) -> Optional[dict]:
         """None when both engines agree; otherwise a dict describing
         the disagreement (used by :meth:`check_query` and the
@@ -414,6 +465,12 @@ class DifferentialOracle:
             )
             if encoding_failure is not None:
                 return encoding_failure
+        if repro_error is None and self.db_fullsort is not None:
+            topn_failure = self._check_topn_leg(
+                sql, ordered, repro_rows
+            )
+            if topn_failure is not None:
+                return topn_failure
         if repro_error is None and sqlite_error is None:
             if rows_equal(repro_rows, sqlite_rows, ordered):
                 return None
@@ -544,6 +601,7 @@ def minimize_data(
     workers: int = 1,
     cache_check: bool = False,
     encoding_check: bool = False,
+    topn_check: bool = False,
 ) -> list[GenTable]:
     """Drop row chunks (halves, then quarters, ...) from each table
     while the divergence persists. Rebuilds both engines per probe."""
@@ -551,7 +609,7 @@ def minimize_data(
     def diverges(candidate_tables: list[GenTable]) -> bool:
         oracle = DifferentialOracle(
             candidate_tables, workers=workers, cache_check=cache_check,
-            encoding_check=encoding_check,
+            encoding_check=encoding_check, topn_check=topn_check,
         )
         try:
             return oracle.check(query) is not None
@@ -597,6 +655,7 @@ def run_seed(
     cache_check: bool = False,
     chaos: bool = False,
     encoding_check: bool = False,
+    topn_check: bool = False,
     schema_profile: str = "default",
 ) -> list[Divergence]:
     """Run one seed's schema + queries; returns found divergences.
@@ -609,7 +668,9 @@ def run_seed(
     injector on the repro side: the injected abort itself is tolerated,
     but every query after it must still agree with SQLite.
     ``encoding_check`` runs every statement on encoded-vs-raw storage
-    twins; ``schema_profile="strings"`` generates the string-heavy,
+    twins; ``topn_check`` runs every statement on a full-sort twin
+    (top-N fusion disabled) and requires bit-identical ordered output;
+    ``schema_profile="strings"`` generates the string-heavy,
     low-cardinality schemas that stress dictionary encoding."""
     generator = QueryGenerator(
         seed, allow_subqueries=allow_subqueries,
@@ -624,6 +685,7 @@ def run_seed(
     oracle = DifferentialOracle(
         tables, workers=workers, cache_check=cache_check,
         chaos_injector=chaos_injector, encoding_check=encoding_check,
+        topn_check=topn_check,
     )
     divergences = []
     try:
@@ -639,11 +701,13 @@ def run_seed(
                     tables, query,
                     workers=workers, cache_check=cache_check,
                     encoding_check=encoding_check,
+                    topn_check=topn_check,
                 )
                 probe = DifferentialOracle(
                     small_tables,
                     workers=workers, cache_check=cache_check,
                     encoding_check=encoding_check,
+                    topn_check=topn_check,
                 )
                 try:
                     failure = probe.check(query) or failure
@@ -676,6 +740,7 @@ def run_seeds(
     cache_check: bool = False,
     chaos: bool = False,
     encoding_check: bool = False,
+    topn_check: bool = False,
     schema_profile: str = "default",
 ) -> list[Divergence]:
     out = []
@@ -690,6 +755,7 @@ def run_seeds(
                 cache_check=cache_check,
                 chaos=chaos,
                 encoding_check=encoding_check,
+                topn_check=topn_check,
                 schema_profile=schema_profile,
             )
         )

@@ -43,3 +43,11 @@ def people_db(db: repro.Database) -> repro.Database:
         ],
     )
     return db
+
+
+@pytest.fixture
+def people_db_fullsort(people_db: repro.Database) -> repro.Database:
+    """The people schema with top-N sort fusion disabled, so ORDER BY +
+    LIMIT keeps the separate Sort and Limit operators."""
+    people_db.topn_enabled = False
+    return people_db

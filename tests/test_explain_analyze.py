@@ -56,7 +56,19 @@ def test_scan_filter_join_aggregate_counts(people_db):
 
 
 def test_sort_and_limit_counts(people_db):
+    # ORDER BY + LIMIT fuses into a single bounded top-N sort operator.
     analyzed = people_db.explain_analyze(
+        "SELECT name FROM people ORDER BY name LIMIT 3"
+    )
+    topn = analyzed.find("TopNSort")
+    assert topn is not None
+    assert topn.rows_in == 5
+    assert topn.rows_out == 3
+    assert len(analyzed.result) == 3
+
+
+def test_sort_and_limit_counts_unfused(people_db_fullsort):
+    analyzed = people_db_fullsort.explain_analyze(
         "SELECT name FROM people ORDER BY name LIMIT 3"
     )
     sort = analyzed.find("Sort")
