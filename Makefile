@@ -5,7 +5,7 @@ N ?= 1000
 START ?= 0
 WORKERS ?= 4
 
-.PHONY: test test-all fuzz fuzz-parallel bench bench-topn obs-smoke metrics-smoke chaos battery server-smoke
+.PHONY: test test-all fuzz fuzz-parallel bench bench-topn bench-durability obs-smoke metrics-smoke chaos battery server-smoke crash-battery
 
 # The tier-1 suite runs three times: fully serial, with a 4-worker
 # pool (the serial-equivalence contract of the morsel-driven executor,
@@ -21,8 +21,10 @@ test: obs-smoke
 	REPRO_PLAN_CACHE=0 REPRO_ENCODING=raw REPRO_WORKERS=1 $(PY) -m pytest -x -q
 	$(MAKE) battery
 	$(MAKE) chaos
+	$(MAKE) crash-battery
 	$(MAKE) server-smoke
 	$(PY) -m repro.bench.topn --smoke
+	$(PY) -m repro.bench.durability --smoke
 
 # TPC-H-shaped SQL battery (tests/sql_battery/) under raw and encoded
 # storage, serial and 4 workers, vs the SQLite oracle — plus a
@@ -39,6 +41,18 @@ battery:
 chaos:
 	$(PY) -m repro.testing.chaos --seeds 260 --start 1
 	$(PY) -m repro.testing.fuzz --seeds 25 --chaos
+
+# Kill-point crash-recovery battery (docs/durability.md): 200 seeded
+# scenarios — SIGKILL mid-append, kill mid-commit-stream, torn-write
+# truncation, injected fsync failure, bit rot in log and snapshot —
+# each recovered and diffed against an acknowledged-prefix twin; plus
+# the crash-marked pytest slice (server restart cycle included) and a
+# fuzzer leg that recovers a fresh database from the WAL after every
+# generated statement.
+crash-battery:
+	$(PY) -m repro.testing.crash --seeds 200 --jobs 8
+	$(PY) -m pytest -x -q -m crash
+	$(PY) -m repro.testing.fuzz --seeds 25 --durability-check
 
 # Multi-session server battery (docs/server.md): a live server on an
 # ephemeral port, 8 concurrent client sessions of mixed DML / query /
@@ -85,3 +99,10 @@ bench:
 # results/TOPN.md.
 bench-topn:
 	$(PY) -m repro.bench.topn
+
+# Durability benchmark (docs/durability.md): recovery time vs
+# committed history with and without checkpointing, and the
+# per-commit fsync overhead of durable mode. Writes
+# results/BENCH_durability.json and results/DURABILITY.md.
+bench-durability:
+	$(PY) -m repro.bench.durability

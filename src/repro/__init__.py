@@ -45,6 +45,7 @@ from .errors import (
     SerializationConflict,
     TransactionError,
     UDFError,
+    WalCorruptionError,
     WorkerCrashError,
 )
 from .governor import CancelToken, QueryContext
@@ -81,6 +82,7 @@ __all__ = [
     "CatalogError",
     "TransactionError",
     "SerializationConflict",
+    "WalCorruptionError",
     "UDFError",
     "AnalyticsError",
     "AdmissionRejected",

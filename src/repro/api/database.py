@@ -76,8 +76,19 @@ from ..storage.encoding import (
 )
 from ..storage.schema import ColumnSchema, TableSchema
 from ..storage.table import TableData
+from ..txn.checkpoint import (
+    capture_catalog,
+    load_snapshot,
+    restore_into,
+    snapshot_path,
+    write_snapshot,
+)
 from ..txn.manager import Transaction, TransactionManager
-from ..txn.wal import WriteAheadLog
+from ..txn.wal import (
+    WriteAheadLog,
+    resolve_checkpoint_bytes,
+    resolve_recovery,
+)
 from ..types import (
     SQLType,
     coerce_scalar,
@@ -188,18 +199,30 @@ class Database:
         flight_dir: Optional[str] = None,
         topn: Optional[bool] = None,
         feedback: Optional[bool] = None,
+        checkpoint_bytes: Optional[int] = None,
+        recovery: Optional[str] = None,
     ):
         self.catalog = Catalog()
         #: Session metrics registry; mirrored into
         #: :func:`repro.obs.metrics.global_registry` so tools that open
         #: many sessions (bench sweeps, the fuzzer) see aggregates.
         self.metrics = MetricsRegistry(parent=global_registry())
-        wal = WriteAheadLog(wal_path) if wal_path is not None else None
+        #: Durability knobs (docs/durability.md). The WAL itself is
+        #: opened *after* the flight recorder exists, so a failed
+        #: recovery can dump a diagnostic bundle.
+        self.wal_path = wal_path
+        #: Corruption-recovery mode (argument, then REPRO_RECOVERY,
+        #: then "tolerant"): strict raises WalCorruptionError on
+        #: mid-log damage, tolerant discards-and-counts.
+        self.recovery = resolve_recovery(recovery)
+        #: Auto-checkpoint threshold in WAL bytes (argument, then
+        #: REPRO_CHECKPOINT_BYTES, then off).
+        self.checkpoint_bytes = resolve_checkpoint_bytes(checkpoint_bytes)
         #: Effective column-encoding policy (argument, then
         #: REPRO_ENCODING, then "auto").
         self.encoding = resolve_encoding(encoding)
         self.txns = TransactionManager(
-            self.catalog, wal, metrics=self.metrics,
+            self.catalog, None, metrics=self.metrics,
             encoding=self.encoding,
         )
         self.udfs = UDFRegistry()
@@ -285,8 +308,129 @@ class Database:
         self.pool.on_worker_crash = self._on_worker_crash
         #: Stats of the most recent statement (peak live tuples, etc.).
         self.last_stats: ExecutionStats = ExecutionStats()
-        if wal is not None:
-            wal.replay_into(self.txns)
+        #: Telemetry of the most recent durable open (``None`` for a
+        #: pure in-memory session): snapshot used, records scanned /
+        #: replayed / discarded, torn-tail bytes, duration.
+        self.last_recovery: Optional[dict] = None
+        #: Result of the most recent :meth:`checkpoint`.
+        self.last_checkpoint: Optional[dict] = None
+        self._checkpointing = False
+        if wal_path is not None:
+            try:
+                self._open_durable(wal_path)
+            except BaseException as exc:
+                self.flight.dump(
+                    "recovery_failure",
+                    error=exc if isinstance(exc, Exception) else None,
+                )
+                raise
+            self.txns.after_commit = self._maybe_checkpoint
+
+    # ------------------------------------------------------------------
+    # durability: recovery and checkpointing (docs/durability.md)
+    # ------------------------------------------------------------------
+
+    def _open_durable(self, wal_path: str) -> None:
+        """Open (or create) the WAL and bring the catalog to the newest
+        durable state: load the newest valid snapshot, then replay the
+        WAL suffix atomically per original transaction."""
+        started = time.perf_counter()
+        snapshot = load_snapshot(snapshot_path(wal_path))
+        wal = WriteAheadLog(
+            wal_path, metrics=self.metrics, recovery=self.recovery
+        )
+        try:
+            self.txns.wal = wal
+            min_seq = 0
+            tables_restored = 0
+            if snapshot is not None:
+                tables_restored = restore_into(self.txns, snapshot)
+                min_seq = int(snapshot.get("wal_seq", 0))
+                wal.ensure_seq(min_seq)
+            replay = wal.replay_stats(self.txns, min_seq=min_seq)
+        except BaseException:
+            wal.close()
+            self.txns.wal = None
+            raise
+        duration = time.perf_counter() - started
+        scan = wal.open_scan
+        discarded = scan.records_discarded if scan is not None else 0
+        if discarded:
+            self.metrics.counter("wal_records_discarded_total").inc(
+                discarded
+            )
+        self.metrics.histogram("wal_recovery_seconds").observe(duration)
+        self.last_recovery = {
+            "wal_path": wal_path,
+            "format": wal.format,
+            "snapshot_used": snapshot is not None,
+            "snapshot_seq": min_seq,
+            "tables_restored": tables_restored,
+            "records_scanned": (
+                scan.records_scanned if scan is not None else 0
+            ),
+            "records_discarded": discarded,
+            "bytes_discarded": (
+                scan.bytes_discarded if scan is not None else 0
+            ),
+            "torn_bytes": scan.torn_bytes if scan is not None else 0,
+            "operations_replayed": replay["operations"],
+            "transactions_replayed": replay["transactions"],
+            "incomplete_transactions": replay["incomplete_transactions"],
+            "duration_seconds": duration,
+        }
+
+    def checkpoint(self) -> dict:
+        """Snapshot the committed catalog beside the WAL and truncate
+        the records it covers; returns what was written.
+
+        The snapshot lands via atomic write-then-rename (fsynced file
+        *and* directory), stamped with the WAL sequence number it is
+        consistent with — so a crash anywhere in the protocol recovers
+        cleanly: before the rename the old snapshot still rules, and
+        between the rename and the truncation the stale WAL prefix is
+        filtered out by sequence number instead of replayed twice."""
+        wal = self.txns.wal
+        if wal is None or wal.path is None:
+            raise TransactionError(
+                "checkpoint requires a file-backed WAL "
+                "(Database(wal_path=...))"
+            )
+        with self.txns._lock:
+            ts = self.catalog.current_ts
+            seq = wal.last_seq
+            tables = capture_catalog(self.catalog, ts)
+            snapshot_bytes = write_snapshot(
+                snapshot_path(wal.path),
+                {"wal_seq": seq, "commit_ts": ts, "tables": tables},
+            )
+            wal.truncate_through(seq)
+        self.metrics.counter("wal_checkpoints_total").inc()
+        self.metrics.gauge("wal_size_bytes").set(wal.size_bytes())
+        self.last_checkpoint = {
+            "wal_seq": seq,
+            "commit_ts": ts,
+            "tables": len(tables),
+            "snapshot_bytes": snapshot_bytes,
+            "wal_bytes_after": wal.size_bytes(),
+        }
+        return self.last_checkpoint
+
+    def _maybe_checkpoint(self) -> None:
+        """Auto-checkpoint policy, invoked from the commit path (under
+        the manager's re-entrant lock) after every durable commit."""
+        if self._checkpointing or not self.checkpoint_bytes:
+            return
+        wal = self.txns.wal
+        if wal is None or wal.path is None:
+            return
+        if wal.size_bytes() < self.checkpoint_bytes:
+            return
+        self._checkpointing = True
+        try:
+            self.checkpoint()
+        finally:
+            self._checkpointing = False
 
     # ------------------------------------------------------------------
     # session-transaction routing
@@ -352,6 +496,9 @@ class Database:
             "morsel_rows": self.morsel_rows,
             "parallel_threshold": self.parallel_threshold,
             "profile_operators": self.profile_operators,
+            "wal_path": self.wal_path,
+            "recovery": self.recovery,
+            "checkpoint_bytes": self.checkpoint_bytes,
         }
 
     def _on_worker_crash(self, exc: Exception) -> None:
@@ -368,8 +515,11 @@ class Database:
     def close(self) -> None:
         """Release session resources (joins the worker pool). The
         session stays usable afterwards — worker threads respawn on the
-        next parallel statement. Idempotent: closing twice is a no-op."""
+        next parallel statement, and the WAL append handle reopens on
+        the next durable commit. Idempotent: closing twice is a no-op."""
         self.pool.shutdown()
+        if self.txns.wal is not None:
+            self.txns.wal.close()
 
     def cancel(self) -> int:
         """Cooperatively cancel every in-flight statement.

@@ -1,0 +1,381 @@
+"""Durability benchmark: recovery time vs history, and fsync cost.
+
+Usage::
+
+    python -m repro.bench.durability            # full run, writes results/
+    python -m repro.bench.durability --smoke    # CI-sized correctness pass
+
+Two experiments:
+
+``recovery``
+    Commit N single-row UPDATE transactions against a fixed-size
+    table, close the database, and measure how long
+    ``Database(wal_path=...)`` takes to come back, for N growing 8x.
+    The table stays the same size the whole time — only the *committed
+    history* (the WAL) grows. Two legs: ``replay_all`` recovers by
+    replaying the entire log (no checkpoint), so recovery time grows
+    linearly with history; ``checkpointed`` takes one
+    ``db.checkpoint()`` before the last ``TAIL`` commits, so recovery
+    restores the snapshot and replays only the fixed-size WAL suffix —
+    flat no matter how much history came before. Both legs must
+    recover the exact same table contents (row count and the update
+    counter sum), and the checkpointed leg must report exactly
+    ``TAIL`` replayed transactions (``db.last_recovery``).
+
+``fsync``
+    Per-commit latency of autocommitted single-row INSERTs on an
+    in-memory database vs a WAL-backed one (one ``os.fsync`` per
+    commit, the durability contract of docs/durability.md). Reports
+    ms/commit for both and the overhead factor.
+
+The full run writes ``results/BENCH_durability.json`` and
+``results/DURABILITY.md``. ``--smoke`` shrinks the history (no files
+written) and exits non-zero if any leg recovers the wrong state.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+from ..api.database import Database
+from .runner import SeriesTable
+
+
+# Fixed number of commits left in the WAL suffix after the checkpoint;
+# the checkpointed leg's recovery cost is proportional to this, not to
+# the total history size.
+TAIL = 25
+
+#: Rows in the recovery experiment's table. It never grows — the
+#: workload is UPDATE commits, so the WAL grows while the live state
+#: stays this size. That isolates what a checkpoint actually bounds:
+#: log length, not data volume.
+TABLE_ROWS = 100
+
+
+# ---------------------------------------------------------------------------
+# Experiment 1: recovery time vs committed history
+# ---------------------------------------------------------------------------
+
+
+def _commit_history(wal_path: str, n_commits: int, checkpoint: bool) -> None:
+    """Build a WAL whose history is ``n_commits`` single-row UPDATE
+    transactions against a ``TABLE_ROWS``-row table; with
+    ``checkpoint`` the last ``TAIL`` of them land after a snapshot."""
+    db = Database(wal_path=wal_path, profile_operators=False)
+    try:
+        db.execute("CREATE TABLE events (id INTEGER, val INTEGER)")
+        db.executemany(
+            "INSERT INTO events VALUES (?, 0)",
+            [(i,) for i in range(TABLE_ROWS)],
+        )
+        cut = max(n_commits - TAIL, 0) if checkpoint else n_commits
+        for i in range(cut):
+            db.execute(
+                f"UPDATE events SET val = val + 1 "
+                f"WHERE id = {i % TABLE_ROWS}"
+            )
+        if checkpoint:
+            db.checkpoint()
+            for i in range(cut, n_commits):
+                db.execute(
+                    f"UPDATE events SET val = val + 1 "
+                    f"WHERE id = {i % TABLE_ROWS}"
+                )
+    finally:
+        db.close()
+
+
+def _measure_recovery(wal_path: str) -> tuple[float, dict]:
+    """Cold-open the WAL once and return (seconds, last_recovery)."""
+    start = time.perf_counter()
+    db = Database(wal_path=wal_path, profile_operators=False)
+    elapsed = time.perf_counter() - start
+    try:
+        recovery = dict(db.last_recovery or {})
+        count, total = db.execute(
+            "SELECT COUNT(*), SUM(val) FROM events"
+        ).rows[0]
+        recovery["recovered_rows"] = count
+        recovery["recovered_updates"] = total
+    finally:
+        db.close()
+    return elapsed, recovery
+
+
+def run_recovery(
+    history_sizes: list[int],
+) -> tuple[SeriesTable, dict]:
+    table = SeriesTable(
+        title="Recovery time vs committed history",
+        xlabel="commits",
+        series_names=["replay_all", "checkpointed", "txns_replayed"],
+        units={"txns_replayed": ""},
+    )
+    detail: dict = {}
+    for n in history_sizes:
+        point: dict = {"commits": n}
+        for leg, checkpoint in (
+            ("replay_all", False),
+            ("checkpointed", True),
+        ):
+            with tempfile.TemporaryDirectory(
+                prefix="repro-bench-dur-"
+            ) as tmp:
+                wal_path = os.path.join(tmp, "bench.wal")
+                _commit_history(wal_path, n, checkpoint)
+                elapsed, recovery = _measure_recovery(wal_path)
+            if recovery.get("recovered_rows") != TABLE_ROWS:
+                raise AssertionError(
+                    f"{leg} at {n} commits recovered "
+                    f"{recovery.get('recovered_rows')} rows, "
+                    f"expected {TABLE_ROWS}"
+                )
+            if recovery.get("recovered_updates") != n:
+                raise AssertionError(
+                    f"{leg} at {n} commits recovered "
+                    f"{recovery.get('recovered_updates')} update(s), "
+                    f"expected {n}"
+                )
+            replayed = recovery.get("transactions_replayed")
+            if checkpoint:
+                if not recovery.get("snapshot_used"):
+                    raise AssertionError(
+                        f"checkpointed leg at {n} commits recovered "
+                        "without using the snapshot"
+                    )
+                if replayed != TAIL:
+                    raise AssertionError(
+                        f"checkpointed leg at {n} commits replayed "
+                        f"{replayed} txns, expected the {TAIL}-commit "
+                        "suffix"
+                    )
+            table.record(leg, n, elapsed)
+            point[leg] = {
+                "seconds": elapsed,
+                "transactions_replayed": replayed,
+                "snapshot_used": bool(recovery.get("snapshot_used")),
+            }
+        table.record(
+            "txns_replayed", n,
+            point["checkpointed"]["transactions_replayed"],
+        )
+        detail[n] = point
+    return table, detail
+
+
+# ---------------------------------------------------------------------------
+# Experiment 2: per-commit fsync overhead
+# ---------------------------------------------------------------------------
+
+
+def run_fsync(n_commits: int) -> tuple[SeriesTable, dict]:
+    table = SeriesTable(
+        title=f"Per-commit latency ({n_commits} autocommits)",
+        xlabel="mode",
+        series_names=["ms_per_commit", "commits_per_sec"],
+        units={"ms_per_commit": "ms", "commits_per_sec": ""},
+    )
+    timings: dict = {}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-dur-") as tmp:
+        for mode, wal_path in (
+            ("memory", None),
+            ("durable", os.path.join(tmp, "fsync.wal")),
+        ):
+            db = Database(wal_path=wal_path, profile_operators=False)
+            try:
+                db.execute(
+                    "CREATE TABLE events (id INTEGER, word VARCHAR)"
+                )
+                start = time.perf_counter()
+                for i in range(n_commits):
+                    db.execute(
+                        f"INSERT INTO events VALUES ({i}, 'w{i}')"
+                    )
+                elapsed = time.perf_counter() - start
+            finally:
+                db.close()
+            per_commit = elapsed / n_commits
+            table.record("ms_per_commit", mode, per_commit * 1e3, note="ms")
+            table.record(
+                "commits_per_sec", mode, round(1.0 / per_commit, 1)
+            )
+            timings[mode] = per_commit
+    overhead = (
+        timings["durable"] / timings["memory"]
+        if timings["memory"] > 0 else float("inf")
+    )
+    return table, {
+        "ms_per_commit": {
+            mode: round(t * 1e3, 4) for mode, t in timings.items()
+        },
+        "overhead_factor": round(overhead, 2),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Reporting
+# ---------------------------------------------------------------------------
+
+
+def _flatness(detail: dict) -> tuple[float, float]:
+    """Growth factors of recovery time from the smallest to the
+    largest history, per leg: (replay_all_growth, checkpointed_growth).
+    A flat checkpointed leg stays near 1x while replay_all tracks the
+    history growth."""
+    sizes = sorted(detail)
+    lo, hi = sizes[0], sizes[-1]
+
+    def growth(leg: str) -> float:
+        t_lo = detail[lo][leg]["seconds"]
+        t_hi = detail[hi][leg]["seconds"]
+        return t_hi / t_lo if t_lo > 0 else float("inf")
+
+    return growth("replay_all"), growth("checkpointed")
+
+
+def _write_results(
+    rec_table: SeriesTable,
+    rec_detail: dict,
+    fsync_table: SeriesTable,
+    fsync_summary: dict,
+    directory: str = "results",
+) -> None:
+    os.makedirs(directory, exist_ok=True)
+    replay_growth, ckpt_growth = _flatness(rec_detail)
+    sizes = sorted(rec_detail)
+    payload = {
+        "experiment": "durability",
+        "recovery": rec_table.to_dict(),
+        "recovery_detail": {
+            str(n): point for n, point in rec_detail.items()
+        },
+        "history_growth_factor": (
+            round(sizes[-1] / sizes[0], 2) if sizes[0] else None
+        ),
+        "recovery_growth": {
+            "replay_all": round(replay_growth, 2),
+            "checkpointed": round(ckpt_growth, 2),
+        },
+        "checkpoint_tail_commits": TAIL,
+        "fsync": fsync_table.to_dict(),
+        "fsync_summary": fsync_summary,
+    }
+    path = os.path.join(directory, "BENCH_durability.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    md = [
+        "# Durability: recovery time and the cost of fsync",
+        "",
+        "Produced by `make bench-durability` "
+        "(`python -m repro.bench.durability`).",
+        "",
+        "## Recovery time vs committed history",
+        "",
+        "Each point commits N single-row UPDATE transactions against "
+        f"a fixed {TABLE_ROWS}-row table, closes the database, and "
+        "cold-opens it again — the live state never grows, only the "
+        "committed history (the WAL) does. `replay_all` recovers by "
+        "replaying the whole log, so its cost tracks the history "
+        f"size; `checkpointed` took one `db.checkpoint()` {TAIL} "
+        "commits before the end, so recovery restores the snapshot and "
+        f"replays only the fixed {TAIL}-commit WAL suffix "
+        "(`db.last_recovery` confirms `transactions_replayed == "
+        f"{TAIL}` at every size). Both legs must recover the same "
+        "table contents — row count and update-counter sum are "
+        "checked against the workload.",
+        "",
+        "```",
+        rec_table.format(),
+        "```",
+        "",
+        f"Across the {sizes[-1] // sizes[0]}x history growth "
+        f"({sizes[0]:,} to {sizes[-1]:,} commits), whole-log replay "
+        f"slowed down {replay_growth:.1f}x while checkpointed "
+        f"recovery moved {ckpt_growth:.2f}x — flat, because the "
+        "snapshot absorbs the history and only the suffix is "
+        "replayed.",
+        "",
+        "## Per-commit fsync overhead",
+        "",
+        "Autocommitted single-row INSERTs, in-memory vs WAL-backed. "
+        "Durable mode pays one buffered frame write plus one "
+        "`os.fsync` per commit — the price of the \"acknowledged "
+        "means recoverable\" contract in docs/durability.md.",
+        "",
+        "```",
+        fsync_table.format(),
+        "```",
+        "",
+        f"Durable commit overhead: "
+        f"{fsync_summary['overhead_factor']}x over in-memory "
+        f"({fsync_summary['ms_per_commit']['durable']} ms vs "
+        f"{fsync_summary['ms_per_commit']['memory']} ms per commit).",
+        "",
+        "See docs/durability.md for the WAL v2 format, checkpoint "
+        "protocol, and the crash-recovery battery that enforces the "
+        "contract.",
+        "",
+    ]
+    with open(
+        os.path.join(directory, "DURABILITY.md"), "w", encoding="utf-8"
+    ) as handle:
+        handle.write("\n".join(md))
+    print(f"wrote {path} and {os.path.join(directory, 'DURABILITY.md')}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.durability",
+        description=(
+            "Benchmark WAL recovery time and per-commit fsync cost."
+        ),
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=(
+            "CI-sized run: small history, correctness checked, no "
+            "result files written"
+        ),
+    )
+    parser.add_argument(
+        "--max-commits", type=int, default=4000,
+        help=(
+            "largest history size; the sweep runs at 1/8, 1/4, 1/2, "
+            "and 1x of this (default: 4000)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        rec_table, rec_detail = run_recovery([40, 80])
+        fsync_table, fsync_summary = run_fsync(40)
+        rec_table.print()
+        fsync_table.print()
+        print("durability smoke OK")
+        return 0
+
+    top = args.max_commits
+    sizes = [top // 8, top // 4, top // 2, top]
+    rec_table, rec_detail = run_recovery(sizes)
+    rec_table.print()
+    fsync_table, fsync_summary = run_fsync(500)
+    fsync_table.print()
+    _write_results(rec_table, rec_detail, fsync_table, fsync_summary)
+    replay_growth, ckpt_growth = _flatness(rec_detail)
+    if ckpt_growth > 2.0:
+        print(
+            f"WARNING: checkpointed recovery grew {ckpt_growth:.1f}x "
+            f"over an 8x history sweep (expected ~flat)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

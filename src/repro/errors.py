@@ -121,6 +121,21 @@ class SerializationConflict(TransactionError):
     also wrote; the later committer must abort (snapshot isolation)."""
 
 
+class WalCorruptionError(TransactionError):
+    """The write-ahead log (or a checkpoint snapshot) holds a *complete*
+    but invalid record — CRC mismatch, undecodable payload, or a broken
+    sequence chain. Unlike a torn tail (a normal crash signature that is
+    silently truncated), this means bit rot or an external overwrite.
+    Raised during recovery in ``recovery='strict'`` mode; in
+    ``'tolerant'`` mode the corrupt suffix is discarded and counted
+    instead (docs/durability.md). ``info`` carries the scan telemetry
+    (offset, records/bytes discarded)."""
+
+    def __init__(self, message: str, info: dict | None = None):
+        super().__init__(message)
+        self.info = info or {}
+
+
 class UDFError(ReproError):
     """Raised when a user-defined function misbehaves: wrong arity,
     unregistered name, or an exception escaping the UDF body."""

@@ -40,6 +40,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--wal", default=None, help="WAL path (durability)")
     parser.add_argument(
+        "--checkpoint-bytes", type=int, default=None,
+        help="auto-checkpoint once the WAL passes this many bytes "
+        "(bounds restart time; docs/durability.md)",
+    )
+    parser.add_argument(
+        "--recovery", choices=("tolerant", "strict"), default=None,
+        help="WAL corruption handling at startup: 'strict' refuses to "
+        "serve over a damaged log, 'tolerant' discards-and-counts "
+        "(default)",
+    )
+    parser.add_argument(
         "--encoding", default=None,
         help="column encoding mode (e.g. 'auto')",
     )
@@ -89,7 +100,28 @@ def main(argv=None) -> int:
         wal_path=args.wal,
         workers=args.workers,
         encoding=args.encoding,
+        checkpoint_bytes=args.checkpoint_bytes,
+        recovery=args.recovery,
     )
+    if db.last_recovery is not None:
+        rec = db.last_recovery
+        print(
+            f"recovered from {rec['wal_path']}: "
+            f"{rec['transactions_replayed']} txn(s) / "
+            f"{rec['operations_replayed']} op(s) replayed"
+            + (
+                f" on snapshot seq {rec['snapshot_seq']}"
+                if rec["snapshot_used"]
+                else ""
+            )
+            + (
+                f", {rec['records_discarded']} record(s) discarded"
+                if rec["records_discarded"]
+                else ""
+            )
+            + f" in {rec['duration_seconds'] * 1000:.1f}ms",
+            flush=True,
+        )
     server = Server(
         db,
         host=args.host,

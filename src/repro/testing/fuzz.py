@@ -88,6 +88,16 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--durability-check", action="store_true",
+        help=(
+            "run every statement on a WAL-backed twin database, then "
+            "recover a fresh database from that WAL and fail if the "
+            "round-tripped committed state differs from the live twin "
+            "(exercises WAL v2 framing, replay grouping, and "
+            "checkpoint/restore; docs/durability.md)"
+        ),
+    )
+    parser.add_argument(
         "--schema", choices=["default", "strings"], default="default",
         help=(
             "schema profile; 'strings' generates string-heavy, "
@@ -125,6 +135,7 @@ def main(argv: list[str] | None = None) -> int:
             chaos=args.chaos,
             encoding_check=args.encoding_check,
             topn_check=args.topn_check,
+            durability_check=args.durability_check,
             schema_profile=args.schema,
         )
         for divergence in divergences:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import copy
 import math
+import os
 import sqlite3
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
@@ -141,6 +142,7 @@ def build_repro_db(
     chaos=None,
     encoding: Optional[str] = None,
     topn: Optional[bool] = None,
+    wal_path: Optional[str] = None,
 ) -> Database:
     # profile_operators=False takes the production operator shapes —
     # notably the serial fused pipeline, which profiled plans bypass —
@@ -153,6 +155,7 @@ def build_repro_db(
             workers=workers, parallel_threshold=0, morsel_rows=32,
             profile_operators=False, plan_cache=plan_cache,
             chaos=chaos, encoding=encoding, topn=topn,
+            wal_path=wal_path,
         )
     else:
         # Tiny morsels here too: multi-morsel fused pipelines and the
@@ -161,6 +164,7 @@ def build_repro_db(
             workers=1, morsel_rows=32,
             profile_operators=False, plan_cache=plan_cache,
             chaos=chaos, encoding=encoding, topn=topn,
+            wal_path=wal_path,
         )
     for table in tables:
         db.execute(table.ddl())
@@ -264,7 +268,14 @@ class DifferentialOracle:
     with top-N sort fusion disabled (every ORDER BY + LIMIT takes the
     full-sort-then-limit path), and any disagreement — ties included,
     since the bounded sort is required to be bit-identical — is a
-    ``"topn"`` divergence."""
+    ``"topn"`` divergence.
+
+    With ``durability_check`` the repro side additionally maintains a
+    WAL-backed twin: every statement runs on it too, and after each
+    statement a *fresh* database is recovered from that WAL and its
+    full committed state compared against the live twin — any
+    round-trip loss through the log (or through checkpoint/replay) is
+    a ``"durability"`` divergence (docs/durability.md)."""
 
     def __init__(
         self,
@@ -274,12 +285,14 @@ class DifferentialOracle:
         chaos_injector=None,
         encoding_check: bool = False,
         topn_check: bool = False,
+        durability_check: bool = False,
     ):
         self.tables = tables
         self.workers = workers
         self.cache_check = cache_check
         self.encoding_check = encoding_check
         self.topn_check = topn_check
+        self.durability_check = durability_check
         # With the encoding twin active the primary runs forced-auto so
         # the comparison is encoded-vs-raw regardless of REPRO_ENCODING.
         self.db = build_repro_db(
@@ -303,6 +316,18 @@ class DifferentialOracle:
             if topn_check
             else None
         )
+        self._wal_dir = None
+        self.db_durable = None
+        if durability_check:
+            import tempfile
+
+            self._wal_dir = tempfile.TemporaryDirectory(
+                prefix="repro-fuzz-wal-"
+            )
+            self._wal_path = os.path.join(self._wal_dir.name, "db.wal")
+            self.db_durable = build_repro_db(
+                tables, workers=workers, wal_path=self._wal_path
+            )
         self.conn = build_sqlite_db(tables)
 
     def close(self) -> None:
@@ -314,6 +339,10 @@ class DifferentialOracle:
             self.db_raw.close()
         if self.db_fullsort is not None:
             self.db_fullsort.close()
+        if self.db_durable is not None:
+            self.db_durable.close()
+        if self._wal_dir is not None:
+            self._wal_dir.cleanup()
 
     def _check_cache_legs(
         self, sql: str, ordered: bool, cold_rows: list[tuple]
@@ -421,6 +450,66 @@ class DifferentialOracle:
             }
         return None
 
+    def _check_durability_leg(
+        self, sql: str, ordered: bool, cold_rows: list[tuple]
+    ) -> Optional[dict]:
+        """Run the statement on the WAL-backed twin, then recover a
+        fresh database from that WAL and require its full committed
+        state to match the live twin's — the log must round-trip
+        everything, after every statement."""
+        try:
+            rows = normalize_rows(
+                self.db_durable.execute(sql).rows, ordered
+            )
+        except (ResourceGovernorError, InjectedFault):
+            global_registry().counter("fuzz_chaos_faults_total").inc()
+            return None
+        except (ReproError, OverflowError, ValueError) as exc:
+            return {
+                "kind": "durability",
+                "detail": (
+                    f"WAL-backed twin raised where the primary "
+                    f"succeeded: {type(exc).__name__}: {exc}"
+                ),
+                "repro_rows": cold_rows,
+            }
+        if not rows_equal(cold_rows, rows, ordered):
+            return {
+                "kind": "durability",
+                "detail": (
+                    f"WAL-backed twin differs from the primary: "
+                    f"{len(cold_rows)} vs {len(rows)} row(s)"
+                ),
+                "repro_rows": cold_rows,
+                "sqlite_rows": rows,
+            }
+        from .crash import dump_state
+
+        recovered = Database(wal_path=self._wal_path, workers=1)
+        try:
+            live_state = dump_state(self.db_durable)
+            rec_state = dump_state(recovered)
+        finally:
+            recovered.close()
+        if live_state != rec_state:
+            return {
+                "kind": "durability",
+                "detail": (
+                    "state recovered from the WAL differs from the "
+                    "live twin: "
+                    + ", ".join(
+                        f"{name}: {len(rec_state.get(name, []))} vs "
+                        f"{len(live_state.get(name, []))} row(s)"
+                        for name in sorted(
+                            set(live_state) | set(rec_state)
+                        )
+                        if live_state.get(name) != rec_state.get(name)
+                    )
+                ),
+                "repro_rows": cold_rows,
+            }
+        return None
+
     def check(self, query: GenQuery) -> Optional[dict]:
         """None when both engines agree; otherwise a dict describing
         the disagreement (used by :meth:`check_query` and the
@@ -471,6 +560,12 @@ class DifferentialOracle:
             )
             if topn_failure is not None:
                 return topn_failure
+        if repro_error is None and self.db_durable is not None:
+            durability_failure = self._check_durability_leg(
+                sql, ordered, repro_rows
+            )
+            if durability_failure is not None:
+                return durability_failure
         if repro_error is None and sqlite_error is None:
             if rows_equal(repro_rows, sqlite_rows, ordered):
                 return None
@@ -602,6 +697,7 @@ def minimize_data(
     cache_check: bool = False,
     encoding_check: bool = False,
     topn_check: bool = False,
+    durability_check: bool = False,
 ) -> list[GenTable]:
     """Drop row chunks (halves, then quarters, ...) from each table
     while the divergence persists. Rebuilds both engines per probe."""
@@ -610,6 +706,7 @@ def minimize_data(
         oracle = DifferentialOracle(
             candidate_tables, workers=workers, cache_check=cache_check,
             encoding_check=encoding_check, topn_check=topn_check,
+            durability_check=durability_check,
         )
         try:
             return oracle.check(query) is not None
@@ -656,6 +753,7 @@ def run_seed(
     chaos: bool = False,
     encoding_check: bool = False,
     topn_check: bool = False,
+    durability_check: bool = False,
     schema_profile: str = "default",
 ) -> list[Divergence]:
     """Run one seed's schema + queries; returns found divergences.
@@ -670,8 +768,11 @@ def run_seed(
     ``encoding_check`` runs every statement on encoded-vs-raw storage
     twins; ``topn_check`` runs every statement on a full-sort twin
     (top-N fusion disabled) and requires bit-identical ordered output;
-    ``schema_profile="strings"`` generates the string-heavy,
-    low-cardinality schemas that stress dictionary encoding."""
+    ``durability_check`` keeps a WAL-backed twin and recovers a fresh
+    database from its log after every statement, requiring the
+    round-tripped state to match; ``schema_profile="strings"``
+    generates the string-heavy, low-cardinality schemas that stress
+    dictionary encoding."""
     generator = QueryGenerator(
         seed, allow_subqueries=allow_subqueries,
         schema_profile=schema_profile,
@@ -685,7 +786,7 @@ def run_seed(
     oracle = DifferentialOracle(
         tables, workers=workers, cache_check=cache_check,
         chaos_injector=chaos_injector, encoding_check=encoding_check,
-        topn_check=topn_check,
+        topn_check=topn_check, durability_check=durability_check,
     )
     divergences = []
     try:
@@ -702,12 +803,14 @@ def run_seed(
                     workers=workers, cache_check=cache_check,
                     encoding_check=encoding_check,
                     topn_check=topn_check,
+                    durability_check=durability_check,
                 )
                 probe = DifferentialOracle(
                     small_tables,
                     workers=workers, cache_check=cache_check,
                     encoding_check=encoding_check,
                     topn_check=topn_check,
+                    durability_check=durability_check,
                 )
                 try:
                     failure = probe.check(query) or failure
@@ -741,6 +844,7 @@ def run_seeds(
     chaos: bool = False,
     encoding_check: bool = False,
     topn_check: bool = False,
+    durability_check: bool = False,
     schema_profile: str = "default",
 ) -> list[Divergence]:
     out = []
@@ -756,6 +860,7 @@ def run_seeds(
                 chaos=chaos,
                 encoding_check=encoding_check,
                 topn_check=topn_check,
+                durability_check=durability_check,
                 schema_profile=schema_profile,
             )
         )

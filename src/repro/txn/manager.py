@@ -221,6 +221,11 @@ class TransactionManager:
         self._lock = threading.RLock()
         self._next_txn_id = 1
         self._active: dict[int, Transaction] = {}
+        #: Called (with no arguments) after every durable non-read-only
+        #: commit, while the manager lock is still held (it is
+        #: re-entrant). :class:`~repro.api.database.Database` installs
+        #: its auto-checkpoint policy here (docs/durability.md).
+        self.after_commit = None
 
     def begin(self) -> Transaction:
         with self._lock:
@@ -307,6 +312,8 @@ class TransactionManager:
                 else:
                     ts = self.catalog.current_ts
                 self.metrics.counter("txn_commits_total").inc()
+                if self.after_commit is not None and self.wal is not None:
+                    self.after_commit()
                 return ts
             finally:
                 self.finish(txn)

@@ -1,0 +1,51 @@
+"""Crash-recovery battery plumbing + a pytest-visible smoke slice.
+
+The full randomized battery runs via ``make crash-battery``
+(``python -m repro.testing.crash --seeds 200``); the tests here keep a
+small always-on slice in tier-1 so a durability regression fails fast,
+and expose the big sweep under the ``crash`` marker.
+"""
+
+import random
+
+import pytest
+
+from repro.testing.crash import (
+    FAULT_KINDS,
+    build_workload,
+    run_crash_battery,
+    run_crash_seed,
+)
+
+
+def _kind_of(seed: int) -> str:
+    rng = random.Random(seed * 7919 + 13)
+    return FAULT_KINDS[rng.randrange(len(FAULT_KINDS))]
+
+
+def test_workload_is_deterministic():
+    assert build_workload(42, True) == build_workload(42, True)
+    assert build_workload(42, False) == build_workload(42, False)
+
+
+def test_fault_kinds_all_reachable():
+    """The seeded kind selector must cover every fault family quickly,
+    or the battery silently stops testing one of them."""
+    kinds = {_kind_of(seed) for seed in range(40)}
+    assert kinds == set(FAULT_KINDS)
+
+
+def test_crash_smoke_slice():
+    """A small always-on slice of the battery: 6 seeds, all fault
+    kinds possible, zero contract violations tolerated."""
+    failures = run_crash_battery(6, start=0, jobs=3)
+    assert failures == [], "\n".join(failures)
+
+
+@pytest.mark.crash
+@pytest.mark.slow
+def test_crash_battery_sweep():
+    """A wider sweep for ``-m crash`` runs (the 200-seed battery lives
+    in ``make crash-battery``)."""
+    failures = run_crash_battery(48, start=100, jobs=8)
+    assert failures == [], "\n".join(failures)
